@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures.  The
+rendered artifact is printed (visible with ``pytest -s`` or in the
+teed output) and written under ``benchmarks/output/`` so the harness
+leaves the regenerated evaluation on disk.
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def artifact():
+    """Returns a writer: artifact(name, text) persists and echoes."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

@@ -1,0 +1,57 @@
+"""Application-level scaling curves (extends PPT4 to the Perfect suite)."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    PROCESSOR_COUNTS,
+    render_scaling,
+    run_scaling_study,
+)
+from repro.metrics.bands import Band
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return run_scaling_study()
+
+
+def test_application_scaling(benchmark, artifact, curves):
+    benchmark.pedantic(lambda: curves, rounds=1, iterations=1)
+    artifact("application_scaling", render_scaling(curves))
+
+    # every code scales monotonically (no slowdown from more CEs under
+    # self-scheduled DOALLs with these granularities)
+    for curve in curves.values():
+        speedups = curve.speedups
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:])), curve.code
+
+    # the well-parallelized codes keep gaining deep into the machine
+    assert curves["TRFD"].knee == 32
+    for name in ("MG3D", "MDG", "OCEAN"):
+        assert curves[name].knee >= 16, name
+
+    # the serial-bound codes flatten early
+    for name in ("QCD", "SPICE"):
+        assert curves[name].knee <= 4, name
+        assert curves[name].speedups[-1] < 3.0
+
+    # band census at 32 CEs is consistent with Table 6
+    bands = [c.band_at(32) for c in curves.values()]
+    assert bands.count(Band.HIGH) == 1          # TRFD
+    assert bands.count(Band.UNACCEPTABLE) <= 3
+
+
+def test_scaling_respects_amdahl(curves):
+    """Speedup at 32 never exceeds the Amdahl bound of the code's
+    parallel coverage."""
+    from repro.perf.model import CedarApplicationModel
+    from repro.perfect.profiles import PERFECT_CODES
+    from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE
+
+    model = CedarApplicationModel()
+    for name, curve in curves.items():
+        coverage = model.restructure(
+            PERFECT_CODES[name], AUTOMATABLE_PIPELINE
+        ).parallel_coverage
+        bound = 1.0 / ((1.0 - coverage) + coverage / 32.0) if coverage < 1 else 32.0
+        assert curve.speedups[-1] <= bound * 1.05, name

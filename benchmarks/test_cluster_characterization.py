@@ -1,0 +1,85 @@
+"""Cluster-level characterization (the Figure 2 subsystems).
+
+The Alliant cache's design point: "eight 64-bit words per instruction
+cycle, sufficient to supply one input stream to a vector instruction
+in each processor" — eight CEs each consuming one word per cycle
+exactly balance the cache.  The bench shows (a) per-CE stream rates
+hold at ~1 word/cycle all the way to 8 CEs on the real cache, and
+(b) an under-provisioned (halved) cache breaks the balance.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.ce import ClusterVectorOp
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.util.tables import Table
+
+
+def per_ce_rate(n_ces: int, cache_words_per_cycle: int = 8,
+                words_per_ce: int = 512) -> float:
+    config = CedarConfig()
+    config = replace(
+        config, cache=replace(config.cache, words_per_cycle=cache_words_per_cycle)
+    )
+    machine = CedarMachine(config)
+
+    def prog():
+        # a CE's vector stream consumes one word per cycle (2 chained
+        # flops): the physical per-processor limit
+        for _ in range(4):
+            yield ClusterVectorOp(words=words_per_ce // 4, cycles_per_word=1.0)
+
+    cycles = machine.run_programs({p: prog() for p in range(n_ces)})
+    return words_per_ce / cycles
+
+
+def test_cluster_cache_design_point(benchmark, artifact):
+    rates = benchmark.pedantic(
+        lambda: {
+            (n, c): per_ce_rate(n, c)
+            for n in (1, 2, 4, 8)
+            for c in (8, 4)
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        title="Cluster cache design point: per-CE stream rate (words/cycle)",
+        columns=["CEs streaming", "cache 8 w/cyc (Alliant)", "cache 4 w/cyc (ablated)"],
+        precision=2,
+    )
+    for n in (1, 2, 4, 8):
+        table.add_row([n, rates[(n, 8)], rates[(n, 4)]])
+    artifact("cluster_characterization", table.render())
+
+    # (a) the real cache feeds every CE at (near) its full stream even
+    # with all 8 running; the ~20% shortfall at exact saturation is the
+    # chunked-transit artifact of the queueing model (real streams
+    # interleave word-by-word)
+    for n in (1, 2, 4):
+        assert rates[(n, 8)] == pytest.approx(rates[(1, 8)], rel=0.1), n
+    assert rates[(8, 8)] >= 0.78 * rates[(1, 8)]
+
+    # (b) the halved cache is fine up to 4 CEs but starves 8 outright
+    assert rates[(4, 4)] == pytest.approx(rates[(1, 4)], rel=0.2)
+    assert rates[(8, 4)] < 0.6 * rates[(1, 4)]
+    # the design-point contrast: the real cache at 8 CEs clearly beats
+    # the under-provisioned one
+    assert rates[(8, 8)] > 1.5 * rates[(8, 4)]
+
+
+def test_one_ce_cannot_exceed_its_stream(benchmark):
+    """A single CE consumes at most one word per cycle of vector
+    stream, even though the cache could deliver eight."""
+    machine = CedarMachine(CedarConfig())
+
+    def prog():
+        yield ClusterVectorOp(words=512, cycles_per_word=1.0)
+
+    cycles = benchmark.pedantic(
+        lambda: machine.run_programs({0: prog()}), rounds=1, iterations=1
+    )
+    assert 512 / cycles <= 1.05

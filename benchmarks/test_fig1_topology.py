@@ -1,0 +1,30 @@
+"""Figures 1 and 2: the machine's structure, rebuilt and verified."""
+
+from repro.core.config import CedarConfig
+from repro.experiments.fig1 import render_fig1, topology_summary
+
+
+def test_fig1_topology(benchmark, artifact):
+    info = benchmark.pedantic(topology_summary, rounds=1, iterations=1)
+    artifact("fig1_topology", render_fig1())
+    # Figure 1: four clusters, two networks, shared global memory
+    assert info["clusters"] == 4
+    assert info["networks"] == 2
+    assert info["network_stages"] == 2
+    assert info["memory_modules"] == 32
+    assert info["global_memory_mb"] == 64
+    # Figure 2: the Alliant cluster
+    assert info["ces_per_cluster"] == 8
+    assert info["cache_kb"] == 512
+    assert info["cluster_memory_mb"] == 32
+    # headline rates: 376 peak, 274 effective peak MFLOPS
+    assert abs(info["peak_mflops"] - 376) < 2
+    assert abs(info["effective_peak_mflops"] - 274) < 2
+
+
+def test_fig1_topology_is_configuration_driven(benchmark):
+    """PPT5 sanity: the same constructor builds scaled machines."""
+    big = benchmark.pedantic(
+        lambda: topology_summary(CedarConfig(clusters=8)), rounds=1, iterations=1
+    )
+    assert big["total_ces"] == 64

@@ -1,0 +1,37 @@
+"""Figure 3: Cray YMP/8 vs Cedar efficiency scatter for the manually
+optimized Perfect codes."""
+
+from repro.experiments.fig3 import band_census, render_fig3, run_fig3
+from repro.metrics.bands import Band
+
+
+def test_fig3_scatter(benchmark, artifact):
+    points = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    artifact("fig3_scatter", render_fig3(points))
+    census = band_census(points)
+
+    # "The 8-processor YMP has about half high and half intermediate
+    # levels of performance"
+    ymp = census["YMP"]
+    assert 3 <= ymp[Band.HIGH] <= 8
+    assert 4 <= ymp[Band.INTERMEDIATE] <= 9
+    # "the YMP has one unacceptable performance"
+    assert ymp[Band.UNACCEPTABLE] == 1
+
+    # "the 32-processor Cedar has about one-quarter high and
+    # three-quarters intermediate ... Cedar has none [unacceptable]"
+    cedar = census["Cedar"]
+    assert 2 <= cedar[Band.HIGH] <= 5
+    assert cedar[Band.INTERMEDIATE] >= 8
+    assert cedar[Band.UNACCEPTABLE] == 0
+
+    # both machines therefore pass PPT1 on the Perfect codes
+    assert sum(v for b, v in ymp.items() if b is not Band.UNACCEPTABLE) > 6
+    assert sum(v for b, v in cedar.items() if b is not Band.UNACCEPTABLE) > 6
+
+
+def test_fig3_spice_is_the_ymp_outlier(benchmark):
+    points = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    worst = min(points, key=lambda p: p.ymp_efficiency)
+    assert worst.code == "SPICE"
+    assert worst.ymp_band is Band.UNACCEPTABLE

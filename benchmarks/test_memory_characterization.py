@@ -1,0 +1,33 @@
+"""[GJTV91]-style memory-system characterization (Section 4.1 anchors)."""
+
+import pytest
+
+from repro.experiments.characterization import (
+    render_characterization,
+    run_characterization,
+)
+
+
+def test_memory_characterization(benchmark, artifact):
+    c = benchmark.pedantic(run_characterization, rounds=1, iterations=1)
+    artifact("memory_characterization", render_characterization(c))
+
+    # "Minimal Latency is 8 cycles and minimal Interarrival time is 1
+    # cycle"
+    assert c.unloaded_latency_cycles == pytest.approx(8.0, abs=0.3)
+    assert c.unloaded_interarrival_cycles == pytest.approx(1.0, abs=0.1)
+
+    # "The cycles needed to move data between the CE and prefetch
+    # buffer complete the 13 cycle latency"
+    assert c.ce_observed_latency_cycles == pytest.approx(13.0, abs=0.5)
+
+    # GM/no-pref: two outstanding requests per 13-cycle round trip
+    assert c.nopref_cycles_per_word == pytest.approx(6.5, rel=0.1)
+
+    # "The peak global memory bandwidth is 768 MB/sec"
+    assert c.peak_bandwidth_mb_s == pytest.approx(768.0, rel=0.05)
+
+    # sustained bandwidth sits below nominal peak (the [Turn93]
+    # implementation constraints) but above half of it
+    assert 0.45 * c.peak_bandwidth_mb_s < c.sustained_bandwidth_mb_s
+    assert c.sustained_bandwidth_mb_s < c.peak_bandwidth_mb_s

@@ -1,0 +1,41 @@
+"""Omega-network permutation ablation (the [Lawr75] alignment story)."""
+
+import pytest
+
+from repro.experiments.permutations import (
+    render_permutations,
+    run_permutation_study,
+    static_conflicts,
+    PERMUTATIONS,
+)
+
+
+def test_network_permutations(benchmark, artifact):
+    results = benchmark.pedantic(run_permutation_study, rounds=1, iterations=1)
+    artifact("network_permutations", render_permutations(results))
+    by_name = {r.name: r for r in results}
+
+    # conflict-free permutations (identity, uniform shift) stream at
+    # full width
+    assert by_name["identity"].static_conflicts == 0
+    assert by_name["shift+1"].static_conflicts == 0
+    assert by_name["identity"].throughput > 20.0
+
+    # blocking permutations lose several-fold throughput — the
+    # alignment problem Lawrie's tag-routing paper addresses
+    assert by_name["bit reversal"].static_conflicts > 0
+    assert by_name["bit reversal"].throughput < by_name["identity"].throughput / 2
+
+    # all-to-one is fully serialized by the destination port
+    assert by_name["all-to-one"].throughput == pytest.approx(1.0, rel=0.1)
+
+    # static conflict analysis predicts the dynamic ordering
+    ordered = sorted(results, key=lambda r: r.static_conflicts)
+    throughputs = [r.throughput for r in ordered]
+    assert throughputs == sorted(throughputs, reverse=True)
+
+
+def test_conflict_analysis_is_symmetric_for_shifts():
+    """Every uniform shift is conflict-free in a delta network."""
+    for k in range(32):
+        assert static_conflicts(lambda s, k=k: (s + k) % 32) == 0

@@ -1,0 +1,74 @@
+"""PPT4: CG scalability on Cedar; banded matvec on the CM-5."""
+
+import pytest
+
+from repro.experiments.ppt4 import (
+    CEDAR_SIZES,
+    CedarCGModel,
+    cedar_high_performance_crossover,
+    render_ppt4,
+    run_ppt4,
+)
+from repro.metrics.bands import Band
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_ppt4()
+
+
+def test_ppt4_scalability(benchmark, artifact, study):
+    benchmark.pedantic(lambda: study, rounds=1, iterations=1)
+    artifact("ppt4_scalability", render_ppt4(study))
+
+    # "Cedar exhibits scalable high performance for matrices larger
+    # than something between 10K and 16K, and on up to the largest
+    # problems run"
+    for n in (16_384, 65_536, 176_128):
+        for p in (2, 4, 8, 16, 32):
+            assert study.cedar.grid[(p, n)] is Band.HIGH, (p, n)
+
+    # "scalable intermediate performance for smaller matrices";
+    # "No unacceptable performance was observed"
+    assert study.cedar.grid[(32, 1024)] is Band.INTERMEDIATE
+    assert all(b is not Band.UNACCEPTABLE for b in study.cedar.grid.values())
+
+    # "The 32-processor Cedar delivers between 34 and 48 MFLOPS as the
+    # CG problem size ranges from 10K to 172K"
+    rates = [study.cedar_mflops_32[n] for n in CEDAR_SIZES if n >= 10_000]
+    assert min(rates) == pytest.approx(34.0, rel=0.4)
+    assert max(rates) == pytest.approx(48.0, rel=0.25)
+
+    # CM-5: "scalable with intermediate performance", never high, never
+    # unacceptable, for both bandwidths and all processor counts
+    for bw, result in study.cm5.items():
+        assert all(b is Band.INTERMEDIATE for b in result.grid.values()), bw
+
+    # CM-5 32-processor rates match [FWPS92]
+    assert study.cm5_mflops_32[(3, 16_384)] == pytest.approx(28.0, rel=0.1)
+    assert study.cm5_mflops_32[(3, 262_144)] == pytest.approx(32.0, rel=0.1)
+    assert study.cm5_mflops_32[(11, 16_384)] == pytest.approx(58.0, rel=0.1)
+    assert study.cm5_mflops_32[(11, 262_144)] == pytest.approx(67.0, rel=0.1)
+
+
+def test_ppt4_crossover_location(benchmark):
+    """The high-performance crossover lies near the paper's 10K-16K
+    bracket."""
+    n = benchmark.pedantic(cedar_high_performance_crossover, rounds=1, iterations=1)
+    assert 4_000 <= n <= 20_000
+
+
+def test_ppt4_per_processor_parity_with_cm5(study):
+    """"the per-processor MFLOPS of the two systems on these problems
+    are roughly equivalent": Cedar ~1.1-1.7, CM-5 ~0.9-2.1."""
+    cedar_pp = study.cedar_mflops_32[65_536] / 32
+    cm5_pp = study.cm5_mflops_32[(11, 65_536)] / 32
+    assert cedar_pp == pytest.approx(cm5_pp, rel=0.8)
+
+
+def test_ppt4_stability_within_size_range(study):
+    """PPT4's acceptance also requires size-stability (factor <= 2)
+    at each processor count for the large-problem regime."""
+    cg = CedarCGModel()
+    rates = [cg.mflops(n, 32) for n in CEDAR_SIZES if n >= 10_000]
+    assert max(rates) / min(rates) <= 2.0

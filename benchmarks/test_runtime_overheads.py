@@ -1,0 +1,44 @@
+"""Section 3.2: runtime-library scheduling overheads."""
+
+import pytest
+
+from repro.experiments.overheads import (
+    nest_comparison_us,
+    render_overheads,
+    run_overheads,
+)
+
+
+def test_runtime_overheads(benchmark, artifact):
+    rows = benchmark.pedantic(run_overheads, rounds=1, iterations=1)
+    artifact("runtime_overheads", render_overheads(rows))
+    by_name = {r.construct: r for r in rows}
+
+    # "a typical loop startup latency of 90 us and fetching the next
+    # iteration takes about 30 us"
+    assert by_name["XDOALL"].startup_us == pytest.approx(90.0)
+    assert by_name["XDOALL"].per_iteration_us == pytest.approx(30.0)
+
+    # "The CDOALL ... can typically start in a few microseconds"
+    assert by_name["CDOALL"].startup_us <= 5.0
+    assert by_name["CDOALL"].per_iteration_us < 1.0
+
+
+def test_sdoall_cdoall_nest_beats_xdoall(benchmark):
+    """Paper: "An SDOALL/CDOALL nest has a lower scheduling cost due
+    to the use of the concurrency control bus"."""
+    xdoall_us, nest_us = benchmark.pedantic(
+        nest_comparison_us, args=(256, 20.0), rounds=1, iterations=1
+    )
+    assert nest_us < xdoall_us
+
+
+def test_xdoall_overhead_dominates_fine_grains(benchmark):
+    """The flip side: for a single-wave fine-grain loop, scheduling
+    overhead dominates wall time for both constructs (the nest's
+    advantage only appears across multiple waves — see above)."""
+    xdoall_us, nest_us = benchmark.pedantic(
+        nest_comparison_us, args=(32, 1.0), rounds=1, iterations=1
+    )
+    assert xdoall_us > 100.0  # startup + fetch >> 32 x 1us of work
+    assert nest_us == pytest.approx(xdoall_us, rel=0.1)

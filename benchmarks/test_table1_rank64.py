@@ -1,0 +1,40 @@
+"""Table 1: MFLOPS for the rank-64 update (three memory regimes)."""
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, render_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table1(a_strips=2)
+
+
+def test_table1_rank64(benchmark, artifact, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    artifact("table1_rank64", render_table1(rows))
+    by_version = {r.version: r.mflops for r in rows}
+
+    # shape 1: one-cluster ordering GM/no-pref << GM/pref ~ GM/cache
+    assert by_version["GM/no-pref"][0] < by_version["GM/pref"][0] / 2
+    # shape 2: cache version scales nearly linearly to 4 clusters
+    cache = by_version["GM/cache"]
+    assert cache[3] / cache[0] > 3.4
+    # shape 3: prefetch version saturates (sub-2x from 2 to 4 clusters)
+    pref = by_version["GM/pref"]
+    assert pref[3] / pref[1] < 1.6
+    # shape 4: no-pref stays latency-bound and roughly linear
+    nopref = by_version["GM/no-pref"]
+    assert nopref[3] / nopref[0] > 3.4
+    # crossover: beyond two clusters the cache version wins over prefetch
+    assert cache[2] > pref[2] and cache[3] > pref[3]
+
+
+def test_table1_absolute_anchors(rows):
+    """The calibrated points the model reproduces quantitatively."""
+    by_version = {r.version: r.mflops for r in rows}
+    for version, paper in PAPER_TABLE1.items():
+        got = by_version[version]
+        # one-cluster rates within 15%; 4-cluster within 35%
+        assert got[0] == pytest.approx(paper[0], rel=0.15), version
+        assert got[3] == pytest.approx(paper[3], rel=0.35), version

@@ -1,0 +1,60 @@
+"""Table 2: global memory performance (prefetch speedup, latency,
+interarrival for TM/CG/VF/RK at 8/16/32 CEs)."""
+
+import pytest
+
+from repro.experiments.table2 import (
+    CE_COUNTS,
+    KERNEL_ORDER,
+    PAPER_TABLE2,
+    render_table2,
+    run_table2,
+)
+
+STRIPS = 10
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table2(strips=STRIPS)
+
+
+def test_table2_gm_performance(benchmark, artifact, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    artifact("table2_gm_performance", render_table2(rows))
+    by_kernel = {r.kernel: r for r in rows}
+
+    # shape 1: prefetch always helps, and its benefit shrinks with CEs
+    for row in rows:
+        assert all(s > 1.0 for s in row.speedups)
+        assert row.speedups[0] >= row.speedups[2]
+
+    # shape 2: the paper's kernel ordering of prefetch speedups at 8 CEs
+    # (RK > CG > TM > VF)
+    s8 = {k: by_kernel[k].speedups[0] for k in KERNEL_ORDER}
+    assert s8["RK"] > s8["CG"] > s8["VF"]
+    assert s8["RK"] > s8["TM"] > s8["VF"]
+
+    # shape 3: latency and interarrival grow with the CE count
+    for row in rows:
+        assert row.latencies[2] > row.latencies[0]
+        assert row.interarrivals[2] > row.interarrivals[0]
+
+    # shape 4: RK (256-word blocks, fully overlapped) degrades most
+    assert by_kernel["RK"].latencies[2] >= max(
+        by_kernel[k].latencies[2] for k in ("TM", "CG")
+    ) - 1.0
+    assert by_kernel["RK"].interarrivals[2] == max(
+        r.interarrivals[2] for r in rows
+    )
+
+
+def test_table2_absolute_anchors(rows):
+    for row in rows:
+        paper_lat = PAPER_TABLE2[row.kernel][1]
+        paper_int = PAPER_TABLE2[row.kernel][2]
+        # unloaded (8-CE) latency within ~2 cycles of the paper
+        assert row.latencies[0] == pytest.approx(paper_lat[0], abs=2.0)
+        # interarrival at 8 CEs near 1 cycle, at 32 CEs within 40%
+        assert row.interarrivals[0] == pytest.approx(paper_int[0], abs=0.3)
+        assert row.interarrivals[2] == pytest.approx(paper_int[2], rel=0.4)

@@ -1,0 +1,54 @@
+"""Table 3: the Perfect Benchmarks on Cedar, four versions per code."""
+
+import pytest
+
+from repro.experiments.table3 import render_table3, run_table3
+from repro.perfect.profiles import PAPER_TABLE3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table3()
+
+
+def test_table3_perfect(benchmark, artifact, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    artifact("table3_perfect", render_table3(rows))
+    for row in rows:
+        ref = PAPER_TABLE3[row.code]
+        # execution times within 10% of the published measurements
+        assert row.kap_time == pytest.approx(ref.kap_time, rel=0.10), row.code
+        if ref.auto_time is None:
+            continue
+        assert row.auto_time == pytest.approx(ref.auto_time, rel=0.10), row.code
+        # ablations within a few percentage points of the published
+        # slowdowns (both are fractions of the automatable time)
+        assert row.no_sync_slowdown == pytest.approx(
+            ref.no_sync_slowdown, abs=0.05
+        ), row.code
+        assert row.no_prefetch_slowdown == pytest.approx(
+            ref.no_prefetch_slowdown, abs=0.08
+        ), row.code
+        assert row.mflops == pytest.approx(ref.mflops, rel=0.10), row.code
+
+
+def test_table3_compiler_gap(rows):
+    """The headline of Section 3.3: the original KAP leaves most codes
+    nearly serial; the automatable transforms unlock order-of-magnitude
+    improvements on most of the suite."""
+    weak_kap = [r for r in rows if r.kap_improvement < 2.5]
+    strong_auto = [
+        r for r in rows if r.auto_improvement and r.auto_improvement > 8.0
+    ]
+    assert len(weak_kap) >= 7
+    assert len(strong_auto) >= 9
+
+
+def test_table3_sync_sensitivity_is_granularity_driven(rows):
+    """DYFESM and OCEAN (fine-grain loops) lose the most without the
+    synchronization hardware; TRFD and MG3D (coarse loops) nothing."""
+    by_code = {r.code: r for r in rows}
+    assert by_code["DYFESM"].no_sync_slowdown > 0.08
+    assert by_code["OCEAN"].no_sync_slowdown > 0.10
+    assert by_code["TRFD"].no_sync_slowdown < 0.02
+    assert by_code["MG3D"].no_sync_slowdown < 0.02

@@ -1,0 +1,28 @@
+"""Table 6: restructuring-efficiency band census, Cedar vs Cray YMP."""
+
+from repro.experiments.table6 import PAPER_TABLE6, render_table6, run_table6
+
+
+def test_table6_bands(benchmark, artifact):
+    result = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    artifact("table6_bands", render_table6(result))
+
+    cedar = result.cedar.counts
+    ymp = result.ymp.counts
+
+    # YMP census matches the paper exactly: 0 high, 6 intermediate,
+    # 7 unacceptable
+    assert ymp == PAPER_TABLE6["Cray YMP"]
+
+    # Cedar: exactly one high code (TRFD), the bulk intermediate, and
+    # the scalar codes unacceptable (paper: 1 / 9 / 3; model: 1 / 10 / 2)
+    assert cedar[0] == PAPER_TABLE6["Cedar"][0]
+    assert result.cedar.high == ["TRFD"]
+    assert abs(cedar[1] - PAPER_TABLE6["Cedar"][1]) <= 1
+    assert abs(cedar[2] - PAPER_TABLE6["Cedar"][2]) <= 1
+    assert set(result.cedar.unacceptable) <= {"QCD", "SPICE", "TRACK", "BDNA"}
+
+    # the conclusion the paper draws: Cedar's restructured codes sit
+    # mostly at acceptable levels, the YMP's mostly below
+    assert cedar[0] + cedar[1] > cedar[2]
+    assert ymp[2] > ymp[0] + ymp[1] - 1

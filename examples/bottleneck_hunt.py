@@ -1,0 +1,46 @@
+"""Hunting the bottleneck of a kernel run, Cedar-style.
+
+Run:  python examples/bottleneck_hunt.py
+
+Runs the RK kernel on 8 and 32 CEs, then uses the analysis toolkit
+(the software half of the paper's performance-monitoring story) to
+show where the machine spends its time: utilization by subsystem, the
+most contended resources, and a heat strip of the network stages and
+memory modules.
+"""
+
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.kernels.programs import KERNELS, kernel_program
+from repro.monitor.analysis import bottlenecks, stage_heat_strip, utilization_report
+
+
+def hunt(n_ces: int) -> None:
+    machine = CedarMachine(CedarConfig(), monitor_port=0)
+    programs = {
+        port: kernel_program(KERNELS["RK"], port, 6, prefetch=True)
+        for port in range(n_ces)
+    }
+    machine.run_programs(programs)
+    print(f"== RK on {n_ces} CEs ==")
+    summary = machine.probe.summary()
+    print(f"  monitored CE: latency {summary.first_word_latency:.1f} cyc, "
+          f"interarrival {summary.interarrival:.2f} cyc")
+    print("  subsystem utilization:")
+    for name, value in sorted(utilization_report(machine).items()):
+        bar = "#" * int(value * 40)
+        print(f"    {name:28s} {value:5.1%} |{bar}")
+    print("  most contended resources (pressure = busy + blocked):")
+    for report in bottlenecks(machine, top=3):
+        print(f"    {report.name:16s} busy {report.utilization:5.1%}  "
+              f"blocked {report.blocked_fraction:5.1%}")
+    print(stage_heat_strip(machine))
+    print()
+
+
+if __name__ == "__main__":
+    hunt(8)
+    hunt(32)
+    print("reading it: at 8 CEs the machine is comfortable; at 32 the")
+    print("memory modules saturate and backpressure floods the injection")
+    print("ports — Table 2's latency/interarrival growth, seen from inside.")

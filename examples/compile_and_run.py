@@ -1,0 +1,109 @@
+"""From Fortran text to a Cedar execution estimate.
+
+Run:  python examples/compile_and_run.py
+
+The full software-stack pipeline on a user program: parse DO loops,
+resolve CALLs against interprocedural summaries, restructure under
+both compiler generations, and estimate the 32-CE execution time
+through the application performance model.
+"""
+
+from repro.perf.model import CedarApplicationModel
+from repro.perfect.profiles import CodeProfile, LoopProfile
+from repro.restructurer.interprocedural import SubroutineSummary, SummaryRegistry
+from repro.restructurer.parser import parse_program
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+from repro.xylem.runtime import LoopKind
+
+SOURCE = """
+! a small simulation step: stencil update, force reduction, and a
+! library call per particle
+DO I = 1, 8192
+  T = U(I+1) - U(I-1)
+  UNEW(I) = U(I) + 0.5 * T
+END DO
+DO I = 1, 8192
+  ENERGY = ENERGY + UNEW(I) * UNEW(I)
+END DO
+DO I = 1, 8192
+  CALL APPLYBC(UNEW(I))
+END DO
+"""
+
+#: what we know about the library routine (its author told us).
+SUMMARIES = [
+    SubroutineSummary("APPLYBC", reads=(0,), writes=(0,)),
+]
+
+
+def main() -> None:
+    program = parse_program(SOURCE, name="usercode")
+    registry = SummaryRegistry()
+    for summary in SUMMARIES:
+        registry.register(summary)
+    cleared = registry.resolve_program(program)
+    print("interprocedural resolution:", {k: v for k, v in cleared.items() if v})
+
+    for pipeline in (KAP_PIPELINE, AUTOMATABLE_PIPELINE):
+        report = pipeline.restructure(program)
+        print(f"\n{pipeline.name}: coverage {report.parallel_coverage:.0%}")
+        for verdict in report.verdicts:
+            state = "DOALL " if verdict.parallel else "serial"
+            extras = ", ".join(verdict.transforms) or "-"
+            print(f"  {verdict.label:8s} {state} ({extras})")
+
+    # wrap the parsed loops in a workload profile: 2000 timesteps of a
+    # program whose serial step takes ~45 ms
+    serial_seconds = 90.0
+    loops = tuple(
+        LoopProfile(
+            label=loop.label,
+            weight=loop.weight,
+            invocations=2000,
+            trips=loop.trips,
+            kind=LoopKind.XDOALL,
+            vector_speedup=4.0,
+            global_vector_fraction=0.05,
+        )
+        for loop in program.loops
+    )
+    profile = CodeProfile(
+        name="usercode",
+        serial_seconds=serial_seconds,
+        flops=serial_seconds * 8e6,
+        loops=loops,
+        serial_fraction=round(1.0 - sum(l.weight for l in loops), 6),
+    )
+
+    model = CedarApplicationModel()
+
+    class _Wrapper:
+        """Adapter: reuse the already-resolved program for both runs."""
+
+        def __init__(self, pipeline):
+            self.pipeline = pipeline
+            self.name = pipeline.name
+
+        def restructure(self, _program):
+            return self.pipeline.restructure(program)
+
+    print()
+    for pipeline in (KAP_PIPELINE, AUTOMATABLE_PIPELINE):
+        wrapper = _Wrapper(pipeline)
+        spread = model.execute(profile, wrapper)
+        confined = model.execute(profile, wrapper, confine_to_cluster=True)
+        print(
+            f"{pipeline.name:24s} XDOALL/32 CEs: {spread.seconds:6.1f} s "
+            f"({spread.improvement:4.1f}x)   CDOALL/1 cluster: "
+            f"{confined.seconds:6.1f} s ({confined.improvement:4.1f}x)"
+        )
+    print()
+    print("the 1.8us iterations are smaller than the 30us XDOALL fetch, so")
+    print("the machine-wide loops are scheduling-bound; confined to one")
+    print("cluster's concurrency bus (CDOALL) the same code flies — the")
+    print("Section 3.2 tradeoff, and why the Perfect rules allowed single-")
+    print("cluster runs.  (Balanced stripmining would fix the XDOALL case.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""The Section 4.3 methodology: the Practical Parallelism Tests.
+
+Run:  python examples/judging_parallelism.py
+
+Applies PPT1..PPT4 to Cedar, the Cray YMP-8, and the CM-5, printing
+each verdict with its evidence, and closes with the PPT5 statement.
+"""
+
+from repro.experiments.fig3 import band_census, render_fig3, run_fig3
+from repro.experiments.ppt4 import run_ppt4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.metrics.bands import Band
+from repro.metrics.ppt import (
+    PPT5_STATEMENT,
+    ppt1_delivered_performance,
+    ppt2_stable_performance,
+)
+from repro.perfect.profiles import PERFECT_CODES
+
+
+def ppt1() -> None:
+    print("== PPT1: delivered performance (Fig. 3 ensemble) ==")
+    points = run_fig3()
+    cedar = ppt1_delivered_performance(
+        "Cedar", {p.code: p.cedar_efficiency * 32 for p in points}, 32
+    )
+    ymp = ppt1_delivered_performance(
+        "Cray YMP-8", {p.code: p.ymp_efficiency * 8 for p in points}, 8
+    )
+    for res in (cedar, ymp):
+        bands = {b.value: len(v) for b, v in res.bands.items()}
+        verdict = "PASS" if res.passes else "FAIL"
+        print(f"  {res.machine:10s} {bands}  -> {verdict}")
+    print(render_fig3(points))
+
+
+def ppt2() -> None:
+    print("\n== PPT2: stable performance (Table 5) ==")
+    for row in run_table5():
+        res = ppt2_stable_performance(row.machine, [1.0], small_e=2)  # shape only
+        print(
+            f"  {row.machine:10s} In(13,0)={row.instabilities[0]:7.1f}  "
+            f"exceptions to reach In<=5: {row.exceptions_for_workstation_stability}"
+            f"  -> {'PASS' if row.exceptions_for_workstation_stability <= 3 else 'FAIL'}"
+        )
+
+
+def ppt3() -> None:
+    print("\n== PPT3: portability/programmability (Table 6) ==")
+    result = run_table6()
+    for res in (result.cedar, result.ymp):
+        h, i, u = res.counts
+        print(f"  {res.machine:10s} high={h} intermediate={i} unacceptable={u}")
+    print("  -> compilers reach acceptable levels for most codes on Cedar;")
+    print("     'we can expect PPT3 to be passed by parallel systems in the")
+    print("     near future'")
+
+
+def ppt4() -> None:
+    print("\n== PPT4: scalability (CG on Cedar, banded matvec on CM-5) ==")
+    study = run_ppt4()
+    high = study.cedar.scalable_at(Band.HIGH)
+    print(f"  Cedar CG: high band at {len(high)} (P, N) points; "
+          f"smallest high-band N at 32 CEs: "
+          f"{min(n for p, n in high if p == 32)}")
+    for bw, result in study.cm5.items():
+        bands = {b.value for b in result.grid.values()}
+        print(f"  CM-5 BW={bw}: bands observed = {sorted(bands)}")
+    print("  -> Cedar scalable with high performance for large problems;")
+    print("     CM-5 scalable with intermediate performance")
+
+
+def ppt5() -> None:
+    print("\n== PPT5 ==")
+    print(f"  {PPT5_STATEMENT}")
+
+
+if __name__ == "__main__":
+    print(f"ensemble: {len(PERFECT_CODES)} Perfect codes\n")
+    ppt1()
+    ppt2()
+    ppt3()
+    ppt4()
+    ppt5()

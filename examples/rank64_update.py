@@ -1,0 +1,47 @@
+"""The Section 4.1 matrix primitive: a rank-64 update, three ways.
+
+Run:  python examples/rank64_update.py [--small]
+
+Computes A += B @ C for real (validating against numpy), then drives
+the cycle-level simulator with the three Table 1 memory regimes
+(GM/no-pref, GM/pref, GM/cache) and prints the measured MFLOPS next to
+the paper's.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments.table1 import PAPER_TABLE1, render_table1, run_table1
+from repro.kernels.reference import rank_k_flops, rank_k_update
+
+
+def validate_the_mathematics(n: int = 256, k: int = 64) -> None:
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, k))
+    c = rng.standard_normal((k, n))
+    expected = a + b @ c
+    got = rank_k_update(a.copy(), b, c)
+    assert np.allclose(got, expected)
+    print(f"rank-{k} update on a {n}x{n} matrix: "
+          f"{rank_k_flops(n, k) / 1e6:.1f} Mflop, verified against numpy")
+
+
+def run_the_memory_study(a_strips: int) -> None:
+    print("\nsimulating the three Table 1 versions "
+          f"({a_strips} accumulator strips per CE) ...")
+    rows = run_table1(a_strips=a_strips)
+    print(render_table1(rows))
+    print("\nreading the table:")
+    print("  - GM/no-pref is pinned by the 13-cycle latency x 2 requests;")
+    print("  - GM/pref overlaps 256-word prefetch blocks but saturates the")
+    print("    global memory beyond two clusters;")
+    print("  - GM/cache blocks into the cluster caches and scales linearly")
+    print("    to 74% of the 274 MFLOPS effective peak.")
+
+
+if __name__ == "__main__":
+    validate_the_mathematics()
+    strips = 1 if "--small" in sys.argv else 2
+    run_the_memory_study(strips)

@@ -1,0 +1,50 @@
+"""The BDNA I/O story, on the machine.
+
+Run:  python examples/xylem_io.py
+
+BDNA's entire Table 4 optimization was "simply replacing formatted
+with unformatted 1/0".  This example runs a BDNA-shaped simulation
+loop — compute a timestep, hand the trajectory record to the cluster's
+interactive processor — under both I/O modes and shows where the time
+goes.
+"""
+
+import numpy as np
+
+from repro.cluster.ce import Compute, FileWrite
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.util.units import cycles_to_seconds
+from repro.xylem.filesystem import IOMode
+
+
+def run_simulation(mode: IOMode, steps: int = 12, atoms: int = 20_000) -> float:
+    """A timestep loop: compute, then write the positions record."""
+    machine = CedarMachine(CedarConfig())
+    machine.filesystem.open("traj", mode)
+    compute_cycles = 60_000  # ~10 ms of force evaluation per step
+
+    def prog():
+        positions = np.zeros(atoms)
+        for _ in range(steps):
+            yield Compute(compute_cycles)
+            yield FileWrite("traj", positions)
+
+    machine.run_programs({0: prog()})
+    return cycles_to_seconds(machine.engine.now)
+
+
+def main() -> None:
+    formatted = run_simulation(IOMode.FORMATTED)
+    unformatted = run_simulation(IOMode.UNFORMATTED)
+    print("BDNA-shaped timestep loop (12 steps, 20K-atom records):")
+    print(f"  formatted trajectory output:   {formatted:6.2f} s")
+    print(f"  unformatted trajectory output: {unformatted:6.2f} s")
+    print(f"  speedup from the one-line change: {formatted / unformatted:.1f}x")
+    print()
+    print("(Table 4: BDNA 118 s -> 70 s from exactly this change; the ~20x")
+    print(" per-word ASCII-conversion penalty is in repro.xylem.filesystem.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: lets ``pip install -e . --no-use-pep517`` work on
+environments without the ``wheel`` package (metadata in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

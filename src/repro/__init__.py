@@ -1,0 +1,29 @@
+"""Reproduction of *The Cedar System and an Initial Performance Study*.
+
+The package is layered:
+
+* ``repro.core`` / ``repro.network`` / ``repro.gmemory`` /
+  ``repro.prefetch`` / ``repro.cluster`` — a cycle-approximate
+  discrete-event simulator of the Cedar hardware (Section 2 of the
+  paper), used by the kernel memory-system studies (Tables 1 and 2).
+* ``repro.vm`` / ``repro.xylem`` / ``repro.fortran`` /
+  ``repro.restructurer`` — the software stack: Xylem OS services, the
+  Cedar Fortran programming model, and the KAP-style restructurer
+  (Section 3).
+* ``repro.kernels`` / ``repro.perfect`` / ``repro.machines`` /
+  ``repro.metrics`` / ``repro.perf`` — the evaluation: kernels, the
+  Perfect Benchmarks models, comparison machines, and the
+  judging-parallelism methodology (Section 4).
+
+Quickstart::
+
+    from repro import CedarMachine, CedarConfig
+    machine = CedarMachine(CedarConfig())
+    print(machine.describe_topology())
+"""
+
+from repro.core import CedarConfig, CedarMachine, DEFAULT_CONFIG, Engine
+
+__version__ = "1.0.0"
+
+__all__ = ["CedarConfig", "CedarMachine", "DEFAULT_CONFIG", "Engine", "__version__"]

@@ -1,0 +1,162 @@
+"""Command-line interface: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro topology                 # Figures 1-2
+    python -m repro table 1|2|3|4|5|6        # the evaluation tables
+    python -m repro fig3                     # the efficiency scatter
+    python -m repro ppt4                     # the scalability study
+    python -m repro overheads                # Section 3.2 costs
+    python -m repro characterization         # Section 4.1 anchors
+    python -m repro all [--fast]             # everything
+
+``--fast`` shrinks the cycle-level simulations (Tables 1-2) to smoke
+size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _topology(args) -> str:
+    from repro.experiments.fig1 import render_fig1
+
+    return render_fig1()
+
+
+def _table(args) -> str:
+    number = args.number
+    fast = args.fast
+    if number == 1:
+        from repro.experiments.table1 import render_table1, run_table1
+
+        return render_table1(run_table1(a_strips=1 if fast else 2))
+    if number == 2:
+        from repro.experiments.table2 import render_table2, run_table2
+
+        return render_table2(run_table2(strips=6 if fast else 10))
+    if number == 3:
+        from repro.experiments.table3 import render_table3, run_table3
+
+        return render_table3(run_table3())
+    if number == 4:
+        from repro.experiments.table4 import render_table4, run_table4
+
+        return render_table4(run_table4())
+    if number == 5:
+        from repro.experiments.table5 import render_table5, run_table5
+
+        return render_table5(run_table5())
+    if number == 6:
+        from repro.experiments.table6 import render_table6, run_table6
+
+        return render_table6(run_table6())
+    raise SystemExit(f"no table {number}; the paper has tables 1-6")
+
+
+def _fig3(args) -> str:
+    from repro.experiments.fig3 import render_fig3, run_fig3
+
+    return render_fig3(run_fig3())
+
+
+def _ppt4(args) -> str:
+    from repro.experiments.ppt4 import render_ppt4, run_ppt4
+
+    return render_ppt4(run_ppt4())
+
+
+def _overheads(args) -> str:
+    from repro.experiments.overheads import render_overheads, run_overheads
+
+    return render_overheads(run_overheads())
+
+
+def _characterization(args) -> str:
+    from repro.experiments.characterization import (
+        render_characterization,
+        run_characterization,
+    )
+
+    return render_characterization(run_characterization())
+
+
+def _scaling(args) -> str:
+    from repro.experiments.scaling import render_scaling, run_scaling_study
+
+    return render_scaling(run_scaling_study())
+
+
+def _permutations(args) -> str:
+    from repro.experiments.permutations import (
+        render_permutations,
+        run_permutation_study,
+    )
+
+    return render_permutations(run_permutation_study())
+
+
+def _all(args) -> str:
+    sections = [_topology(args)]
+    for number in (1, 2, 3, 4, 5, 6):
+        table_args = argparse.Namespace(number=number, fast=args.fast)
+        sections.append(_table(table_args))
+    sections.append(_fig3(args))
+    sections.append(_ppt4(args))
+    sections.append(_overheads(args))
+    sections.append(_characterization(args))
+    return "\n\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Cedar paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topology", help="Figures 1-2: machine organization")
+
+    table = sub.add_parser("table", help="one of the paper's tables")
+    table.add_argument("number", type=int, choices=range(1, 7))
+    table.add_argument("--fast", action="store_true",
+                       help="smoke-size cycle simulations")
+
+    sub.add_parser("fig3", help="Figure 3: efficiency scatter")
+    sub.add_parser("ppt4", help="Section 4.4 scalability study")
+    sub.add_parser("overheads", help="Section 3.2 runtime costs")
+    sub.add_parser("characterization", help="Section 4.1 memory anchors")
+    sub.add_parser("scaling", help="Perfect-code scaling curves")
+    sub.add_parser("permutations", help="omega-network permutation study")
+
+    everything = sub.add_parser("all", help="every artifact")
+    everything.add_argument("--fast", action="store_true")
+    return parser
+
+
+HANDLERS: Dict[str, Callable] = {
+    "topology": _topology,
+    "table": _table,
+    "fig3": _fig3,
+    "ppt4": _ppt4,
+    "overheads": _overheads,
+    "characterization": _characterization,
+    "scaling": _scaling,
+    "permutations": _permutations,
+    "all": _all,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if not hasattr(args, "fast"):
+        args.fast = False
+    print(HANDLERS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Alliant FX/8 clusters: CEs, shared cache, cluster memory, and the
+concurrency control bus."""
+
+from repro.cluster.ce import (
+    CE,
+    Fence,
+    FileRead,
+    FileWrite,
+    AwaitStream,
+    AwaitWord,
+    BlockTransfer,
+    ClusterVectorOp,
+    Compute,
+    ConsumeStream,
+    GlobalLoad,
+    GlobalStore,
+    StartPrefetch,
+    SyncInstruction,
+)
+from repro.cluster.cluster import Cluster
+from repro.cluster.concurrency_bus import ConcurrencyBus
+from repro.cluster.cache_model import AccessResult, CacheStats, ClusterCacheModel
+from repro.cluster.ip import InteractiveProcessor, IORequest
+from repro.cluster.vector_unit import (
+    ExecutionReport,
+    Operand,
+    Scalar,
+    VectorInstruction,
+    VectorUnit,
+)
+
+__all__ = [
+    "CE",
+    "Fence",
+    "FileRead",
+    "FileWrite",
+    "AwaitStream",
+    "AwaitWord",
+    "BlockTransfer",
+    "ClusterVectorOp",
+    "Compute",
+    "ConsumeStream",
+    "GlobalLoad",
+    "GlobalStore",
+    "StartPrefetch",
+    "SyncInstruction",
+    "Cluster",
+    "ConcurrencyBus",
+    "AccessResult",
+    "CacheStats",
+    "ClusterCacheModel",
+    "InteractiveProcessor",
+    "IORequest",
+    "ExecutionReport",
+    "Operand",
+    "Scalar",
+    "VectorInstruction",
+    "VectorUnit",
+]

@@ -1,0 +1,198 @@
+"""Functional model of the Alliant shared cluster cache.
+
+"All references to data in cluster memory first check the 512KB
+physically addressed shared cache.  Cache line size is 32 bytes.  The
+cache is write-back and lockup-free, allowing each CE to have two
+outstanding cache misses.  Writes do not stall a CE."  The cache is
+4-way interleaved across banks (consecutive lines rotate through the
+banks, supplying eight 64-bit words per cycle in aggregate).
+
+The queueing behaviour of the cache (bandwidth sharing) lives in
+:class:`repro.cluster.cluster.Cluster`; this module models its
+*contents*: set-associative lookup, write-back of dirty victims, and
+per-CE outstanding-miss tracking.  It is used by the data-placement
+studies and is exhaustively testable on its own.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    bank: int
+    #: line (address) written back to cluster memory, if a dirty
+    #: victim was evicted.
+    writeback_line: Optional[int] = None
+    #: True when the CE had to stall because both its outstanding-miss
+    #: slots were already in use.
+    stalled_for_miss_slot: bool = False
+
+
+class _Set:
+    """One set: LRU over ``ways`` lines, tracking dirtiness."""
+
+    __slots__ = ("ways", "lines")
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        self.lines: "OrderedDict[int, bool]" = OrderedDict()  # tag -> dirty
+
+    def lookup(self, tag: int) -> bool:
+        if tag in self.lines:
+            self.lines.move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, tag: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        """Insert ``tag``; returns (victim_tag, victim_dirty) if evicted."""
+        victim = None
+        if tag not in self.lines and len(self.lines) >= self.ways:
+            victim = self.lines.popitem(last=False)
+        self.lines[tag] = self.lines.get(tag, False) or dirty
+        self.lines.move_to_end(tag)
+        return victim
+
+    def mark_dirty(self, tag: int) -> None:
+        if tag in self.lines:
+            self.lines[tag] = True
+            self.lines.move_to_end(tag)
+
+
+@dataclass
+class CacheStats:
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    miss_slot_stalls: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class ClusterCacheModel:
+    """The 512 KB, 32 B-line, write-back, bank-interleaved shared cache.
+
+    Associativity is a model choice (the FX/8 documentation the paper
+    cites does not state it); the default of 4 ways matches the 4-way
+    bank interleave and is configurable.
+    """
+
+    def __init__(self, config: CacheConfig = CacheConfig(), ways: int = 4) -> None:
+        if ways < 1:
+            raise ValueError("need at least one way")
+        self.config = config
+        self.ways = ways
+        self.line_bytes = config.line_bytes
+        total_lines = config.size_bytes // config.line_bytes
+        self.n_sets = total_lines // ways
+        if self.n_sets < 1:
+            raise ValueError("cache too small for this associativity")
+        self._sets: Dict[int, _Set] = {}
+        self.stats = CacheStats()
+        #: outstanding miss lines per CE (lockup-free, two slots each).
+        self._outstanding: Dict[int, Set[int]] = {}
+        self.max_outstanding_per_ce = 2
+
+    # -- geometry ---------------------------------------------------------
+
+    def line_of(self, byte_address: int) -> int:
+        if byte_address < 0:
+            raise ValueError("negative address")
+        return byte_address // self.line_bytes
+
+    def set_index(self, line: int) -> int:
+        return line % self.n_sets
+
+    def bank_of(self, line: int) -> int:
+        """Consecutive lines rotate through the interleaved banks."""
+        return line % self.config.banks
+
+    # -- access ------------------------------------------------------------
+
+    def access(self, byte_address: int, ce: int, write: bool = False) -> AccessResult:
+        """One CE reference.  Misses allocate (write-allocate policy);
+        a dirty victim produces a write-back; a CE with both miss slots
+        busy records a lockup stall (the Table 1 GM/no-pref limiter is
+        the same two-slot structure on the global side)."""
+        line = self.line_of(byte_address)
+        idx = self.set_index(line)
+        cache_set = self._sets.setdefault(idx, _Set(self.ways))
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        if cache_set.lookup(line):
+            self.stats.hits += 1
+            if write:
+                cache_set.mark_dirty(line)
+            return AccessResult(hit=True, bank=self.bank_of(line))
+
+        self.stats.misses += 1
+        outstanding = self._outstanding.setdefault(ce, set())
+        stalled = False
+        if line not in outstanding and len(outstanding) >= self.max_outstanding_per_ce:
+            # lockup-free up to two misses; the third stalls the CE
+            # until a slot frees (we retire the oldest immediately in
+            # this functional model and record the stall).
+            self.stats.miss_slot_stalls += 1
+            stalled = True
+            outstanding.pop()
+        outstanding.add(line)
+        victim = cache_set.fill(line, dirty=write)
+        writeback = None
+        if victim is not None:
+            victim_line, victim_dirty = victim
+            if victim_dirty:
+                self.stats.writebacks += 1
+                writeback = victim_line
+        return AccessResult(
+            hit=False,
+            bank=self.bank_of(line),
+            writeback_line=writeback,
+            stalled_for_miss_slot=stalled,
+        )
+
+    def retire_miss(self, byte_address: int, ce: int) -> None:
+        """The miss data returned from cluster memory: free the slot."""
+        self._outstanding.get(ce, set()).discard(self.line_of(byte_address))
+
+    def contains(self, byte_address: int) -> bool:
+        line = self.line_of(byte_address)
+        cache_set = self._sets.get(self.set_index(line))
+        return bool(cache_set and line in cache_set.lines)
+
+    def is_dirty(self, byte_address: int) -> bool:
+        line = self.line_of(byte_address)
+        cache_set = self._sets.get(self.set_index(line))
+        return bool(cache_set and cache_set.lines.get(line, False))
+
+    def flush(self) -> List[int]:
+        """Write back and drop everything; returns dirty lines flushed."""
+        dirty = []
+        for cache_set in self._sets.values():
+            dirty.extend(l for l, d in cache_set.lines.items() if d)
+            cache_set.lines.clear()
+        self.stats.writebacks += len(dirty)
+        self._outstanding.clear()
+        return sorted(dirty)
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s.lines) for s in self._sets.values())

@@ -1,0 +1,86 @@
+"""The concurrency control bus (CCB).
+
+"Each CE is connected to a concurrency control bus designed to support
+efficient execution of parallel loops.  Concurrency control instructions
+implement fast fork, join and synchronization operations. ...
+concurrent start is a single instruction that 'spreads' the iterations
+of a parallel loop from one to all the CES in a cluster ... The whole
+cluster is thus 'gang-scheduled.'  CES within a cluster can then
+'self-schedule' iterations of the parallel loop among themselves."
+
+The CCB is both *functional* (it hands out iterations, tracks joins) and
+*timed* (start/fetch/join costs from the configuration); the Cedar
+Fortran CDOALL construct executes through it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ConcurrencyBusConfig
+from repro.core.engine import Engine
+
+
+class CCBLoop:
+    """State of one gang-scheduled concurrent loop on the bus."""
+
+    def __init__(self, iterations: int, chunk: int = 1) -> None:
+        if iterations < 0:
+            raise ValueError("iteration count must be non-negative")
+        if chunk < 1:
+            raise ValueError("chunk must be at least 1")
+        self.iterations = iterations
+        self.chunk = chunk
+        self._next = 0
+        self._done = 0
+        self.joined = False
+
+    def claim(self) -> Optional[range]:
+        """Self-schedule: atomically claim the next chunk of iterations.
+
+        Returns None when the loop is exhausted.
+        """
+        if self._next >= self.iterations:
+            return None
+        start = self._next
+        stop = min(start + self.chunk, self.iterations)
+        self._next = stop
+        return range(start, stop)
+
+    def complete(self, count: int) -> None:
+        self._done += count
+        if self._done > self.iterations:
+            raise RuntimeError("more iterations completed than scheduled")
+
+    @property
+    def all_done(self) -> bool:
+        return self._done >= self.iterations
+
+
+class ConcurrencyBus:
+    """The per-cluster bus: loop spreading, claims, joins, and their costs."""
+
+    def __init__(self, engine: Engine, config: ConcurrencyBusConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self.loops_started = 0
+        self.claims = 0
+        self.joins = 0
+
+    def concurrent_start(self, iterations: int, chunk: int = 1) -> CCBLoop:
+        """Single-instruction gang spread of a parallel loop; the caller
+        accounts ``config.concurrent_start_cycles`` of time."""
+        self.loops_started += 1
+        return CCBLoop(iterations, chunk)
+
+    def claim_cost_cycles(self) -> float:
+        self.claims += 1
+        return float(self.config.self_schedule_cycles)
+
+    def join_cost_cycles(self) -> float:
+        self.joins += 1
+        return float(self.config.join_cycles)
+
+    @property
+    def start_cost_cycles(self) -> float:
+        return float(self.config.concurrent_start_cycles)

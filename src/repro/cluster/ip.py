@@ -1,0 +1,94 @@
+"""Interactive processors (IPs).
+
+"The FX/8 also includes interactive processors (IPs) and IP caches.
+IPs perform input/output and various other tasks."  CEs hand I/O
+requests to an IP and continue computing; the IP drains its request
+queue through the Xylem file system's cost model, so file I/O overlaps
+computation unless the program waits for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.util.units import us_to_cycles
+from repro.xylem.filesystem import IOMode, XylemFileSystem
+
+
+@dataclass
+class IORequest:
+    kind: str                      # "read" or "write"
+    unit: str
+    values: Optional[np.ndarray]   # payload for writes
+    on_done: Optional[Callable] = None
+    result: Optional[np.ndarray] = None
+
+
+class InteractiveProcessor:
+    """One cluster's I/O processor: a FIFO of file-system requests."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        filesystem: XylemFileSystem,
+        cluster_id: int,
+        cycle_ns: float = 170.0,
+    ) -> None:
+        self.engine = engine
+        self.fs = filesystem
+        self.cluster_id = cluster_id
+        self.cycle_ns = cycle_ns
+        self._queue: List[IORequest] = []
+        self._busy = False
+        self.requests_served = 0
+
+    def submit(self, request: IORequest) -> None:
+        """Enqueue a request; the CE does not wait."""
+        self._queue.append(request)
+        self._maybe_start()
+
+    def submit_write(
+        self, unit: str, values: Sequence[float],
+        on_done: Optional[Callable] = None,
+    ) -> IORequest:
+        request = IORequest("write", unit, np.asarray(values, dtype=float),
+                            on_done=on_done)
+        self.submit(request)
+        return request
+
+    def submit_read(self, unit: str, on_done: Optional[Callable] = None) -> IORequest:
+        request = IORequest("read", unit, None, on_done=on_done)
+        self.submit(request)
+        return request
+
+    @property
+    def idle(self) -> bool:
+        return not self._busy and not self._queue
+
+    def _maybe_start(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        request = self._queue.pop(0)
+        before = self.fs.stats.io_us
+        if request.kind == "write":
+            assert request.values is not None
+            self.fs.write(request.unit, request.values)
+        elif request.kind == "read":
+            request.result = self.fs.read(request.unit)
+        else:
+            raise ValueError(f"unknown I/O request kind {request.kind!r}")
+        service_us = self.fs.stats.io_us - before
+        delay = us_to_cycles(service_us, self.cycle_ns)
+        self.engine.schedule_after(delay, lambda: self._finish(request))
+
+    def _finish(self, request: IORequest) -> None:
+        self._busy = False
+        self.requests_served += 1
+        if request.on_done is not None:
+            request.on_done(request)
+        self._maybe_start()

@@ -1,0 +1,34 @@
+"""Core: configuration, event engine, and the assembled Cedar machine."""
+
+from repro.core.config import (
+    CEConfig,
+    CacheConfig,
+    CedarConfig,
+    ClusterMemoryConfig,
+    ConcurrencyBusConfig,
+    DEFAULT_CONFIG,
+    GlobalMemoryConfig,
+    NetworkConfig,
+    PrefetchConfig,
+    RuntimeConfig,
+    VMConfig,
+)
+from repro.core.engine import Engine, SimulationError
+from repro.core.machine import CedarMachine
+
+__all__ = [
+    "CEConfig",
+    "CacheConfig",
+    "CedarConfig",
+    "ClusterMemoryConfig",
+    "ConcurrencyBusConfig",
+    "DEFAULT_CONFIG",
+    "GlobalMemoryConfig",
+    "NetworkConfig",
+    "PrefetchConfig",
+    "RuntimeConfig",
+    "VMConfig",
+    "Engine",
+    "SimulationError",
+    "CedarMachine",
+]

@@ -1,0 +1,237 @@
+"""Machine configuration for the Cedar simulator.
+
+Every numeric parameter published in Section 2 of the paper appears here
+with its paper value as the default; experiments vary them (cluster
+count, queue depths, prefetch block sizes) to reproduce the evaluation
+and the ablation studies called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import KB, MB
+
+
+@dataclass(frozen=True)
+class CEConfig:
+    """One Alliant computational element (CE).
+
+    The CE is a pipelined 68020-compatible with a 64-bit vector unit.
+    Peak 11.8 MFLOPS at a 170 ns cycle means two floating-point results
+    per cycle when chaining two operations per memory operand, which is
+    how all the paper's kernels are coded ("All versions chain two
+    operations per memory request", Section 4.1).
+    """
+
+    cycle_ns: float = 170.0
+    #: vector registers: eight 32-word registers.
+    vector_registers: int = 8
+    vector_register_words: int = 32
+    #: peak chained flops per cycle (2 => 11.76 MFLOPS at 170ns).
+    flops_per_cycle: float = 2.0
+    #: cache allows each CE two outstanding misses (lockup-free, paper Sec. 2).
+    max_outstanding_misses: int = 2
+    #: vector instruction startup in cycles (drives the 274 vs 376 MFLOPS
+    #: effective-vs-absolute peak distinction for 32-word operand chunks).
+    vector_startup_cycles: int = 12
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Shared 4-way interleaved cluster cache (Alliant FX/8)."""
+
+    size_bytes: int = 512 * KB
+    line_bytes: int = 32
+    banks: int = 4
+    write_back: bool = True
+    lockup_free: bool = True
+    #: eight 64-bit words per instruction cycle across the cluster
+    #: (48 MB/s per CE, 384 MB/s per cluster at 170ns).
+    words_per_cycle: int = 8
+    hit_cycles: int = 1
+
+
+@dataclass(frozen=True)
+class ClusterMemoryConfig:
+    """Interleaved cluster memory behind the shared cache."""
+
+    size_bytes: int = 32 * MB
+    #: cluster memory bandwidth is half the cache's (192 MB/s per cluster).
+    words_per_cycle: int = 4
+    access_cycles: int = 6
+
+
+@dataclass(frozen=True)
+class ConcurrencyBusConfig:
+    """Concurrency control bus: fast fork/join/synchronization.
+
+    "concurrent start is a single instruction that spreads the iterations
+    of a parallel loop ... The whole cluster is thus gang-scheduled."
+    A CDOALL "can typically start in a few microseconds" (Section 3.2):
+    a few us at 170 ns is a few tens of cycles.
+    """
+
+    concurrent_start_cycles: int = 18  # ~3 us
+    join_cycles: int = 6
+    self_schedule_cycles: int = 2
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One unidirectional multistage shuffle-exchange network.
+
+    Built from 8x8 crossbar switches with 64-bit-wide data paths; a
+    two-word queue sits on each switch input and output port and
+    flow control between stages prevents queue overflow (Section 2).
+    """
+
+    switch_radix: int = 8
+    #: two-word queue on each crossbar input and output port (Section 2).
+    queue_words: int = 2
+    #: queue at the CE/module network interface.
+    injection_queue_words: int = 4
+    #: extra per-stage pipeline cycles beyond the 1-word/cycle transfer.
+    #: With 0, a 1-word packet spends exactly 1 cycle per stage, making
+    #: the unloaded inject+2-stages+memory+inject+2-stages path the
+    #: paper's 8-cycle minimal latency.
+    stage_cycles: float = 0.0
+    #: words a single link can accept per cycle.
+    link_words_per_cycle: float = 1.0
+    #: maximum packet size in 64-bit words (header + up to 3 data words).
+    max_packet_words: int = 4
+    #: ablation switch: route requests AND replies through one shared
+    #: network instead of Cedar's two unidirectional ones.
+    shared_single_network: bool = False
+    #: with the shared network: give replies their own injection
+    #: buffering (a minimal virtual-channel-style escape) so the
+    #: request/reply protocol deadlock cannot form at the entry points.
+    reply_escape: bool = False
+
+
+@dataclass(frozen=True)
+class GlobalMemoryConfig:
+    """Globally shared memory: 64 MB, double-word interleaved and aligned.
+
+    Peak bandwidth 768 MB/s (24 MB/s per CE), matching the network.
+    Each module contains a synchronization processor executing the
+    Zhu-Yew Test-And-Operate instruction set.
+    """
+
+    size_bytes: int = 64 * MB
+    #: number of independently-cycling interleaved modules.
+    modules: int = 32
+    #: module busy time per 8-byte word access.  2 cycles x 32 modules
+    #: sustains 16 words/cycle machine-wide = 768 MB/s at 170 ns — the
+    #: published peak global bandwidth (24 MB/s per CE).
+    access_cycles: int = 2
+    #: extra cycles the module's sync processor needs per sync instruction.
+    sync_op_cycles: int = 2
+    #: request queue at each module, in words.
+    module_queue_words: int = 4
+    #: DRAM bank recovery after each access: dead time before the module
+    #: can start the next request.  Adds nothing to an isolated access's
+    #: latency but caps sustained bandwidth below the nominal peak —
+    #: the "specific implementation constraints" [Turn93] the paper
+    #: blames for prefetch degradation beyond two clusters.
+    recovery_cycles: float = 1.0
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Per-CE prefetch unit (PFU), Section 2 'Data Prefetch'."""
+
+    buffer_words: int = 512
+    max_outstanding: int = 512
+    #: cycles to arm (length/stride/mask) and fire the PFU.
+    arm_cycles: int = 6
+    #: cycles to move a word between the prefetch buffer and the CE;
+    #: together with the 8-cycle minimal network+memory latency this
+    #: yields the 13-cycle CE-observed global latency of Section 4.1.
+    buffer_to_ce_cycles: int = 5
+    #: requests the PFU may issue per cycle.
+    issue_per_cycle: int = 1
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """Xylem virtual memory parameters."""
+
+    page_bytes: int = 4 * KB
+    tlb_entries: int = 64
+    #: cost of a TLB miss serviced from a valid PTE in global memory.
+    tlb_miss_cycles: int = 120
+    #: cost of a true page fault (Xylem service), in cycles (~1 ms).
+    page_fault_cycles: int = 6000
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Runtime library loop-scheduling costs (Section 3.2).
+
+    "a typical loop startup latency of 90 us and fetching the next
+    iteration takes about 30 us" for XDOALL; SDOALL start is similar to
+    XDOALL (it schedules over clusters through global memory); CDOALL
+    uses the concurrency bus.  Without the Cedar synchronization
+    instructions, self-scheduling falls back to lock-based software
+    queues, multiplying the per-iteration fetch cost.
+    """
+
+    xdoall_startup_us: float = 90.0
+    xdoall_fetch_us: float = 30.0
+    sdoall_startup_us: float = 90.0
+    sdoall_fetch_us: float = 30.0
+    cdoall_startup_us: float = 3.0
+    cdoall_fetch_us: float = 0.4
+    #: multiplier on fetch cost when Cedar sync instructions are disabled.
+    no_sync_fetch_factor: float = 3.0
+    #: extra barrier cost across clusters (used by FL052-style analyses).
+    multicluster_barrier_us: float = 60.0
+
+
+@dataclass(frozen=True)
+class CedarConfig:
+    """Full-machine configuration: four Alliant FX/8 clusters by default."""
+
+    clusters: int = 4
+    ces_per_cluster: int = 8
+    ce: CEConfig = field(default_factory=CEConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    cluster_memory: ClusterMemoryConfig = field(default_factory=ClusterMemoryConfig)
+    concurrency_bus: ConcurrencyBusConfig = field(default_factory=ConcurrencyBusConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    global_memory: GlobalMemoryConfig = field(default_factory=GlobalMemoryConfig)
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    vm: VMConfig = field(default_factory=VMConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise ValueError("need at least one cluster")
+        if self.ces_per_cluster < 1:
+            raise ValueError("need at least one CE per cluster")
+
+    @property
+    def total_ces(self) -> int:
+        """Total computational elements in the machine."""
+        return self.clusters * self.ces_per_cluster
+
+    @property
+    def peak_mflops(self) -> float:
+        """Absolute peak (376 MFLOPS for the full 32-CE machine)."""
+        per_ce = self.ce.flops_per_cycle / (self.ce.cycle_ns * 1e-9) / 1e6
+        return per_ce * self.total_ces
+
+    @property
+    def effective_peak_mflops(self) -> float:
+        """Peak net of unavoidable vector startup (~274 MFLOPS, Sec. 4.1).
+
+        Vector work arrives in vector-register-sized chunks; each chunk of
+        length L pays ``vector_startup_cycles`` on top of L compute cycles.
+        """
+        length = self.ce.vector_register_words
+        eff = length / (length + self.ce.vector_startup_cycles)
+        return self.peak_mflops * eff
+
+
+DEFAULT_CONFIG = CedarConfig()

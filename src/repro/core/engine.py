@@ -1,0 +1,91 @@
+"""Discrete-event simulation engine.
+
+The simulator's native time unit is the CE instruction cycle.  Components
+schedule callbacks at absolute cycle times; ties are broken in FIFO
+scheduling order so simulations are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Engine:
+    """A deterministic event-driven simulation kernel.
+
+    >>> eng = Engine()
+    >>> hits = []
+    >>> eng.schedule(5, lambda: hits.append(eng.now))
+    >>> eng.run()
+    >>> hits
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now: float = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run until the queue drains (or a bound is hit); return final time.
+
+        ``until`` bounds simulated time, ``max_events`` bounds work, and
+        ``stop_when`` is polled after every event for early termination.
+        """
+        processed = 0
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            self._events_processed += 1
+            processed += 1
+            if stop_when is not None and stop_when():
+                break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely livelock"
+                )
+        return self._now
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

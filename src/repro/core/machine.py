@@ -1,0 +1,184 @@
+"""The assembled Cedar machine.
+
+Builds Figure 1: clusters of CEs on one side, two unidirectional
+multistage networks in the middle, interleaved global memory with
+synchronization processors on the other side, plus per-CE prefetch
+units.  Kernel studies drive it with CE generator programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.core.config import CedarConfig, DEFAULT_CONFIG
+from repro.core.engine import Engine
+from repro.cluster.ce import CE
+from repro.cluster.cluster import Cluster
+from repro.gmemory.module import GlobalMemory
+from repro.monitor.probes import PrefetchProbe
+from repro.network.omega import OmegaNetwork
+from repro.network.packet import Packet
+from repro.prefetch.pfu import PrefetchUnit
+
+
+class CedarMachine:
+    """Four Alliant FX/8 clusters, two omega networks, global memory.
+
+    ``monitor_port`` attaches a :class:`PrefetchProbe` to one CE's PFU,
+    reproducing the paper's methodology ("we monitored all requests of a
+    single processor").
+    """
+
+    def __init__(
+        self,
+        config: CedarConfig = DEFAULT_CONFIG,
+        monitor_port: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.engine = Engine()
+        n_ports = max(config.total_ces, config.global_memory.modules)
+        net = config.network
+        self.forward_network = OmegaNetwork(
+            self.engine,
+            name="fwd",
+            n_ports=n_ports,
+            switch_radix=net.switch_radix,
+            queue_words=net.queue_words,
+            stage_cycles=net.stage_cycles,
+            link_words_per_cycle=net.link_words_per_cycle,
+            injection_queue_words=net.injection_queue_words,
+        )
+        if net.shared_single_network and net.reply_escape:
+            # one fabric, but replies keep their own injection buffers:
+            # stage contention without the entry-point deadlock
+            self.reverse_network = self.forward_network.view_with_own_injection("rev")
+        elif net.shared_single_network:
+            # ablation: requests and replies contend on one fabric
+            self.reverse_network = self.forward_network
+        else:
+            self.reverse_network = OmegaNetwork(
+                self.engine,
+                name="rev",
+                n_ports=n_ports,
+                switch_radix=net.switch_radix,
+                queue_words=net.queue_words,
+                stage_cycles=net.stage_cycles,
+                link_words_per_cycle=net.link_words_per_cycle,
+                injection_queue_words=net.injection_queue_words,
+            )
+        self.gmem = GlobalMemory(self.engine, config.global_memory, self.reverse_network)
+        from repro.xylem.filesystem import XylemFileSystem
+
+        self.filesystem = XylemFileSystem()
+        self.clusters: List[Cluster] = [
+            Cluster(self, cid) for cid in range(config.clusters)
+        ]
+        self.ces: List[CE] = []
+        for cid in range(config.clusters):
+            for local in range(config.ces_per_cluster):
+                ce = CE(self, cid, local)
+                self.ces.append(ce)
+                self.clusters[cid].ces.append(ce)
+        self.probe: Optional[PrefetchProbe] = None
+        self._pfus: Dict[int, PrefetchUnit] = {}
+        self.monitor_port = monitor_port
+        for ce in self.ces:
+            probe = None
+            if monitor_port is not None and ce.port == monitor_port:
+                probe = PrefetchProbe()
+                self.probe = probe
+            self._pfus[ce.port] = PrefetchUnit(
+                self.engine,
+                ce.port,
+                self.forward_network,
+                self.gmem,
+                config.prefetch,
+                vm_config=config.vm,
+                probe=probe,
+            )
+            self.reverse_network.register_sink(ce.port, self._make_sink(ce.port))
+        # memory modules may outnumber CEs; replies only target CE ports,
+        # but register a trap on the rest to fail loudly if misrouted.
+        for port in range(config.total_ces, n_ports):
+            self.reverse_network.register_sink(port, self._unexpected_sink(port))
+
+    # -- wiring -----------------------------------------------------------------
+
+    def _make_sink(self, port: int):
+        pfu = None  # resolved lazily; _pfus filled during construction
+
+        def _sink(packet: Packet) -> None:
+            handler = packet.meta.get("handler")
+            if handler is not None:
+                handler(packet)
+                return
+            if "pfu_stream" in packet.meta:
+                self._pfus[port].deliver(packet)
+                return
+            raise RuntimeError(f"reply at port {port} with no handler: {packet}")
+
+        return _sink
+
+    @staticmethod
+    def _unexpected_sink(port: int):
+        def _sink(packet: Packet) -> None:
+            raise RuntimeError(f"reply delivered to unattached port {port}: {packet}")
+
+        return _sink
+
+    # -- accessors ----------------------------------------------------------------
+
+    def ce(self, port: int) -> CE:
+        return self.ces[port]
+
+    def pfu(self, port: int) -> PrefetchUnit:
+        return self._pfus[port]
+
+    def cluster_of(self, port: int) -> Cluster:
+        return self.clusters[port // self.config.ces_per_cluster]
+
+    # -- running ---------------------------------------------------------------------
+
+    def run_programs(
+        self,
+        programs: Dict[int, Generator],
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run one generator program per CE port; returns completion time
+        (cycles) of the last CE to finish."""
+        for port, program in programs.items():
+            self.ce(port).run(program)
+        participants = [self.ce(port) for port in programs]
+        self.engine.run(
+            max_events=max_events,
+            stop_when=lambda: all(ce.done for ce in participants),
+        )
+        if not all(ce.done for ce in participants):
+            from repro.core.engine import SimulationError
+
+            stuck = [ce.port for ce in participants if not ce.done]
+            raise SimulationError(f"CEs never finished: {stuck}")
+        finish = max(ce.stats.finished_at or 0.0 for ce in participants)
+        # drain in-flight traffic (e.g. writes the CEs never waited for)
+        # so memory/network counters are complete; `finish` is unaffected.
+        self.engine.run(max_events=max_events)
+        return finish
+
+    # -- topology description (Figures 1 and 2) -----------------------------------------
+
+    def describe_topology(self) -> Dict[str, object]:
+        """Structural summary used by the Figure 1/2 reproduction bench."""
+        return {
+            "clusters": self.config.clusters,
+            "ces_per_cluster": self.config.ces_per_cluster,
+            "total_ces": self.config.total_ces,
+            "networks": 2,
+            "network_stages": self.forward_network.n_stages,
+            "stage_radices": list(self.forward_network.radices),
+            "memory_modules": self.config.global_memory.modules,
+            "global_memory_mb": self.config.global_memory.size_bytes // (1 << 20),
+            "cluster_memory_mb": self.config.cluster_memory.size_bytes // (1 << 20),
+            "cache_kb": self.config.cache.size_bytes // 1024,
+            "peak_mflops": round(self.config.peak_mflops, 1),
+            "effective_peak_mflops": round(self.config.effective_peak_mflops, 1),
+        }

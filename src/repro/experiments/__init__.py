@@ -1,0 +1,96 @@
+"""Experiment harnesses regenerating every table and figure.
+
+Each module reproduces one artifact of the paper's evaluation; the
+``benchmarks/`` pytest-benchmark targets are thin wrappers over these
+functions, so the same code also powers EXPERIMENTS.md generation and
+the examples.
+
+Results of the expensive cycle-level simulations are memoized
+process-wide (keyed by their full parameterization), so tests and
+benches sharing a configuration do not re-simulate.
+"""
+
+from repro.experiments.kernels_sim import KernelMeasurement, run_kernel_measurement
+from repro.experiments.table1 import Table1Row, render_table1, run_table1
+from repro.experiments.table2 import Table2Row, render_table2, run_table2
+from repro.experiments.table3 import Table3Row, render_table3, run_table3
+from repro.experiments.table4 import Table4Row, render_table4, run_table4
+from repro.experiments.table5 import Table5Row, render_table5, run_table5
+from repro.experiments.table6 import Table6Result, render_table6, run_table6
+from repro.experiments.fig1 import render_fig1, topology_summary
+from repro.experiments.fig3 import ScatterPoint, band_census, render_fig3, run_fig3
+from repro.experiments.ppt4 import (
+    CedarCGModel,
+    PPT4Study,
+    cedar_high_performance_crossover,
+    render_ppt4,
+    run_ppt4,
+)
+from repro.experiments.overheads import (
+    nest_comparison_us,
+    render_overheads,
+    run_overheads,
+)
+from repro.experiments.characterization import (
+    Characterization,
+    render_characterization,
+    run_characterization,
+)
+from repro.experiments.permutations import (
+    PermutationResult,
+    render_permutations,
+    run_permutation_study,
+)
+from repro.experiments.multiprogramming import (
+    MultiprogrammingResult,
+    run_multiprogramming_study,
+)
+from repro.experiments.scaling import ScalingCurve, render_scaling, run_scaling_study
+
+__all__ = [
+    "KernelMeasurement",
+    "run_kernel_measurement",
+    "Table1Row",
+    "render_table1",
+    "run_table1",
+    "Table2Row",
+    "render_table2",
+    "run_table2",
+    "Table3Row",
+    "render_table3",
+    "run_table3",
+    "Table4Row",
+    "render_table4",
+    "run_table4",
+    "Table5Row",
+    "render_table5",
+    "run_table5",
+    "Table6Result",
+    "render_table6",
+    "run_table6",
+    "render_fig1",
+    "topology_summary",
+    "ScatterPoint",
+    "band_census",
+    "render_fig3",
+    "run_fig3",
+    "CedarCGModel",
+    "PPT4Study",
+    "cedar_high_performance_crossover",
+    "render_ppt4",
+    "run_ppt4",
+    "nest_comparison_us",
+    "render_overheads",
+    "run_overheads",
+    "Characterization",
+    "render_characterization",
+    "run_characterization",
+    "PermutationResult",
+    "render_permutations",
+    "run_permutation_study",
+    "MultiprogrammingResult",
+    "run_multiprogramming_study",
+    "ScalingCurve",
+    "render_scaling",
+    "run_scaling_study",
+]

@@ -1,0 +1,104 @@
+"""Memory-system characterization microbenchmarks ([GJTV91]-style).
+
+Pins the calibration facts Section 4.1 quotes:
+
+* minimal first-word latency 8 cycles, minimal interarrival 1 cycle;
+* the 13-cycle CE-observed global latency;
+* GM/no-pref throughput of two outstanding requests per round trip;
+* the 74%-of-effective-peak ceiling of the cache version at 32 CEs;
+* the sustained global bandwidth "consistent with the observed maximum
+  bandwidth of memory system characterization benchmarks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.cluster.ce import AwaitStream, GlobalLoad, StartPrefetch
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.util.tables import Table
+from repro.util.units import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class Characterization:
+    unloaded_latency_cycles: float
+    unloaded_interarrival_cycles: float
+    ce_observed_latency_cycles: float
+    nopref_cycles_per_word: float
+    sustained_bandwidth_mb_s: float
+    peak_bandwidth_mb_s: float
+
+
+def _stream_program(length: int, address: int = 0):
+    def prog():
+        stream = yield StartPrefetch(length=length, stride=1, address=address)
+        yield AwaitStream(stream)
+
+    return prog()
+
+
+@lru_cache(maxsize=1)
+def run_characterization() -> Characterization:
+    config = CedarConfig()
+
+    # unloaded single-CE stream
+    machine = CedarMachine(config, monitor_port=0)
+    machine.run_programs({0: _stream_program(64)})
+    summary = machine.probe.summary()
+
+    # CE-observed latency: arm + path + buffer-to-CE
+    ce_observed = (
+        summary.first_word_latency + config.prefetch.buffer_to_ce_cycles
+    )
+
+    # GM/no-pref word cost: a plain strided vector load, two
+    # outstanding element requests
+    def load_prog():
+        yield GlobalLoad(length=128, stride=1, address=0)
+
+    loader = CedarMachine(config)
+    nopref_cycles_per_word = loader.run_programs({0: load_prog()}) / 128
+
+    # sustained bandwidth: all 32 CEs streaming flat out
+    full = CedarMachine(config)
+    programs = {
+        port: _stream_program(256, address=port * (1 << 16))
+        for port in range(config.total_ces)
+    }
+    cycles = full.run_programs(programs)
+    words_moved = 256 * config.total_ces
+    bytes_per_second = (
+        words_moved * WORD_BYTES / (cycles * config.ce.cycle_ns * 1e-9)
+    )
+    peak = (
+        config.global_memory.modules
+        / config.global_memory.access_cycles
+        * WORD_BYTES
+        / (config.ce.cycle_ns * 1e-9)
+    )
+    return Characterization(
+        unloaded_latency_cycles=summary.first_word_latency,
+        unloaded_interarrival_cycles=summary.interarrival,
+        ce_observed_latency_cycles=ce_observed,
+        nopref_cycles_per_word=nopref_cycles_per_word,
+        sustained_bandwidth_mb_s=bytes_per_second / 1e6,
+        peak_bandwidth_mb_s=peak / 1e6,
+    )
+
+
+def render_characterization(c: Characterization) -> str:
+    table = Table(
+        title="Memory-system characterization (paper values in brackets)",
+        columns=["metric", "measured", "[paper]"],
+        precision=1,
+    )
+    table.add_row(["min first-word latency (cycles)", c.unloaded_latency_cycles, 8.0])
+    table.add_row(["min interarrival (cycles)", c.unloaded_interarrival_cycles, 1.0])
+    table.add_row(["CE-observed latency (cycles)", c.ce_observed_latency_cycles, 13.0])
+    table.add_row(["GM/no-pref cycles/word", c.nopref_cycles_per_word, 6.5])
+    table.add_row(["nominal peak GM bandwidth (MB/s)", c.peak_bandwidth_mb_s, 768.0])
+    table.add_row(["sustained GM bandwidth (MB/s)", c.sustained_bandwidth_mb_s, None])
+    return table.render()

@@ -1,0 +1,112 @@
+"""Figure 3: Cray YMP/8 vs Cedar efficiency scatter plot.
+
+"Figure 3 shows a scatter plot of Cray YMP/8 vs Cedar efficiencies for
+the manually optimized Perfect codes.  The 8-processor YMP has about
+half high and half intermediate levels of performance, while the
+32-processor Cedar has about one-quarter high and three-quarters
+intermediate.  Note that the YMP has one unacceptable performance,
+while Cedar has none."
+
+Codes with hand-optimization models use them; the rest use their
+automatable versions (the best available "manual" level).  The bench
+renders the scatter as ASCII with the U/I/H band boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.machines.cray import CrayModel, YMP8_CONFIG
+from repro.metrics.bands import Band, band_for_efficiency
+from repro.perf.model import CedarApplicationModel
+from repro.perfect.handopt import HANDOPT_MODELS
+from repro.perfect.profiles import PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    code: str
+    cedar_efficiency: float
+    ymp_efficiency: float
+
+    @property
+    def cedar_band(self) -> Band:
+        return band_for_efficiency(self.cedar_efficiency, 32)
+
+    @property
+    def ymp_band(self) -> Band:
+        return band_for_efficiency(self.ymp_efficiency, 8)
+
+
+def _cedar_manual_efficiency(code_name: str) -> float:
+    """Speedup of the best (manual where available) version on 32 CEs
+    over the same code on one CE, as an efficiency."""
+    code = PERFECT_CODES[code_name]
+    one = CedarApplicationModel(processors=1).execute(
+        code, AUTOMATABLE_PIPELINE, use_cedar_sync=False
+    )
+    if code_name in HANDOPT_MODELS:
+        manual_seconds = HANDOPT_MODELS[code_name].apply().seconds
+    else:
+        manual_seconds = CedarApplicationModel(processors=32).execute(
+            code, AUTOMATABLE_PIPELINE, use_cedar_sync=False
+        ).seconds
+    efficiency = (one.seconds / manual_seconds) / 32.0
+    return min(1.0, efficiency)
+
+
+@lru_cache(maxsize=1)
+def run_fig3() -> Tuple[ScatterPoint, ...]:
+    ymp_manual = CrayModel(YMP8_CONFIG, "manual")
+    points = []
+    for name in sorted(PERFECT_CODES):
+        points.append(
+            ScatterPoint(
+                code=name,
+                cedar_efficiency=_cedar_manual_efficiency(name),
+                ymp_efficiency=min(1.0, ymp_manual.speedup(name) / 8.0),
+            )
+        )
+    return tuple(points)
+
+
+def band_census(points: Tuple[ScatterPoint, ...]) -> Dict[str, Dict[Band, int]]:
+    census: Dict[str, Dict[Band, int]] = {
+        "Cedar": {b: 0 for b in Band},
+        "YMP": {b: 0 for b in Band},
+    }
+    for p in points:
+        census["Cedar"][p.cedar_band] += 1
+        census["YMP"][p.ymp_band] += 1
+    return census
+
+
+def render_fig3(points: Tuple[ScatterPoint, ...], width: int = 51, height: int = 21) -> str:
+    """ASCII rendering of the scatter (x: Cedar eff, y: YMP eff)."""
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for p in points:
+        x = min(width - 1, int(p.cedar_efficiency * (width - 1)))
+        y = min(height - 1, int(p.ymp_efficiency * (height - 1)))
+        row = height - 1 - y
+        mark = p.code[0]
+        grid[row][x] = mark
+    lines = ["Figure 3: Cray YMP/8 vs Cedar efficiency (manual codes)"]
+    lines.append("y: YMP efficiency 0..1, x: Cedar efficiency 0..1")
+    for r, row in enumerate(grid):
+        y_val = (height - 1 - r) / (height - 1)
+        marker = f"{y_val:4.1f}|"
+        lines.append(marker + "".join(row))
+    lines.append("     " + "-" * width)
+    census = band_census(points)
+    for machine, counts in census.items():
+        lines.append(
+            f"{machine}: high={counts[Band.HIGH]} "
+            f"intermediate={counts[Band.INTERMEDIATE]} "
+            f"unacceptable={counts[Band.UNACCEPTABLE]}"
+        )
+    lines.append("[paper] YMP: ~half high, ~half intermediate, one unacceptable")
+    lines.append("[paper] Cedar: ~quarter high, ~three-quarters intermediate, none unacceptable")
+    return "\n".join(lines)

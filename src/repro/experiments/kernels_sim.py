@@ -1,0 +1,114 @@
+"""Cycle-level kernel measurements on the simulated machine.
+
+The paper measures steady-state rates of long-running kernels; we
+simulate a representative number of strips per CE and report rates from
+the simulated slice (the kernels are perfectly periodic, so steady-state
+rate extrapolates to any problem size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.kernels.programs import KERNELS, kernel_program
+from repro.util.units import cycles_to_seconds, mflops
+
+#: default strips per CE: enough periods to wash out warm-up transients.
+DEFAULT_STRIPS = 24
+
+
+@dataclass(frozen=True)
+class KernelMeasurement:
+    """One kernel run: timing, Table 2 probe metrics, and rates."""
+
+    kernel: str
+    n_ces: int
+    prefetch: bool
+    strips: int
+    cycles: float
+    seconds: float
+    mflops: float
+    #: first-word latency in cycles (None for no-prefetch runs).
+    latency: Optional[float]
+    #: interarrival time in cycles (None for no-prefetch runs).
+    interarrival: Optional[float]
+
+    @property
+    def cycles_per_word(self) -> float:
+        shape = KERNELS[self.kernel]
+        return self.cycles / (shape.loaded_words * self.strips)
+
+
+@lru_cache(maxsize=None)
+def _run_cached(
+    kernel: str, n_ces: int, prefetch: bool, strips: int, cycle_ns: float
+) -> KernelMeasurement:
+    config = CedarConfig()
+    if cycle_ns != config.ce.cycle_ns:
+        from dataclasses import replace
+
+        config = replace(config, ce=replace(config.ce, cycle_ns=cycle_ns))
+    return _run(config, kernel, n_ces, prefetch, strips)
+
+
+def _run(
+    config: CedarConfig, kernel: str, n_ces: int, prefetch: bool, strips: int
+) -> KernelMeasurement:
+    shape = KERNELS[kernel]
+    machine = CedarMachine(config, monitor_port=0)
+    if n_ces > config.total_ces:
+        raise ValueError(f"machine has only {config.total_ces} CEs")
+    programs = {
+        port: kernel_program(shape, port, strips, prefetch=prefetch)
+        for port in range(n_ces)
+    }
+    cycles = machine.run_programs(programs)
+    seconds = cycles_to_seconds(cycles, config.ce.cycle_ns)
+    total_flops = shape.flops * strips * n_ces
+    rate = mflops(total_flops, seconds) if total_flops else 0.0
+    latency = interarrival = None
+    if prefetch and machine.probe is not None:
+        summary = machine.probe.summary()
+        latency = summary.first_word_latency
+        interarrival = summary.interarrival
+    return KernelMeasurement(
+        kernel=kernel,
+        n_ces=n_ces,
+        prefetch=prefetch,
+        strips=strips,
+        cycles=cycles,
+        seconds=seconds,
+        mflops=rate,
+        latency=latency,
+        interarrival=interarrival,
+    )
+
+
+def run_kernel_measurement(
+    kernel: str,
+    n_ces: int,
+    prefetch: bool = True,
+    strips: int = DEFAULT_STRIPS,
+    config: Optional[CedarConfig] = None,
+) -> KernelMeasurement:
+    """Run ``kernel`` on ``n_ces`` CEs (cluster-major) and measure it.
+
+    With the default configuration results are memoized process-wide.
+    """
+    if kernel not in KERNELS:
+        raise KeyError(f"unknown kernel {kernel!r}; have {sorted(KERNELS)}")
+    if config is None:
+        return _run_cached(kernel, n_ces, prefetch, strips, CedarConfig().ce.cycle_ns)
+    return _run(config, kernel, n_ces, prefetch, strips)
+
+
+def prefetch_speedup(kernel: str, n_ces: int, strips: int = DEFAULT_STRIPS) -> float:
+    """Table 2's "Prefetch Speedup": no-prefetch time over prefetch time
+    for the same work."""
+    with_pf = run_kernel_measurement(kernel, n_ces, prefetch=True, strips=strips)
+    without = run_kernel_measurement(kernel, n_ces, prefetch=False, strips=strips)
+    return without.cycles / with_pf.cycles

@@ -1,0 +1,65 @@
+"""Why the paper measured in single-user mode.
+
+"All the results presented in this section were collected in
+single-user mode to avoid the non-determinism of multiprogramming."
+This study quantifies that: the same SDOALL workload is gang-scheduled
+alone and then with a competing process, and the slowdown plus
+run-to-run spread (as competitor phases shift) is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.xylem.scheduler import GangScheduler, XylemProcess
+
+
+@dataclass(frozen=True)
+class MultiprogrammingResult:
+    single_user_makespan: float
+    shared_makespans: Tuple[float, ...]
+
+    @property
+    def mean_slowdown(self) -> float:
+        mean = sum(self.shared_makespans) / len(self.shared_makespans)
+        return mean / self.single_user_makespan
+
+    @property
+    def spread(self) -> float:
+        """max/min across competitor phasings — the non-determinism."""
+        return max(self.shared_makespans) / min(self.shared_makespans)
+
+
+def _run_workload(
+    scheduler: GangScheduler, tasks: List[float], name: str
+) -> XylemProcess:
+    process = XylemProcess(name)
+    for i, duration in enumerate(tasks):
+        scheduler.schedule(process.new_task(duration), affinity=(name, i % 4))
+    return process
+
+
+@lru_cache(maxsize=1)
+def run_multiprogramming_study(clusters: int = 4) -> MultiprogrammingResult:
+    # the measured job: 16 SDOALL cluster-tasks of 10ms
+    job = [10.0] * 16
+
+    solo_sched = GangScheduler(clusters)
+    solo = _run_workload(solo_sched, job, "job")
+    single = solo.makespan
+
+    shared_makespans = []
+    for phase in range(4):
+        sched = GangScheduler(clusters)
+        # a competitor with irregular task sizes, phase-shifted
+        competitor_tasks = [(3.0 + ((i + phase) % 5) * 4.0) for i in range(12)]
+        _run_workload(sched, competitor_tasks[:phase + 2], "other")
+        process = _run_workload(sched, job, "job")
+        _run_workload(sched, competitor_tasks[phase + 2:], "other")
+        shared_makespans.append(process.makespan)
+    return MultiprogrammingResult(
+        single_user_makespan=single,
+        shared_makespans=tuple(shared_makespans),
+    )

@@ -1,0 +1,185 @@
+"""PPT4 (Section 4.4): scalability of CG on Cedar vs banded matvec on
+the CM-5.
+
+Cedar side: "The performance of a conjugate gradient (CG) iterative
+linear system solver was measured on Cedar while varying the number of
+processors from 2 to 32.  This computation involves 5-diagonal
+matrix-vector products as well as vector and reduction operations of
+size N, 1K <= N <= 172K.  Cedar exhibits scalable high performance for
+matrices larger than something between 10K and 16K ... scalable
+intermediate performance for smaller matrices. ... The 32-processor
+Cedar delivers between 34 and 48 MFLOPS as the CG problem size ranges
+from 10K to 172K."
+
+The Cedar CG model is throughput-based and anchored to the simulator
+calibration: the kernel is global-memory bound at ~21.5 words moved
+per matrix point per iteration against a sustained machine bandwidth
+of min(0.53 x P, 10.7) words/cycle, plus six parallel-loop scheduling
+overheads per iteration (matvec, two reductions, three AXPYs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.machines.cm5 import CM5Model
+from repro.metrics.bands import Band, band_for_speedup
+from repro.metrics.ppt import PPT4Result, ppt4_scalability
+from repro.util.tables import Table
+from repro.util.units import CYCLE_NS
+
+#: CG words moved per matrix point per iteration: 5-diagonal matvec
+#: (5 loads + a 2-word store) + two dot products (1 load each) + three
+#: AXPYs (2 loads + a 2-word store each).
+CG_WORDS_PER_POINT = 21.5
+
+#: flops per point per CG iteration (matvec 9, dots 4, axpys 6).
+CG_FLOPS_PER_POINT = 19.0
+
+#: per-CE sustained global stream rate, words/cycle (Table 1/2 calib).
+PER_CE_WORDS_PER_CYCLE = 0.53
+
+#: machine-wide sustained global bandwidth, words/cycle.
+MACHINE_WORDS_PER_CYCLE = 10.7
+
+#: parallel loops per CG iteration and their scheduling cost each (s).
+CG_LOOPS_PER_ITERATION = 6
+CG_LOOP_OVERHEAD_S = 120e-6
+
+CEDAR_SIZES = (1024, 4096, 10_240, 16_384, 65_536, 176_128)
+CEDAR_PROCS = (2, 4, 8, 16, 32)
+
+CM5_SIZES = (16_384, 65_536, 262_144)
+CM5_PROCS = (32, 256, 512)
+CM5_BANDWIDTHS = (3, 11)
+
+
+class CedarCGModel:
+    """Throughput model of the Section 4.4 CG study."""
+
+    def iteration_seconds(self, n: int, processors: int) -> float:
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        bandwidth = min(processors * PER_CE_WORDS_PER_CYCLE, MACHINE_WORDS_PER_CYCLE)
+        transfer_cycles = n * CG_WORDS_PER_POINT / bandwidth
+        seconds = transfer_cycles * CYCLE_NS * 1e-9
+        if processors > 1:
+            seconds += CG_LOOPS_PER_ITERATION * CG_LOOP_OVERHEAD_S
+        return seconds
+
+    def mflops(self, n: int, processors: int) -> float:
+        return (
+            n * CG_FLOPS_PER_POINT / self.iteration_seconds(n, processors) / 1e6
+        )
+
+    def speedup(self, n: int, processors: int) -> float:
+        return self.iteration_seconds(n, 1) / self.iteration_seconds(n, processors)
+
+
+@dataclass(frozen=True)
+class PPT4Study:
+    cedar: PPT4Result
+    cedar_mflops_32: Dict[int, float]
+    cm5: Dict[int, PPT4Result]  # by bandwidth
+    cm5_mflops_32: Dict[Tuple[int, int], float]  # (bandwidth, n) -> rate
+
+
+@lru_cache(maxsize=1)
+def run_ppt4() -> PPT4Study:
+    cg = CedarCGModel()
+    speedups = {
+        (p, n): cg.speedup(n, p) for p in CEDAR_PROCS for n in CEDAR_SIZES
+    }
+    rates = {(p, n): cg.mflops(n, p) for p in CEDAR_PROCS for n in CEDAR_SIZES}
+    cedar = ppt4_scalability("Cedar CG", speedups, rates)
+
+    cm5_results = {}
+    cm5_rates = {}
+    for bw in CM5_BANDWIDTHS:
+        sp = {}
+        mf = {}
+        for p in CM5_PROCS:
+            model = CM5Model(p)
+            for n in CM5_SIZES:
+                sp[(p, n)] = model.speedup(n, bw)
+                mf[(p, n)] = model.matvec_mflops(n, bw)
+                if p == 32:
+                    cm5_rates[(bw, n)] = mf[(p, n)]
+        cm5_results[bw] = ppt4_scalability(f"CM-5 banded matvec BW={bw}", sp, mf)
+
+    return PPT4Study(
+        cedar=cedar,
+        cedar_mflops_32={n: cg.mflops(n, 32) for n in CEDAR_SIZES},
+        cm5=cm5_results,
+        cm5_mflops_32=cm5_rates,
+    )
+
+
+def render_ppt4(study: PPT4Study) -> str:
+    lines: List[str] = []
+    table = Table(
+        title="PPT4: Cedar CG scalability (band per P x N point)",
+        columns=["P \\ N"] + [str(n) for n in CEDAR_SIZES],
+    )
+    for p in CEDAR_PROCS:
+        table.add_row(
+            [p] + [study.cedar.grid[(p, n)].value[:4] for n in CEDAR_SIZES]
+        )
+    lines.append(table.render())
+
+    rate_table = Table(
+        title="Cedar CG MFLOPS at 32 CEs (paper: 34..48 over 10K..172K)",
+        columns=["N"] + [str(n) for n in CEDAR_SIZES],
+    )
+    rate_table.add_row(
+        ["MFLOPS"] + [round(study.cedar_mflops_32[n], 1) for n in CEDAR_SIZES]
+    )
+    lines.append(rate_table.render())
+
+    for bw, result in study.cm5.items():
+        t = Table(
+            title=f"CM-5 banded matvec BW={bw} (band per P x N point)",
+            columns=["P \\ N"] + [str(n) for n in CM5_SIZES],
+        )
+        for p in CM5_PROCS:
+            t.add_row([p] + [result.grid[(p, n)].value[:4] for n in CM5_SIZES])
+        lines.append(t.render())
+    lines.append(
+        "CM-5 MFLOPS at 32 procs: "
+        + ", ".join(
+            f"BW={bw} N={n}: {rate:.1f}"
+            for (bw, n), rate in sorted(study.cm5_mflops_32.items())
+        )
+    )
+    lines.append("[paper] BW=3: 28..32 MFLOPS, BW=11: 58..67 MFLOPS over 16K..256K")
+
+    from repro.util.ascii_chart import line_chart
+
+    cg = CedarCGModel()
+    series = {
+        "8 CEs": [(n, cg.mflops(n, 8)) for n in CEDAR_SIZES],
+        "16 CEs": [(n, cg.mflops(n, 16)) for n in CEDAR_SIZES],
+        "32 CEs": [(n, cg.mflops(n, 32)) for n in CEDAR_SIZES],
+    }
+    lines.append(
+        line_chart(
+            series,
+            title="Cedar CG rate vs problem size",
+            x_label="N (log scale)",
+            y_label="MFLOPS",
+            log_x=True,
+        )
+    )
+    return "\n\n".join(lines)
+
+
+def cedar_high_performance_crossover() -> int:
+    """Smallest N (in the scan grid) where 32-CE CG reaches the high
+    band — the paper locates it "between 10K and 16K"."""
+    cg = CedarCGModel()
+    for n in range(1024, 262_144, 512):
+        if band_for_speedup(cg.speedup(n, 32), 32) is Band.HIGH:
+            return n
+    raise RuntimeError("no high-band crossover found")

@@ -1,0 +1,93 @@
+"""Application scaling curves (PPT4 at the full-application level).
+
+PPT4 requires that "the computer system effectively runs each
+code/data size on a range of processor counts".  The Section 4.4 study
+answers it for the CG kernel; this harness produces the same curves
+for the Perfect applications through the performance model: speedup of
+each automatable code at 1..32 CEs, with its efficiency band at every
+width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.metrics.bands import Band, band_for_speedup
+from repro.perf.model import CedarApplicationModel
+from repro.perfect.profiles import PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE
+from repro.util.tables import Table
+
+PROCESSOR_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    code: str
+    #: seconds at each processor count.
+    seconds: Tuple[float, ...]
+
+    @property
+    def speedups(self) -> Tuple[float, ...]:
+        base = self.seconds[0]
+        return tuple(base / t for t in self.seconds)
+
+    def band_at(self, processors: int) -> Band:
+        idx = PROCESSOR_COUNTS.index(processors)
+        return band_for_speedup(self.speedups[idx], processors)
+
+    @property
+    def knee(self) -> int:
+        """Largest P that still gains at least 30% over P/2 — where
+        adding the next doubling stops paying."""
+        best = PROCESSOR_COUNTS[0]
+        speedups = self.speedups
+        for i in range(1, len(PROCESSOR_COUNTS)):
+            if speedups[i] >= 1.3 * speedups[i - 1]:
+                best = PROCESSOR_COUNTS[i]
+        return best
+
+
+@lru_cache(maxsize=1)
+def run_scaling_study() -> Dict[str, ScalingCurve]:
+    out = {}
+    for name in sorted(PERFECT_CODES):
+        code = PERFECT_CODES[name]
+        seconds = tuple(
+            CedarApplicationModel(processors=p)
+            .execute(code, AUTOMATABLE_PIPELINE)
+            .seconds
+            for p in PROCESSOR_COUNTS
+        )
+        out[name] = ScalingCurve(code=name, seconds=seconds)
+    return out
+
+
+def render_scaling(curves: Dict[str, ScalingCurve]) -> str:
+    table = Table(
+        title="Perfect-code scaling on Cedar (speedup over 1 CE running "
+        "the same restructured code; band at 32 CEs)",
+        columns=["code"] + [f"P={p}" for p in PROCESSOR_COUNTS] + ["band@32", "knee"],
+        precision=1,
+    )
+    for name, curve in curves.items():
+        table.add_row(
+            [name, *curve.speedups, curve.band_at(32).value[:4], curve.knee]
+        )
+    from repro.util.ascii_chart import line_chart
+
+    picks = ("TRFD", "MDG", "ARC2D", "QCD")
+    series = {
+        name: list(zip(PROCESSOR_COUNTS, curves[name].speedups))
+        for name in picks
+        if name in curves
+    }
+    chart = line_chart(
+        series,
+        title="speedup vs processors (selected codes)",
+        x_label="CEs",
+        y_label="speedup",
+    )
+    return table.render() + "\n\n" + chart

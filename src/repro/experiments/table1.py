@@ -1,0 +1,125 @@
+"""Table 1: MFLOPS for the rank-64 update on Cedar.
+
+Three versions of ``A += B @ C`` (n=1K, rank 64) with all matrices in
+global memory, differing only in how data reaches the CEs:
+
+* **GM/no-pref** — plain vector accesses to global memory, no
+  prefetching: performance "determined by the 13 cycle latency of the
+  global memory and the two outstanding requests allowed per CE";
+* **GM/pref** — aggressive 256-word prefetch overlapped with
+  computation;
+* **GM/cache** — "transfers a submatrix to a cached work array in each
+  cluster and all vector accesses are made to the work array".
+
+All versions chain two operations per memory request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Generator, List, Tuple
+
+from repro.cluster.ce import (
+    BlockTransfer,
+    ClusterVectorOp,
+    Compute,
+    GlobalStore,
+)
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.experiments.kernels_sim import run_kernel_measurement
+from repro.kernels.programs import SCALAR_OVERHEAD, STRIP, VSTART
+from repro.util.tables import Table
+from repro.util.units import cycles_to_seconds, mflops
+
+CLUSTER_COUNTS = (1, 2, 3, 4)
+
+#: paper values: version -> MFLOPS on 1..4 clusters.
+PAPER_TABLE1: Dict[str, Tuple[float, ...]] = {
+    "GM/no-pref": (14.5, 29.0, 43.0, 55.0),
+    "GM/pref": (50.0, 84.0, 96.0, 104.0),
+    "GM/cache": (52.0, 104.0, 152.0, 208.0),
+}
+
+#: rank of the update; strips of the accumulator column are updated by
+#: this many 32-word vector operations each.
+RANK = 64
+
+#: flops per accumulator strip: RANK chained multiply-adds on 32 words.
+FLOPS_PER_A_STRIP = 2.0 * RANK * STRIP
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    version: str
+    mflops: Tuple[float, ...]  # one entry per cluster count
+
+
+def _cache_version_program(port: int, a_strips: int) -> Generator:
+    """GM/cache: per accumulator strip, move the needed submatrix slice
+    into the cluster work array (amortized: the B block is shared by
+    the whole cluster), then run RANK cached vector multiply-adds, then
+    push the result back to global memory."""
+    for strip in range(a_strips):
+        base = port * (1 << 16) + strip * 2048
+        yield Compute(SCALAR_OVERHEAD)
+        # amortized global->cluster traffic per strip: the A strip (32
+        # words in) plus this strip's share of the shared B/C block.
+        yield BlockTransfer(words=40, address=base)
+        for _ in range(RANK):
+            yield Compute(SCALAR_OVERHEAD)
+            yield ClusterVectorOp(
+                words=STRIP, cycles_per_word=1.0, startup_cycles=VSTART
+            )
+        yield GlobalStore(length=STRIP, stride=1, address=base)
+
+
+@lru_cache(maxsize=None)
+def _cache_version_mflops(clusters: int, a_strips: int) -> float:
+    config = CedarConfig()
+    machine = CedarMachine(config)
+    n_ces = clusters * config.ces_per_cluster
+    programs = {
+        port: _cache_version_program(port, a_strips) for port in range(n_ces)
+    }
+    cycles = machine.run_programs(programs)
+    seconds = cycles_to_seconds(cycles, config.ce.cycle_ns)
+    return mflops(FLOPS_PER_A_STRIP * a_strips * n_ces, seconds)
+
+
+def run_table1(a_strips: int = 3) -> List[Table1Row]:
+    """Regenerate Table 1.  ``a_strips`` accumulator strips per CE are
+    simulated (the kernel is periodic; rates are steady-state).
+
+    The GM/no-pref and GM/pref versions reuse the RK kernel trace with
+    ``a_strips * RANK/8`` 256-word blocks (one block covers 8 of the 64
+    rank updates of a strip).
+    """
+    blocks = max(2, a_strips * RANK * STRIP // 256)
+    rows = []
+    for version in ("GM/no-pref", "GM/pref", "GM/cache"):
+        rates = []
+        for clusters in CLUSTER_COUNTS:
+            n_ces = clusters * 8
+            if version == "GM/cache":
+                rates.append(_cache_version_mflops(clusters, a_strips))
+            else:
+                m = run_kernel_measurement(
+                    "RK", n_ces, prefetch=(version == "GM/pref"), strips=blocks
+                )
+                rates.append(m.mflops)
+        rows.append(Table1Row(version=version, mflops=tuple(rates)))
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    table = Table(
+        title="Table 1: MFLOPS for rank-64 update on Cedar (measured vs [paper])",
+        columns=["version", "1 cl.", "2 cl.", "3 cl.", "4 cl."],
+        precision=1,
+    )
+    for row in rows:
+        table.add_row([row.version, *row.mflops])
+        table.add_row([f"[{row.version}]", *PAPER_TABLE1[row.version]])
+    return table.render()

@@ -1,0 +1,80 @@
+"""Table 2: Global memory performance.
+
+"Prefetch Speedup", first-word "Latency (cycles)" and "Interarrival
+(cycles)" for TM, CG, VF and RK on 8, 16 and 32 processors, all data
+global, prefetching on.  The paper's reference values are embedded for
+side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.kernels_sim import (
+    DEFAULT_STRIPS,
+    prefetch_speedup,
+    run_kernel_measurement,
+)
+from repro.util.tables import Table
+
+CE_COUNTS = (8, 16, 32)
+KERNEL_ORDER = ("TM", "CG", "VF", "RK")
+
+#: paper values: kernel -> (speedups, latencies, interarrivals) at 8/16/32.
+PAPER_TABLE2: Dict[str, Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]] = {
+    "TM": ((2.1, 2.0, 1.5), (9.4, 10.2, 14.2), (1.1, 1.2, 2.1)),
+    "CG": ((2.4, 2.2, 1.5), (9.4, 10.3, 15.1), (1.1, 1.2, 2.1)),
+    "VF": ((1.8, 1.7, 1.5), (9.6, 11.0, 16.7), (1.2, 1.4, 2.2)),
+    "RK": ((3.4, 2.9, 1.8), (12.9, 15.3, 18.3), (1.2, 1.8, 3.2)),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    kernel: str
+    speedups: Tuple[float, ...]
+    latencies: Tuple[float, ...]
+    interarrivals: Tuple[float, ...]
+
+
+def run_table2(strips: int = DEFAULT_STRIPS) -> List[Table2Row]:
+    """Regenerate Table 2 on the simulated machine."""
+    rows = []
+    for kernel in KERNEL_ORDER:
+        speedups = tuple(
+            prefetch_speedup(kernel, n, strips=strips) for n in CE_COUNTS
+        )
+        measured = [
+            run_kernel_measurement(kernel, n, prefetch=True, strips=strips)
+            for n in CE_COUNTS
+        ]
+        rows.append(
+            Table2Row(
+                kernel=kernel,
+                speedups=speedups,
+                latencies=tuple(m.latency for m in measured),
+                interarrivals=tuple(m.interarrival for m in measured),
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    table = Table(
+        title="Table 2: Global memory performance (measured vs [paper])",
+        columns=[
+            "kernel",
+            "spd@8", "spd@16", "spd@32",
+            "lat@8", "lat@16", "lat@32",
+            "int@8", "int@16", "int@32",
+        ],
+        precision=1,
+    )
+    for row in rows:
+        table.add_row(
+            [row.kernel, *row.speedups, *row.latencies, *row.interarrivals]
+        )
+        paper = PAPER_TABLE2[row.kernel]
+        table.add_row([f"[{row.kernel}]", *paper[0], *paper[1], *paper[2]])
+    return table.render()

@@ -1,0 +1,113 @@
+"""Table 3: Cedar execution time, MFLOPS, and speed improvement for
+the Perfect Benchmarks.
+
+Columns: "Compiled by Kap/Cedar" (time, improvement), "Auto.
+transforms" (time, improvement), "W/o Cedar Synchronization" (time, %
+slowdown), "W/o prefetch" (time, % slowdown), MFLOPS, and the
+YMP-8/Cedar MFLOPS ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from repro.machines.cray import CRAY_YMP8
+from repro.perf.model import CedarApplicationModel
+from repro.perfect.profiles import PAPER_TABLE3, PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+from repro.util.tables import Table
+
+CODE_ORDER = tuple(sorted(PERFECT_CODES))
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    code: str
+    kap_time: float
+    kap_improvement: float
+    auto_time: Optional[float]
+    auto_improvement: Optional[float]
+    no_sync_time: Optional[float]
+    no_sync_slowdown: Optional[float]
+    no_prefetch_time: Optional[float]
+    no_prefetch_slowdown: Optional[float]
+    mflops: Optional[float]
+    ymp_ratio: float
+
+
+@lru_cache(maxsize=1)
+def run_table3() -> Tuple[Table3Row, ...]:
+    """Regenerate Table 3 through the application model."""
+    model = CedarApplicationModel()
+    rows: List[Table3Row] = []
+    for name in CODE_ORDER:
+        code = PERFECT_CODES[name]
+        kap = model.execute(code, KAP_PIPELINE)
+        auto = model.execute(code, AUTOMATABLE_PIPELINE)
+        no_sync = model.execute(code, AUTOMATABLE_PIPELINE, use_cedar_sync=False)
+        no_pref = model.execute(
+            code, AUTOMATABLE_PIPELINE, use_cedar_sync=False, use_prefetch=False
+        )
+        has_auto = PAPER_TABLE3[name].auto_time is not None
+        ymp_rate = CRAY_YMP8.compiled_mflops(name)
+        cedar_rate = auto.mflops if has_auto else kap.mflops
+        rows.append(
+            Table3Row(
+                code=name,
+                kap_time=kap.seconds,
+                kap_improvement=kap.improvement,
+                auto_time=auto.seconds if has_auto else None,
+                auto_improvement=auto.improvement if has_auto else None,
+                no_sync_time=no_sync.seconds if has_auto else None,
+                no_sync_slowdown=(no_sync.seconds / auto.seconds - 1.0)
+                if has_auto
+                else None,
+                no_prefetch_time=no_pref.seconds if has_auto else None,
+                no_prefetch_slowdown=(no_pref.seconds / no_sync.seconds - 1.0)
+                if has_auto
+                else None,
+                mflops=cedar_rate,
+                ymp_ratio=ymp_rate / cedar_rate,
+            )
+        )
+    return tuple(rows)
+
+
+def render_table3(rows: Tuple[Table3Row, ...]) -> str:
+    table = Table(
+        title="Table 3: Cedar time, MFLOPS, speed improvement for the "
+        "Perfect Benchmarks (measured vs [paper])",
+        columns=[
+            "code", "kap", "(imp)", "auto", "(imp)",
+            "w/o sync", "(%)", "w/o pref", "(%)", "MFLOPS", "YMP ratio",
+        ],
+        precision=1,
+    )
+    for row in rows:
+        ref = PAPER_TABLE3[row.code]
+        pct = lambda x: None if x is None else round(100 * x)
+        table.add_row(
+            [
+                row.code, row.kap_time, row.kap_improvement,
+                row.auto_time, row.auto_improvement,
+                row.no_sync_time, pct(row.no_sync_slowdown),
+                row.no_prefetch_time, pct(row.no_prefetch_slowdown),
+                row.mflops, row.ymp_ratio,
+            ]
+        )
+        table.add_row(
+            [
+                f"[{row.code}]", ref.kap_time, ref.kap_improvement,
+                ref.auto_time, ref.auto_improvement,
+                None if ref.auto_time is None else ref.auto_time * (1 + ref.no_sync_slowdown),
+                pct(ref.no_sync_slowdown),
+                None
+                if ref.auto_time is None
+                else ref.auto_time * (1 + ref.no_sync_slowdown) * (1 + ref.no_prefetch_slowdown),
+                pct(ref.no_prefetch_slowdown),
+                ref.mflops, ref.ymp_ratio,
+            ]
+        )
+    return table.render()

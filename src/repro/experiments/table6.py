@@ -1,0 +1,82 @@
+"""Table 6: Restructuring Efficiency.
+
+Band census of restructured-code efficiencies: Cedar running the
+automatable versions vs the Cray YMP-8 running its automatically
+compiled versions.  Paper counts: Cedar 1 high / 9 intermediate / 3
+unacceptable; YMP 0 / 6 / 7.
+
+Efficiency is Ep = speedup / P where speedup compares against the same
+(restructured, vectorized) code on ONE processor — the definition that
+reproduces the paper's counts (speedup over *scalar serial* would give
+Cedar five "high" codes, contradicting Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.machines.cray import CRAY_YMP8
+from repro.metrics.ppt import PPT3Result, ppt3_restructuring_bands
+from repro.perf.model import CedarApplicationModel
+from repro.perfect.profiles import PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE
+from repro.util.tables import Table
+
+PAPER_TABLE6 = {"Cedar": (1, 9, 3), "Cray YMP": (0, 6, 7)}
+
+
+@lru_cache(maxsize=None)
+def cedar_restructured_efficiency(code_name: str) -> float:
+    """Ep for the automatable version on 32 CEs vs the same code on 1 CE."""
+    code = PERFECT_CODES[code_name]
+    one = CedarApplicationModel(processors=1).execute(code, AUTOMATABLE_PIPELINE)
+    full = CedarApplicationModel(processors=32).execute(code, AUTOMATABLE_PIPELINE)
+    return (one.seconds / full.seconds) / 32.0
+
+
+def ymp_restructured_efficiency(code_name: str) -> float:
+    return CRAY_YMP8.speedup(code_name) / 8.0
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    cedar: PPT3Result
+    ymp: PPT3Result
+
+
+@lru_cache(maxsize=1)
+def run_table6() -> Table6Result:
+    cedar_eff: Dict[str, float] = {
+        name: cedar_restructured_efficiency(name) for name in PERFECT_CODES
+    }
+    ymp_eff: Dict[str, float] = {
+        name: ymp_restructured_efficiency(name) for name in PERFECT_CODES
+    }
+    return Table6Result(
+        cedar=ppt3_restructuring_bands("Cedar", cedar_eff, processors=32),
+        ymp=ppt3_restructuring_bands("Cray YMP", ymp_eff, processors=8),
+    )
+
+
+def render_table6(result: Table6Result) -> str:
+    table = Table(
+        title="Table 6: Restructuring Efficiency (code counts; [paper])",
+        columns=["level", "Cedar", "[Cedar]", "Cray YMP", "[YMP]"],
+        precision=0,
+    )
+    c, y = result.cedar.counts, result.ymp.counts
+    pc, py = PAPER_TABLE6["Cedar"], PAPER_TABLE6["Cray YMP"]
+    table.add_row(["High (Ep > .5)", c[0], pc[0], y[0], py[0]])
+    table.add_row(["Intermediate (Ep > 1/2logP)", c[1], pc[1], y[1], py[1]])
+    table.add_row(["Unacceptable", c[2], pc[2], y[2], py[2]])
+    body = table.render()
+    detail = [
+        "",
+        f"Cedar high: {', '.join(result.cedar.high) or '-'}",
+        f"Cedar unacceptable: {', '.join(result.cedar.unacceptable) or '-'}",
+        f"YMP high: {', '.join(result.ymp.high) or '-'}",
+        f"YMP unacceptable: {', '.join(result.ymp.unacceptable) or '-'}",
+    ]
+    return body + "\n".join(detail)

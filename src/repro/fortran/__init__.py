@@ -1,0 +1,49 @@
+"""CEDAR FORTRAN as an executable Python DSL (Section 3).
+
+"CEDAR FORTRAN offers an application programmer explicit access to all
+the key features of the Cedar system: the memory hierarchy, the
+prefetching capability from global memory, the global memory
+synchronization hardware, and cluster features including concurrency
+control."
+
+The DSL really computes (bodies run numpy operations on array data) and
+really accounts simulated time (vector operations are costed from the
+machine model; parallel loops are costed through the runtime library's
+published overheads and makespan composition).
+"""
+
+from repro.fortran.placement import CedarArray, Placement
+from repro.fortran.system import CedarFortran, LoopContext
+from repro.fortran.cost import VectorCostModel
+from repro.fortran.coherence import CoherenceError, CoherenceManager, CopyState
+from repro.fortran.library import (
+    FortranCGResult,
+    PentadiagOperator,
+    cg_solve,
+    pentadiag_matvec,
+    vaxpy,
+    vcopy,
+    vdot,
+    vnorm2,
+    vscale,
+)
+
+__all__ = [
+    "CedarArray",
+    "Placement",
+    "CedarFortran",
+    "LoopContext",
+    "VectorCostModel",
+    "CoherenceError",
+    "CoherenceManager",
+    "CopyState",
+    "FortranCGResult",
+    "PentadiagOperator",
+    "cg_solve",
+    "pentadiag_matvec",
+    "vaxpy",
+    "vcopy",
+    "vdot",
+    "vnorm2",
+    "vscale",
+]

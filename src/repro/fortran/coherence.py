@@ -1,0 +1,194 @@
+"""Software-maintained coherence for cluster copies of global data.
+
+"Data can be moved between cluster and global shared memory only via
+explicit moves under software control.  It can be said that cluster
+memories form a distributed memory system in addition to the global
+shared memory.  Coherence between multiple copies of globally shared
+data residing in cluster memory is maintained in software."
+
+The :class:`CoherenceManager` is that software: it tracks which
+clusters hold copies of each global array region, validates the
+discipline (reads through stale copies and concurrent dirty copies are
+programming errors the Cedar compiler/runtime had to prevent), and
+accounts the explicit move traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.fortran.placement import CedarArray, Placement
+
+
+class CopyState(Enum):
+    CLEAN = "clean"      # matches global memory
+    DIRTY = "dirty"      # locally modified, not yet written back
+    STALE = "stale"      # global memory has moved on
+
+
+class CoherenceError(RuntimeError):
+    """A violation of the software coherence discipline."""
+
+
+@dataclass
+class ClusterCopy:
+    cluster: int
+    array: CedarArray
+    state: CopyState = CopyState.CLEAN
+
+
+@dataclass
+class CoherenceStats:
+    copies_in: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+    words_moved: int = 0
+
+
+class CoherenceManager:
+    """Tracks copies of global arrays distributed into cluster memory."""
+
+    def __init__(self, clusters: int = 4) -> None:
+        if clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.clusters = clusters
+        self._copies: Dict[int, Dict[int, ClusterCopy]] = {}
+        self.stats = CoherenceStats()
+
+    # -- moves -------------------------------------------------------------
+
+    def copy_to_cluster(self, source: CedarArray, cluster: int) -> CedarArray:
+        """Explicit move: materialize a cluster copy of a global array."""
+        self._check_global(source)
+        self._check_cluster(cluster)
+        if any(
+            c.state is CopyState.DIRTY
+            for c in self._copies.get(id(source), {}).values()
+        ):
+            raise CoherenceError(
+                f"cannot copy {source.name or '<anon>'}: a dirty cluster copy exists"
+            )
+        local = CedarArray(
+            np.array(source.data, copy=True),
+            Placement.CLUSTER,
+            home_cluster=cluster,
+            name=f"{source.name}@cl{cluster}" if source.name else "",
+        )
+        entry = self._copies.setdefault(id(source), {})
+        entry[cluster] = ClusterCopy(cluster=cluster, array=local)
+        self.stats.copies_in += 1
+        self.stats.words_moved += source.words
+        return local
+
+    def write_back(self, source: CedarArray, cluster: int) -> None:
+        """Explicit move: a cluster's (dirty) copy updates global memory
+        and every other copy becomes stale."""
+        copies = self._copies.get(id(source), {})
+        copy = copies.get(cluster)
+        if copy is None:
+            raise CoherenceError(f"cluster {cluster} holds no copy to write back")
+        np.copyto(source.data, copy.array.data)
+        copy.state = CopyState.CLEAN
+        for other, c in copies.items():
+            if other != cluster and c.state is not CopyState.STALE:
+                c.state = CopyState.STALE
+        self.stats.writebacks += 1
+        self.stats.words_moved += source.words
+
+    # -- the discipline -------------------------------------------------------
+
+    def mark_written(self, source: CedarArray, cluster: int) -> None:
+        """The cluster modified its copy (e.g. inside an SDOALL body)."""
+        copies = self._copies.get(id(source), {})
+        copy = copies.get(cluster)
+        if copy is None:
+            raise CoherenceError(f"cluster {cluster} holds no copy of the array")
+        if copy.state is CopyState.STALE:
+            raise CoherenceError("writing through a stale copy")
+        dirty_elsewhere = [
+            c.cluster
+            for c in copies.values()
+            if c.state is CopyState.DIRTY and c.cluster != cluster
+        ]
+        if dirty_elsewhere:
+            raise CoherenceError(
+                f"clusters {dirty_elsewhere} already hold dirty copies — "
+                "software coherence requires disjoint writers"
+            )
+        copy.state = CopyState.DIRTY
+
+    def check_read(self, source: CedarArray, cluster: int) -> CedarArray:
+        """Validate a read through the cluster's copy and return it."""
+        copy = self._copies.get(id(source), {}).get(cluster)
+        if copy is None:
+            raise CoherenceError(f"cluster {cluster} holds no copy of the array")
+        if copy.state is CopyState.STALE:
+            raise CoherenceError(
+                "reading a stale copy: re-copy after the global write-back"
+            )
+        return copy.array
+
+    def write_global(self, source: CedarArray) -> None:
+        """A direct write to the global array invalidates all copies."""
+        self._check_global(source)
+        copies = self._copies.get(id(source), {})
+        for copy in copies.values():
+            if copy.state is CopyState.DIRTY:
+                raise CoherenceError(
+                    "global write while a dirty cluster copy exists"
+                )
+            copy.state = CopyState.STALE
+            self.stats.invalidations += 1
+
+    def invalidate_all(self, source: CedarArray) -> None:
+        """Drop every cluster copy (e.g. at a phase boundary)."""
+        dropped = self._copies.pop(id(source), {})
+        self.stats.invalidations += len(dropped)
+
+    # -- queries ------------------------------------------------------------------
+
+    def state_of(self, source: CedarArray, cluster: int) -> Optional[CopyState]:
+        copy = self._copies.get(id(source), {}).get(cluster)
+        return copy.state if copy else None
+
+    def holders(self, source: CedarArray) -> List[int]:
+        return sorted(self._copies.get(id(source), {}))
+
+    def distribute(
+        self, source: CedarArray, pieces: int
+    ) -> List[Tuple[int, CedarArray, slice]]:
+        """Partition a global array across cluster memories (the data
+        localization of Section 3.2: "data can be localized by
+        partitioning and distributing them to the cluster memories").
+        Returns (cluster, local array, global slice) triples."""
+        self._check_global(source)
+        if not 1 <= pieces <= self.clusters:
+            raise ValueError(f"pieces must be in 1..{self.clusters}")
+        flat = source.data.reshape(-1)
+        bounds = np.linspace(0, flat.size, pieces + 1, dtype=int)
+        out = []
+        for cluster in range(pieces):
+            sl = slice(int(bounds[cluster]), int(bounds[cluster + 1]))
+            local = CedarArray(
+                np.array(flat[sl], copy=True),
+                Placement.CLUSTER,
+                home_cluster=cluster,
+            )
+            out.append((cluster, local, sl))
+            self.stats.words_moved += local.words
+        return out
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_global(array: CedarArray) -> None:
+        if not array.is_global:
+            raise ValueError("coherence tracks copies of GLOBAL arrays only")
+
+    def _check_cluster(self, cluster: int) -> None:
+        if not 0 <= cluster < self.clusters:
+            raise ValueError(f"no cluster {cluster}")

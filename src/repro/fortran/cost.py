@@ -1,0 +1,115 @@
+"""Vector-operation cost model for the Cedar Fortran DSL.
+
+Per-word transfer costs are anchored to the cycle-level simulator's
+calibration (see tests/test_calibration.py): an unloaded prefetched
+global stream sustains ~1.1 cycles/word; a non-prefetched global vector
+access is latency-bound at 13/2 cycles/word; cluster cache feeds one
+word per cycle per CE; cluster memory half of that.  The compiler
+inserts a 32-word prefetch before each vector operation with a global
+operand (Section 3.2), costing the arm overhead per strip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import CedarConfig
+from repro.fortran.placement import CedarArray, Placement
+from repro.util.units import cycles_to_us
+
+
+@dataclass(frozen=True)
+class VectorCostModel:
+    """Cycles-per-word accounting for strip-mined vector operations."""
+
+    config: CedarConfig
+    use_prefetch: bool = True
+    #: sustained per-word cycles of a prefetched global stream (unloaded).
+    prefetched_word_cycles: float = 1.15
+    #: per-word cycles of cluster-cache resident data.
+    cache_word_cycles: float = 1.0
+    #: per-word cycles of cluster-memory data (half cache bandwidth).
+    cluster_word_cycles: float = 2.0
+    #: scalar (non-vectorized) access to global memory: full round trip.
+    scalar_global_cycles: float = 13.0
+
+    @property
+    def strip(self) -> int:
+        return self.config.ce.vector_register_words
+
+    @property
+    def nopref_word_cycles(self) -> float:
+        """Two outstanding requests per 13-cycle round trip."""
+        return 13.0 / self.config.ce.max_outstanding_misses
+
+    def transfer_cycles_per_word(self, placement: Placement) -> float:
+        if placement is Placement.GLOBAL:
+            if self.use_prefetch:
+                return self.prefetched_word_cycles
+            return self.nopref_word_cycles
+        if placement is Placement.CLUSTER:
+            return self.cluster_word_cycles
+        return self.cache_word_cycles  # loop-locals live in the cache
+
+    def vector_op_cycles(
+        self,
+        elements: int,
+        operand_placements: Sequence[Placement],
+        flops_per_element: float = 2.0,
+        stores: int = 0,
+    ) -> float:
+        """Cost of one strip-mined vector operation over ``elements``.
+
+        Each strip pays the vector startup (plus a prefetch arm for
+        each global operand); per element, the cost is the larger of
+        the compute rate and the summed operand transfer rates
+        (chaining overlaps compute with the dominant transfer).
+        """
+        if elements <= 0:
+            return 0.0
+        strips = -(-elements // self.strip)
+        per_strip = float(self.config.ce.vector_startup_cycles)
+        if self.use_prefetch:
+            n_global = sum(
+                1 for p in operand_placements if p is Placement.GLOBAL
+            )
+            per_strip += n_global * self.config.prefetch.arm_cycles
+        transfer = sum(self.transfer_cycles_per_word(p) for p in operand_placements)
+        transfer += stores * 2.0  # store packets: two words through the port
+        compute = flops_per_element / self.config.ce.flops_per_cycle
+        per_element = max(transfer, compute)
+        return strips * per_strip + elements * per_element
+
+    def vector_op_us(
+        self,
+        elements: int,
+        operand_placements: Sequence[Placement],
+        flops_per_element: float = 2.0,
+        stores: int = 0,
+    ) -> float:
+        cycles = self.vector_op_cycles(
+            elements, operand_placements, flops_per_element, stores
+        )
+        return cycles_to_us(cycles, self.config.ce.cycle_ns)
+
+    def move_us(self, words: int, to_cluster: bool = True) -> float:
+        """Explicit block move between global and cluster memory: paced
+        by the slower of the network port (1 word/cycle) and cluster
+        memory (words_per_cycle shared per cluster, one CE moving)."""
+        if words < 0:
+            raise ValueError("negative move size")
+        port_rate = 1.0
+        cmem_rate = float(self.config.cluster_memory.words_per_cycle)
+        rate = min(port_rate, cmem_rate)
+        cycles = 8.0 + words / rate  # one round-trip fill + streaming
+        return cycles_to_us(cycles, self.config.ce.cycle_ns)
+
+    def scalar_access_us(self, count: int, placement: Placement) -> float:
+        """Scalar (non-vector) accesses — TRACK-style codes are
+        dominated by these and gain nothing from prefetch."""
+        if placement is Placement.GLOBAL:
+            cycles = count * self.scalar_global_cycles
+        else:
+            cycles = count * 3.0
+        return cycles_to_us(cycles, self.config.ce.cycle_ns)

@@ -1,0 +1,65 @@
+"""Data placement: the GLOBAL attribute, cluster memory, loop-locals.
+
+"Data can be placed in either cluster or shared global memory on Cedar.
+A user can control this using a GLOBAL attribute.  Variable placement
+is in cluster memory by default.  A variable can also be declared
+inside a parallel loop.  The loop-local declaration of a variable makes
+a private copy for each processor which is placed in cluster memory."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+
+class Placement(Enum):
+    GLOBAL = "global"
+    CLUSTER = "cluster"
+    LOOP_LOCAL = "loop_local"
+
+
+@dataclass
+class CedarArray:
+    """A Fortran array with a Cedar placement.
+
+    ``data`` is the live numpy storage (the DSL computes for real);
+    ``home_cluster`` pins CLUSTER arrays to a cluster's memory.
+    Global arrays are visible everywhere; cluster arrays only to their
+    cluster — moving data between levels is an explicit, timed copy
+    ("Data can be moved between cluster and global shared memory only
+    via explicit moves under software control").
+    """
+
+    data: np.ndarray
+    placement: Placement
+    home_cluster: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.placement is Placement.CLUSTER and self.home_cluster is None:
+            self.home_cluster = 0
+        if self.placement is Placement.GLOBAL and self.home_cluster is not None:
+            raise ValueError("global arrays have no home cluster")
+
+    @property
+    def words(self) -> int:
+        """Size in 64-bit words (Fortran DOUBLE PRECISION elements)."""
+        return int(self.data.size)
+
+    @property
+    def is_global(self) -> bool:
+        return self.placement is Placement.GLOBAL
+
+    def check_visible_from(self, cluster: int) -> None:
+        """Cluster memory is only addressable within its cluster."""
+        if self.placement is Placement.GLOBAL:
+            return
+        if self.home_cluster != cluster:
+            raise PermissionError(
+                f"array {self.name or '<anon>'} lives in cluster "
+                f"{self.home_cluster} memory; cluster {cluster} cannot address it"
+            )

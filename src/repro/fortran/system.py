@@ -1,0 +1,277 @@
+"""The Cedar Fortran execution system: arrays, vector ops, DOALLs.
+
+A :class:`CedarFortran` instance is a complete programming environment:
+
+* arrays with GLOBAL / cluster / loop-local placement, backed by live
+  numpy storage (programs really compute);
+* strip-mined vector operations whose simulated cost comes from
+  :class:`~repro.fortran.cost.VectorCostModel`;
+* ``cdoall`` / ``sdoall`` / ``xdoall`` parallel loops costed through
+  the runtime library (Section 3.2) and composing like the hardware:
+  an SDOALL iteration owns a cluster, CDOALLs inside it gang the
+  cluster's CEs via the concurrency bus.
+
+Timing model: a stack of cost accumulators.  Vector ops add to the top
+of the stack; a DOALL runs every iteration body (capturing each one's
+cost), computes the loop's makespan from the runtime library's
+schedule, and charges that makespan to the enclosing scope.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import CedarConfig, DEFAULT_CONFIG
+from repro.fortran.cost import VectorCostModel
+from repro.fortran.placement import CedarArray, Placement
+from repro.xylem.runtime import LoopKind, RuntimeLibrary
+
+ArrayLike = Union[np.ndarray, CedarArray]
+
+
+@dataclass
+class LoopContext:
+    """Passed to SDOALL bodies: which cluster the iteration runs on."""
+
+    cluster: int
+    iteration: int
+
+
+class CedarFortran:
+    """One Cedar Fortran program execution environment."""
+
+    def __init__(
+        self,
+        config: CedarConfig = DEFAULT_CONFIG,
+        use_cedar_sync: bool = True,
+        use_prefetch: bool = True,
+    ) -> None:
+        self.config = config
+        self.runtime = RuntimeLibrary(
+            config.runtime, use_cedar_sync=use_cedar_sync, cycle_ns=config.ce.cycle_ns
+        )
+        self.cost = VectorCostModel(config, use_prefetch=use_prefetch)
+        self._cost_stack: List[float] = [0.0]
+        self._loop_depth = 0
+        self.moves = 0
+        self.vector_ops = 0
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def clock_us(self) -> float:
+        """Program time accumulated at the outermost scope."""
+        return self._cost_stack[0]
+
+    @property
+    def clock_seconds(self) -> float:
+        return self.clock_us * 1e-6
+
+    def _charge(self, us: float) -> None:
+        self._cost_stack[-1] += us
+
+    def compute_us(self, us: float) -> None:
+        """Charge explicit (scalar) compute time."""
+        if us < 0:
+            raise ValueError("negative compute time")
+        self._charge(us)
+
+    # -- arrays --------------------------------------------------------------
+
+    def global_array(self, data: ArrayLike, name: str = "") -> CedarArray:
+        """Declare an array with the GLOBAL attribute."""
+        return CedarArray(np.asarray(data, dtype=float), Placement.GLOBAL, name=name)
+
+    def cluster_array(
+        self, data: ArrayLike, cluster: int = 0, name: str = ""
+    ) -> CedarArray:
+        """Declare a (default-placement) cluster-memory array."""
+        return CedarArray(
+            np.asarray(data, dtype=float), Placement.CLUSTER, home_cluster=cluster,
+            name=name,
+        )
+
+    def loop_local(self, shape, name: str = "") -> CedarArray:
+        """Declare a loop-local private array (cluster-cached).
+
+        "In all Perfect programs we have found loop-local data placement
+        to be an important factor in reducing data access latencies."
+        """
+        if self._loop_depth == 0:
+            raise RuntimeError("loop-local declarations only make sense inside a DOALL")
+        return CedarArray(np.zeros(shape), Placement.LOOP_LOCAL, name=name)
+
+    def work_array(self, data: ArrayLike, name: str = "") -> CedarArray:
+        """A cached work array: explicitly managed storage that stays
+        resident in the cluster's shared cache (the GM/cache version's
+        "cached work array in each cluster", Section 4.1).  The caller
+        is responsible for sizing it within the 512 KB cache."""
+        arr = np.asarray(data, dtype=float)
+        if arr.nbytes > self.config.cache.size_bytes:
+            raise ValueError(
+                f"work array of {arr.nbytes} bytes exceeds the "
+                f"{self.config.cache.size_bytes}-byte cluster cache"
+            )
+        return CedarArray(np.array(arr, copy=True), Placement.LOOP_LOCAL, name=name)
+
+    def move(self, src: CedarArray, dst: CedarArray) -> None:
+        """Explicit software-controlled move between memory levels."""
+        if src.data.size != dst.data.size:
+            raise ValueError("move requires equal sizes")
+        np.copyto(dst.data.reshape(-1), src.data.reshape(-1))
+        self.moves += 1
+        self._charge(self.cost.move_us(src.words))
+
+    # -- vector operations -----------------------------------------------------
+
+    def vector_op(
+        self,
+        fn: Callable[..., np.ndarray],
+        out: CedarArray,
+        *operands: CedarArray,
+        flops_per_element: float = 2.0,
+    ) -> CedarArray:
+        """Execute ``out[:] = fn(*operands)`` as a chained vector op.
+
+        Cost covers streaming every operand at its placement's rate,
+        the compute rate, per-strip startup/prefetch-arm, and the store
+        of the result.
+        """
+        arrays = [op.data for op in operands]
+        result = fn(*arrays)
+        np.copyto(out.data, result)
+        placements = [op.placement for op in operands]
+        stores = 1 if out.is_global else 0
+        self.vector_ops += 1
+        self._charge(
+            self.cost.vector_op_us(
+                int(out.data.size), placements, flops_per_element, stores=stores
+            )
+        )
+        return out
+
+    def dot(self, x: CedarArray, y: CedarArray) -> float:
+        """Chained multiply-add reduction of two vectors."""
+        if x.data.size != y.data.size:
+            raise ValueError("dot requires equal lengths")
+        value = float(x.data.reshape(-1) @ y.data.reshape(-1))
+        self.vector_ops += 1
+        self._charge(
+            self.cost.vector_op_us(
+                int(x.data.size), [x.placement, y.placement], flops_per_element=2.0
+            )
+        )
+        return value
+
+    def reduction(
+        self,
+        fn: Callable[[np.ndarray], float],
+        operand: CedarArray,
+        flops_per_element: float = 1.0,
+    ) -> float:
+        """A vector reduction (dot products, norms, parallel sums)."""
+        value = float(fn(operand.data))
+        self.vector_ops += 1
+        self._charge(
+            self.cost.vector_op_us(
+                int(operand.data.size), [operand.placement], flops_per_element
+            )
+        )
+        return value
+
+    # -- parallel loops -----------------------------------------------------------
+
+    def cdoall(
+        self,
+        iterations: int,
+        body: Callable[[int], None],
+        cluster: int = 0,
+        self_scheduled: bool = True,
+    ) -> None:
+        """Cluster DOALL: gang the cluster's CEs via the concurrency bus."""
+        self._doall(LoopKind.CDOALL, iterations, body,
+                    workers=self.config.ces_per_cluster,
+                    self_scheduled=self_scheduled)
+
+    def xdoall(
+        self,
+        iterations: int,
+        body: Callable[[int], None],
+        self_scheduled: bool = True,
+    ) -> None:
+        """Machine-wide DOALL: every CE, scheduled through global memory."""
+        self._doall(LoopKind.XDOALL, iterations, body,
+                    workers=self.config.total_ces,
+                    self_scheduled=self_scheduled)
+
+    def sdoall(
+        self,
+        iterations: int,
+        body: Callable[[LoopContext], None],
+        self_scheduled: bool = True,
+    ) -> None:
+        """Spread DOALL: each iteration runs on an entire cluster.
+
+        "Each iteration starts executing on one processor of the
+        cluster.  The other processors in the cluster remain idle until
+        a CDOALL is executed within the body" — bodies receive a
+        :class:`LoopContext` naming their cluster and typically run
+        ``cdoall`` inside.  Iterations of successive SDOALLs with the
+        same length land on the same clusters (data affinity).
+        """
+
+        def wrapped(i: int) -> None:
+            body(LoopContext(cluster=i % self.config.clusters, iteration=i))
+
+        self._doall(LoopKind.SDOALL, iterations, wrapped,
+                    workers=self.config.clusters,
+                    self_scheduled=self_scheduled)
+
+    def _doall(
+        self,
+        kind: LoopKind,
+        iterations: int,
+        body: Callable[[int], None],
+        workers: int,
+        self_scheduled: bool,
+    ) -> None:
+        if iterations < 0:
+            raise ValueError("negative iteration count")
+        costs: List[float] = []
+        self._loop_depth += 1
+        try:
+            for i in range(iterations):
+                self._cost_stack.append(0.0)
+                body(i)
+                costs.append(self._cost_stack.pop())
+        finally:
+            self._loop_depth -= 1
+        schedule = self.runtime.schedule(
+            kind, iterations, workers, self_scheduled=self_scheduled, work_us=costs
+        )
+        self._charge(schedule.makespan_us(costs))
+
+    # -- synchronization ---------------------------------------------------------
+
+    def fetch_and_add(self, address: int, increment: int = 1) -> int:
+        """Global-memory synchronization, exposed "to a Fortran
+        programmer via run-time library routines"."""
+        self._charge(self.cost.scalar_access_us(1, Placement.GLOBAL))
+        return self.runtime.sync.fetch_and_add(address, increment)
+
+    @contextmanager
+    def scope(self):
+        """Measure the time charged inside a with-block; yields a dict
+        whose ``"us"`` entry holds the elapsed time on exit."""
+        holder = {"us": 0.0}
+        self._cost_stack.append(0.0)
+        try:
+            yield holder
+        finally:
+            elapsed = self._cost_stack.pop()
+            holder["us"] = elapsed
+            self._charge(elapsed)

@@ -1,0 +1,23 @@
+"""Cedar global shared memory.
+
+64 MB of double-word-interleaved globally addressable memory.  Each
+module services ordinary reads/writes and contains a synchronization
+processor executing indivisible Test-And-Set / Test-And-Operate
+instructions (Zhu & Yew 1987), because "given multistage interconnection
+networks it is impossible to provide standard lock cycles" (Section 2).
+"""
+
+from repro.gmemory.interleave import module_for_address, sweep_modules
+from repro.gmemory.sync import SyncOp, SyncProcessor, SyncResult, TestOp
+from repro.gmemory.module import GlobalMemory, MemoryModule
+
+__all__ = [
+    "module_for_address",
+    "sweep_modules",
+    "SyncOp",
+    "SyncProcessor",
+    "SyncResult",
+    "TestOp",
+    "GlobalMemory",
+    "MemoryModule",
+]

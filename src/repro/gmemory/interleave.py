@@ -1,0 +1,44 @@
+"""Interleaving arithmetic for the global memory.
+
+"Global memory is double-word (8 byte) interleaved and aligned"
+(Section 2): consecutive 64-bit words live in consecutive modules, so a
+stride-1 vector sweep visits every module round-robin — the access
+pattern the network and memory bandwidth figures are quoted for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def module_for_address(word_address: int, n_modules: int) -> int:
+    """Module holding 64-bit word ``word_address``.
+
+    >>> module_for_address(33, 32)
+    1
+    """
+    if word_address < 0:
+        raise ValueError("word address must be non-negative")
+    if n_modules < 1:
+        raise ValueError("need at least one module")
+    return word_address % n_modules
+
+
+def sweep_modules(start: int, length: int, stride: int, n_modules: int) -> List[int]:
+    """Modules visited by a vector access of ``length`` words from word
+    address ``start`` with word ``stride``.
+
+    >>> sweep_modules(0, 4, 1, 32)
+    [0, 1, 2, 3]
+    >>> sweep_modules(0, 4, 32, 32)   # pathological stride: one hot module
+    [0, 0, 0, 0]
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return [module_for_address(start + k * stride, n_modules) for k in range(length)]
+
+
+def iter_addresses(start: int, length: int, stride: int) -> Iterator[int]:
+    """Word addresses of a strided vector access."""
+    for k in range(length):
+        yield start + k * stride

@@ -1,0 +1,156 @@
+"""Global memory modules as queueing resources.
+
+A :class:`MemoryModule` is a :class:`~repro.network.resource.Resource`
+sitting at the end of a forward-network route.  When a request packet's
+service (the memory access) completes, the module transforms it in place
+into the reply packet and hands it off into the reverse network — if the
+reverse injection queue is full, the module blocks, which is how memory
+backpressure propagates into the forward network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.config import GlobalMemoryConfig
+from repro.core.engine import Engine
+from repro.network.omega import OmegaNetwork
+from repro.network.packet import Packet, PacketKind
+from repro.network.resource import Hop, Resource, Transit
+from repro.gmemory.sync import SyncProcessor
+
+
+class MemoryModule(Resource):
+    """One interleaved global-memory module with its sync processor."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        index: int,
+        config: GlobalMemoryConfig,
+        reverse_network: Optional[OmegaNetwork] = None,
+    ) -> None:
+        super().__init__(
+            engine,
+            name=f"gm[{index}]",
+            capacity_words=config.module_queue_words,
+            words_per_cycle=1.0,
+            fixed_cycles=0.0,
+            recovery_cycles=config.recovery_cycles,
+        )
+        self.index = index
+        self.config = config
+        self.reverse_network = reverse_network
+        self.sync = SyncProcessor()
+        self.reads = 0
+        self.writes = 0
+        self.sync_ops = 0
+
+    # -- Resource overrides --------------------------------------------------
+
+    def service_cycles(self, packet: Packet) -> float:
+        cycles = float(self.config.access_cycles)
+        if packet.kind in (PacketKind.SYNC_REQ,):
+            cycles += self.config.sync_op_cycles
+        if packet.kind is PacketKind.BLOCK_REQ:
+            # block reads stream out of the module a word per access slot
+            requested = packet.meta.get("block_words", 1)
+            cycles += max(0, requested - 1)
+        return cycles
+
+    def on_service_complete(self, transit: Transit) -> bool:
+        packet = transit.packet
+        reply = self._make_reply(packet)
+        if reply is None:
+            return False
+        delta = reply.words - packet.words
+        self._words_queued += delta
+        transit.packet = reply
+        self._extend_route_into_reverse(transit, reply)
+        return True
+
+    # -- reply construction ----------------------------------------------------
+
+    def _make_reply(self, packet: Packet) -> Optional[Packet]:
+        if packet.kind is PacketKind.READ_REQ:
+            self.reads += 1
+            return packet.reply(PacketKind.READ_REPLY, words=1)
+        if packet.kind is PacketKind.WRITE_REQ:
+            # "Writes do not stall a CE" — no acknowledgement travels
+            # back through the network, but the weakly-ordered memory
+            # system lets a CE *fence*: completion callbacks let the
+            # machine track outstanding stores per CE.
+            self.writes += 1
+            on_done = packet.meta.get("on_write_done")
+            if on_done is not None:
+                on_done(packet)
+            return None
+        if packet.kind is PacketKind.BLOCK_REQ:
+            self.reads += 1
+            requested = packet.meta.get("block_words", 1)
+            # reply: control word + data, capped at the 4-word packet limit
+            words = min(1 + requested, 4)
+            return packet.reply(PacketKind.BLOCK_REPLY, words=words)
+        if packet.kind is PacketKind.SYNC_REQ:
+            self.sync_ops += 1
+            result = self._execute_sync(packet)
+            return packet.reply(PacketKind.SYNC_REPLY, words=1, sync_result=result)
+        raise ValueError(f"memory module cannot service packet kind {packet.kind}")
+
+    def _execute_sync(self, packet: Packet):
+        operation = packet.meta.get("sync")
+        if operation is None:
+            return self.sync.test_and_set(packet.address)
+        test, test_operand, op, op_operand = operation
+        return self.sync.test_and_op(packet.address, test, test_operand, op, op_operand)
+
+    def _extend_route_into_reverse(self, transit: Transit, reply: Packet) -> None:
+        """Splice the reverse-network route after this module.
+
+        Request routes end at the module; the reply continues through the
+        reverse network back to the requesting port.
+        """
+        if self.reverse_network is None:
+            return
+        if transit.idx != len(transit.route) - 1:
+            return  # route already extends past the module
+        rev_route = self.reverse_network.route_for(reply)
+        transit.route = list(transit.route) + list(rev_route)
+        reply.injected_at = self.engine.now
+
+
+class GlobalMemory:
+    """The set of interleaved modules plus address-steering helpers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: GlobalMemoryConfig,
+        reverse_network: Optional[OmegaNetwork] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.modules: List[MemoryModule] = [
+            MemoryModule(engine, i, config, reverse_network)
+            for i in range(config.modules)
+        ]
+
+    def module_for(self, word_address: int) -> MemoryModule:
+        return self.modules[word_address % self.config.modules]
+
+    def route_tail(self, word_address: int) -> List[Hop]:
+        """Forward-route tail for a request to ``word_address``: just the
+        owning module (the reply route is spliced on service completion)."""
+        return [self.module_for(word_address)]
+
+    @property
+    def total_reads(self) -> int:
+        return sum(m.reads for m in self.modules)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(m.writes for m in self.modules)
+
+    @property
+    def total_sync_ops(self) -> int:
+        return sum(m.sync_ops for m in self.modules)

@@ -1,0 +1,131 @@
+"""The per-module synchronization processor.
+
+"Cedar synchronization instructions implement Test-And-Operate, where
+Test is any relational operation on 32-bit data (e.g. >) and Operate is
+a Read, Write, Add, Subtract, or Logical operation on 32-bit data"
+(Section 2, after [ZhYe87]).  The instruction is indivisible because it
+executes entirely inside the memory module.
+
+This component is *functional*: the runtime library's loop
+self-scheduling and the synchronization tests really execute through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+class TestOp(Enum):
+    """Relational tests available to Test-And-Operate."""
+
+    ALWAYS = "always"
+    EQ = "=="
+    NE = "!="
+    GT = ">"
+    GE = ">="
+    LT = "<"
+    LE = "<="
+
+
+class SyncOp(Enum):
+    """Operations performed when the test succeeds."""
+
+    READ = "read"
+    WRITE = "write"
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+
+
+_TESTS: Dict[TestOp, Callable[[int, int], bool]] = {
+    TestOp.ALWAYS: lambda a, b: True,
+    TestOp.EQ: lambda a, b: a == b,
+    TestOp.NE: lambda a, b: a != b,
+    TestOp.GT: lambda a, b: a > b,
+    TestOp.GE: lambda a, b: a >= b,
+    TestOp.LT: lambda a, b: a < b,
+    TestOp.LE: lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Outcome of an indivisible synchronization instruction."""
+
+    success: bool
+    old_value: int
+    new_value: int
+
+
+class SyncProcessor:
+    """The special processor in each memory module.
+
+    Values are 32-bit; arithmetic wraps.  All addresses are word
+    addresses local to no particular layout — the processor simply owns
+    the synchronization variables that map to its module.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[int, int] = {}
+        self.operations = 0
+
+    def peek(self, address: int) -> int:
+        """Non-destructive read (for tests and debugging)."""
+        return _to_signed(self._store.get(address, 0))
+
+    def poke(self, address: int, value: int) -> None:
+        """Initialize a synchronization variable."""
+        self._store[address] = value & _MASK32
+
+    def test_and_set(self, address: int) -> SyncResult:
+        """Classic Test-And-Set: returns the old value, sets to 1."""
+        return self.test_and_op(address, TestOp.ALWAYS, 0, SyncOp.WRITE, 1)
+
+    def test_and_op(
+        self,
+        address: int,
+        test: TestOp,
+        test_operand: int,
+        op: SyncOp,
+        op_operand: int = 0,
+    ) -> SyncResult:
+        """Indivisibly test the 32-bit word at ``address`` and, if the
+        test succeeds, apply ``op``; returns old/new values and success.
+        """
+        self.operations += 1
+        old = _to_signed(self._store.get(address, 0))
+        if not _TESTS[test](old, _to_signed(test_operand)):
+            return SyncResult(success=False, old_value=old, new_value=old)
+        new = old
+        if op is SyncOp.READ:
+            new = old
+        elif op is SyncOp.WRITE:
+            new = op_operand
+        elif op is SyncOp.ADD:
+            new = old + op_operand
+        elif op is SyncOp.SUB:
+            new = old - op_operand
+        elif op is SyncOp.AND:
+            new = old & op_operand
+        elif op is SyncOp.OR:
+            new = old | op_operand
+        elif op is SyncOp.XOR:
+            new = old ^ op_operand
+        self._store[address] = new & _MASK32
+        return SyncResult(success=True, old_value=old, new_value=_to_signed(new & _MASK32))
+
+    def fetch_and_add(self, address: int, increment: int = 1) -> int:
+        """Convenience: unconditional add returning the old value — the
+        primitive the runtime library uses for loop self-scheduling."""
+        return self.test_and_op(address, TestOp.ALWAYS, 0, SyncOp.ADD, increment).old_value

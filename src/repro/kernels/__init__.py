@@ -1,0 +1,38 @@
+"""Computational kernels from Section 4.1.
+
+Each kernel exists in two coupled forms:
+
+* a *reference* numpy implementation (``repro.kernels.reference``) —
+  the actual mathematics, used by the examples and validated in tests;
+* a *trace* form (``repro.kernels.programs``) — the CE generator
+  program describing the kernel's memory-access and compute structure
+  (strip-mined vector loops, prefetch streams, chained operations),
+  which drives the cycle-level simulator for Tables 1 and 2.
+
+The two forms are parameterized consistently: the trace moves exactly
+the words per strip that the numpy code touches.
+"""
+
+from repro.kernels.reference import (
+    cg_solve,
+    pentadiag_matvec,
+    rank_k_update,
+    tridiag_matvec,
+    vector_fetch,
+)
+from repro.kernels.programs import (
+    KERNELS,
+    KernelShape,
+    kernel_program,
+)
+
+__all__ = [
+    "cg_solve",
+    "pentadiag_matvec",
+    "rank_k_update",
+    "tridiag_matvec",
+    "vector_fetch",
+    "KERNELS",
+    "KernelShape",
+    "kernel_program",
+]

@@ -1,0 +1,241 @@
+"""CE trace programs for the Section 4.1 kernels.
+
+Each kernel's inner loop is described by a :class:`KernelShape`: the
+prefetch streams a strip consumes, the chained compute per word, the
+register-register vector work (which "reduce[s] the demand on the
+memory system"), global stores, and scalar loop overhead.  The shapes
+below mirror the paper's descriptions:
+
+* **VL/VF** — a vector fetch: pure global loads plus the store of the
+  fetched vector; no arithmetic.  Dominated by memory accesses "but
+  degrades less quickly due to the smaller prefetch block".
+* **TM** — tridiagonal matrix-vector multiply: three diagonal streams,
+  one register-register combine, one result store.
+* **CG** — a conjugate-gradient step slice: five diagonal streams
+  (5-point operator), register-register vector/reduction work, result
+  store.
+* **RK** — the rank-64 update: "prefetches blocks of 256 words and
+  aggressively overlaps it with computation" (double-buffered in the
+  512-word prefetch buffer), two chained flops per fetched word, plus
+  the non-prefetched accumulator column traffic.
+
+The compiler-generated kernels use 32-word prefetches ("the other codes
+use compiler-generated 32-word prefetches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Tuple
+
+from repro.cluster.ce import (
+    AwaitStream,
+    Compute,
+    ConsumeStream,
+    GlobalLoad,
+    GlobalStore,
+    StartPrefetch,
+)
+
+#: vector strip length: one 32-word vector register.
+STRIP = 32
+
+#: scalar loop-control overhead per strip (address arithmetic, branch,
+#: stripmine bookkeeping) in cycles.
+SCALAR_OVERHEAD = 12.0
+
+#: vector instruction startup (pipeline fill) in cycles.
+VSTART = 12.0
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Structure of one strip of a kernel's inner loop."""
+
+    name: str
+    #: lengths of the prefetch streams consumed per strip.
+    streams: Tuple[int, ...]
+    #: chained compute cycles per fetched word.
+    consume_cycles_per_word: float
+    #: register-register vector cycles per strip (no memory demand).
+    regreg_cycles: float
+    #: words stored to global memory per strip.
+    store_words: int
+    #: floating-point operations per strip (for MFLOPS accounting).
+    flops: float
+    #: prefetch block size (32 compiler-generated, 256 for RK).
+    prefetch_block: int = STRIP
+    #: RK-style aggressive overlap (double-buffered autonomous prefetch).
+    autonomous: bool = False
+    #: words of non-prefetched global load per strip (RK's accumulator).
+    plain_load_words: int = 0
+
+    @property
+    def loaded_words(self) -> int:
+        return sum(self.streams) + self.plain_load_words
+
+
+VF = KernelShape(
+    name="VF",
+    streams=(STRIP,),
+    consume_cycles_per_word=1.0,
+    regreg_cycles=0.0,
+    store_words=STRIP,
+    flops=0.0,
+)
+
+TM = KernelShape(
+    name="TM",
+    streams=(STRIP, STRIP, STRIP),
+    consume_cycles_per_word=1.0,
+    regreg_cycles=STRIP + VSTART,
+    store_words=STRIP,
+    flops=5.0 * STRIP,
+)
+
+CG = KernelShape(
+    name="CG",
+    streams=(STRIP,) * 5,
+    consume_cycles_per_word=1.0,
+    regreg_cycles=2 * (STRIP + VSTART),
+    store_words=STRIP,
+    flops=19.0 * STRIP,
+)
+
+RK = KernelShape(
+    name="RK",
+    streams=(256,),
+    consume_cycles_per_word=1.0,
+    regreg_cycles=0.0,
+    store_words=4,  # A column write-back amortized over B blocks
+    flops=2.0 * 256,
+    prefetch_block=256,
+    autonomous=True,
+    plain_load_words=4,  # A column read amortized over B blocks
+)
+
+KERNELS = {shape.name: shape for shape in (VF, TM, CG, RK)}
+
+
+def _strip_addresses(port: int, strip_index: int, shape: KernelShape) -> int:
+    """Base word address for a strip.
+
+    The paper's kernels run on arrays with power-of-two leading
+    dimensions (n = 1K for RK; page-aligned vectors elsewhere), so in
+    the real runs *every* CE's strips start at memory module 0 — each
+    strip sweep chases the others through the modules in phase.  We
+    keep that alignment (bases are multiples of the module count): the
+    resulting transient hot-spotting is part of the contention the
+    paper measures.
+    """
+    region = port * (1 << 16)
+    # Arrays have power-of-two leading dimensions, so strips of one CE
+    # stay module-aligned; across CEs the self-scheduled loops drift out
+    # of phase, which we model as a coarse per-cluster module stagger.
+    phase = (port // 8) * 8
+    stride = (shape.loaded_words + 31) & ~31  # next multiple of 32
+    return region + phase + strip_index * stride
+
+
+def kernel_program(
+    shape: KernelShape,
+    port: int,
+    strips: int,
+    prefetch: bool = True,
+) -> Generator:
+    """Build the CE program for ``strips`` strips of kernel ``shape``.
+
+    ``prefetch=False`` produces the GM/no-pref variant: the same strips
+    through plain vector loads limited to two outstanding requests.
+    """
+    if shape.autonomous:
+        return _autonomous_program(shape, port, strips, prefetch)
+    return _compiler_program(shape, port, strips, prefetch)
+
+
+def _compiler_program(
+    shape: KernelShape, port: int, strips: int, prefetch: bool
+) -> Generator:
+    """Compiler-generated pattern: a prefetch "started immediately
+    before the vector instruction ... only overlapped with the current
+    vector instruction"."""
+    for strip in range(strips):
+        yield Compute(SCALAR_OVERHEAD)
+        base = _strip_addresses(port, strip, shape)
+        offset = 0
+        for length in shape.streams:
+            address = base + offset
+            offset += length
+            if prefetch:
+                stream = yield StartPrefetch(length=length, stride=1, address=address)
+                yield ConsumeStream(
+                    stream,
+                    cycles_per_word=shape.consume_cycles_per_word,
+                    startup_cycles=VSTART,
+                )
+            else:
+                yield GlobalLoad(
+                    length=length,
+                    stride=1,
+                    address=address,
+                    cycles_per_word=shape.consume_cycles_per_word,
+                )
+        if shape.plain_load_words:
+            yield GlobalLoad(
+                length=shape.plain_load_words, stride=1, address=base + offset
+            )
+        if shape.regreg_cycles:
+            yield Compute(shape.regreg_cycles)
+        if shape.store_words:
+            yield GlobalStore(length=shape.store_words, stride=1, address=base)
+
+
+def _autonomous_program(
+    shape: KernelShape, port: int, strips: int, prefetch: bool
+) -> Generator:
+    """RK pattern: double-buffered autonomous prefetch — block ``k+1``
+    is in flight while the CE computes on block ``k`` kept in the
+    buffer."""
+    block = shape.streams[0]
+
+    def base(i: int) -> int:
+        return _strip_addresses(port, i, shape)
+
+    if not prefetch:
+        for i in range(strips):
+            yield Compute(SCALAR_OVERHEAD)
+            yield GlobalLoad(
+                length=block,
+                stride=1,
+                address=base(i),
+                cycles_per_word=shape.consume_cycles_per_word,
+            )
+            if shape.plain_load_words:
+                yield GlobalLoad(length=shape.plain_load_words, stride=1,
+                                 address=base(i) + block)
+            if shape.store_words:
+                yield GlobalStore(length=shape.store_words, stride=1, address=base(i))
+        return
+
+    current = yield StartPrefetch(length=block, stride=1, address=base(0))
+    yield AwaitStream(current)
+    for i in range(strips):
+        nxt = None
+        if i + 1 < strips:
+            nxt = yield StartPrefetch(
+                length=block, stride=1, address=base(i + 1), keep_previous=True
+            )
+        yield Compute(SCALAR_OVERHEAD)
+        yield ConsumeStream(
+            current,
+            cycles_per_word=shape.consume_cycles_per_word,
+            startup_cycles=VSTART,
+        )
+        if shape.plain_load_words:
+            yield GlobalLoad(length=shape.plain_load_words, stride=1,
+                             address=base(i) + block)
+        if shape.store_words:
+            yield GlobalStore(length=shape.store_words, stride=1, address=base(i))
+        if nxt is not None:
+            yield AwaitStream(nxt)
+            current = nxt

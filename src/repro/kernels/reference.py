@@ -1,0 +1,157 @@
+"""Reference numpy implementations of the paper's kernels.
+
+These are the real computations: the rank-64 update, the tridiagonal
+matrix-vector product (TM), the vector fetch (VF/VL), and the
+5-diagonal conjugate-gradient solver used for the PPT4 scalability
+study ("This computation involves 5-diagonal matrix-vector products as
+well as vector and reduction operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def vector_fetch(source: np.ndarray) -> np.ndarray:
+    """VF/VL: fetch a vector from (global) memory — a bandwidth probe.
+
+    Returns a private copy, as the Cedar kernel moves the data into the
+    processor side of the machine.
+    """
+    return np.array(source, copy=True)
+
+
+def rank_k_update(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """RK: rank-k update ``A += B @ C`` with B (n x k) and C (k x n).
+
+    The paper's matrix primitive "computes a rank-64 update to an
+    n x n matrix"; k = 64 there.
+    """
+    n, k = b.shape
+    if c.shape != (k, a.shape[1]):
+        raise ValueError(f"shape mismatch: B {b.shape} vs C {c.shape}")
+    if a.shape[0] != n:
+        raise ValueError(f"shape mismatch: A {a.shape} vs B {b.shape}")
+    result = a if out is None else out
+    if out is not None:
+        np.copyto(out, a)
+    result += b @ c
+    return result
+
+
+def rank_k_flops(n: int, k: int = 64) -> int:
+    """Floating-point operations in a rank-k update of an n x n matrix."""
+    return 2 * k * n * n
+
+
+def tridiag_matvec(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """TM: y = A x for tridiagonal A given by its three diagonals.
+
+    ``lower`` has n-1 entries (subdiagonal), ``diag`` n, ``upper`` n-1.
+    """
+    n = diag.shape[0]
+    if x.shape[0] != n:
+        raise ValueError("x length must match diagonal")
+    y = diag * x
+    y[1:] += lower * x[:-1]
+    y[:-1] += upper * x[1:]
+    return y
+
+
+def tridiag_flops(n: int) -> int:
+    """5 flops per interior point (3 multiplies + 2 adds)."""
+    return 5 * n - 4
+
+
+def pentadiag_matvec(diagonals: Tuple[np.ndarray, ...], x: np.ndarray) -> np.ndarray:
+    """y = A x for a 5-diagonal matrix, offsets (-2, -1, 0, 1, 2).
+
+    This is the matrix shape of the PPT4 conjugate-gradient study (a
+    2-D 5-point stencil yields exactly these diagonals).
+    """
+    if len(diagonals) != 5:
+        raise ValueError("expected 5 diagonals")
+    dm2, dm1, d0, dp1, dp2 = diagonals
+    n = x.shape[0]
+    if d0.shape[0] != n:
+        raise ValueError("main diagonal length must match x")
+    y = d0 * x
+    y[1:] += dm1 * x[:-1]
+    y[:-1] += dp1 * x[1:]
+    y[2:] += dm2 * x[:-2]
+    y[:-2] += dp2 * x[2:]
+    return y
+
+
+def make_spd_pentadiag(n: int, seed: int = 0) -> Tuple[np.ndarray, ...]:
+    """A diagonally dominant (hence SPD) 5-diagonal test matrix."""
+    rng = np.random.default_rng(seed)
+    dm1 = -rng.uniform(0.1, 1.0, n - 1)
+    dp1 = dm1.copy()
+    dm2 = -rng.uniform(0.1, 1.0, n - 2)
+    dp2 = dm2.copy()
+    d0 = np.full(n, 0.0)
+    d0[: n - 1] += -dp1
+    d0[1:] += -dm1
+    d0[: n - 2] += -dp2
+    d0[2:] += -dm2
+    d0 += rng.uniform(1.0, 2.0, n)  # strict dominance
+    return dm2, dm1, d0, dp1, dp2
+
+
+@dataclass(frozen=True)
+class CGResult:
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def cg_solve(
+    diagonals: Tuple[np.ndarray, ...],
+    b: np.ndarray,
+    tol: float = 1e-8,
+    max_iter: Optional[int] = None,
+) -> CGResult:
+    """Conjugate gradients on a 5-diagonal SPD system.
+
+    "a simple conjugate gradient algorithm (CG)" — the Section 4
+    kernel; also the PPT4 scalability workload.
+    """
+    n = b.shape[0]
+    if max_iter is None:
+        max_iter = 10 * n
+    x = np.zeros(n)
+    r = b - pentadiag_matvec(diagonals, x)
+    p = r.copy()
+    rs = float(r @ r)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    iterations = 0
+    while iterations < max_iter:
+        if np.sqrt(rs) / b_norm <= tol:
+            break
+        ap = pentadiag_matvec(diagonals, p)
+        alpha = rs / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+        iterations += 1
+    residual = float(np.linalg.norm(b - pentadiag_matvec(diagonals, x))) / b_norm
+    return CGResult(x=x, iterations=iterations, residual=residual, converged=residual <= tol * 10)
+
+
+def cg_flops_per_iteration(n: int) -> int:
+    """Flops per CG iteration on a 5-diagonal system.
+
+    matvec ~9n (5 mults + 4 adds), two dots 4n, three axpys 6n => ~19n.
+    """
+    return 19 * n

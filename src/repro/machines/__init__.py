@@ -1,0 +1,24 @@
+"""Comparison machine models (Section 4.3/4.4).
+
+Analytic models of the machines the paper compares Cedar against:
+the Cray YMP-8 (and Cray-1) for the Perfect-code methodology study,
+the Thinking Machines CM-5 (without floating-point accelerators) for
+the PPT4 scalability study, and the VAX-780/SPARC2/RS6000 workstation
+series that anchors the stability discussion.
+"""
+
+from repro.machines.base import MachineExecution, MachineModel
+from repro.machines.cray import CRAY_1, CRAY_YMP8, CrayModel
+from repro.machines.cm5 import CM5Model
+from repro.machines.workstation import WORKSTATIONS, WorkstationModel
+
+__all__ = [
+    "MachineExecution",
+    "MachineModel",
+    "CRAY_1",
+    "CRAY_YMP8",
+    "CrayModel",
+    "CM5Model",
+    "WORKSTATIONS",
+    "WorkstationModel",
+]

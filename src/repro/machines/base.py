@@ -1,0 +1,40 @@
+"""Common machine-model interfaces."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MachineExecution:
+    """One code's modelled run on a machine."""
+
+    machine: str
+    code: str
+    seconds: float
+    mflops: float
+    #: speedup over the same (parallel) code on one processor.
+    speedup: float
+    processors: int
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.processors
+
+
+class MachineModel(ABC):
+    """A machine that can run the Perfect codes (by model)."""
+
+    name: str
+    processors: int
+
+    @abstractmethod
+    def execute_code(self, code_name: str) -> MachineExecution:
+        """Run one Perfect code."""
+
+    def execute_suite(self) -> Dict[str, MachineExecution]:
+        from repro.perfect.profiles import PERFECT_CODES
+
+        return {name: self.execute_code(name) for name in PERFECT_CODES}

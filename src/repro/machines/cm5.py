@@ -1,0 +1,89 @@
+"""Thinking Machines CM-5 model (without floating-point accelerators).
+
+Used by the PPT4 scalability comparison: banded (bandwidth 3 and 11)
+sparse matrix-vector products on 32..512 processors, problem sizes
+16K..256K ([FWPS92]).  "The CM-5 used does not have floating-point
+accelerators", so nodes compute at SPARC scalar rates, and "the
+communication structure of the CM-5 evidently causes these performance
+difficulties".
+
+The node model is per-point: a bandwidth-``b`` matvec performs
+``2b - 1`` flops per point plus a constant number of non-flop
+operations (loads, stores, index arithmetic, shift setup) — fitting
+the paper's four quoted (bandwidth, N) MFLOPS endpoints gives a node
+rate of ~3 MFLOPS and ~10 non-flop slots per point.  Each
+data-parallel operation also pays a fixed fat-tree synchronization
+overhead, which produces the small-N efficiency rolloff behind the
+"scalable intermediate performance" verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.base import MachineExecution, MachineModel
+
+
+@dataclass(frozen=True)
+class CM5Config:
+    #: scalar SPARC node rate, M operation-slots per second.
+    node_mops: float = 3.05
+    #: non-flop operation slots per matrix point (loads/stores/shifts).
+    overhead_slots_per_point: float = 10.2
+    #: fixed per-data-parallel-operation overhead, seconds.
+    op_overhead_s: float = 40e-6
+    #: data-parallel operations per banded matvec (one shift + one
+    #: multiply-add chain per diagonal).
+    ops_per_diagonal: float = 2.0
+    #: nominal per-node peak (SPARC without FPA), MFLOPS — the
+    #: single-processor reference the efficiency bands are judged
+    #: against ([FWPS92] reports rates, not self-relative speedups).
+    node_peak_mflops: float = 5.0
+
+
+class CM5Model(MachineModel):
+    """Banded matvec y = A x with ``bandwidth`` diagonals."""
+
+    def __init__(self, processors: int = 32, config: CM5Config = CM5Config()) -> None:
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        self.name = f"CM-5/{processors} (no FPA)"
+        self.processors = processors
+        self.config = config
+
+    def matvec_flops(self, n: int, bandwidth: int) -> float:
+        """One multiply per diagonal point plus the combining adds."""
+        return (2.0 * bandwidth - 1.0) * n
+
+    def matvec_seconds(self, n: int, bandwidth: int) -> float:
+        cfg = self.config
+        slots_per_point = (2.0 * bandwidth - 1.0) + cfg.overhead_slots_per_point
+        compute = n * slots_per_point / (self.processors * cfg.node_mops * 1e6)
+        overhead = bandwidth * cfg.ops_per_diagonal * cfg.op_overhead_s
+        return compute + overhead
+
+    def matvec_mflops(self, n: int, bandwidth: int) -> float:
+        return self.matvec_flops(n, bandwidth) / self.matvec_seconds(n, bandwidth) / 1e6
+
+    def speedup(self, n: int, bandwidth: int) -> float:
+        """Equivalent speedup: delivered rate over the single-node
+        reference rate (nominal node peak).  [FWPS92] reports absolute
+        rates; the band classification judges them against what the
+        processor count could nominally deliver."""
+        return self.matvec_mflops(n, bandwidth) / self.config.node_peak_mflops
+
+    def execute_code(self, code_name: str) -> MachineExecution:
+        raise NotImplementedError(
+            "the CM-5 model covers the PPT4 banded-matvec study, not the "
+            "Perfect suite"
+        )
+
+    def matvec_execution(self, n: int, bandwidth: int) -> MachineExecution:
+        return MachineExecution(
+            machine=self.name,
+            code=f"banded matvec BW={bandwidth}, N={n}",
+            seconds=self.matvec_seconds(n, bandwidth),
+            mflops=self.matvec_mflops(n, bandwidth),
+            speedup=self.speedup(n, bandwidth),
+            processors=self.processors,
+        )

@@ -1,0 +1,126 @@
+"""Cray YMP-8 and Cray-1 models.
+
+The YMP-8 runs the Perfect codes in two modes:
+
+* ``compiled`` — cft77 autotasking, the paper's "Cray YMP/8 baseline
+  compiler" results.  Parallel coverage is what an automatic
+  (KAP-class) restructurer extracts, and microtasking fork/join plus
+  memory-bank contention impose a serial overhead share.
+* ``manual`` — hand-tuned macrotasking: the advanced (automatable)
+  coverage with a smaller overhead share; used by the Figure 3 study
+  of manually optimized codes.
+
+Delivered MFLOPS in compiled mode are anchored to the paper's Table 3
+ratio column ("MFLOPS (YMP-8/Cedar)"); speedups across the 8 CPUs
+follow Amdahl's law over the restructured coverage:
+
+    S(P) = 1 / ((1 - c) + c/P + o)
+
+with ``o`` the mode's overhead share.  The Cray-1 is the one-processor
+vector reference used in the stability table ("with modern compiler").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.machines.base import MachineExecution, MachineModel
+from repro.perfect.ir_builder import build_ir
+from repro.perfect.profiles import PAPER_TABLE3, PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+
+
+@dataclass(frozen=True)
+class CrayConfig:
+    name: str
+    processors: int
+    clock_ns: float
+    #: per-processor peak (64-bit) MFLOPS.
+    peak_mflops: float
+    #: parallel overhead share by mode.
+    compiled_overhead: float = 0.18
+    manual_overhead: float = 0.10
+
+
+YMP8_CONFIG = CrayConfig(
+    name="Cray YMP-8", processors=8, clock_ns=6.0, peak_mflops=333.0
+)
+
+CRAY1_CONFIG = CrayConfig(
+    name="Cray-1", processors=1, clock_ns=12.5, peak_mflops=160.0
+)
+
+
+class CrayModel(MachineModel):
+    """A Cray PVP machine running the Perfect suite."""
+
+    def __init__(self, config: CrayConfig = YMP8_CONFIG, mode: str = "compiled") -> None:
+        if mode not in ("compiled", "manual"):
+            raise ValueError("mode must be 'compiled' or 'manual'")
+        self.config = config
+        self.mode = mode
+        self.name = f"{config.name} ({mode})"
+        self.processors = config.processors
+
+    # -- coverage ------------------------------------------------------------
+
+    def coverage(self, code_name: str) -> float:
+        """Parallel(izable) coverage of the code in this mode."""
+        program = build_ir(PERFECT_CODES[code_name])
+        pipeline = KAP_PIPELINE if self.mode == "compiled" else AUTOMATABLE_PIPELINE
+        return pipeline.restructure(program).parallel_coverage
+
+    def overhead(self) -> float:
+        if self.processors == 1:
+            return 0.0
+        if self.mode == "compiled":
+            return self.config.compiled_overhead
+        return self.config.manual_overhead
+
+    def speedup(self, code_name: str) -> float:
+        c = self.coverage(code_name)
+        p = self.processors
+        raw = 1.0 / ((1.0 - c) + c / p + self.overhead())
+        # a code that parallelization would slow down runs single-CPU
+        return max(1.0, raw)
+
+    # -- rates ----------------------------------------------------------------
+
+    def compiled_mflops(self, code_name: str) -> float:
+        """Delivered rate anchored to the published YMP/Cedar ratio."""
+        ref = PAPER_TABLE3[code_name]
+        return ref.mflops * ref.ymp_ratio
+
+    def execute_code(self, code_name: str) -> MachineExecution:
+        code = PERFECT_CODES[code_name]
+        rate = self.compiled_mflops(code_name)
+        if self.mode == "manual":
+            # hand tuning recovers parallel efficiency on top of the
+            # compiled vector rate
+            rate = rate * self.speedup(code_name) / max(
+                1e-9, CrayModel(self.config, "compiled").speedup(code_name)
+            )
+        if self.config.processors == 1:
+            # Cray-1: one CPU at the YMP's single-CPU vector rate (the
+            # 8-CPU rate with its autotasking speedup divided out)
+            # scaled by the clock ratio
+            ymp = CrayModel(YMP8_CONFIG, "compiled")
+            rate = rate / max(1.0, ymp.speedup(code_name))
+            rate *= YMP8_CONFIG.clock_ns / self.config.clock_ns
+        seconds = code.flops / (rate * 1e6)
+        return MachineExecution(
+            machine=self.name,
+            code=code_name,
+            seconds=seconds,
+            mflops=rate,
+            speedup=self.speedup(code_name),
+            processors=self.processors,
+        )
+
+    def suite_mflops(self) -> Dict[str, float]:
+        return {name: self.execute_code(name).mflops for name in PERFECT_CODES}
+
+
+CRAY_YMP8 = CrayModel(YMP8_CONFIG, "compiled")
+CRAY_1 = CrayModel(CRAY1_CONFIG, "compiled")

@@ -1,0 +1,63 @@
+"""Workstation reference models for the stability discussion.
+
+"For the past 20 years, from the VAX 780 through various modern
+workstations (Sun SPARC2, IBM RS6000), an instability of about 5 has
+been common for the Perfect benchmarks" — a workstation's per-code rate
+varies only with how well the code suits its scalar pipeline and
+cache, not with parallelization, so the min/max rate ratio stays small.
+
+Each workstation model assigns a per-code MFLOPS from its base scalar
+rate modulated by the code's character (vectorizable codes have longer
+basic blocks and better locality even on scalar machines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.machines.base import MachineExecution, MachineModel
+from repro.perfect.profiles import PERFECT_CODES
+
+
+@dataclass(frozen=True)
+class WorkstationConfig:
+    name: str
+    #: typical delivered scalar MFLOPS on numeric code.
+    base_mflops: float
+
+
+class WorkstationModel(MachineModel):
+    """One scalar workstation running the Perfect suite."""
+
+    def __init__(self, config: WorkstationConfig) -> None:
+        self.config = config
+        self.name = config.name
+        self.processors = 1
+
+    def code_mflops(self, code_name: str) -> float:
+        code = PERFECT_CODES[code_name]
+        # character factor: vector-friendly inner loops pipeline well
+        # even on scalar machines; pointer/scalar codes fall behind.
+        v = max(lp.vector_speedup for lp in code.loops)
+        character = 0.45 + 0.17 * v  # ranges ~0.6x .. ~1.4x
+        return self.config.base_mflops * character
+
+    def execute_code(self, code_name: str) -> MachineExecution:
+        code = PERFECT_CODES[code_name]
+        rate = self.code_mflops(code_name)
+        return MachineExecution(
+            machine=self.name,
+            code=code_name,
+            seconds=code.flops / (rate * 1e6),
+            mflops=rate,
+            speedup=1.0,
+            processors=1,
+        )
+
+
+WORKSTATIONS: Dict[str, WorkstationModel] = {
+    "VAX 780": WorkstationModel(WorkstationConfig("VAX 780", 0.16)),
+    "SPARC2": WorkstationModel(WorkstationConfig("SPARC2", 2.2)),
+    "RS6000": WorkstationModel(WorkstationConfig("RS6000", 8.5)),
+}

@@ -1,0 +1,39 @@
+"""The judging-parallelism methodology (Section 4.3).
+
+Efficiency bands (high >= P/2, acceptable >= P/(2 log2 P)), the
+stability/instability measures St(P, N, K, e) and In, and the five
+Practical Parallelism Tests.
+"""
+
+from repro.metrics.bands import Band, band_for_efficiency, band_for_speedup, classify
+from repro.metrics.stability import instability, stability, stability_with_exclusions
+from repro.metrics.ppt import (
+    PPT1Result,
+    PPT2Result,
+    PPT3Result,
+    PPT4Result,
+    ppt1_delivered_performance,
+    ppt2_stable_performance,
+    ppt3_restructuring_bands,
+    ppt4_scalability,
+    PPT5_STATEMENT,
+)
+
+__all__ = [
+    "Band",
+    "band_for_efficiency",
+    "band_for_speedup",
+    "classify",
+    "instability",
+    "stability",
+    "stability_with_exclusions",
+    "PPT1Result",
+    "PPT2Result",
+    "PPT3Result",
+    "PPT4Result",
+    "ppt1_delivered_performance",
+    "ppt2_stable_performance",
+    "ppt3_restructuring_bands",
+    "ppt4_scalability",
+    "PPT5_STATEMENT",
+]

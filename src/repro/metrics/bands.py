@@ -1,0 +1,60 @@
+"""Efficiency bands.
+
+"we shall use P/2 and P/2 log P, for P >= 8, as levels that denote
+high performance and acceptable performance, respectively.  We refer
+to speedups in the three bands defined by these two levels as high,
+intermediate, or unacceptable."  (logs are base 2 throughout.)
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Dict, Iterable, List, Tuple
+
+
+class Band(Enum):
+    HIGH = "high"
+    INTERMEDIATE = "intermediate"
+    UNACCEPTABLE = "unacceptable"
+
+
+def high_threshold(processors: int) -> float:
+    """Speedup at or above P/2 is high performance."""
+    _check(processors)
+    return processors / 2.0
+
+
+def acceptable_threshold(processors: int) -> float:
+    """Speedup at or above P / (2 log2 P) is acceptable."""
+    _check(processors)
+    return processors / (2.0 * math.log2(processors))
+
+
+def band_for_speedup(speedup: float, processors: int) -> Band:
+    if speedup >= high_threshold(processors):
+        return Band.HIGH
+    if speedup >= acceptable_threshold(processors):
+        return Band.INTERMEDIATE
+    return Band.UNACCEPTABLE
+
+
+def band_for_efficiency(efficiency: float, processors: int) -> Band:
+    """Band from Ep = speedup / P (Table 6 uses Ep > .5 and
+    Ep > 1/(2 log P))."""
+    return band_for_speedup(efficiency * processors, processors)
+
+
+def classify(
+    speedups: Iterable[Tuple[str, float]], processors: int
+) -> Dict[Band, List[str]]:
+    """Partition labelled speedups into the three bands."""
+    out: Dict[Band, List[str]] = {band: [] for band in Band}
+    for label, speedup in speedups:
+        out[band_for_speedup(speedup, processors)].append(label)
+    return out
+
+
+def _check(processors: int) -> None:
+    if processors < 2:
+        raise ValueError("bands are defined for parallel machines (P >= 2)")

@@ -1,0 +1,72 @@
+"""Stability and instability of an ensemble of computations.
+
+"we now define stability, St, on P processors of an ensemble of
+computations over K codes as follows:
+
+    St(P, Ni, K, e) = min performance(K, e) / max performance(K, e)
+
+where ... e computations are excluded from the ensemble because their
+results are outliers ... Instability, In, is defined as the inverse of
+Stability."
+
+Excluding ``e`` outliers means removing the e ensemble members that
+most improve stability; since stability depends only on the extremes,
+the optimum always removes from the sorted ends, so we search all
+(top, bottom) splits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def stability_with_exclusions(
+    performance: Sequence[float], exclusions: int
+) -> Tuple[float, List[float]]:
+    """Best achievable St after removing ``exclusions`` outliers.
+
+    Returns (stability, surviving ensemble sorted ascending).
+    """
+    values = sorted(float(v) for v in performance)
+    if any(v <= 0 for v in values):
+        raise ValueError("performance values must be positive")
+    if exclusions < 0:
+        raise ValueError("exclusions must be non-negative")
+    if len(values) - exclusions < 2:
+        raise ValueError("need at least two survivors")
+    best = -1.0
+    best_survivors: List[float] = values
+    for low in range(exclusions + 1):
+        high = exclusions - low
+        survivors = values[low : len(values) - high]
+        st = survivors[0] / survivors[-1]
+        if st > best:
+            best = st
+            best_survivors = survivors
+    return best, best_survivors
+
+
+def stability(performance: Sequence[float], exclusions: int = 0) -> float:
+    """St(K, e): min/max of the ensemble after optimal e exclusions."""
+    st, _ = stability_with_exclusions(performance, exclusions)
+    return st
+
+
+def instability(performance: Sequence[float], exclusions: int = 0) -> float:
+    """In(K, e) = 1 / St(K, e)."""
+    return 1.0 / stability(performance, exclusions)
+
+
+def exclusions_for_stability(
+    performance: Sequence[float], threshold: float = 0.2
+) -> int:
+    """Smallest e with St(K, e) >= threshold (the paper asks how many
+    exceptions each machine needs to reach workstation-level stability,
+    St >= 1/5)."""
+    if not 0 < threshold <= 1:
+        raise ValueError("threshold must be in (0, 1]")
+    values = sorted(float(v) for v in performance)
+    for e in range(len(values) - 1):
+        if stability(values, e) >= threshold:
+            return e
+    raise ValueError("ensemble cannot reach the threshold with two survivors")

@@ -1,0 +1,25 @@
+"""Cedar performance-monitoring hardware.
+
+"The Cedar approach to performance monitoring relies on external
+hardware to collect time-stamped event traces and histograms of various
+hardware signals.  The event tracers can each collect 1M events and the
+histogrammers have 64K 32-bit counters" (Section 2).  Software can also
+post events ("software event tracing").
+
+The Table 2 methodology is implemented by :class:`PrefetchProbe`: first
+word Latency and Interarrival time are "measured for every prefetch
+request by recording when an address from the prefetch unit is issued to
+the forward network and when each datum returns to the prefetch buffer".
+"""
+
+from repro.monitor.tracer import Event, EventTracer
+from repro.monitor.histogram import Histogrammer
+from repro.monitor.probes import PrefetchProbe, ProbeSummary
+
+__all__ = [
+    "Event",
+    "EventTracer",
+    "Histogrammer",
+    "PrefetchProbe",
+    "ProbeSummary",
+]

@@ -1,0 +1,136 @@
+"""Post-run analysis of a simulated machine.
+
+Turns the per-resource statistics every simulation accumulates into the
+reports a performance engineer wants: utilization by subsystem, the
+bottleneck ranking, and an ASCII heat strip of the network stages.
+This is the software half of the paper's performance-monitoring story —
+the hardware tracers/histogrammers collect, these tools interpret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import CedarMachine
+from repro.network.resource import Resource
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    name: str
+    utilization: float
+    blocked_fraction: float
+    packets: int
+    words: int
+
+    @property
+    def pressure(self) -> float:
+        """Utilization plus blocking: how contended the resource is."""
+        return self.utilization + self.blocked_fraction
+
+
+def _report(resource: Resource, elapsed: float) -> ResourceReport:
+    blocked = resource.stats.blocked_cycles / elapsed if elapsed > 0 else 0.0
+    return ResourceReport(
+        name=resource.name,
+        utilization=resource.utilization(elapsed),
+        blocked_fraction=min(1.0, blocked),
+        packets=resource.stats.packets,
+        words=resource.stats.words,
+    )
+
+
+def machine_resources(machine: CedarMachine) -> List[Resource]:
+    """Every queueing resource in the machine, in a stable order.
+
+    Shared-fabric configurations alias stage links between the two
+    network objects; each physical resource is listed once.
+    """
+    out: List[Resource] = []
+    seen = set()
+
+    def add(resource: Resource) -> None:
+        if id(resource) not in seen:
+            seen.add(id(resource))
+            out.append(resource)
+
+    nets = [machine.forward_network]
+    if machine.reverse_network is not machine.forward_network:
+        nets.append(machine.reverse_network)
+    for net in nets:
+        for port in net.injection_ports:
+            add(port)
+        for stage in net.stages:
+            for link in stage:
+                add(link)
+    for module in machine.gmem.modules:
+        add(module)
+    for cluster in machine.clusters:
+        add(cluster.cache)
+        add(cluster.cluster_memory)
+    return out
+
+
+def utilization_report(
+    machine: CedarMachine, elapsed: Optional[float] = None
+) -> Dict[str, float]:
+    """Mean utilization per subsystem."""
+    elapsed = elapsed if elapsed is not None else machine.engine.now
+    groups: Dict[str, List[float]] = {}
+    for resource in machine_resources(machine):
+        name = resource.name
+        if name.startswith("gm["):
+            key = "global memory modules"
+        elif ".inject" in name:
+            key = "network injection ports"
+        elif ".s0" in name or ".s1" in name or ".s2" in name:
+            key = "network stage links"
+        elif name.endswith(".cache"):
+            key = "cluster caches"
+        elif name.endswith(".cmem"):
+            key = "cluster memories"
+        else:
+            key = "other"
+        groups.setdefault(key, []).append(resource.utilization(elapsed))
+    return {key: sum(v) / len(v) for key, v in groups.items() if v}
+
+
+def bottlenecks(
+    machine: CedarMachine, top: int = 5, elapsed: Optional[float] = None
+) -> List[ResourceReport]:
+    """The most contended individual resources, by pressure."""
+    if top < 1:
+        raise ValueError("top must be positive")
+    elapsed = elapsed if elapsed is not None else machine.engine.now
+    reports = [_report(r, elapsed) for r in machine_resources(machine)]
+    reports.sort(key=lambda r: r.pressure, reverse=True)
+    return reports[:top]
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def stage_heat_strip(machine: CedarMachine, elapsed: Optional[float] = None) -> str:
+    """One character per network link, per stage: utilization 0..1 as
+    a density shade — the at-a-glance view of where traffic piles up."""
+    elapsed = elapsed if elapsed is not None else machine.engine.now
+    lines = []
+    nets = [("fwd", machine.forward_network)]
+    if machine.reverse_network is not machine.forward_network:
+        nets.append(("rev", machine.reverse_network))
+    for label, net in nets:
+        for stage_idx, stage in enumerate(net.stages):
+            cells = []
+            for link in stage:
+                u = link.utilization(elapsed)
+                cells.append(_SHADES[min(len(_SHADES) - 1, int(u * len(_SHADES)))])
+            lines.append(f"{label}.s{stage_idx} |{''.join(cells)}|")
+    modules = machine.gmem.modules
+    cells = []
+    for module in modules:
+        u = module.utilization(elapsed)
+        cells.append(_SHADES[min(len(_SHADES) - 1, int(u * len(_SHADES)))])
+    lines.append(f"gm     |{''.join(cells)}|")
+    lines.append("        utilization shade: ' '=idle .. '@'=saturated")
+    return "\n".join(lines)

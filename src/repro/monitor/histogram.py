@@ -1,0 +1,74 @@
+"""Hardware histogrammers: 64K 32-bit saturating counters."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Histogrammer:
+    """A bank of 64K 32-bit counters binning a hardware signal.
+
+    Values are mapped to bins linearly between ``lo`` and ``hi``; out of
+    range values clamp to the edge bins (as real histogram hardware
+    does).  Counters saturate at 2**32 - 1.
+    """
+
+    BINS = 1 << 16
+    COUNTER_MAX = (1 << 32) - 1
+
+    def __init__(self, lo: float, hi: float, bins: int = BINS) -> None:
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        if not 1 <= bins <= self.BINS:
+            raise ValueError(f"bins must be in 1..{self.BINS}")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self._counts: Dict[int, int] = {}
+        self.samples = 0
+
+    def bin_for(self, value: float) -> int:
+        frac = (value - self.lo) / (self.hi - self.lo)
+        idx = int(frac * self.bins)
+        return min(max(idx, 0), self.bins - 1)
+
+    def record(self, value: float) -> None:
+        idx = self.bin_for(value)
+        current = self._counts.get(idx, 0)
+        if current < self.COUNTER_MAX:
+            self._counts[idx] = current + 1
+        self.samples += 1
+
+    def count(self, idx: int) -> int:
+        return self._counts.get(idx, 0)
+
+    def nonzero_bins(self) -> List[int]:
+        return sorted(self._counts)
+
+    def mean(self) -> float:
+        """Mean of bin centers weighted by counts."""
+        if not self._counts:
+            raise ValueError("no samples recorded")
+        width = (self.hi - self.lo) / self.bins
+        total = sum(self._counts.values())
+        acc = sum(
+            (self.lo + (idx + 0.5) * width) * count
+            for idx, count in self._counts.items()
+        )
+        return acc / total
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from binned counts (0 <= q <= 1)."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be within [0, 1]")
+        if not self._counts:
+            raise ValueError("no samples recorded")
+        total = sum(self._counts.values())
+        target = q * total
+        seen = 0
+        width = (self.hi - self.lo) / self.bins
+        for idx in sorted(self._counts):
+            seen += self._counts[idx]
+            if seen >= target:
+                return self.lo + (idx + 0.5) * width
+        return self.hi

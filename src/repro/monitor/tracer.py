@@ -1,0 +1,73 @@
+"""Time-stamped event tracing.
+
+Each hardware tracer collects up to 1M events; tracers "can be cascaded
+to capture more events".  Programs may post software events too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One time-stamped trace event."""
+
+    time: float
+    signal: str
+    value: Any = None
+
+
+class EventTracer:
+    """A cascadable time-stamped event tracer.
+
+    >>> t = EventTracer(capacity=2)
+    >>> t.post(1.0, "a"); t.post(2.0, "b"); t.post(3.0, "c")
+    >>> len(t.events), t.dropped
+    (2, 1)
+    """
+
+    DEFAULT_CAPACITY = 1 << 20  # 1M events per tracer
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        cascade: Optional["EventTracer"] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.cascade = cascade
+        self.events: List[Event] = []
+        self.dropped = 0
+
+    def post(self, time: float, signal: str, value: Any = None) -> None:
+        """Record an event, spilling into the cascaded tracer when full."""
+        if len(self.events) < self.capacity:
+            self.events.append(Event(time, signal, value))
+        elif self.cascade is not None:
+            self.cascade.post(time, signal, value)
+        else:
+            self.dropped += 1
+
+    def filter(self, signal: str) -> List[Event]:
+        """Events matching ``signal``, including cascaded ones."""
+        out = [e for e in self.events if e.signal == signal]
+        if self.cascade is not None:
+            out.extend(self.cascade.filter(signal))
+        return out
+
+    def hook(self, signal: str, clock: Callable[[], float]) -> Callable[[Any], None]:
+        """Return a callback posting ``signal`` at the current ``clock()``."""
+
+        def _post(value: Any = None) -> None:
+            self.post(clock(), signal, value)
+
+        return _post
+
+    def __len__(self) -> int:
+        n = len(self.events)
+        if self.cascade is not None:
+            n += len(self.cascade)
+        return n

@@ -1,0 +1,24 @@
+"""Cedar global interconnection networks.
+
+Two unidirectional multistage shuffle-exchange networks connect the
+clusters to global memory: a *forward* network carrying requests and a
+*reverse* network carrying replies.  The networks are self-routing
+(Lawrie tag routing), buffered (two-word queues on switch ports) and
+packet-switched (packets of one to four 64-bit words).
+"""
+
+from repro.network.packet import Packet, PacketKind
+from repro.network.resource import Resource, Transit
+from repro.network.routing import delta_path, mixed_radix_digits, stage_radices
+from repro.network.omega import OmegaNetwork
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "Resource",
+    "Transit",
+    "delta_path",
+    "mixed_radix_digits",
+    "stage_radices",
+    "OmegaNetwork",
+]

@@ -1,0 +1,66 @@
+"""Network packets.
+
+"Each network packet consists of one to four 64-bit words, the first
+word containing routing and control information and the memory address"
+(Section 2).  We count the header in ``words`` for request packets; a
+single-word read reply carries its datum in the tagged word.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(Enum):
+    READ_REQ = "read_req"
+    WRITE_REQ = "write_req"
+    READ_REPLY = "read_reply"
+    BLOCK_REQ = "block_req"
+    BLOCK_REPLY = "block_reply"
+    SYNC_REQ = "sync_req"
+    SYNC_REPLY = "sync_reply"
+
+
+@dataclass
+class Packet:
+    """One packet in flight on the forward or reverse network.
+
+    ``src`` and ``dst`` are port indices on the network the packet rides:
+    CE ports on the forward network, memory-module ports on the reverse.
+    ``address`` is a word address into global memory.  ``words`` is the
+    packet length in 64-bit words including the routing/control word.
+    """
+
+    kind: PacketKind
+    src: int
+    dst: int
+    address: int
+    words: int = 1
+    request_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: free-form metadata: originating request object, sync operation, ...
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: set when the packet is injected (for latency accounting).
+    injected_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise ValueError("packet must carry at least the control word")
+
+    def reply(self, kind: PacketKind, words: int, **meta: Any) -> "Packet":
+        """Build the reply packet travelling back from ``dst`` to ``src``."""
+        merged = dict(self.meta)
+        merged.update(meta)
+        return Packet(
+            kind=kind,
+            src=self.dst,
+            dst=self.src,
+            address=self.address,
+            words=words,
+            request_id=self.request_id,
+            meta=merged,
+        )

@@ -1,0 +1,244 @@
+"""Blocking FIFO resources: the queueing building block of the simulator.
+
+Every contended hardware element — a switch output port with its
+two-word queue, a global-memory module, a cluster cache bank group — is
+modelled as a :class:`Resource`: a FIFO server with a finite queue
+measured in 64-bit words.  When the head-of-line packet finishes service
+but the next hop's queue is full, the packet *blocks in place*, stalling
+the resource (head-of-line blocking), which is the behaviour created by
+the paper's "flow control between stages prevents queue overflow".
+
+Latency growth under load therefore *emerges* from finite queues and
+service rates; nothing in the experiment layer curve-fits delay values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Sequence, Union
+
+from repro.core.engine import Engine, SimulationError
+from repro.network.packet import Packet
+
+#: A hop is either another Resource or a terminal sink callback.
+Hop = Union["Resource", Callable[[Packet], None]]
+
+
+class Transit:
+    """A packet's journey across an ordered route of hops.
+
+    ``route[idx]`` is the hop currently holding the packet.  The final
+    element may be a sink callable, which always accepts.
+    """
+
+    __slots__ = ("packet", "route", "idx")
+
+    def __init__(self, packet: Packet, route: Sequence[Hop], idx: int = 0) -> None:
+        self.packet = packet
+        self.route = route
+        self.idx = idx
+
+    def next_hop(self) -> Optional[Hop]:
+        nxt = self.idx + 1
+        if nxt < len(self.route):
+            return self.route[nxt]
+        return None
+
+
+@dataclass
+class ResourceStats:
+    packets: int = 0
+    words: int = 0
+    busy_cycles: float = 0.0
+    blocked_cycles: float = 0.0
+    rejected_offers: int = 0
+
+
+class Resource:
+    """FIFO server with a finite word-granularity queue and backpressure.
+
+    A packet is accepted whenever at least one word of queue space is
+    free (cut-through: long packets may overhang a short queue, as words
+    stream through the two-word hardware queues).  Service time is
+    ``fixed_cycles + words / words_per_cycle``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        capacity_words: int,
+        words_per_cycle: float = 1.0,
+        fixed_cycles: float = 0.0,
+        recovery_cycles: float = 0.0,
+    ) -> None:
+        if capacity_words < 1:
+            raise ValueError("queue capacity must be at least one word")
+        if words_per_cycle <= 0:
+            raise ValueError("service rate must be positive")
+        self.engine = engine
+        self.name = name
+        self.capacity_words = capacity_words
+        self.words_per_cycle = words_per_cycle
+        self.fixed_cycles = fixed_cycles
+        #: dead time after a departure before the next service may start
+        #: (e.g. DRAM bank recovery in a memory module).  Adds no latency
+        #: to an isolated access but lowers sustained throughput.
+        self.recovery_cycles = recovery_cycles
+        self._recovered_at = 0.0
+        self.stats = ResourceStats()
+        self._queue: Deque[Transit] = deque()
+        self._words_queued = 0
+        self._serving = False
+        self._blocked_head: Optional[Transit] = None
+        self._blocked_since: float = 0.0
+        self._waiters: Deque["Resource"] = deque()
+
+    # -- admission ---------------------------------------------------------
+
+    def has_space(self) -> bool:
+        return self._words_queued < self.capacity_words
+
+    def offer(self, transit: Transit) -> bool:
+        """Try to accept ``transit``; returns False when the queue is
+        full — the caller must block and retry on waiter notification."""
+        if not self.has_space():
+            self.stats.rejected_offers += 1
+            return False
+        self._queue.append(transit)
+        self._words_queued += transit.packet.words
+        self._maybe_start()
+        return True
+
+    def add_waiter(self, upstream: "Resource") -> None:
+        if upstream not in self._waiters:
+            self._waiters.append(upstream)
+
+    # -- service -----------------------------------------------------------
+
+    def service_cycles(self, packet: Packet) -> float:
+        return self.fixed_cycles + packet.words / self.words_per_cycle
+
+    def on_service_complete(self, transit: Transit) -> bool:
+        """Hook called when a packet's service finishes, before handoff.
+
+        Subclasses (memory modules) may transform ``transit.packet`` —
+        adjusting :attr:`_words_queued` for any size change — or consume
+        the packet entirely by returning False.
+        """
+        return True
+
+    def _maybe_start(self) -> None:
+        if self._serving or self._blocked_head is not None or not self._queue:
+            return
+        if self.recovery_cycles and self.engine.now < self._recovered_at:
+            self._serving = True  # hold the slot through recovery
+            transit = self._queue[0]
+            delay = self._recovered_at - self.engine.now
+            self.engine.schedule_after(delay, lambda: self._start_service(transit))
+            return
+        self._start_service(self._queue[0])
+
+    def _start_service(self, transit: Transit) -> None:
+        self._serving = True
+        cycles = self.service_cycles(transit.packet)
+        self.stats.busy_cycles += cycles
+        self.engine.schedule_after(cycles, lambda: self._finish(transit))
+
+    def _finish(self, transit: Transit) -> None:
+        if not self._queue or self._queue[0] is not transit:
+            raise SimulationError(f"{self.name}: finished packet is not at head")
+        self._serving = False
+        if not self.on_service_complete(transit):
+            self._pop_head(transit)
+            self._advance()
+            return
+        self._try_handoff(transit)
+
+    def _try_handoff(self, transit: Transit) -> None:
+        nxt = transit.next_hop()
+        if nxt is None:
+            self._pop_head(transit)
+            self._advance()
+            return
+        if not isinstance(nxt, Resource):
+            self._pop_head(transit)
+            nxt(transit.packet)
+            self._advance()
+            return
+        if nxt.has_space():
+            self._pop_head(transit)
+            transit.idx += 1
+            if not nxt.offer(transit):
+                raise SimulationError(f"{nxt.name} refused after reporting space")
+            self._advance()
+        else:
+            if self._blocked_head is None:
+                self._blocked_head = transit
+                self._blocked_since = self.engine.now
+            nxt.add_waiter(self)
+
+    def _pop_head(self, transit: Transit) -> None:
+        head = self._queue.popleft()
+        if head is not transit:
+            raise SimulationError(f"{self.name}: departing packet is not at head")
+        self._words_queued -= transit.packet.words
+        self.stats.packets += 1
+        self.stats.words += transit.packet.words
+        if self.recovery_cycles:
+            self._recovered_at = self.engine.now + self.recovery_cycles
+        if self._blocked_head is transit:
+            self.stats.blocked_cycles += self.engine.now - self._blocked_since
+            self._blocked_head = None
+
+    def _advance(self) -> None:
+        """After a departure: wake upstream waiters, start next service."""
+        self._notify_waiters()
+        self._maybe_start()
+
+    def _notify_waiters(self) -> None:
+        while self._waiters and self.has_space():
+            upstream = self._waiters.popleft()
+            upstream._retry_blocked()
+
+    def _retry_blocked(self) -> None:
+        transit = self._blocked_head
+        if transit is None:
+            return
+        # _try_handoff clears _blocked_head via _pop_head on success.
+        self._try_handoff(transit)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def queued_words(self) -> int:
+        return self._words_queued
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self._queue)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` cycles this resource spent serving."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Resource {self.name} q={self._words_queued}/{self.capacity_words}>"
+
+
+def start_transit(packet: Packet, route: List[Hop]) -> Transit:
+    """Create a transit for ``packet`` over ``route`` and offer it to the
+    first hop.  Raises if the first hop refuses — injection points must
+    check :meth:`Resource.has_space` first or provide their own pacing."""
+    if not route:
+        raise SimulationError("route must not be empty")
+    first = route[0]
+    if not isinstance(first, Resource):
+        raise SimulationError("route must start at a Resource")
+    transit = Transit(packet=packet, route=route, idx=0)
+    if not first.offer(transit):
+        raise SimulationError(f"injection refused by {first.name}")
+    return transit

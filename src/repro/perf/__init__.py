@@ -1,0 +1,12 @@
+"""Application-level performance models (see DESIGN.md, layer 2).
+
+Full Perfect codes run for hundreds of machine-seconds; the cycle-level
+simulator covers the kernel studies, while this layer composes compiler
+coverage (from the restructurer), loop-scheduling overheads (from the
+runtime library), and memory behaviour (prefetch/no-prefetch word costs
+calibrated on the simulator) into whole-application execution times.
+"""
+
+from repro.perf.model import CedarApplicationModel, ExecutionResult
+
+__all__ = ["CedarApplicationModel", "ExecutionResult"]

@@ -1,0 +1,153 @@
+"""The Cedar application performance model.
+
+``execute`` runs one Perfect code profile under a restructuring
+pipeline and machine settings, returning wall time and MFLOPS:
+
+* loops the pipeline failed to parallelize run at scalar speed;
+* parallelized loops run their iterations over the machine's CEs at
+  the loop's vector speed, paying the runtime library's startup and
+  per-claim fetch costs (which triple without Cedar synchronization)
+  and the no-prefetch inflation on their global vector accesses;
+* the serial remainder (including I/O) runs at scalar speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.config import CedarConfig, DEFAULT_CONFIG
+from repro.perfect.ir_builder import build_ir
+from repro.perfect.profiles import CodeProfile, NOPREF_INFLATION
+from repro.restructurer.pipeline import Pipeline, RestructuringReport
+from repro.xylem.runtime import LoopKind, RuntimeLibrary
+
+#: load-imbalance factor for ragged loops left un-stripmined.
+IMBALANCE_FACTOR = 1.6
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """One modelled run of one code version.
+
+    ``breakdown`` decomposes ``seconds`` into: ``io`` (serial file
+    I/O), ``serial`` (other scalar-speed work, including loops the
+    compiler could not parallelize), ``parallel`` (parallel-loop
+    compute), ``scheduling`` (runtime-library startup + iteration
+    fetches), and ``memory_penalty`` (extra cost of global accesses
+    when prefetch is off).  The hand-optimization models of Table 4
+    operate on these components.
+    """
+
+    code: str
+    version: str
+    seconds: float
+    mflops: float
+    improvement: float  # speed improvement over uniprocessor scalar
+    parallel_coverage: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"{self.code:8s} {self.version:24s} {self.seconds:9.1f}s "
+            f"({self.improvement:5.1f}x)  {self.mflops:6.1f} MFLOPS"
+        )
+
+
+class CedarApplicationModel:
+    """Executes code profiles on the modelled 4x8 Cedar."""
+
+    def __init__(
+        self,
+        config: CedarConfig = DEFAULT_CONFIG,
+        processors: int = 32,
+    ) -> None:
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        self.config = config
+        self.processors = processors
+
+    def restructure(self, code: CodeProfile, pipeline: Pipeline) -> RestructuringReport:
+        return pipeline.restructure(build_ir(code))
+
+    def execute(
+        self,
+        code: CodeProfile,
+        pipeline: Pipeline,
+        use_cedar_sync: bool = True,
+        use_prefetch: bool = True,
+        confine_to_cluster: bool = False,
+    ) -> ExecutionResult:
+        """Model one run.
+
+        ``confine_to_cluster`` reproduces the Perfect-rules option the
+        paper mentions ("in a few cases program execution was confined
+        to a single cluster to avoid intercluster overhead"): loops run
+        as CDOALLs on one cluster's 8 CEs — an 18-cycle concurrency-bus
+        start instead of the runtime library's 90 us, at a quarter of
+        the processors.
+        """
+        report = self.restructure(code, pipeline)
+        runtime = RuntimeLibrary(
+            self.config.runtime,
+            use_cedar_sync=use_cedar_sync,
+            cycle_ns=self.config.ce.cycle_ns,
+        )
+        processors = self.processors
+        if confine_to_cluster:
+            processors = min(processors, self.config.ces_per_cluster)
+        ts = code.serial_seconds
+        serial_total = code.serial_fraction * ts
+        io = serial_total * code.io_fraction_of_serial
+        parts = {
+            "io": io,
+            "serial": serial_total - io,
+            "parallel": 0.0,
+            "scheduling": 0.0,
+            "memory_penalty": 0.0,
+        }
+        for loop, verdict in zip(code.loops, report.verdicts):
+            share = loop.weight * ts
+            if loop.weight <= 0:
+                continue
+            if not verdict.parallel:
+                parts["serial"] += share
+                continue
+            grain_serial_us = share * 1e6 / (loop.invocations * loop.trips)
+            grain_us = grain_serial_us / loop.vector_speedup
+            if loop.ragged and not verdict.balanced_stripmine:
+                grain_us *= IMBALANCE_FACTOR
+            penalty_us = 0.0
+            if not use_prefetch and not loop.scalar_dominated:
+                penalty_us = grain_us * loop.global_vector_fraction * (
+                    NOPREF_INFLATION - 1.0
+                )
+            kind = LoopKind.CDOALL if confine_to_cluster else loop.kind
+            cost = runtime.loop_cost(kind)
+            waves = -(-loop.trips // processors)
+            per_inv_sched_us = cost.startup_us + waves * cost.fetch_us
+            parts["scheduling"] += loop.invocations * per_inv_sched_us * 1e-6
+            parts["parallel"] += loop.invocations * waves * grain_us * 1e-6
+            parts["memory_penalty"] += loop.invocations * waves * penalty_us * 1e-6
+        total = sum(parts.values())
+        label = self._version_label(pipeline, use_cedar_sync, use_prefetch)
+        if confine_to_cluster:
+            label += " (1 cluster)"
+        return ExecutionResult(
+            code=code.name,
+            version=label,
+            seconds=total,
+            mflops=code.flops / total / 1e6,
+            improvement=ts / total,
+            parallel_coverage=report.parallel_coverage,
+            breakdown=parts,
+        )
+
+    @staticmethod
+    def _version_label(pipeline: Pipeline, sync: bool, prefetch: bool) -> str:
+        label = pipeline.name
+        if not sync:
+            label += " -sync"
+        if not prefetch:
+            label += " -prefetch"
+        return label

@@ -1,0 +1,47 @@
+"""The Perfect Benchmarks® on Cedar (Sections 3.3 and 4.2).
+
+We do not have the Perfect Fortran sources or an Alliant compiler; per
+the substitution policy (DESIGN.md) each code is represented by a
+:class:`~repro.perfect.profiles.CodeProfile`:
+
+* a loop-nest IR sketch carrying the parallelization obstacles the
+  paper names for that code (array privatization, reductions, advanced
+  induction, runtime tests, SAVE/RETURN, recurrences) — the
+  restructurer pipelines genuinely succeed or fail on them;
+* physical parameters (serial time, flop count, loop granularity,
+  invocation counts, global-access fraction, vector speedup) *derived*
+  from the paper's published measurements by the inverse model in
+  ``profiles.py`` — the derivation is the documented calibration.
+
+The forward model (``repro.perf``) then regenerates Table 3's four
+versions, and the sync/prefetch ablation columns emerge from the
+runtime-library and memory mechanics rather than from copied numbers.
+"""
+
+from repro.perfect.profiles import (
+    CodeProfile,
+    LoopProfile,
+    PAPER_TABLE3,
+    PERFECT_CODES,
+    Table3Reference,
+)
+from repro.perfect.ir_builder import build_ir
+from repro.perfect.handopt import HANDOPT_MODELS, HandOptimization
+from repro.perfect.sizing import scale_problem, size_band, size_stability
+from repro.perfect.sources import SKETCHES, sketch_program
+
+__all__ = [
+    "CodeProfile",
+    "LoopProfile",
+    "PAPER_TABLE3",
+    "PERFECT_CODES",
+    "Table3Reference",
+    "build_ir",
+    "HANDOPT_MODELS",
+    "HandOptimization",
+    "scale_problem",
+    "size_band",
+    "size_stability",
+    "SKETCHES",
+    "sketch_program",
+]

@@ -1,0 +1,265 @@
+"""Hand-optimization models (Table 4 and Section 4.2's narratives).
+
+Each Perfect code's manual optimization is modelled as a sequence of
+*levers* applied to the component breakdown of its baseline execution
+("automatable w/ prefetch and w/o Cedar synchronization", footnote 1:
+"We use prefetch but not Cedar synchronization"):
+
+* ``io_speedup`` — BDNA: "simply replacing formatted with unformatted
+  1/0";
+* ``eliminate_work`` — ARC2D: "a substantial number of unnecessary
+  computations ... their elimination";
+* ``cluster_distribution`` — ARC2D: "aggressive data distribution into
+  cluster memory" removes the global-access share of parallel work;
+* ``parallelize_serial`` — QCD: "a hand-coded parallel random number
+  generator";
+* ``kernel_speedup`` — TRFD/DYFESM: "high performance kernels to
+  efficiently exploit the clusters' caches and vector registers";
+* ``restructure_barriers`` — FL052: turning a sequence of multicluster
+  barriers into one barrier plus concurrency-bus sequences;
+* ``cheap_scheduling`` — DYFESM: "exploit the hierarchical
+  SDOALL/CDOALL control structure";
+* ``fix_vm_behaviour`` — TRFD: the distributed-memory version that
+  removes the multicluster TLB-miss storm ([MaEG92], modelled through
+  ``repro.vm``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import VMConfig
+from repro.perfect.profiles import CodeProfile, PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE
+from repro.vm.paging import VirtualMemory
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from repro.perf.model import CedarApplicationModel, ExecutionResult
+
+Components = Dict[str, float]
+Lever = Callable[[Components, CodeProfile], None]
+
+
+def io_speedup(factor: float) -> Lever:
+    def apply(parts: Components, code: CodeProfile) -> None:
+        parts["io"] /= factor
+
+    return apply
+
+
+def eliminate_work(fraction: float) -> Lever:
+    """Remove redundant computation from both parallel and serial parts."""
+
+    def apply(parts: Components, code: CodeProfile) -> None:
+        parts["parallel"] *= 1.0 - fraction
+        parts["serial"] *= 1.0 - fraction
+
+    return apply
+
+
+def cluster_distribution() -> Lever:
+    """Move global vector data into cluster memories: the prefetched
+    global share of parallel work now streams from the cluster side.
+    Cluster cache/memory access is comparable per word but saves the
+    arm overheads and contention; model a modest gain on the global
+    share of the parallel component."""
+
+    def apply(parts: Components, code: CodeProfile) -> None:
+        gfv = max((lp.global_vector_fraction for lp in code.loops), default=0.0)
+        parts["parallel"] *= 1.0 - 0.3 * gfv
+
+    return apply
+
+
+def parallelize_serial(fraction: float, speedup: float) -> Lever:
+    """Hand-parallelize ``fraction`` of the serial remainder at
+    ``speedup`` (e.g. QCD's parallel random-number generator)."""
+
+    def apply(parts: Components, code: CodeProfile) -> None:
+        moved = parts["serial"] * fraction
+        parts["serial"] -= moved
+        parts["parallel"] += moved / speedup
+
+    return apply
+
+
+def kernel_speedup(factor: float) -> Lever:
+    def apply(parts: Components, code: CodeProfile) -> None:
+        parts["parallel"] /= factor
+
+    return apply
+
+
+def restructure_barriers(saved_fraction: float) -> Lever:
+    """FL052: one multicluster barrier plus four concurrency-bus
+    sequences in place of a series of multicluster barriers, plus
+    recurrence elimination — removes most of the scheduling component
+    and part of the serial component."""
+
+    def apply(parts: Components, code: CodeProfile) -> None:
+        parts["scheduling"] *= 0.1
+        parts["serial"] *= 1.0 - saved_fraction
+
+    return apply
+
+
+def cheap_scheduling() -> Lever:
+    """Replace XDOALL scheduling with an SDOALL/CDOALL nest: the
+    concurrency bus costs microseconds where the runtime library costs
+    tens (Section 3.2)."""
+
+    def apply(parts: Components, code: CodeProfile) -> None:
+        parts["scheduling"] *= 3.4 / 120.0  # cdoall vs xdoall cost ratio
+
+    return apply
+
+
+def vm_overhead_ratio(data_mb: float = 20.0, passes: int = 8) -> float:
+    """Ratio of distributed-data to shared-data VM overhead, computed
+    through the VM substrate.
+
+    Shared data: every cluster first-touches (and, with working sets
+    far beyond TLB reach, keeps re-faulting on) all pages.  Distributed
+    data: each cluster touches only its quarter.  The ratio is ~1/4 —
+    "almost four times the number of page faults" in reverse.
+    """
+    cfg = VMConfig()
+    pages = max(4, int(data_mb * 1024 * 1024 / cfg.page_bytes))
+
+    def run(quarters: bool) -> float:
+        vm = VirtualMemory(cfg, clusters=4)
+        # The data is resident before the measured phase: populate every
+        # PTE once (the one-time cost is common to both layouts).  The
+        # steady-state cost is the TLB-miss fault traffic.
+        vm.touch_range(0, pages * cfg.page_bytes, 0)
+        for tlb in vm.tlbs:
+            tlb.flush()
+        cycles = 0.0
+        span = pages // 4 if quarters else pages
+        for _ in range(passes):
+            for cluster in range(4):
+                start = (cluster * span * cfg.page_bytes) if quarters else 0
+                cycles += vm.touch_range(start, span * cfg.page_bytes, cluster)
+                for tlb in vm.tlbs:
+                    tlb.flush()  # data far exceeds TLB reach
+        return cycles
+
+    shared = run(quarters=False)
+    distributed = run(quarters=True)
+    return distributed / shared
+
+
+def fix_vm_behaviour(vm_fraction: float = 0.5) -> Lever:
+    """TRFD's distributed-memory rewrite ([MaEG92]).
+
+    The improved multicluster TRFD was "spending close to 50% of the
+    time in virtual memory activity" (``vm_fraction``); the
+    distributed-memory version leaves each cluster faulting only on its
+    own quarter of the data.  The saved share is computed from the VM
+    substrate's shared-vs-distributed overhead ratio."""
+
+    def apply(parts: Components, code: CodeProfile) -> None:
+        ratio = vm_overhead_ratio()
+        # VM activity threads through every phase touching the shared
+        # data; the fix scales the whole execution accordingly.
+        scale = 1.0 - vm_fraction * (1.0 - ratio)
+        for key in parts:
+            parts[key] *= scale
+
+    return apply
+
+
+@dataclass(frozen=True)
+class HandOptimization:
+    """One Table 4 (or Section 4.2 narrative) manual optimization."""
+
+    code: str
+    levers: Tuple[Lever, ...]
+    paper_time: float
+    paper_improvement: Optional[float]  # over automatable w/pref w/o sync
+    description: str
+
+    def apply(self, model: "Optional[CedarApplicationModel]" = None) -> "ExecutionResult":
+        """Model the optimized execution time."""
+        from repro.perf.model import CedarApplicationModel, ExecutionResult
+
+        model = model or CedarApplicationModel()
+        code = PERFECT_CODES[self.code]
+        base = model.execute(
+            code, AUTOMATABLE_PIPELINE, use_cedar_sync=False, use_prefetch=True
+        )
+        parts = dict(base.breakdown)
+        for lever in self.levers:
+            lever(parts, code)
+        seconds = sum(parts.values())
+        return ExecutionResult(
+            code=self.code,
+            version="manual",
+            seconds=seconds,
+            mflops=code.flops / seconds / 1e6,
+            improvement=base.seconds / seconds,
+            parallel_coverage=base.parallel_coverage,
+            breakdown=parts,
+        )
+
+
+#: Table 4 rows (ARC2D 68s/2.1x, BDNA 70s/1.7x, TRFD 7.5s/2.8x,
+#: QCD 21s/11.4x) plus the Section 4.2 narrative codes.
+HANDOPT_MODELS: Dict[str, HandOptimization] = {
+    "ARC2D": HandOptimization(
+        code="ARC2D",
+        levers=(eliminate_work(0.52), cluster_distribution()),
+        paper_time=68.0,
+        paper_improvement=2.1,
+        description="eliminate unnecessary computation; distribute data "
+        "into cluster memory [BrBo91]",
+    ),
+    "BDNA": HandOptimization(
+        code="BDNA",
+        levers=(io_speedup(20.0),),
+        paper_time=70.0,
+        paper_improvement=1.7,
+        description="replace formatted with unformatted I/O",
+    ),
+    "TRFD": HandOptimization(
+        code="TRFD",
+        levers=(kernel_speedup(2.56), fix_vm_behaviour()),
+        paper_time=7.5,
+        paper_improvement=2.8,
+        description="cache/vector-register kernels [AnGa93]; distributed-"
+        "memory version removing multicluster TLB faults [MaEG92]",
+    ),
+    "QCD": HandOptimization(
+        code="QCD",
+        levers=(parallelize_serial(0.97, 30.0),),
+        paper_time=21.0,
+        paper_improvement=11.4,
+        description="hand-coded parallel random number generator",
+    ),
+    "FLO52": HandOptimization(
+        code="FLO52",
+        levers=(restructure_barriers(0.5), eliminate_work(0.15)),
+        paper_time=33.0,
+        paper_improvement=None,
+        description="single multicluster barrier + four concurrency-bus "
+        "barrier sequences; recurrence elimination [GJWY93]",
+    ),
+    "DYFESM": HandOptimization(
+        code="DYFESM",
+        levers=(kernel_speedup(1.5), cheap_scheduling(), parallelize_serial(0.45, 8.0)),
+        paper_time=31.0,
+        paper_improvement=None,
+        description="reshaped data structures, Xylem-assembler prefetch "
+        "kernels, hierarchical SDOALL/CDOALL [YaGa93]",
+    ),
+    "SPICE": HandOptimization(
+        code="SPICE",
+        levers=(parallelize_serial(0.85, 10.0),),
+        paper_time=26.0,
+        paper_improvement=None,
+        description="new approaches for all major phases",
+    ),
+}

@@ -1,0 +1,100 @@
+"""Build restructurer IR programs from Perfect code profiles.
+
+Each loop profile's ``feature`` names the parallelization obstacle the
+paper's per-code discussion identifies; the builder emits a loop body
+that genuinely exhibits it, so the KAP and automatable pipelines
+succeed/fail for the *mechanistic* reason, not by fiat:
+
+* ``clean`` — an independent vector loop (parallel under both);
+* ``scalar_private`` — a scalar temporary (KAP handles it);
+* ``array_private`` — an array workspace written then read each
+  iteration (needs array privatization);
+* ``reduction`` — a sum reduction (needs parallel reductions);
+* ``adv_induction`` — a coupled induction variable (needs advanced
+  substitution);
+* ``runtime_test`` — index-array subscripts (needs a runtime test);
+* ``save_call`` — a call to a routine with SAVE locals;
+* ``recurrence`` — a true recurrence (never parallel).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.perfect.profiles import CodeProfile, LoopProfile
+from repro.restructurer.ir import (
+    CallSite,
+    Loop,
+    Program,
+    Statement,
+    read,
+    read_unknown,
+    write,
+    write_unknown,
+)
+
+
+def _body_for(feature: str, index: int) -> List[Statement]:
+    x, y, w, s, k = (f"{n}{index}" for n in ("x", "y", "w", "s", "k"))
+    if feature == "clean":
+        return [Statement(lhs=write(y, 1, 0), rhs=[read(x, 1, 0)])]
+    if feature == "scalar_private":
+        return [
+            Statement(lhs=write(s), rhs=[read(x, 1, 0)]),
+            Statement(lhs=write(y, 1, 0), rhs=[read(s), read(s)]),
+        ]
+    if feature == "array_private":
+        return [
+            Statement(lhs=write(w, 0, 1), rhs=[read(x, 1, 0)]),
+            Statement(lhs=write(y, 1, 0), rhs=[read(w, 0, 1)]),
+        ]
+    if feature == "reduction":
+        return [
+            Statement(lhs=write(s), rhs=[read(s), read(x, 1, 0)], reduction_op="+"),
+        ]
+    if feature == "adv_induction":
+        return [
+            Statement(
+                lhs=write(k),
+                rhs=[read(k)],
+                is_induction_update=True,
+                induction_is_advanced=True,
+            ),
+            Statement(lhs=write(y, 1, 0), rhs=[read(k), read(x, 1, 0)]),
+        ]
+    if feature == "runtime_test":
+        return [Statement(lhs=write_unknown(y), rhs=[read_unknown(y), read(x, 1, 0)])]
+    if feature == "save_call":
+        return [
+            Statement(
+                lhs=write(y, 1, 0),
+                rhs=[read(x, 1, 0)],
+                calls=[CallSite("worker", has_save=True)],
+            )
+        ]
+    if feature == "recurrence":
+        return [Statement(lhs=write(y, 1, 0), rhs=[read(y, 1, -1), read(x, 1, 0)])]
+    raise ValueError(f"unknown loop feature {feature!r}")
+
+
+def build_loop(profile: LoopProfile, index: int) -> Loop:
+    return Loop(
+        var=f"i{index}",
+        trips=profile.trips,
+        body=_body_for(profile.feature, index),
+        label=profile.label,
+        weight=profile.weight,
+        work_us_per_iteration=0.0,  # filled by the performance model
+        scalar_dominated=profile.scalar_dominated,
+        ragged=profile.ragged,
+    )
+
+
+def build_ir(code: CodeProfile) -> Program:
+    """The restructurer-facing program for one Perfect code."""
+    loops = [build_loop(lp, i) for i, lp in enumerate(code.loops)]
+    return Program(
+        name=code.name,
+        loops=loops,
+        serial_fraction=code.serial_fraction,
+    )

@@ -1,0 +1,74 @@
+"""Problem-size scaling of the Perfect workloads (PPT4's second axis).
+
+PPT4 requires that "each code's data size can be scaled up or down on a
+given architecture".  The Perfect inputs are fixed (and notoriously
+small — "The major problem with DYFESM is the very small problem size
+used in the benchmark"), so the paper could not vary them; the profile
+representation can.
+
+``scale_problem`` scales a code's data size by ``factor``: loop trip
+counts and the serial remainder grow linearly (O(N) data sweeps), so
+per-iteration granularity is preserved while loop startup costs
+amortize — the mechanism that makes small problems scheduling-bound
+and large ones compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.metrics.bands import Band, band_for_speedup
+from repro.perfect.profiles import CodeProfile, PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE
+
+SIZE_FACTORS = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def scale_problem(profile: CodeProfile, factor: float) -> CodeProfile:
+    """A new profile with the data size scaled by ``factor``."""
+    if factor <= 0:
+        raise ValueError("size factor must be positive")
+    loops = tuple(
+        replace(lp, trips=max(1, int(round(lp.trips * factor))))
+        for lp in profile.loops
+    )
+    return replace(
+        profile,
+        name=f"{profile.name}(x{factor:g})",
+        serial_seconds=profile.serial_seconds * factor,
+        flops=profile.flops * factor,
+        loops=loops,
+    )
+
+
+@lru_cache(maxsize=1)
+def run_size_scaling(processors: int = 32) -> Dict[str, Dict[float, float]]:
+    """Speedup of each automatable code at every size factor."""
+    from repro.perf.model import CedarApplicationModel  # circular-import guard
+
+    model = CedarApplicationModel(processors=processors)
+    single = CedarApplicationModel(processors=1)
+    out: Dict[str, Dict[float, float]] = {}
+    for name in sorted(PERFECT_CODES):
+        base = PERFECT_CODES[name]
+        out[name] = {}
+        for factor in SIZE_FACTORS:
+            scaled = scale_problem(base, factor)
+            t1 = single.execute(scaled, AUTOMATABLE_PIPELINE).seconds
+            tp = model.execute(scaled, AUTOMATABLE_PIPELINE).seconds
+            out[name][factor] = t1 / tp
+    return out
+
+
+def size_band(code: str, factor: float, processors: int = 32) -> Band:
+    speedup = run_size_scaling(processors)[code][factor]
+    return band_for_speedup(speedup, processors)
+
+
+def size_stability(code: str, processors: int = 32) -> float:
+    """St over the size range — PPT4 uses .5 < St(P, N, 1, 0) < 1."""
+    speedups = run_size_scaling(processors)[code]
+    values = list(speedups.values())
+    return min(values) / max(values)

@@ -1,0 +1,175 @@
+"""Illustrative Fortran sketches of the Perfect codes' key loops.
+
+The performance model runs on the derived profiles (``profiles.py``);
+these sketches are the *readable* form of each code's parallelization
+story: a few loops in the supported Fortran dialect exhibiting exactly
+the obstacles Section 3.3 names for that code.  Tests assert that the
+KAP and automatable pipelines reach the same verdict pattern on the
+parsed sketches as on the profile IR — i.e. the story is told twice,
+once for machines and once for humans, and the two agree.
+
+The loops are *sketches*, not the real Perfect sources (which we do
+not have; see DESIGN.md's substitution table): array names and bounds
+are illustrative, the dependence structure is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.restructurer.ir import Program
+from repro.restructurer.parser import parse_loop
+
+#: per code: list of (label, expected_kap_parallel, expected_auto_parallel, source)
+SKETCHES: Dict[str, List[Tuple[str, bool, bool, str]]] = {
+    "ADM": [
+        ("vertical sweep", True, True, """
+            DO K = 1, 64
+              Q(K) = P(K) * DT
+            END DO
+        """),
+        ("workspace per column", False, True, """
+            DO J = 1, 128
+              WRK(1) = U(J)
+              WRK(2) = V(J)
+              FLUX(J) = WRK(1) * WRK(2)
+            END DO
+        """),
+    ],
+    "ARC2D": [
+        ("implicit sweep", True, True, """
+            DO J = 1, 512
+              RHS(J) = DTI * Q(J)
+            END DO
+        """),
+        ("pressure workspace", False, True, """
+            DO J = 1, 512
+              WORK(1) = Q(J) * GAMMA
+              P(J) = WORK(1) + PINF
+            END DO
+        """),
+    ],
+    "BDNA": [
+        ("force accumulation workspace", False, True, """
+            DO I = 1, 1024
+              F(1) = X(I) * CHARGE
+              FORCE(I) = F(1) + FIELD(I)
+            END DO
+        """),
+    ],
+    "DYFESM": [
+        ("element stiffness", True, True, """
+            DO IE = 1, 256
+              KE(IE) = E * AREA(IE)
+            END DO
+        """),
+        ("energy reduction", False, True, """
+            DO IE = 1, 256
+              ENERGY = ENERGY + KE(IE) * U(IE)
+            END DO
+        """),
+    ],
+    "FLO52": [
+        ("flux sweep", True, True, """
+            DO I = 1, 192
+              FS(I) = W(I) * RLV
+            END DO
+        """),
+        ("residual norm", False, True, """
+            DO I = 1, 192
+              RSUM = RSUM + DW(I) * DW(I)
+            END DO
+        """),
+    ],
+    "MDG": [
+        ("pair interactions workspace", False, True, """
+            DO I = 1, 512
+              RS(1) = XM(I) * XM(I)
+              RS(2) = YM(I) * YM(I)
+              GPOT(I) = RS(1) + RS(2)
+            END DO
+        """),
+        ("velocity update", True, True, """
+            DO I = 1, 512
+              VEL(I) = VEL(I) + ACC(I)
+            END DO
+        """),
+    ],
+    "MG3D": [
+        ("trace migration induction", False, True, """
+            DO IT = 1, 1000
+              KOFF = KOFF * 2
+              TRACE(IT) = FIELD(KOFF) + TRACE(IT)
+            END DO
+        """),
+    ],
+    "OCEAN": [
+        ("scatter to grid", False, True, """
+            DO I = 1, 4096
+              GRID(LOC(I)) = GRID(LOC(I)) + FK(I)
+            END DO
+        """),
+        ("diagnostic copy", True, True, """
+            DO I = 1, 4096
+              SAVEU(I) = U(I)
+            END DO
+        """),
+    ],
+    "QCD": [
+        ("link update gather", False, True, """
+            DO I = 1, 2048
+              LINK(NBR(I)) = LINK(NBR(I)) * STAPLE(I)
+            END DO
+        """),
+    ],
+    "SPEC77": [
+        ("spectral workspace", False, True, """
+            DO M = 1, 256
+              COEF(1) = PLN(M) * WGT
+              VORT(M) = COEF(1) + DIV(M)
+            END DO
+        """),
+    ],
+    "SPICE": [
+        ("matrix stamp (sparse pointers)", False, True, """
+            DO IEL = 1, 512
+              G(NODEPTR(IEL)) = G(NODEPTR(IEL)) + COND(IEL)
+            END DO
+        """),
+    ],
+    "TRACK": [
+        ("track extension calls", False, True, """
+            DO IT = 1, 128
+              CALL EXTEND_SAVE(TRK(IT))
+            END DO
+        """),
+    ],
+    "TRFD": [
+        ("integral-transform induction", False, True, """
+            DO IJ = 1, 2048
+              MRS = MRS * 2
+              XIJ(IJ) = XRS(MRS) + XIJ(IJ)
+            END DO
+        """),
+        ("transform sweep", True, True, """
+            DO I = 1, 2048
+              V(I) = X(I) * W(I)
+            END DO
+        """),
+    ],
+}
+
+
+def sketch_program(code_name: str) -> Program:
+    """Parse one code's sketch loops into a restructurer program."""
+    entries = SKETCHES[code_name]
+    weight = 1.0 / len(entries)
+    loops = [
+        parse_loop(source, weight=weight, label=label)
+        for label, _, _, source in entries
+    ]
+    return Program(name=f"{code_name} (sketch)", loops=loops, serial_fraction=0.0)
+
+
+def expected_verdicts(code_name: str) -> List[Tuple[str, bool, bool]]:
+    return [(label, kap, auto) for label, kap, auto, _ in SKETCHES[code_name]]

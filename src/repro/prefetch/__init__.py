@@ -1,0 +1,5 @@
+"""Per-CE data prefetch units (Section 2, "Data Prefetch")."""
+
+from repro.prefetch.pfu import PrefetchStream, PrefetchUnit
+
+__all__ = ["PrefetchStream", "PrefetchUnit"]

@@ -1,0 +1,81 @@
+"""The parallelizing restructurer (Section 3.3).
+
+Two pipelines reproduce the paper's compiler study:
+
+* :data:`KAP_PIPELINE` — the 1988 KAP feature set retargeted to Cedar
+  ("Compiled by Kap/Cedar" in Table 3): dependence testing plus basic
+  scalar privatization and simple induction substitution.
+* :data:`AUTOMATABLE_PIPELINE` — adds the six advanced transformations
+  the authors applied by hand: "array privatization, parallel
+  reductions, advanced induction variable substitution, runtime data
+  dependence tests, balanced stripmining, and parallelization in the
+  presence of SAVE and RETURN statements".
+
+Programs are loop nests over affine array subscripts; the dependence
+tester proves or refutes cross-iteration dependences, transforms remove
+refutable ones, and the report states which loops each pipeline made
+DOALL-able.
+"""
+
+from repro.restructurer.ir import (
+    AffineIndex,
+    ArrayRef,
+    CallSite,
+    Loop,
+    Program,
+    Statement,
+    UNKNOWN,
+)
+from repro.restructurer.dependence import (
+    Dependence,
+    DependenceKind,
+    dependences_in,
+    test_dependence,
+)
+from repro.restructurer.transforms import (
+    ALL_TRANSFORMS,
+    Transform,
+    TransformKind,
+)
+from repro.restructurer.pipeline import (
+    AUTOMATABLE_PIPELINE,
+    KAP_PIPELINE,
+    LoopVerdict,
+    Pipeline,
+    RestructuringReport,
+)
+from repro.restructurer.interprocedural import SubroutineSummary, SummaryRegistry
+from repro.restructurer.parser import (
+    ParseError,
+    parse_loop,
+    parse_program,
+    parse_statement,
+)
+
+__all__ = [
+    "AffineIndex",
+    "ArrayRef",
+    "CallSite",
+    "Loop",
+    "Program",
+    "Statement",
+    "UNKNOWN",
+    "Dependence",
+    "DependenceKind",
+    "dependences_in",
+    "test_dependence",
+    "ALL_TRANSFORMS",
+    "Transform",
+    "TransformKind",
+    "AUTOMATABLE_PIPELINE",
+    "KAP_PIPELINE",
+    "LoopVerdict",
+    "Pipeline",
+    "RestructuringReport",
+    "SubroutineSummary",
+    "SummaryRegistry",
+    "ParseError",
+    "parse_loop",
+    "parse_program",
+    "parse_statement",
+]

@@ -1,0 +1,162 @@
+"""Data-dependence testing over affine subscripts.
+
+Implements the classic single-index tests a 1988-class restructurer
+used: ZIV (zero index variable), strong/weak SIV, the GCD test and
+Banerjee-style bounds for the general affine case.  References with
+:data:`UNKNOWN` subscripts are conservatively dependent (only a runtime
+test can clear them).
+
+A loop can be converted to a DOALL exactly when no *cross-iteration*
+dependence remains among its statements (loop-independent dependences
+are harmless: "A DOALL is a loop in which iterations are independent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from math import gcd
+from typing import List, Optional
+
+from repro.restructurer.ir import (
+    AffineIndex,
+    ArrayRef,
+    Loop,
+    Statement,
+)
+
+
+class DependenceKind(Enum):
+    FLOW = "flow"       # write then read
+    ANTI = "anti"       # read then write
+    OUTPUT = "output"   # write then write
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A (possibly assumed) cross-iteration dependence."""
+
+    array: str
+    kind: DependenceKind
+    source: ArrayRef
+    sink: ArrayRef
+    #: constant dependence distance when known, else None.
+    distance: Optional[int]
+    #: True when the tester could not disprove it but also not prove it
+    #: (unknown subscripts, symbolic bounds).
+    assumed: bool = False
+
+    @property
+    def loop_carried(self) -> bool:
+        return self.distance is None or self.distance != 0
+
+
+def _kind_for(a: ArrayRef, b: ArrayRef) -> Optional[DependenceKind]:
+    if a.is_write and b.is_write:
+        return DependenceKind.OUTPUT
+    if a.is_write and not b.is_write:
+        return DependenceKind.FLOW
+    if not a.is_write and b.is_write:
+        return DependenceKind.ANTI
+    return None  # read-read never matters
+
+
+def test_dependence(a: ArrayRef, b: ArrayRef, trips: int) -> Optional[Dependence]:
+    """Test whether refs ``a`` and ``b`` (same array) may touch the same
+    element in *different* iterations of a loop with ``trips`` trips.
+
+    Returns a :class:`Dependence` when one may exist, else None.
+    """
+    if a.array != b.array:
+        return None
+    kind = _kind_for(a, b)
+    if kind is None:
+        return None
+    if a.has_unknown_subscript or b.has_unknown_subscript:
+        return Dependence(a.array, kind, a, b, distance=None, assumed=True)
+
+    ia: AffineIndex = a.index  # type: ignore[assignment]
+    ib: AffineIndex = b.index  # type: ignore[assignment]
+    # Solve ia.coef*i + ia.offset == ib.coef*j + ib.offset for 0<=i,j<trips, i != j.
+    if ia.coef == ib.coef:
+        if ia.coef == 0:
+            # scalars / loop-invariant subscripts: every iteration hits
+            # the same location => carried dependence of unknown distance
+            if ia.offset == ib.offset:
+                return Dependence(a.array, kind, a, b, distance=None)
+            return None
+        # strong SIV: distance = (ia.offset - ib.offset) / coef
+        delta = ia.offset - ib.offset
+        if delta % ia.coef != 0:
+            return None
+        distance = delta // ia.coef
+        if distance == 0:
+            return None  # loop-independent only
+        if abs(distance) >= trips:
+            return None  # outside the iteration space
+        return Dependence(a.array, kind, a, b, distance=distance)
+
+    # general affine: GCD test
+    g = gcd(ia.coef, ib.coef) if (ia.coef or ib.coef) else 0
+    delta = ib.offset - ia.offset
+    if g != 0 and delta % g != 0:
+        return None
+    # Banerjee-style bounds: does any (i, j) in [0, trips) x [0, trips)
+    # satisfy ia.coef*i - ib.coef*j == delta?
+    lo = _min_term(ia.coef, trips) - _max_term(ib.coef, trips)
+    hi = _max_term(ia.coef, trips) - _min_term(ib.coef, trips)
+    if not lo <= delta <= hi:
+        return None
+    return Dependence(a.array, kind, a, b, distance=None, assumed=True)
+
+
+def _min_term(coef: int, trips: int) -> int:
+    return min(0, coef * (trips - 1))
+
+
+def _max_term(coef: int, trips: int) -> int:
+    return max(0, coef * (trips - 1))
+
+
+def dependences_in(loop: Loop) -> List[Dependence]:
+    """All may-exist cross-iteration dependences among the loop's
+    statements (including statements of inner loops, whose refs still
+    vary with the outer variable through their annotations)."""
+    statements = loop.all_statements()
+    refs: List[ArrayRef] = []
+    for st in statements:
+        refs.extend(st.refs())
+    out: List[Dependence] = []
+    for i, a in enumerate(refs):
+        for b in refs[i:]:
+            dep = test_dependence(a, b, loop.trips)
+            if dep is not None and dep.loop_carried:
+                out.append(dep)
+    return out
+
+
+def blocking_dependences(loop: Loop) -> List[Dependence]:
+    """Dependences that still block DOALL conversion after the
+    transforms recorded on the loop have been applied."""
+    cleared = loop.cleared_arrays()
+    out = [dep for dep in dependences_in(loop) if dep.array not in cleared]
+    # calls block unless pure, or SAVE/RETURN analysis cleared them;
+    # opaque calls (not even SAVE-shaped) block every pipeline.
+    for st in loop.all_statements():
+        for call in st.calls:
+            if call.side_effect_free:
+                continue
+            clearable = call.has_save or call.has_early_return
+            if clearable and loop.calls_cleared:
+                continue
+            out.append(
+                Dependence(
+                    array=f"<call {call.name}>",
+                    kind=DependenceKind.FLOW,
+                    source=st.lhs,
+                    sink=st.lhs,
+                    distance=None,
+                    assumed=True,
+                )
+            )
+    return out

@@ -1,0 +1,132 @@
+"""Interprocedural analysis: subroutine summaries.
+
+"Many of these transformations require advanced symbolic and
+interprocedural analysis methods" (Section 3.3).  A 1988-class
+restructurer treated almost every CALL as a wall; the automatable
+pipeline's SAVE/RETURN transform needs to know *what the callee
+actually touches*.
+
+A :class:`SubroutineSummary` records the callee's side effects in terms
+of its formal parameters: which formals it reads/writes, which global
+(COMMON) variables it touches, and whether it keeps SAVE state.  The
+:class:`SummaryRegistry` resolves call sites against summaries and
+upgrades them:
+
+* a callee that touches nothing but its formals, writing only
+  write-disjoint formals, is *side-effect-free per iteration* when its
+  actual arguments are disjoint across iterations — the call stops
+  blocking parallelization;
+* a callee with SAVE state whose saved variables are write-before-read
+  per invocation (scratch SAVE arrays — the common Fortran idiom) can
+  be cleared by privatizing the SAVE storage, which is exactly the
+  paper's "parallelization in the presence of SAVE statements";
+* anything else stays blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.restructurer.ir import ArrayRef, CallSite, Loop, Program, Statement
+
+
+@dataclass(frozen=True)
+class SubroutineSummary:
+    """What one subroutine does, in terms of its formals."""
+
+    name: str
+    #: formal-parameter positions the callee reads / writes.
+    reads: Tuple[int, ...] = ()
+    writes: Tuple[int, ...] = ()
+    #: COMMON/global names the callee touches (reads or writes).
+    common_touched: Tuple[str, ...] = ()
+    #: SAVE'd local state.
+    has_save: bool = False
+    #: True when every SAVE'd variable is (re)written before any read
+    #: in each invocation — privatizable scratch state.
+    save_is_scratch: bool = False
+
+    @property
+    def pure_on_formals(self) -> bool:
+        return not self.common_touched and not self.has_save
+
+    def clearable(self) -> bool:
+        """Whether advanced analysis can clear calls to this routine
+        (given per-iteration-disjoint actuals)."""
+        if self.common_touched:
+            return False
+        if self.has_save and not self.save_is_scratch:
+            return False
+        return True
+
+
+class SummaryRegistry:
+    """Summaries by routine name + the call-site resolution pass."""
+
+    def __init__(self) -> None:
+        self._summaries: Dict[str, SubroutineSummary] = {}
+        self.resolved_calls = 0
+        self.cleared_calls = 0
+
+    def register(self, summary: SubroutineSummary) -> None:
+        self._summaries[summary.name.upper()] = summary
+
+    def lookup(self, name: str) -> Optional[SubroutineSummary]:
+        return self._summaries.get(name.upper())
+
+    def resolve_loop(self, loop: Loop) -> List[str]:
+        """Upgrade the loop's call sites from their summaries.
+
+        For each call whose callee is summarized as clearable and whose
+        written actuals vary with the loop index (disjoint iterations),
+        replace the opaque CallSite with a cleared one.  Returns the
+        names of the cleared routines.
+        """
+        cleared: List[str] = []
+        for statement in loop.all_statements():
+            new_calls: List[CallSite] = []
+            for call in statement.calls:
+                summary = self.lookup(call.name)
+                if summary is None:
+                    new_calls.append(call)
+                    continue
+                self.resolved_calls += 1
+                if summary.clearable() and self._actuals_disjoint(
+                    statement, summary
+                ):
+                    new_calls.append(
+                        CallSite(call.name, has_save=summary.has_save,
+                                 side_effect_free=True)
+                    )
+                    self.cleared_calls += 1
+                    cleared.append(call.name)
+                else:
+                    new_calls.append(call)
+            statement.calls = new_calls
+        return cleared
+
+    def resolve_program(self, program: Program) -> Dict[str, List[str]]:
+        return {
+            (loop.label or loop.var): self.resolve_loop(loop)
+            for loop in program.loops
+        }
+
+    @staticmethod
+    def _actuals_disjoint(statement: Statement, summary: SubroutineSummary) -> bool:
+        """Written actuals must vary with the loop variable (affine
+        subscript with nonzero coefficient, i.e. distinct elements per
+        iteration).  Reads may be anything."""
+        refs = [r for r in statement.rhs if not r.array.startswith("<")]
+        if not summary.writes:
+            return True
+        for position in summary.writes:
+            if position >= len(refs):
+                return False  # summary refers past the visible actuals
+            ref = refs[position]
+            if ref.has_unknown_subscript:
+                return False
+            index = ref.index
+            if getattr(index, "coef", 0) == 0:
+                return False  # every iteration writes the same location
+        return True

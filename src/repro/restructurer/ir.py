@@ -1,0 +1,183 @@
+"""Loop-nest intermediate representation.
+
+A :class:`Program` is a list of top-level :class:`Loop` nests.  Loop
+bodies hold :class:`Statement` assignments over :class:`ArrayRef`
+references whose subscripts are affine in the loop variable (or
+:data:`UNKNOWN` for subscripted-subscript accesses, which only a
+runtime dependence test can disambiguate).
+
+Each loop carries profile annotations (``weight``, ``trips``,
+``vector_fraction`` ...) used by the application performance model once
+the restructurer has decided what runs parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+#: sentinel subscript for index-array accesses, e.g. ``A(IDX(I))``.
+UNKNOWN = object()
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """Subscript ``coef * var + offset`` in the enclosing loop variable.
+
+    ``coef=0`` denotes a loop-invariant subscript (or a scalar when the
+    ref's array is a scalar variable).
+    """
+
+    coef: int = 0
+    offset: int = 0
+
+    def at(self, iteration: int) -> int:
+        return self.coef * iteration + self.offset
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One array (or scalar) reference inside a statement."""
+
+    array: str
+    index: Union[AffineIndex, object] = AffineIndex()
+    is_write: bool = False
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self.index, AffineIndex) and self.index == AffineIndex()
+
+    @property
+    def has_unknown_subscript(self) -> bool:
+        return self.index is UNKNOWN
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A subroutine call inside a loop body."""
+
+    name: str
+    has_save: bool = False
+    has_early_return: bool = False
+    side_effect_free: bool = False
+
+
+def read(array: str, coef: int = 0, offset: int = 0) -> ArrayRef:
+    return ArrayRef(array, AffineIndex(coef, offset), is_write=False)
+
+
+def write(array: str, coef: int = 0, offset: int = 0) -> ArrayRef:
+    return ArrayRef(array, AffineIndex(coef, offset), is_write=True)
+
+
+def read_unknown(array: str) -> ArrayRef:
+    return ArrayRef(array, UNKNOWN, is_write=False)
+
+
+def write_unknown(array: str) -> ArrayRef:
+    return ArrayRef(array, UNKNOWN, is_write=True)
+
+
+@dataclass
+class Statement:
+    """``lhs = f(rhs...)`` with optional structure flags.
+
+    ``reduction_op`` marks ``s = s <op> expr`` statements; induction
+    flags mark ``s = s + c`` updates whose value feeds subscripts.
+    """
+
+    lhs: ArrayRef
+    rhs: List[ArrayRef] = field(default_factory=list)
+    reduction_op: Optional[str] = None
+    is_induction_update: bool = False
+    #: induction updates KAP's 1988 substitution cannot handle
+    #: (coupled, multiplicative, conditional).
+    induction_is_advanced: bool = False
+    calls: List[CallSite] = field(default_factory=list)
+
+    def refs(self) -> List[ArrayRef]:
+        return [self.lhs] + list(self.rhs)
+
+
+@dataclass
+class Loop:
+    """One (possibly nested) DO loop."""
+
+    var: str
+    trips: int
+    body: List[Union[Statement, "Loop"]] = field(default_factory=list)
+    label: str = ""
+    # -- profile annotations used by the performance model ------------------
+    #: fraction of the program's serial execution time spent here.
+    weight: float = 0.0
+    #: fraction of this loop's work that vectorizes within a CE.
+    vector_fraction: float = 0.8
+    #: serial work per iteration, microseconds (granularity).
+    work_us_per_iteration: float = 100.0
+    #: fraction of accessed data living in global memory.
+    global_data_fraction: float = 0.7
+    #: True when the loop's accesses are dominated by scalar references
+    #: (no prefetch benefit, e.g. TRACK).
+    scalar_dominated: bool = False
+    #: True for triangular/ragged iteration spaces that need balanced
+    #: stripmining to load-balance.
+    ragged: bool = False
+
+    # -- analysis state -------------------------------------------------------
+    #: arrays proven private per iteration by a transform.
+    privatized: List[str] = field(default_factory=list)
+    #: variables whose carried dependences a rewrite removed
+    #: (substituted inductions, parallelized reductions).
+    neutralized_vars: List[str] = field(default_factory=list)
+    #: runtime dependence tests inserted for these arrays.
+    runtime_tested: List[str] = field(default_factory=list)
+    #: call sites cleared by SAVE/RETURN-tolerant analysis.
+    calls_cleared: bool = False
+    #: stripmining hint from BalancedStripmine.
+    balanced_stripmine: bool = False
+
+    def cleared_arrays(self) -> set:
+        """Names whose dependences no longer block parallelization."""
+        return set(self.privatized) | set(self.neutralized_vars) | set(self.runtime_tested)
+
+    def statements(self) -> List[Statement]:
+        return [s for s in self.body if isinstance(s, Statement)]
+
+    def inner_loops(self) -> List["Loop"]:
+        return [s for s in self.body if isinstance(s, Loop)]
+
+    def all_statements(self) -> List[Statement]:
+        out = list(self.statements())
+        for inner in self.inner_loops():
+            out.extend(inner.all_statements())
+        return out
+
+    def reset_analysis(self) -> None:
+        self.privatized.clear()
+        self.neutralized_vars.clear()
+        self.runtime_tested.clear()
+        self.calls_cleared = False
+        self.balanced_stripmine = False
+        for inner in self.inner_loops():
+            inner.reset_analysis()
+
+
+@dataclass
+class Program:
+    """A whole code: top-level loop nests plus non-loop (serial) parts."""
+
+    name: str
+    loops: List[Loop] = field(default_factory=list)
+    #: fraction of serial time outside all loops (I/O, setup, scalar glue).
+    serial_fraction: float = 0.0
+
+    def validate_weights(self) -> None:
+        total = self.serial_fraction + sum(l.weight for l in self.loops)
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(
+                f"{self.name}: loop weights + serial fraction sum to {total:.3f}"
+            )
+
+    def reset_analysis(self) -> None:
+        for loop in self.loops:
+            loop.reset_analysis()

@@ -1,0 +1,246 @@
+"""A small Fortran-style front end for the restructurer.
+
+Parses the dialect the Perfect-code loop sketches are written in —
+enough DO-loop Fortran to express every dependence feature the
+transform pipelines act on:
+
+    DO I = 1, 100
+      T = X(I)
+      S = S + X(I)          ! recognized as a sum reduction
+      K = K + 2             ! recognized as an induction update
+      W(1) = X(I)
+      Y(I) = W(1) * T
+      A(I) = A(I-1) + 1.0   ! a recurrence
+      B(IDX(I)) = B(IDX(I)) ! subscripted subscripts -> runtime test
+      CALL FOO(Y(I))        ! calls block unless cleared
+    END DO
+
+Subscripts are affine in the loop variable (``I``, ``I+3``, ``2*I-1``,
+``3``) or an index-array expression (``IDX(I)``), which parses to the
+:data:`~repro.restructurer.ir.UNKNOWN` sentinel.  Scalars are bare
+names.  Statements are assignments or CALLs; right-hand sides may use
+``+ - * /`` and parentheses (only the variable references matter to
+dependence analysis, so expressions are scanned, not evaluated).
+
+The parser exists so users can feed their own loops to the KAP /
+automatable pipelines; it is exactly the IR builder's feature set with
+a human syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.restructurer.ir import (
+    AffineIndex,
+    ArrayRef,
+    CallSite,
+    Loop,
+    Program,
+    Statement,
+    UNKNOWN,
+)
+
+
+class ParseError(ValueError):
+    """The source is not in the supported dialect."""
+
+
+_DO_RE = re.compile(
+    r"^DO\s+(?:\d+\s+)?([A-Z][A-Z0-9]*)\s*=\s*(-?\d+)\s*,\s*(-?\d+)\s*(?:,\s*(-?\d+))?$",
+    re.IGNORECASE,
+)
+_END_RE = re.compile(r"^(END\s*DO|\d+\s+CONTINUE)$", re.IGNORECASE)
+_CALL_RE = re.compile(r"^CALL\s+([A-Z][A-Z0-9_]*)\s*(\((.*)\))?$", re.IGNORECASE)
+_NAME = r"[A-Z][A-Z0-9_]*"
+_REF_RE = re.compile(rf"({_NAME})\s*(\(([^()]*(?:\([^()]*\))?[^()]*)\))?", re.IGNORECASE)
+_AFFINE_RE = re.compile(
+    r"^\s*(?:(-?\d+)\s*\*\s*)?([A-Z][A-Z0-9_]*)\s*(?:([+-])\s*(\d+))?\s*$"
+    r"|^\s*(-?\d+)\s*$",
+    re.IGNORECASE,
+)
+
+#: intrinsic function names never treated as array references.
+_INTRINSICS = {"SQRT", "ABS", "SIN", "COS", "EXP", "LOG", "MAX", "MIN", "MOD"}
+
+
+def _strip(line: str) -> str:
+    # drop comments (! to end of line) and whitespace
+    return line.split("!", 1)[0].strip()
+
+
+def _parse_subscript(text: str, loop_var: str):
+    """An affine subscript in the loop variable, a constant, or UNKNOWN."""
+    text = text.strip()
+    if not text:
+        raise ParseError("empty subscript")
+    match = _AFFINE_RE.match(text)
+    if match is None:
+        # anything else (IDX(I), I*J, ...) is only resolvable at runtime
+        return UNKNOWN
+    if match.group(5) is not None:  # pure constant
+        return AffineIndex(coef=0, offset=int(match.group(5)))
+    coef_txt, var, sign, offset_txt = match.group(1), match.group(2), match.group(3), match.group(4)
+    if var.upper() != loop_var.upper():
+        return UNKNOWN  # subscript in another variable
+    coef = int(coef_txt) if coef_txt else 1
+    offset = int(offset_txt) if offset_txt else 0
+    if sign == "-":
+        offset = -offset
+    return AffineIndex(coef=coef, offset=offset)
+
+
+_INTRINSIC_CALL_RE = re.compile(
+    r"\b(" + "|".join(_INTRINSICS) + r")\s*\(", re.IGNORECASE
+)
+
+
+def _scan_refs(expr: str, loop_var: str, is_write: bool) -> List[ArrayRef]:
+    """Every variable reference in an expression."""
+    # intrinsic calls are transparent: SQRT(X(I)) references X(I)
+    expr = _INTRINSIC_CALL_RE.sub("(", expr)
+    refs: List[ArrayRef] = []
+    for match in _REF_RE.finditer(expr):
+        name = match.group(1).upper()
+        if name.upper() == loop_var.upper():
+            continue  # the loop index itself is not a data reference
+        subscript = match.group(3)
+        if subscript is None:
+            refs.append(ArrayRef(name, AffineIndex(), is_write=is_write))
+        else:
+            index = _parse_subscript(subscript, loop_var)
+            if index is UNKNOWN:
+                refs.append(ArrayRef(name, UNKNOWN, is_write=is_write))
+                # the index array itself is read
+                inner = _REF_RE.match(subscript.strip())
+                if inner and inner.group(1).upper() != loop_var.upper():
+                    refs.append(
+                        ArrayRef(inner.group(1).upper(), AffineIndex(1, 0),
+                                 is_write=False)
+                    )
+            else:
+                refs.append(ArrayRef(name, index, is_write=is_write))
+    return refs
+
+
+_REDUCTION_OPS = {"+": "+", "*": "*", "-": "+"}  # s = s - x is a sum reduction
+
+
+def _classify_assignment(
+    lhs: ArrayRef, rhs_text: str, rhs_refs: List[ArrayRef]
+) -> Tuple[Optional[str], bool, bool]:
+    """(reduction_op, is_induction, induction_is_advanced)."""
+    if not lhs.is_scalar:
+        return None, False, False
+    reads_self = any(r.array == lhs.array for r in rhs_refs)
+    if not reads_self:
+        return None, False, False
+    # normalize: S = S + <expr>  /  S = S * <expr>  /  S = S - <expr>
+    pattern = re.compile(
+        rf"^\s*{re.escape(lhs.array)}\s*([+*-])\s*(.+)$", re.IGNORECASE
+    )
+    match = pattern.match(rhs_text.strip())
+    if match is None:
+        return None, False, False
+    op, rest = match.group(1), match.group(2).strip()
+    if re.fullmatch(r"-?\d+(\.\d+)?", rest):
+        if op in "+-":
+            # K = K + c: a basic (additive) induction variable
+            return None, True, False
+        # K = K * c: multiplicative — needs advanced substitution
+        return None, True, True
+    return _REDUCTION_OPS.get(op), False, False
+
+
+def parse_statement(line: str, loop_var: str) -> Statement:
+    call = _CALL_RE.match(line)
+    if call:
+        name = call.group(1).upper()
+        args = call.group(3) or ""
+        refs = _scan_refs(args, loop_var, is_write=False)
+        has_save = name.endswith("_SAVE") or name.startswith("SAVE")
+        # The synthetic lhs is not a write: the CallSite itself carries
+        # the (un)analyzability; a phantom scalar write would manufacture
+        # an output dependence no transform could ever clear.
+        return Statement(
+            lhs=ArrayRef(f"<{name}>", AffineIndex(), is_write=False),
+            rhs=refs,
+            calls=[CallSite(name, has_save=has_save)],
+        )
+    if "=" not in line:
+        raise ParseError(f"not an assignment or CALL: {line!r}")
+    lhs_text, rhs_text = line.split("=", 1)
+    lhs_refs = _scan_refs(lhs_text, loop_var, is_write=True)
+    if len(lhs_refs) < 1:
+        raise ParseError(f"cannot parse assignment target: {lhs_text!r}")
+    lhs = lhs_refs[0]
+    extra_lhs_reads = [
+        ArrayRef(r.array, r.index, is_write=False) for r in lhs_refs[1:]
+    ]  # index arrays used on the left are reads
+    rhs_refs = _scan_refs(rhs_text, loop_var, is_write=False) + extra_lhs_reads
+    reduction_op, is_induction, advanced = _classify_assignment(
+        lhs, rhs_text, rhs_refs
+    )
+    return Statement(
+        lhs=lhs,
+        rhs=rhs_refs,
+        reduction_op=reduction_op,
+        is_induction_update=is_induction,
+        induction_is_advanced=advanced,
+    )
+
+
+def parse_loop(source: str, weight: float = 1.0, label: str = "") -> Loop:
+    """Parse one (possibly labelled) DO loop from ``source``."""
+    lines = [l for l in (_strip(raw) for raw in source.splitlines()) if l]
+    if not lines:
+        raise ParseError("empty source")
+    header = _DO_RE.match(lines[0])
+    if header is None:
+        raise ParseError(f"expected a DO statement, got {lines[0]!r}")
+    var, lo, hi, step = header.group(1), int(header.group(2)), int(header.group(3)), header.group(4)
+    step_val = int(step) if step else 1
+    if step_val == 0:
+        raise ParseError("zero DO step")
+    trips = max(0, (hi - lo) // step_val + 1)
+    if not _END_RE.match(lines[-1]):
+        raise ParseError(f"unterminated DO loop (last line {lines[-1]!r})")
+    for line in lines[1:-1]:
+        if _DO_RE.match(line):
+            raise ParseError("nested DO loops are not supported by this dialect")
+    body = [parse_statement(line, var) for line in lines[1:-1]]
+    return Loop(var=var.upper(), trips=trips, body=body,
+                label=label or var.upper(), weight=weight)
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse a sequence of top-level DO loops; weights are uniform."""
+    lines = [l for l in (_strip(raw) for raw in source.splitlines()) if l]
+    chunks: List[List[str]] = []
+    depth = 0
+    for line in lines:
+        if _DO_RE.match(line):
+            if depth == 0:
+                chunks.append([])
+            depth += 1
+            chunks[-1].append(line)
+        elif _END_RE.match(line):
+            if depth == 0:
+                raise ParseError("END DO without DO")
+            chunks[-1].append(line)
+            depth -= 1
+        else:
+            if depth == 0:
+                raise ParseError(f"statement outside any loop: {line!r}")
+            chunks[-1].append(line)
+    if depth != 0:
+        raise ParseError("unterminated DO loop")
+    if not chunks:
+        raise ParseError("no loops found")
+    weight = 1.0 / len(chunks)
+    loops = [
+        parse_loop("\n".join(chunk), weight=weight, label=f"loop{i}")
+        for i, chunk in enumerate(chunks)
+    ]
+    return Program(name=name, loops=loops, serial_fraction=0.0)

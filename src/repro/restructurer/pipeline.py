@@ -1,0 +1,112 @@
+"""Restructuring pipelines and their reports.
+
+A :class:`Pipeline` runs its transforms to a fixed point on every loop,
+then asks the dependence tester which loops became DOALL-able.  The
+report carries per-loop verdicts plus the program's *parallel
+coverage* — the fraction of serial execution time inside parallelized
+loops — which the application performance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.restructurer.dependence import Dependence, blocking_dependences
+from repro.restructurer.ir import Loop, Program
+from repro.restructurer.transforms import (
+    ADVANCED_TRANSFORMS,
+    BASIC_TRANSFORMS,
+    Transform,
+)
+
+
+@dataclass(frozen=True)
+class LoopVerdict:
+    """One loop's fate under a pipeline."""
+
+    label: str
+    parallel: bool
+    weight: float
+    transforms: Sequence[str]
+    blockers: Sequence[Dependence]
+    balanced_stripmine: bool
+
+
+@dataclass
+class RestructuringReport:
+    program: str
+    pipeline: str
+    verdicts: List[LoopVerdict] = field(default_factory=list)
+    serial_fraction: float = 0.0
+
+    @property
+    def parallel_coverage(self) -> float:
+        """Fraction of serial time inside loops that became DOALLs."""
+        return sum(v.weight for v in self.verdicts if v.parallel)
+
+    @property
+    def parallel_loops(self) -> List[LoopVerdict]:
+        return [v for v in self.verdicts if v.parallel]
+
+    def verdict_for(self, label: str) -> LoopVerdict:
+        for v in self.verdicts:
+            if v.label == label:
+                return v
+        raise KeyError(f"no loop labelled {label!r}")
+
+
+class Pipeline:
+    """An ordered set of transforms applied to a fixed point."""
+
+    def __init__(self, name: str, transforms: Sequence[Transform]) -> None:
+        self.name = name
+        self.transforms = list(transforms)
+
+    def restructure_loop(self, loop: Loop) -> LoopVerdict:
+        applied: List[str] = []
+        changed = True
+        rounds = 0
+        while changed:
+            rounds += 1
+            if rounds > 100:
+                raise RuntimeError(
+                    f"pipeline {self.name!r} did not reach a fixed point on "
+                    f"loop {loop.label or loop.var!r}"
+                )
+            changed = False
+            for transform in self.transforms:
+                if transform.applies(loop):
+                    transform.apply(loop)
+                    if transform.name not in applied:
+                        applied.append(transform.name)
+                    changed = True
+        blockers = blocking_dependences(loop)
+        return LoopVerdict(
+            label=loop.label or loop.var,
+            parallel=not blockers,
+            weight=loop.weight,
+            transforms=tuple(applied),
+            blockers=tuple(blockers),
+            balanced_stripmine=loop.balanced_stripmine,
+        )
+
+    def restructure(self, program: Program) -> RestructuringReport:
+        """Analyze every top-level loop of ``program`` (fresh state)."""
+        program.validate_weights()
+        program.reset_analysis()
+        report = RestructuringReport(
+            program=program.name,
+            pipeline=self.name,
+            serial_fraction=program.serial_fraction,
+        )
+        for loop in program.loops:
+            report.verdicts.append(self.restructure_loop(loop))
+        return report
+
+
+KAP_PIPELINE = Pipeline("Kap/Cedar (1988)", BASIC_TRANSFORMS)
+
+AUTOMATABLE_PIPELINE = Pipeline(
+    "automatable transforms", BASIC_TRANSFORMS + ADVANCED_TRANSFORMS
+)

@@ -1,0 +1,249 @@
+"""Restructuring transformations.
+
+Basic transforms existed in the 1988 KAP; *advanced* transforms are the
+ones the paper's authors applied by hand and deem automatable: "array
+privatization, parallel reductions, advanced induction variable
+substitution, runtime data dependence tests, balanced stripmining, and
+parallelization in the presence of SAVE and RETURN statements.  Many of
+these transformations require advanced symbolic and interprocedural
+analysis methods."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List
+
+from repro.restructurer.ir import Loop, Statement
+
+
+class TransformKind(Enum):
+    SCALAR_PRIVATIZATION = "scalar privatization"
+    BASIC_INDUCTION = "induction substitution"
+    ARRAY_PRIVATIZATION = "array privatization"
+    PARALLEL_REDUCTION = "parallel reduction"
+    ADVANCED_INDUCTION = "advanced induction substitution"
+    RUNTIME_DEP_TEST = "runtime dependence test"
+    BALANCED_STRIPMINE = "balanced stripmining"
+    SAVE_RETURN = "SAVE/RETURN parallelization"
+
+
+@dataclass(frozen=True)
+class Transform:
+    """One restructuring pass: a predicate and a loop rewrite."""
+
+    kind: TransformKind
+    advanced: bool
+    applies: Callable[[Loop], bool]
+    apply: Callable[[Loop], None]
+
+    @property
+    def name(self) -> str:
+        return self.kind.value
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _writes_before_reads(loop: Loop, name: str) -> bool:
+    """A variable is privatizable when every iteration writes it before
+    any read.  Statement RHSs evaluate before their LHS stores, so a
+    statement that both reads and writes ``name`` (a recurrence) reads
+    first and is NOT privatizable."""
+    for st in loop.all_statements():
+        if any(r.array == name for r in st.rhs):
+            return False  # first touch is a read (or read-modify-write)
+        if st.lhs.array == name and st.lhs.is_write:
+            return True
+    return False
+
+
+def _is_read_somewhere(loop: Loop, name: str) -> bool:
+    return any(
+        r.array == name for st in loop.all_statements() for r in st.rhs
+    )
+
+
+def _privatizable(loop: Loop, scalars_only: bool) -> List[str]:
+    """Variables needing (and admitting) privatization: read in the
+    loop, but always written first within the iteration."""
+    names = []
+    for st in loop.all_statements():
+        ref = st.lhs
+        if not ref.is_write:
+            continue
+        if st.reduction_op or st.is_induction_update:
+            continue
+        if scalars_only and not ref.is_scalar:
+            continue
+        if not scalars_only and ref.is_scalar:
+            continue  # array pass skips scalars (basic pass has them)
+        if ref.array in loop.privatized:
+            continue
+        if _is_read_somewhere(loop, ref.array) and _writes_before_reads(
+            loop, ref.array
+        ):
+            names.append(ref.array)
+    return sorted(set(names))
+
+
+def _reduction_statements(loop: Loop) -> List[Statement]:
+    """Reduction statements not yet rewritten."""
+    return [
+        st
+        for st in loop.all_statements()
+        if st.reduction_op and st.lhs.array not in loop.neutralized_vars
+    ]
+
+
+def _induction_statements(loop: Loop, advanced: bool) -> List[Statement]:
+    """Induction updates of the requested difficulty not yet substituted."""
+    return [
+        st
+        for st in loop.all_statements()
+        if st.is_induction_update
+        and st.induction_is_advanced == advanced
+        and st.lhs.array not in loop.neutralized_vars
+    ]
+
+
+def _unknown_subscript_arrays(loop: Loop) -> List[str]:
+    names = set()
+    for st in loop.all_statements():
+        for ref in st.refs():
+            if ref.has_unknown_subscript and ref.array not in loop.runtime_tested:
+                names.add(ref.array)
+    return sorted(names)
+
+
+def _has_clearable_calls(loop: Loop) -> bool:
+    if loop.calls_cleared:
+        return False
+    found = False
+    for st in loop.all_statements():
+        for call in st.calls:
+            if call.side_effect_free:
+                continue
+            if call.has_save or call.has_early_return:
+                found = True
+            else:
+                return False  # a truly opaque call cannot be cleared
+    return found
+
+
+def _unbalanced(loop: Loop) -> bool:
+    return loop.ragged and not loop.balanced_stripmine
+
+
+# -- transform definitions -----------------------------------------------------
+
+
+def _apply_scalar_privatization(loop: Loop) -> None:
+    loop.privatized.extend(_privatizable(loop, scalars_only=True))
+
+
+def _apply_array_privatization(loop: Loop) -> None:
+    loop.privatized.extend(_privatizable(loop, scalars_only=False))
+
+
+def _apply_reductions(loop: Loop) -> None:
+    for st in _reduction_statements(loop):
+        if st.lhs.array not in loop.neutralized_vars:
+            loop.neutralized_vars.append(st.lhs.array)
+
+
+def _apply_basic_induction(loop: Loop) -> None:
+    for st in _induction_statements(loop, advanced=False):
+        if st.lhs.array not in loop.neutralized_vars:
+            loop.neutralized_vars.append(st.lhs.array)
+
+
+def _apply_advanced_induction(loop: Loop) -> None:
+    for st in _induction_statements(loop, advanced=True):
+        if st.lhs.array not in loop.neutralized_vars:
+            loop.neutralized_vars.append(st.lhs.array)
+
+
+def _apply_runtime_test(loop: Loop) -> None:
+    loop.runtime_tested.extend(
+        a for a in _unknown_subscript_arrays(loop) if a not in loop.runtime_tested
+    )
+
+
+def _apply_save_return(loop: Loop) -> None:
+    loop.calls_cleared = True
+
+
+def _apply_stripmine(loop: Loop) -> None:
+    loop.balanced_stripmine = True
+
+
+SCALAR_PRIVATIZATION = Transform(
+    TransformKind.SCALAR_PRIVATIZATION,
+    advanced=False,
+    applies=lambda l: bool(_privatizable(l, scalars_only=True)),
+    apply=_apply_scalar_privatization,
+)
+
+BASIC_INDUCTION = Transform(
+    TransformKind.BASIC_INDUCTION,
+    advanced=False,
+    applies=lambda l: bool(_induction_statements(l, advanced=False)),
+    apply=_apply_basic_induction,
+)
+
+ARRAY_PRIVATIZATION = Transform(
+    TransformKind.ARRAY_PRIVATIZATION,
+    advanced=True,
+    applies=lambda l: bool(_privatizable(l, scalars_only=False)),
+    apply=_apply_array_privatization,
+)
+
+PARALLEL_REDUCTION = Transform(
+    TransformKind.PARALLEL_REDUCTION,
+    advanced=True,
+    applies=lambda l: bool(_reduction_statements(l)),
+    apply=_apply_reductions,
+)
+
+ADVANCED_INDUCTION = Transform(
+    TransformKind.ADVANCED_INDUCTION,
+    advanced=True,
+    applies=lambda l: bool(_induction_statements(l, advanced=True)),
+    apply=_apply_advanced_induction,
+)
+
+RUNTIME_DEP_TEST = Transform(
+    TransformKind.RUNTIME_DEP_TEST,
+    advanced=True,
+    applies=lambda l: bool(_unknown_subscript_arrays(l)),
+    apply=_apply_runtime_test,
+)
+
+SAVE_RETURN = Transform(
+    TransformKind.SAVE_RETURN,
+    advanced=True,
+    applies=_has_clearable_calls,
+    apply=_apply_save_return,
+)
+
+BALANCED_STRIPMINE = Transform(
+    TransformKind.BALANCED_STRIPMINE,
+    advanced=True,
+    applies=_unbalanced,
+    apply=_apply_stripmine,
+)
+
+BASIC_TRANSFORMS: List[Transform] = [SCALAR_PRIVATIZATION, BASIC_INDUCTION]
+
+ADVANCED_TRANSFORMS: List[Transform] = [
+    ARRAY_PRIVATIZATION,
+    PARALLEL_REDUCTION,
+    ADVANCED_INDUCTION,
+    RUNTIME_DEP_TEST,
+    SAVE_RETURN,
+    BALANCED_STRIPMINE,
+]
+
+ALL_TRANSFORMS: List[Transform] = BASIC_TRANSFORMS + ADVANCED_TRANSFORMS

@@ -1,0 +1,28 @@
+"""Shared utilities: units, table rendering, deterministic RNG helpers."""
+
+from repro.util.tables import Table, format_table
+from repro.util.units import (
+    CYCLE_NS,
+    MB,
+    KB,
+    WORD_BYTES,
+    cycles_to_seconds,
+    cycles_to_us,
+    mflops,
+    seconds_to_cycles,
+    us_to_cycles,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "CYCLE_NS",
+    "MB",
+    "KB",
+    "WORD_BYTES",
+    "cycles_to_seconds",
+    "cycles_to_us",
+    "mflops",
+    "seconds_to_cycles",
+    "us_to_cycles",
+]

@@ -1,0 +1,81 @@
+"""Terminal line charts for the benchmark artifacts.
+
+The paper's figures are plots; the harness renders its regenerated
+series as ASCII so the artifacts in ``benchmarks/output`` are
+self-contained text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Plot named (x, y) series on one ASCII grid.
+
+    Each series is marked with its name's first character; collisions
+    show the later series.  Axes are linear (optionally log-x), scaled
+    to the data's bounding box.
+    """
+    import math
+
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+
+    def tx(x: float) -> float:
+        if not log_x:
+            return x
+        if x <= 0:
+            raise ValueError("log-x chart requires positive x values")
+        return math.log10(x)
+
+    points = [
+        (tx(x), y) for pts in series.values() for x, y in pts
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for name, pts in series.items():
+        mark = name[0]
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.1f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.1f} +" + "-" * width + "+")
+    left = f"{(10 ** x_lo) if log_x else x_lo:.0f}"
+    right = f"{(10 ** x_hi) if log_x else x_hi:.0f}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * 12 + left + " " * pad + right)
+    footer = "  ".join(
+        part for part in (x_label and f"x: {x_label}", y_label and f"y: {y_label}")
+        if part
+    )
+    if footer:
+        lines.append(" " * 12 + footer)
+    legend = ", ".join(f"{name[0]} = {name}" for name in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for benchmark harness output.
+
+Every bench in ``benchmarks/`` regenerates one of the paper's tables or
+figures; this module renders them in a uniform monospace format so that
+the harness output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "NA"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table.
+
+    >>> t = Table(title="demo", columns=["a", "b"])
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    precision: int = 1
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[Cell]) -> None:
+        row = list(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Cell]:
+        """Return the cells of the named column."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.precision)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 1,
+) -> str:
+    """Render ``rows`` under ``columns`` as an aligned monospace table."""
+    rendered = [[_render_cell(c, precision) for c in row] for row in rows]
+    headers = [str(c) for c in columns]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, sep, line(headers), sep]
+    out.extend(line(row) for row in rendered)
+    out.append(sep)
+    return "\n".join(out)

@@ -1,0 +1,45 @@
+"""Unit conversions for the Cedar simulator.
+
+The simulator's native time unit is the CE instruction cycle (170 ns on
+Cedar, Section 2 of the paper).  All published overheads (90 us XDOALL
+startup, 30 us iteration fetch, ...) are converted through these helpers
+so a single clock parameter scales everything consistently.
+"""
+
+from __future__ import annotations
+
+#: Cedar CE instruction cycle time in nanoseconds (paper, Section 2).
+CYCLE_NS = 170.0
+
+#: Bytes per 64-bit word (the network and vector unit operate on 64-bit data).
+WORD_BYTES = 8
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def cycles_to_seconds(cycles: float, cycle_ns: float = CYCLE_NS) -> float:
+    """Convert CE cycles to seconds."""
+    return cycles * cycle_ns * 1e-9
+
+
+def cycles_to_us(cycles: float, cycle_ns: float = CYCLE_NS) -> float:
+    """Convert CE cycles to microseconds."""
+    return cycles * cycle_ns * 1e-3
+
+
+def seconds_to_cycles(seconds: float, cycle_ns: float = CYCLE_NS) -> float:
+    """Convert seconds to CE cycles."""
+    return seconds * 1e9 / cycle_ns
+
+
+def us_to_cycles(us: float, cycle_ns: float = CYCLE_NS) -> float:
+    """Convert microseconds to CE cycles."""
+    return us * 1e3 / cycle_ns
+
+
+def mflops(flops: float, seconds: float) -> float:
+    """Delivered megaflops for ``flops`` floating-point operations in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return flops / seconds / 1e6

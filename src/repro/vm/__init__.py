@@ -1,0 +1,21 @@
+"""Xylem virtual memory (Section 2, "Memory Hierarchy").
+
+4 KB pages over a physical address space whose lower half is cluster
+memory and upper half is global memory.  Per-cluster TLBs cache PTEs;
+a miss on a page with a valid PTE in global memory costs a TLB-miss
+fault, a miss without one a full Xylem page fault — the distinction at
+the heart of the paper's TRFD analysis [MaEG92].
+"""
+
+from repro.vm.address import AddressSpace, MemoryLevel, PhysicalAddress
+from repro.vm.paging import AccessOutcome, PageTable, TLB, VirtualMemory
+
+__all__ = [
+    "AddressSpace",
+    "MemoryLevel",
+    "PhysicalAddress",
+    "AccessOutcome",
+    "PageTable",
+    "TLB",
+    "VirtualMemory",
+]

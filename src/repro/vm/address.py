@@ -1,0 +1,72 @@
+"""Cedar physical address-space layout.
+
+"The physical address space is divided into two equal halves: cluster
+memory is in the lower half and shared memory is in the upper half.
+Global memory is directly addressable and shared by all CES.  Cluster
+memory is only accessible to the CES within that cluster."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MemoryLevel(Enum):
+    CLUSTER = "cluster"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class PhysicalAddress:
+    """A decoded physical address."""
+
+    level: MemoryLevel
+    offset: int  # byte offset within the level's half
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+
+class AddressSpace:
+    """The two-halves physical address map.
+
+    ``bits`` is the physical address width; the top bit selects the
+    half.  Accessing cluster space of another cluster is an error the
+    hardware cannot express — cluster memory is simply not addressable
+    remotely, so :meth:`check_access` enforces it.
+    """
+
+    def __init__(self, bits: int = 32) -> None:
+        if bits < 2:
+            raise ValueError("address space too small")
+        self.bits = bits
+        self.half = 1 << (bits - 1)
+
+    def decode(self, physical: int) -> PhysicalAddress:
+        if not 0 <= physical < (1 << self.bits):
+            raise ValueError(f"address {physical:#x} outside {self.bits}-bit space")
+        if physical >= self.half:
+            return PhysicalAddress(MemoryLevel.GLOBAL, physical - self.half)
+        return PhysicalAddress(MemoryLevel.CLUSTER, physical)
+
+    def encode(self, level: MemoryLevel, offset: int) -> int:
+        if offset >= self.half:
+            raise ValueError("offset exceeds half-space")
+        if level is MemoryLevel.GLOBAL:
+            return self.half + offset
+        return offset
+
+    def is_global(self, physical: int) -> bool:
+        return self.decode(physical).level is MemoryLevel.GLOBAL
+
+    def check_access(self, physical: int, cluster: int, owner_cluster: int) -> None:
+        """Raise when a CE touches another cluster's local memory —
+        "Cluster memory is only accessible to the CES within that
+        cluster"."""
+        decoded = self.decode(physical)
+        if decoded.level is MemoryLevel.CLUSTER and cluster != owner_cluster:
+            raise PermissionError(
+                f"cluster {cluster} cannot address cluster {owner_cluster} memory"
+            )

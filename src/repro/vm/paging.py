@@ -1,0 +1,164 @@
+"""Paging, TLBs, and fault-cost accounting.
+
+The TRFD study (Section 4.2) hinges on this machinery: "The improved
+version was shown to have almost four times the number of page faults
+relative to the one-cluster version ... The extra faults are TLB miss
+faults as each additional cluster of a multicluster version first
+accesses pages for which a valid PTE exists in global memory."
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.config import VMConfig
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Cost breakdown of one virtual-memory access."""
+
+    cycles: float
+    tlb_hit: bool
+    tlb_miss_fault: bool
+    page_fault: bool
+
+
+class TLB:
+    """A per-cluster translation lookaside buffer with LRU replacement."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self._map: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> bool:
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, vpn: int, pfn: int) -> None:
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+            self._map[vpn] = pfn
+            return
+        if len(self._map) >= self.entries:
+            self._map.popitem(last=False)
+        self._map[vpn] = pfn
+
+    def flush(self) -> None:
+        self._map.clear()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class PageTable:
+    """The Xylem process page table kept in global memory."""
+
+    def __init__(self) -> None:
+        self._valid: Dict[int, int] = {}
+        self._next_frame = 0
+        self.populations = 0
+
+    def is_valid(self, vpn: int) -> bool:
+        return vpn in self._valid
+
+    def frame(self, vpn: int) -> int:
+        return self._valid[vpn]
+
+    def populate(self, vpn: int) -> int:
+        """Xylem services a true page fault and installs a PTE."""
+        if vpn in self._valid:
+            return self._valid[vpn]
+        frame = self._next_frame
+        self._next_frame += 1
+        self._valid[vpn] = frame
+        self.populations += 1
+        return frame
+
+    def invalidate(self, vpn: int) -> None:
+        self._valid.pop(vpn, None)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._valid)
+
+
+@dataclass
+class VMStats:
+    accesses: int = 0
+    tlb_hits: int = 0
+    tlb_miss_faults: int = 0
+    page_faults: int = 0
+    fault_cycles: float = 0.0
+
+
+class VirtualMemory:
+    """Page table + per-cluster TLBs with the paper's fault taxonomy.
+
+    * TLB hit — translation cached in the accessing cluster: cheap.
+    * TLB-miss fault — PTE valid in global memory, but this cluster has
+      not loaded it yet (the multicluster TRFD penalty): medium cost.
+    * page fault — no valid PTE anywhere; Xylem allocates: expensive.
+    """
+
+    def __init__(self, config: VMConfig, clusters: int = 4) -> None:
+        self.config = config
+        self.page_table = PageTable()
+        self.tlbs: List[TLB] = [TLB(config.tlb_entries) for _ in range(clusters)]
+        self.stats = VMStats()
+        self._touched_by: Dict[int, Set[int]] = {}
+
+    def page_of(self, byte_address: int) -> int:
+        return byte_address // self.config.page_bytes
+
+    def access(self, byte_address: int, cluster: int) -> AccessOutcome:
+        """Translate one access from ``cluster``; returns its cost."""
+        if not 0 <= cluster < len(self.tlbs):
+            raise ValueError(f"no cluster {cluster}")
+        vpn = self.page_of(byte_address)
+        tlb = self.tlbs[cluster]
+        self.stats.accesses += 1
+        if tlb.lookup(vpn):
+            self.stats.tlb_hits += 1
+            return AccessOutcome(0.0, tlb_hit=True, tlb_miss_fault=False, page_fault=False)
+        self._touched_by.setdefault(vpn, set()).add(cluster)
+        if self.page_table.is_valid(vpn):
+            tlb.insert(vpn, self.page_table.frame(vpn))
+            cycles = float(self.config.tlb_miss_cycles)
+            self.stats.tlb_miss_faults += 1
+            self.stats.fault_cycles += cycles
+            return AccessOutcome(cycles, tlb_hit=False, tlb_miss_fault=True, page_fault=False)
+        frame = self.page_table.populate(vpn)
+        tlb.insert(vpn, frame)
+        cycles = float(self.config.page_fault_cycles)
+        self.stats.page_faults += 1
+        self.stats.fault_cycles += cycles
+        return AccessOutcome(cycles, tlb_hit=False, tlb_miss_fault=False, page_fault=True)
+
+    def touch_range(self, start: int, length_bytes: int, cluster: int) -> float:
+        """Access every page of ``[start, start+length)``; returns the
+        total fault cycles — the bulk operation the TRFD analysis uses."""
+        if length_bytes < 0:
+            raise ValueError("negative range")
+        total = 0.0
+        first = self.page_of(start)
+        last = self.page_of(start + max(0, length_bytes - 1))
+        for vpn in range(first, last + 1):
+            outcome = self.access(vpn * self.config.page_bytes, cluster)
+            total += outcome.cycles
+        return total
+
+    @property
+    def faults(self) -> int:
+        """Total faults of both kinds (the unit [MaEG92] counts)."""
+        return self.stats.tlb_miss_faults + self.stats.page_faults

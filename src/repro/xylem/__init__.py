@@ -1,0 +1,30 @@
+"""The Xylem operating system layer (Section 3, [EABM91]).
+
+Xylem "links the four separate operating systems in Alliant clusters
+into the Cedar OS" and "exports virtual memory, scheduling, and file
+system services".  Here it provides cluster tasks and gang scheduling
+plus the runtime library's loop-scheduling machinery and costs.
+"""
+
+from repro.xylem.scheduler import ClusterTask, GangScheduler, XylemProcess
+from repro.xylem.runtime import (
+    LoopKind,
+    LoopSchedule,
+    RuntimeLibrary,
+    ScheduleCost,
+)
+from repro.xylem.filesystem import IOCosts, IOMode, XylemFile, XylemFileSystem
+
+__all__ = [
+    "ClusterTask",
+    "GangScheduler",
+    "XylemProcess",
+    "LoopKind",
+    "LoopSchedule",
+    "RuntimeLibrary",
+    "ScheduleCost",
+    "IOCosts",
+    "IOMode",
+    "XylemFile",
+    "XylemFileSystem",
+]

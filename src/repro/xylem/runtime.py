@@ -1,0 +1,178 @@
+"""The Cedar runtime library: parallel-loop scheduling and its costs.
+
+Section 3.2: "XDOALL ... processors get started, terminated, and
+scheduled through functions of the run-time library.  Since these
+operations work through the global memory there is a typical loop
+startup latency of 90 us and fetching the next iteration takes about
+30 us. ... The CDOALL makes use of the concurrency control bus ... and
+can typically start in a few microseconds."
+
+"The Cedar synchronization instructions have been mainly used in the
+implementation of the runtime library, where they have proven useful to
+control loop self-scheduling" — without them, self-scheduling falls
+back to lock-based software queues (the "W/o Cedar Synchronization"
+column of Table 3).
+
+The library is *functional*: self-scheduled loops really claim
+iterations through a :class:`~repro.gmemory.sync.SyncProcessor`
+fetch-and-add, and the produced :class:`LoopSchedule` lists exactly
+which worker ran which iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.config import RuntimeConfig
+from repro.gmemory.sync import SyncProcessor
+from repro.util.units import us_to_cycles
+
+
+class LoopKind(Enum):
+    XDOALL = "xdoall"   # all CEs machine-wide, scheduled via global memory
+    SDOALL = "sdoall"   # iterations spread over clusters
+    CDOALL = "cdoall"   # iterations spread over one cluster's CEs via CCB
+
+
+@dataclass(frozen=True)
+class ScheduleCost:
+    """Per-loop scheduling overheads, in microseconds."""
+
+    startup_us: float
+    fetch_us: float
+
+
+@dataclass
+class LoopSchedule:
+    """The outcome of scheduling one parallel loop.
+
+    ``assignment[w]`` lists the iterations worker ``w`` executed;
+    ``finish_us(work)`` folds per-iteration work into a makespan.
+    """
+
+    kind: LoopKind
+    workers: int
+    assignment: List[List[int]]
+    cost: ScheduleCost
+    self_scheduled: bool
+
+    def makespan_us(self, work_us: Sequence[float]) -> float:
+        """Loop wall time: startup plus the busiest worker's iterations
+        with a fetch overhead per claim."""
+        per_worker = []
+        for its in self.assignment:
+            busy = sum(work_us[i] for i in its) + self.cost.fetch_us * len(its)
+            per_worker.append(busy)
+        longest = max(per_worker) if per_worker else 0.0
+        return self.cost.startup_us + longest
+
+    @property
+    def iterations(self) -> int:
+        return sum(len(its) for its in self.assignment)
+
+
+class RuntimeLibrary:
+    """Loop scheduling with Cedar-synchronization on or off."""
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        use_cedar_sync: bool = True,
+        cycle_ns: float = 170.0,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.use_cedar_sync = use_cedar_sync
+        self.cycle_ns = cycle_ns
+        self.sync = SyncProcessor()
+        self._next_counter = 0
+
+    # -- costs -------------------------------------------------------------
+
+    def loop_cost(self, kind: LoopKind) -> ScheduleCost:
+        cfg = self.config
+        if kind is LoopKind.XDOALL:
+            startup, fetch = cfg.xdoall_startup_us, cfg.xdoall_fetch_us
+        elif kind is LoopKind.SDOALL:
+            startup, fetch = cfg.sdoall_startup_us, cfg.sdoall_fetch_us
+        else:
+            startup, fetch = cfg.cdoall_startup_us, cfg.cdoall_fetch_us
+        if not self.use_cedar_sync and kind is not LoopKind.CDOALL:
+            # lock-based software scheduling through plain memory ops
+            fetch *= cfg.no_sync_fetch_factor
+        return ScheduleCost(startup_us=startup, fetch_us=fetch)
+
+    def startup_cycles(self, kind: LoopKind) -> float:
+        return us_to_cycles(self.loop_cost(kind).startup_us, self.cycle_ns)
+
+    def fetch_cycles(self, kind: LoopKind) -> float:
+        return us_to_cycles(self.loop_cost(kind).fetch_us, self.cycle_ns)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        kind: LoopKind,
+        iterations: int,
+        workers: int,
+        self_scheduled: bool = True,
+        work_us: Optional[Sequence[float]] = None,
+    ) -> LoopSchedule:
+        """Distribute ``iterations`` over ``workers``.
+
+        Static scheduling deals iterations out in balanced blocks;
+        self-scheduling replays the fetch-and-add protocol: whenever a
+        worker goes idle it claims the counter's next value.  For
+        self-scheduling with non-uniform ``work_us``, claims follow the
+        simulated completion order, which is what makes it balance.
+        """
+        if iterations < 0:
+            raise ValueError("negative iteration count")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if not self_scheduled:
+            assignment: List[List[int]] = [[] for _ in range(workers)]
+            block = (iterations + workers - 1) // workers if iterations else 0
+            for w in range(workers):
+                start = w * block
+                stop = min(start + block, iterations)
+                if start < stop:
+                    assignment[w] = list(range(start, stop))
+            return LoopSchedule(kind, workers, assignment, self.loop_cost(kind), False)
+
+        counter_addr = self._fresh_counter()
+        cost = self.loop_cost(kind)
+        assignment = [[] for _ in range(workers)]
+        clocks = [0.0] * workers
+        while True:
+            w = min(range(workers), key=lambda i: clocks[i])
+            claimed = self.sync.fetch_and_add(counter_addr)
+            if claimed >= iterations:
+                break
+            assignment[w].append(claimed)
+            work = work_us[claimed] if work_us is not None else 1.0
+            clocks[w] += cost.fetch_us + work
+        return LoopSchedule(kind, workers, assignment, cost, True)
+
+    def _fresh_counter(self) -> int:
+        self._next_counter += 1
+        return self._next_counter
+
+    # -- helpers used by the application performance model ---------------------
+
+    def loop_time_us(
+        self,
+        kind: LoopKind,
+        iterations: int,
+        workers: int,
+        work_us_per_iteration: float,
+        self_scheduled: bool = True,
+    ) -> float:
+        """Closed-form loop wall time for uniform iterations: startup +
+        ceil(n/P) waves of (fetch + work)."""
+        cost = self.loop_cost(kind)
+        if iterations == 0:
+            return cost.startup_us
+        waves = -(-iterations // workers)  # ceil
+        return cost.startup_us + waves * (cost.fetch_us + work_us_per_iteration)

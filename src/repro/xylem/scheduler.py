@@ -1,0 +1,99 @@
+"""Cluster tasks and gang scheduling.
+
+Xylem's unit of scheduling is the *cluster task*: an SDOALL iteration
+(or the serial program) runs on one cluster, whose CEs are gang-
+scheduled together by the concurrency bus.  Single-user mode (how all
+the paper's measurements were taken) means tasks never time-share.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class ClusterTask:
+    """One gang-scheduled unit of work on a cluster."""
+
+    process: "XylemProcess"
+    duration: float
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    cluster: Optional[int] = None
+    start_time: Optional[float] = None
+
+    @property
+    def end_time(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time + self.duration
+
+    @property
+    def scheduled(self) -> bool:
+        return self.cluster is not None
+
+
+@dataclass
+class XylemProcess:
+    """A Cedar program: its tasks and accumulated schedule."""
+
+    name: str
+    tasks: List[ClusterTask] = field(default_factory=list)
+
+    def new_task(self, duration: float) -> ClusterTask:
+        if duration < 0:
+            raise ValueError("task duration must be non-negative")
+        task = ClusterTask(process=self, duration=duration)
+        self.tasks.append(task)
+        return task
+
+    @property
+    def makespan(self) -> float:
+        ends = [t.end_time for t in self.tasks if t.end_time is not None]
+        return max(ends) if ends else 0.0
+
+
+class GangScheduler:
+    """Greedy earliest-available-cluster scheduler.
+
+    Successive SDOALL loops schedule their iterations "on the same
+    clusters" (Section 3.2, data localization) — sticky placement is
+    therefore supported via ``affinity`` keys.
+    """
+
+    def __init__(self, clusters: int = 4) -> None:
+        if clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.clusters = clusters
+        self._free_at = [0.0] * clusters
+        self._affinity: Dict[object, int] = {}
+
+    def schedule(self, task: ClusterTask, affinity: Optional[object] = None) -> ClusterTask:
+        """Place ``task`` on a cluster; with ``affinity``, reuse the
+        cluster that key ran on before (cluster-memory data reuse)."""
+        if task.scheduled:
+            raise ValueError(f"task {task.task_id} already scheduled")
+        if affinity is not None and affinity in self._affinity:
+            cluster = self._affinity[affinity]
+        else:
+            cluster = min(range(self.clusters), key=lambda c: self._free_at[c])
+            if affinity is not None:
+                self._affinity[affinity] = cluster
+        task.cluster = cluster
+        task.start_time = self._free_at[cluster]
+        self._free_at[cluster] = task.end_time or 0.0
+        return task
+
+    def barrier(self) -> float:
+        """All clusters synchronize: every cluster becomes free at the
+        time the last one finishes; returns that time."""
+        t = max(self._free_at)
+        self._free_at = [t] * self.clusters
+        return t
+
+    @property
+    def free_times(self) -> List[float]:
+        return list(self._free_at)

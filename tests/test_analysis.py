@@ -1,0 +1,100 @@
+"""Tests for the post-run analysis toolkit."""
+
+import pytest
+
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.kernels.programs import KERNELS, kernel_program
+from repro.monitor.analysis import (
+    bottlenecks,
+    machine_resources,
+    stage_heat_strip,
+    utilization_report,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded_machine():
+    machine = CedarMachine(CedarConfig())
+    programs = {
+        port: kernel_program(KERNELS["RK"], port, 6, prefetch=True)
+        for port in range(32)
+    }
+    machine.run_programs(programs)
+    return machine
+
+
+class TestMachineResources:
+    def test_enumerates_everything(self, loaded_machine):
+        resources = machine_resources(loaded_machine)
+        names = {r.name for r in resources}
+        assert "gm[0]" in names
+        assert "fwd.inject[0]" in names
+        assert "cl0.cache" in names
+        # 2 nets x (32 inject + 2x32 stages) + 32 modules + 4x2 cluster
+        assert len(resources) == 2 * (32 + 64) + 32 + 8
+
+    def test_shared_network_counted_once(self):
+        from dataclasses import replace
+
+        config = CedarConfig()
+        config = replace(
+            config, network=replace(config.network, shared_single_network=True)
+        )
+        machine = CedarMachine(config)
+        resources = machine_resources(machine)
+        assert len(resources) == (32 + 64) + 32 + 8
+
+
+class TestUtilizationReport:
+    def test_groups_present(self, loaded_machine):
+        report = utilization_report(loaded_machine)
+        assert set(report) >= {
+            "global memory modules",
+            "network injection ports",
+            "network stage links",
+        }
+
+    def test_rk_saturates_global_memory(self, loaded_machine):
+        """RK at 32 CEs drives the modules to their recovery-limited
+        ceiling (~2/3 busy) and leaves the cluster side idle."""
+        report = utilization_report(loaded_machine)
+        assert report["global memory modules"] > 0.45
+        assert report.get("cluster caches", 0.0) < 0.05
+
+    def test_fresh_machine_idle(self):
+        machine = CedarMachine(CedarConfig())
+        report = utilization_report(machine, elapsed=100.0)
+        assert all(v == 0.0 for v in report.values())
+
+
+class TestBottlenecks:
+    def test_backpressure_shows_at_injection(self, loaded_machine):
+        """Saturated memory propagates backpressure upstream: the
+        highest-pressure resources are the injection ports (mostly
+        *blocked*), while the memory modules lead pure utilization."""
+        top = bottlenecks(loaded_machine, top=5)
+        assert all(".inject[" in r.name for r in top)
+        assert all(r.blocked_fraction > r.utilization for r in top)
+        pressures = [r.pressure for r in top]
+        assert pressures == sorted(pressures, reverse=True)
+        by_util = max(
+            (r for r in bottlenecks(loaded_machine, top=200)),
+            key=lambda r: r.utilization,
+        )
+        assert by_util.name.startswith("gm[")
+
+    def test_top_validation(self, loaded_machine):
+        with pytest.raises(ValueError):
+            bottlenecks(loaded_machine, top=0)
+
+
+class TestHeatStrip:
+    def test_renders_all_rows(self, loaded_machine):
+        strip = stage_heat_strip(loaded_machine)
+        assert "fwd.s0" in strip and "rev.s1" in strip and "gm " in strip
+
+    def test_loaded_memory_shows_shade(self, loaded_machine):
+        strip = stage_heat_strip(loaded_machine)
+        gm_line = next(l for l in strip.splitlines() if l.startswith("gm"))
+        assert any(c not in " |" for c in gm_line[4:])

@@ -1,0 +1,50 @@
+"""Tests for the ASCII chart helper."""
+
+import pytest
+
+from repro.util.ascii_chart import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart(
+            {"speedup": [(1, 1.0), (2, 1.9), (4, 3.5)]},
+            title="demo",
+        )
+        assert text.startswith("demo")
+        assert "s = speedup" in text
+        assert "|" in text
+
+    def test_marks_appear(self):
+        text = line_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "a" in text and "b" in text
+
+    def test_log_x(self):
+        text = line_chart(
+            {"r": [(1024, 10.0), (1_048_576, 50.0)]}, log_x=True
+        )
+        assert "1024" in text
+
+    def test_log_x_requires_positive(self):
+        with pytest.raises(ValueError):
+            line_chart({"r": [(0, 1.0)]}, log_x=True)
+
+    def test_flat_series_ok(self):
+        text = line_chart({"c": [(0, 5.0), (10, 5.0)]})
+        assert "c" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, width=2)
+
+    def test_labels_in_footer(self):
+        text = line_chart(
+            {"a": [(0, 0), (1, 1)]}, x_label="N", y_label="MFLOPS"
+        )
+        assert "x: N" in text and "y: MFLOPS" in text

@@ -1,0 +1,179 @@
+"""Tests for the functional cluster-cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CacheConfig
+from repro.cluster.cache_model import ClusterCacheModel
+
+
+def small_cache(lines=8, ways=2, line_bytes=32, banks=4):
+    config = CacheConfig(size_bytes=lines * line_bytes, line_bytes=line_bytes,
+                         banks=banks)
+    return ClusterCacheModel(config, ways=ways)
+
+
+class TestGeometry:
+    def test_cedar_geometry(self):
+        cache = ClusterCacheModel()
+        # 512KB / 32B = 16K lines; 4 ways -> 4K sets
+        assert cache.n_sets == 4096
+        assert cache.line_of(0) == cache.line_of(31)
+        assert cache.line_of(32) == 1
+
+    def test_bank_interleave(self):
+        cache = ClusterCacheModel()
+        banks = [cache.bank_of(line) for line in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterCacheModel(ways=0)
+        with pytest.raises(ValueError):
+            ClusterCacheModel().line_of(-1)
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.access(0, ce=0)
+        assert not first.hit
+        second = cache.access(8, ce=0)  # same 32B line
+        assert second.hit
+
+    def test_distinct_lines_miss_independently(self):
+        cache = small_cache()
+        assert not cache.access(0, ce=0).hit
+        assert not cache.access(64, ce=0).hit
+
+    def test_hit_rate_stat(self):
+        cache = small_cache()
+        cache.access(0, ce=0)
+        for _ in range(9):
+            cache.access(0, ce=0)
+        assert cache.stats.hit_rate == pytest.approx(0.9)
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        # 2-way: lines 0, 4, 8 map to set 0 (4 sets)
+        cache = small_cache(lines=8, ways=2)
+        s = cache.n_sets
+        a, b, c = 0, s * 32, 2 * s * 32  # same set, different tags
+        cache.access(a, ce=0)
+        cache.access(b, ce=0)
+        cache.access(a, ce=0)       # a most-recent
+        cache.access(c, ce=0)       # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+
+    def test_capacity_bounded(self):
+        cache = small_cache(lines=8, ways=2)
+        for i in range(100):
+            cache.access(i * 32, ce=0)
+        assert cache.resident_lines <= 8
+
+
+class TestWriteBack:
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(lines=4, ways=1)
+        s = cache.n_sets
+        cache.access(0, ce=0)                      # clean
+        result = cache.access(s * 32, ce=0)        # evicts line 0
+        assert result.writeback_line is None
+
+    def test_dirty_eviction_writes_back(self):
+        cache = small_cache(lines=4, ways=1)
+        s = cache.n_sets
+        cache.access(0, ce=0, write=True)          # dirty
+        result = cache.access(s * 32, ce=0)
+        assert result.writeback_line == 0
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache()
+        cache.access(0, ce=0)
+        cache.access(0, ce=0, write=True)
+        assert cache.is_dirty(0)
+
+    def test_flush_returns_dirty_lines(self):
+        cache = small_cache()
+        cache.access(0, ce=0, write=True)
+        cache.access(64, ce=0)  # clean
+        dirty = cache.flush()
+        assert dirty == [0]
+        assert cache.resident_lines == 0
+
+
+class TestLockupFree:
+    def test_two_outstanding_misses_allowed(self):
+        cache = small_cache(lines=64, ways=4)
+        r1 = cache.access(0, ce=0)
+        r2 = cache.access(64, ce=0)
+        assert not r1.stalled_for_miss_slot and not r2.stalled_for_miss_slot
+
+    def test_third_miss_stalls(self):
+        cache = small_cache(lines=64, ways=4)
+        cache.access(0, ce=0)
+        cache.access(64, ce=0)
+        r3 = cache.access(128, ce=0)
+        assert r3.stalled_for_miss_slot
+        assert cache.stats.miss_slot_stalls == 1
+
+    def test_retire_frees_slot(self):
+        cache = small_cache(lines=64, ways=4)
+        cache.access(0, ce=0)
+        cache.access(64, ce=0)
+        cache.retire_miss(0, ce=0)
+        r3 = cache.access(128, ce=0)
+        assert not r3.stalled_for_miss_slot
+
+    def test_slots_are_per_ce(self):
+        cache = small_cache(lines=64, ways=4)
+        cache.access(0, ce=0)
+        cache.access(64, ce=0)
+        other = cache.access(128, ce=1)
+        assert not other.stalled_for_miss_slot
+
+
+class TestAgainstReferenceModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1023),  # line
+                st.booleans(),                              # write
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fully_associative_single_set_matches_lru_reference(self, trace):
+        """With one set, the cache must behave exactly like an LRU list
+        of `ways` lines (reference model comparison)."""
+        ways = 4
+        config = CacheConfig(size_bytes=ways * 32, line_bytes=32, banks=1)
+        cache = ClusterCacheModel(config, ways=ways)
+        assert cache.n_sets == 1
+        reference = []  # most-recent last
+        for line, write in trace:
+            addr = line * 32
+            expect_hit = line in reference
+            result = cache.access(addr, ce=0, write=write)
+            assert result.hit is expect_hit
+            if line in reference:
+                reference.remove(line)
+            reference.append(line)
+            if len(reference) > ways:
+                reference.pop(0)
+        assert cache.resident_lines == len(reference)
+        for line in reference:
+            assert cache.contains(line * 32)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_rereference_always_hits(self, lines):
+        cache = ClusterCacheModel()
+        for line in lines:
+            cache.access(line * 32, ce=0)
+            assert cache.access(line * 32, ce=0).hit

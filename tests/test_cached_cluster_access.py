@@ -1,0 +1,79 @@
+"""Integration tests: the functional cache in the timed cluster path."""
+
+import pytest
+
+from repro.cluster.ce import ClusterVectorOp
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+
+
+def run_ops(ops, port=0):
+    machine = CedarMachine(CedarConfig())
+    results = []
+
+    def prog():
+        for op in ops:
+            result = yield op
+            results.append(result)
+
+    t = machine.run_programs({port: prog()})
+    return machine, t, results
+
+
+class TestCachedVectorAccess:
+    def test_cold_sweep_misses_every_line(self):
+        # 64 words over 16 lines: all cold
+        _, _, results = run_ops([ClusterVectorOp(words=64, address=0)])
+        assert results[0] == 16  # one missed word per 4-word line
+
+    def test_second_sweep_hits(self):
+        ops = [
+            ClusterVectorOp(words=64, address=0),
+            ClusterVectorOp(words=64, address=0),
+        ]
+        _, _, results = run_ops(ops)
+        assert results == [16, 0]
+
+    def test_rereference_is_faster(self):
+        # light compute per word so the memory path is visible
+        cold_op = ClusterVectorOp(words=256, address=0, cycles_per_word=0.1)
+        m1, t_cold, _ = run_ops([cold_op])
+        ops = [
+            ClusterVectorOp(words=256, address=0, cycles_per_word=0.1),
+            ClusterVectorOp(words=256, address=0, cycles_per_word=0.1),
+        ]
+        m2, t_both, _ = run_ops(ops)
+        warm = t_both - t_cold
+        assert warm < t_cold  # the warm pass skips the memory fills
+
+    def test_writes_mark_dirty_and_evictions_write_back(self):
+        machine = CedarMachine(CedarConfig())
+        cache = machine.clusters[0].cache_model
+        cache_words = cache.config.size_bytes // 8
+
+        def prog():
+            # dirty a region, then sweep far past the cache capacity
+            yield ClusterVectorOp(words=256, address=0, write=True)
+            yield ClusterVectorOp(words=2 * cache_words, address=4096)
+
+        machine.run_programs({0: prog()})
+        assert cache.stats.writebacks > 0
+
+    def test_unaddressed_op_returns_none(self):
+        _, _, results = run_ops([ClusterVectorOp(words=32)])
+        assert results == [None]
+
+    def test_per_cluster_caches_independent(self):
+        machine = CedarMachine(CedarConfig())
+
+        def prog():
+            yield ClusterVectorOp(words=64, address=0)
+
+        # CE 0 (cluster 0) and CE 8 (cluster 1) touch the same addresses
+        machine.run_programs({0: prog(), 8: prog()})
+        assert machine.clusters[0].cache_model.stats.misses == 16
+        assert machine.clusters[1].cache_model.stats.misses == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_ops([ClusterVectorOp(words=0, address=0)])

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_topology(self):
+        args = build_parser().parse_args(["topology"])
+        assert args.command == "topology"
+
+    def test_table_numbers(self):
+        args = build_parser().parse_args(["table", "3"])
+        assert args.number == 3
+
+    def test_bad_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_topology_output(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Cluster 3" in out
+
+    def test_table3_output(self, capsys):
+        assert main(["table", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "TRFD" in out
+
+    def test_table4_output(self, capsys):
+        assert main(["table", "4"]) == 0
+        assert "ARC2D" in capsys.readouterr().out
+
+    def test_table5_output(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "In(13,0)" in capsys.readouterr().out
+
+    def test_table6_output(self, capsys):
+        assert main(["table", "6"]) == 0
+        assert "Restructuring" in capsys.readouterr().out
+
+    def test_fig3_output(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "YMP" in capsys.readouterr().out
+
+    def test_ppt4_output(self, capsys):
+        assert main(["ppt4"]) == 0
+        assert "CG" in capsys.readouterr().out
+
+    def test_overheads_output(self, capsys):
+        assert main(["overheads"]) == 0
+        assert "XDOALL" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Tests for cluster shared resources and the concurrency control bus."""
+
+import pytest
+
+from repro.cluster.ce import BlockTransfer, ClusterVectorOp, Compute
+from repro.cluster.concurrency_bus import CCBLoop, ConcurrencyBus
+from repro.core.config import CedarConfig, ConcurrencyBusConfig
+from repro.core.engine import Engine
+from repro.core.machine import CedarMachine
+
+
+class TestConcurrencyBusFunctional:
+    def test_concurrent_start_spreads_iterations(self):
+        bus = ConcurrencyBus(Engine(), ConcurrencyBusConfig())
+        loop = bus.concurrent_start(10)
+        claimed = []
+        while True:
+            chunk = loop.claim()
+            if chunk is None:
+                break
+            claimed.extend(chunk)
+        assert claimed == list(range(10))
+
+    def test_chunked_self_scheduling(self):
+        loop = CCBLoop(10, chunk=4)
+        sizes = []
+        while True:
+            chunk = loop.claim()
+            if chunk is None:
+                break
+            sizes.append(len(chunk))
+        assert sizes == [4, 4, 2]
+
+    def test_completion_tracking(self):
+        loop = CCBLoop(3)
+        loop.complete(2)
+        assert not loop.all_done
+        loop.complete(1)
+        assert loop.all_done
+        with pytest.raises(RuntimeError):
+            loop.complete(1)
+
+    def test_costs_counted(self):
+        bus = ConcurrencyBus(Engine(), ConcurrencyBusConfig())
+        bus.concurrent_start(4)
+        bus.claim_cost_cycles()
+        bus.join_cost_cycles()
+        assert bus.loops_started == 1
+        assert bus.claims == 1 and bus.joins == 1
+        assert bus.start_cost_cycles == 18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CCBLoop(-1)
+        with pytest.raises(ValueError):
+            CCBLoop(4, chunk=0)
+
+
+class TestClusterCacheBandwidth:
+    def test_single_ce_vector_op_is_compute_bound(self):
+        machine = CedarMachine(CedarConfig())
+        done = {}
+
+        def prog():
+            yield ClusterVectorOp(words=32, cycles_per_word=1.0, startup_cycles=12)
+            done["t"] = machine.engine.now
+
+        machine.run_programs({0: prog()})
+        # startup + 32 compute cycles, cache streams faster than compute
+        assert done["t"] == pytest.approx(44.0, abs=6.0)
+
+    def test_eight_ces_share_cache_bandwidth(self):
+        """Eight CEs streaming 1 word/cycle each exactly saturate the
+        cache's 8 words/cycle: per-CE time should stay near the solo
+        time (the design point of the Alliant cache)."""
+        def run(n_ces):
+            machine = CedarMachine(CedarConfig())
+
+            def prog():
+                for _ in range(8):
+                    yield ClusterVectorOp(words=32, cycles_per_word=1.0)
+
+            return machine.run_programs({p: prog() for p in range(n_ces)})
+
+        solo = run(1)
+        crowded = run(8)
+        assert crowded < solo * 2.2  # mild queueing only
+
+    def test_block_transfer_moves_all_words(self):
+        machine = CedarMachine(CedarConfig())
+        done = {}
+
+        def prog():
+            yield BlockTransfer(words=30, address=0)
+            done["t"] = machine.engine.now
+
+        machine.run_programs({0: prog()})
+        assert done["t"] > 0
+        # 30 words in 3-word chunks -> 10 block reads
+        assert machine.gmem.total_reads == 10
+
+
+class TestPrefetchBufferReuse:
+    def test_keep_previous_preserves_data(self):
+        """"It is possible to keep prefetched data in that buffer and
+        reuse it from there" — RK's double-buffer pattern depends on
+        the kept stream staying valid while the next one flies."""
+        from repro.cluster.ce import AwaitStream, ConsumeStream, StartPrefetch
+
+        machine = CedarMachine(CedarConfig())
+        states = {}
+
+        def prog():
+            first = yield StartPrefetch(length=16, stride=1, address=0)
+            yield AwaitStream(first)
+            second = yield StartPrefetch(
+                length=16, stride=1, address=512, keep_previous=True
+            )
+            # consume the *kept* first stream while the second flies
+            yield ConsumeStream(first, cycles_per_word=1.0)
+            states["first_valid"] = not first.invalidated
+            yield AwaitStream(second)
+            states["second_complete"] = second.complete
+
+        machine.run_programs({0: prog()})
+        assert states == {"first_valid": True, "second_complete": True}
+
+    def test_without_keep_previous_buffer_invalidated(self):
+        from repro.cluster.ce import AwaitStream, StartPrefetch
+
+        machine = CedarMachine(CedarConfig())
+        states = {}
+
+        def prog():
+            first = yield StartPrefetch(length=8, stride=1, address=0)
+            yield AwaitStream(first)
+            second = yield StartPrefetch(length=8, stride=1, address=512)
+            yield AwaitStream(second)
+            states["first_invalidated"] = first.invalidated
+
+        machine.run_programs({0: prog()})
+        assert states["first_invalidated"]

@@ -1,0 +1,183 @@
+"""Tests for the software coherence manager."""
+
+import numpy as np
+import pytest
+
+from repro.fortran import CedarFortran
+from repro.fortran.coherence import CoherenceError, CoherenceManager, CopyState
+
+
+@pytest.fixture
+def cf():
+    return CedarFortran()
+
+
+@pytest.fixture
+def mgr():
+    return CoherenceManager(clusters=4)
+
+
+def global_array(cf, n=16, name="G"):
+    return cf.global_array(np.arange(float(n)), name=name)
+
+
+class TestCopyIn:
+    def test_copy_materializes_cluster_array(self, cf, mgr):
+        g = global_array(cf)
+        local = mgr.copy_to_cluster(g, cluster=2)
+        assert local.home_cluster == 2
+        np.testing.assert_array_equal(local.data, g.data)
+        assert mgr.state_of(g, 2) is CopyState.CLEAN
+
+    def test_copies_are_independent_storage(self, cf, mgr):
+        g = global_array(cf)
+        local = mgr.copy_to_cluster(g, 0)
+        local.data[0] = 99.0
+        assert g.data[0] == 0.0
+
+    def test_multiple_clean_readers_allowed(self, cf, mgr):
+        g = global_array(cf)
+        for c in range(4):
+            mgr.copy_to_cluster(g, c)
+        assert mgr.holders(g) == [0, 1, 2, 3]
+
+    def test_only_global_arrays_tracked(self, cf, mgr):
+        local = cf.cluster_array(np.zeros(4))
+        with pytest.raises(ValueError):
+            mgr.copy_to_cluster(local, 0)
+
+    def test_bad_cluster(self, cf, mgr):
+        with pytest.raises(ValueError):
+            mgr.copy_to_cluster(global_array(cf), 7)
+
+
+class TestWriteDiscipline:
+    def test_single_writer_allowed(self, cf, mgr):
+        g = global_array(cf)
+        local = mgr.copy_to_cluster(g, 0)
+        local.data[:] = 7.0
+        mgr.mark_written(g, 0)
+        assert mgr.state_of(g, 0) is CopyState.DIRTY
+
+    def test_two_dirty_writers_rejected(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.copy_to_cluster(g, 1)
+        mgr.mark_written(g, 0)
+        with pytest.raises(CoherenceError):
+            mgr.mark_written(g, 1)
+
+    def test_write_back_publishes_and_stales_others(self, cf, mgr):
+        g = global_array(cf)
+        a = mgr.copy_to_cluster(g, 0)
+        mgr.copy_to_cluster(g, 1)
+        a.data[:] = 5.0
+        mgr.mark_written(g, 0)
+        mgr.write_back(g, 0)
+        np.testing.assert_array_equal(g.data, 5.0)
+        assert mgr.state_of(g, 0) is CopyState.CLEAN
+        assert mgr.state_of(g, 1) is CopyState.STALE
+
+    def test_stale_read_rejected(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.copy_to_cluster(g, 1)
+        mgr.mark_written(g, 0)
+        mgr.write_back(g, 0)
+        with pytest.raises(CoherenceError):
+            mgr.check_read(g, 1)
+        mgr.check_read(g, 0)  # the writer's copy stays valid
+
+    def test_recopy_heals_staleness(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.copy_to_cluster(g, 1)
+        mgr.mark_written(g, 0)
+        mgr.write_back(g, 0)
+        fresh = mgr.copy_to_cluster(g, 1)
+        np.testing.assert_array_equal(fresh.data, g.data)
+        assert mgr.state_of(g, 1) is CopyState.CLEAN
+
+    def test_stale_write_rejected(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.copy_to_cluster(g, 1)
+        mgr.mark_written(g, 0)
+        mgr.write_back(g, 0)
+        with pytest.raises(CoherenceError):
+            mgr.mark_written(g, 1)
+
+    def test_copy_while_dirty_rejected(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.mark_written(g, 0)
+        with pytest.raises(CoherenceError):
+            mgr.copy_to_cluster(g, 1)
+
+    def test_write_back_without_copy_rejected(self, cf, mgr):
+        g = global_array(cf)
+        with pytest.raises(CoherenceError):
+            mgr.write_back(g, 0)
+
+
+class TestGlobalWrites:
+    def test_global_write_invalidates_copies(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.write_global(g)
+        assert mgr.state_of(g, 0) is CopyState.STALE
+        assert mgr.stats.invalidations == 1
+
+    def test_global_write_with_dirty_copy_rejected(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.mark_written(g, 0)
+        with pytest.raises(CoherenceError):
+            mgr.write_global(g)
+
+    def test_invalidate_all(self, cf, mgr):
+        g = global_array(cf)
+        mgr.copy_to_cluster(g, 0)
+        mgr.copy_to_cluster(g, 1)
+        mgr.invalidate_all(g)
+        assert mgr.holders(g) == []
+
+
+class TestDistribution:
+    def test_distribute_partitions_exactly(self, cf, mgr):
+        g = global_array(cf, n=100)
+        pieces = mgr.distribute(g, 4)
+        assert [c for c, _, _ in pieces] == [0, 1, 2, 3]
+        rebuilt = np.concatenate([local.data for _, local, _ in pieces])
+        np.testing.assert_array_equal(rebuilt, g.data)
+
+    def test_distribute_slices_cover(self, cf, mgr):
+        g = global_array(cf, n=37)
+        pieces = mgr.distribute(g, 3)
+        covered = sum(sl.stop - sl.start for _, _, sl in pieces)
+        assert covered == 37
+
+    def test_distribute_validation(self, cf, mgr):
+        g = global_array(cf)
+        with pytest.raises(ValueError):
+            mgr.distribute(g, 0)
+        with pytest.raises(ValueError):
+            mgr.distribute(g, 9)
+
+    def test_words_moved_accounted(self, cf, mgr):
+        g = global_array(cf, n=64)
+        mgr.copy_to_cluster(g, 0)
+        mgr.write_back(g, 0)
+        assert mgr.stats.words_moved == 128
+
+
+class TestDistributedComputePattern:
+    def test_sdoall_style_partitioned_update(self, cf, mgr):
+        """The Section 3.2 localization pattern end to end: distribute,
+        update each piece on its cluster, write back, verify."""
+        g = cf.global_array(np.arange(32.0), name="field")
+        pieces = mgr.distribute(g, 4)
+        for cluster, local, sl in pieces:
+            local.data[:] = local.data * 2.0  # cluster-local compute
+            g.data.reshape(-1)[sl] = local.data  # explicit move back
+        np.testing.assert_array_equal(g.data, np.arange(32.0) * 2.0)

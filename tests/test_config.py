@@ -1,0 +1,107 @@
+"""Tests for the machine configuration (the paper's published numbers)."""
+
+import pytest
+
+from repro.core.config import CedarConfig, DEFAULT_CONFIG
+
+
+class TestPublishedParameters:
+    """Each assertion cites Section 2."""
+
+    def test_four_clusters_of_eight(self):
+        assert DEFAULT_CONFIG.clusters == 4
+        assert DEFAULT_CONFIG.ces_per_cluster == 8
+        assert DEFAULT_CONFIG.total_ces == 32
+
+    def test_ce_cycle_and_peak(self):
+        # "The CE instruction cycle is 170ns ... peak performance of
+        # each CE is 11.8 Mflops"
+        assert DEFAULT_CONFIG.ce.cycle_ns == 170.0
+        per_ce = DEFAULT_CONFIG.peak_mflops / 32
+        assert per_ce == pytest.approx(11.8, abs=0.1)
+
+    def test_vector_registers(self):
+        # "The vector unit contains eight 32-word registers"
+        assert DEFAULT_CONFIG.ce.vector_registers == 8
+        assert DEFAULT_CONFIG.ce.vector_register_words == 32
+
+    def test_two_outstanding_misses(self):
+        # "allowing each CE to have two outstanding cache misses"
+        assert DEFAULT_CONFIG.ce.max_outstanding_misses == 2
+
+    def test_cache_geometry(self):
+        # "4-way interleaved ... 512KB ... Cache line size is 32 bytes"
+        cache = DEFAULT_CONFIG.cache
+        assert cache.size_bytes == 512 * 1024
+        assert cache.line_bytes == 32
+        assert cache.banks == 4
+        assert cache.write_back and cache.lockup_free
+
+    def test_cache_and_cluster_memory_bandwidth(self):
+        # "eight 64-bit words per instruction cycle ... The cluster
+        # memory bandwidth is half of that"
+        assert DEFAULT_CONFIG.cache.words_per_cycle == 8
+        assert DEFAULT_CONFIG.cluster_memory.words_per_cycle == 4
+
+    def test_memory_sizes(self):
+        # "32MB of cluster memory ... 64MB of shared global memory"
+        assert DEFAULT_CONFIG.cluster_memory.size_bytes == 32 * 1024 * 1024
+        assert DEFAULT_CONFIG.global_memory.size_bytes == 64 * 1024 * 1024
+
+    def test_page_size(self):
+        # "a virtual memory system with a 4KB page size"
+        assert DEFAULT_CONFIG.vm.page_bytes == 4096
+
+    def test_network_parameters(self):
+        # "8 x 8 crossbar switches ... A two word queue is used on each
+        # crossbar input and output port"
+        assert DEFAULT_CONFIG.network.switch_radix == 8
+        assert DEFAULT_CONFIG.network.queue_words == 2
+        assert DEFAULT_CONFIG.network.max_packet_words == 4
+
+    def test_global_bandwidth(self):
+        # "The peak global memory bandwidth is 768 MB/sec or 24 MB/sec
+        # per processor": 32 modules / 2-cycle access = 16 words/cycle
+        gm = DEFAULT_CONFIG.global_memory
+        words_per_cycle = gm.modules / gm.access_cycles
+        mb_per_s = words_per_cycle * 8 / (170e-9) / 1e6
+        assert mb_per_s == pytest.approx(768.0, rel=0.03)
+
+    def test_prefetch_unit(self):
+        # "the PFU issues up to 512 requests ... 512-word prefetch buffer"
+        pf = DEFAULT_CONFIG.prefetch
+        assert pf.buffer_words == 512
+        assert pf.max_outstanding == 512
+
+    def test_runtime_costs(self):
+        # "loop startup latency of 90 us and fetching the next
+        # iteration takes about 30 us"
+        rt = DEFAULT_CONFIG.runtime
+        assert rt.xdoall_startup_us == 90.0
+        assert rt.xdoall_fetch_us == 30.0
+        assert rt.cdoall_startup_us <= 5.0
+
+    def test_peaks(self):
+        assert DEFAULT_CONFIG.peak_mflops == pytest.approx(376.5, abs=1.0)
+        assert DEFAULT_CONFIG.effective_peak_mflops == pytest.approx(274.0, abs=1.0)
+
+
+class TestConfigValidation:
+    def test_no_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            CedarConfig(clusters=0)
+
+    def test_no_ces_rejected(self):
+        with pytest.raises(ValueError):
+            CedarConfig(ces_per_cluster=0)
+
+    def test_scaled_configuration(self):
+        big = CedarConfig(clusters=8)
+        assert big.total_ces == 64
+        assert big.peak_mflops == pytest.approx(2 * DEFAULT_CONFIG.peak_mflops)
+
+    def test_config_is_immutable(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONFIG.clusters = 5

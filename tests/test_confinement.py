@@ -1,0 +1,80 @@
+"""Tests for the single-cluster confinement option (Perfect rules:
+"in a few cases program execution was confined to a single cluster to
+avoid intercluster overhead")."""
+
+import pytest
+
+from repro.perf.model import CedarApplicationModel
+from repro.perfect.profiles import CodeProfile, LoopProfile, PERFECT_CODES
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+from repro.xylem.runtime import LoopKind
+
+MODEL = CedarApplicationModel()
+
+
+def fine_grain_code(grain_us: float = 20.0) -> CodeProfile:
+    """A synthetic code whose parallel loops are so fine-grained that
+    XDOALL scheduling overhead dominates."""
+    invocations = 200_000
+    trips = 32
+    serial = invocations * trips * grain_us * 1e-6  # all time in the loop
+    return CodeProfile(
+        name="FINEGRAIN",
+        serial_seconds=serial,
+        flops=serial * 5e6,
+        loops=(
+            LoopProfile(
+                label="kap_loops",
+                weight=1.0,
+                invocations=invocations,
+                trips=trips,
+                kind=LoopKind.XDOALL,
+                vector_speedup=2.0,
+                global_vector_fraction=0.0,
+                feature="clean",
+            ),
+        ),
+        serial_fraction=0.0,
+    )
+
+
+class TestConfinementMechanism:
+    def test_fine_grain_loops_prefer_one_cluster(self):
+        """When iteration grain is comparable to the 30us XDOALL fetch,
+        the concurrency bus's microsecond costs beat 4x the CEs."""
+        code = fine_grain_code(grain_us=20.0)
+        full = MODEL.execute(code, KAP_PIPELINE)
+        confined = MODEL.execute(code, KAP_PIPELINE, confine_to_cluster=True)
+        assert confined.seconds < full.seconds
+
+    def test_coarse_grain_loops_prefer_the_full_machine(self):
+        """The derived Perfect profiles are coarse-grained: every code
+        runs fastest on all 32 CEs."""
+        for name, code in PERFECT_CODES.items():
+            full = MODEL.execute(code, AUTOMATABLE_PIPELINE)
+            confined = MODEL.execute(
+                code, AUTOMATABLE_PIPELINE, confine_to_cluster=True
+            )
+            assert full.seconds <= confined.seconds * 1.001, name
+
+    def test_confinement_caps_processors_not_semantics(self):
+        code = PERFECT_CODES["MDG"]
+        confined = MODEL.execute(code, AUTOMATABLE_PIPELINE, confine_to_cluster=True)
+        assert "(1 cluster)" in confined.version
+        assert confined.parallel_coverage == pytest.approx(
+            MODEL.execute(code, AUTOMATABLE_PIPELINE).parallel_coverage
+        )
+
+    def test_crossover_grain(self):
+        """The breakeven grain sits between the CDOALL and XDOALL fetch
+        costs, as the Section 3.2 arithmetic implies."""
+        fine = fine_grain_code(grain_us=5.0)
+        coarse = fine_grain_code(grain_us=500.0)
+        assert (
+            MODEL.execute(fine, KAP_PIPELINE, confine_to_cluster=True).seconds
+            < MODEL.execute(fine, KAP_PIPELINE).seconds
+        )
+        assert (
+            MODEL.execute(coarse, KAP_PIPELINE).seconds
+            < MODEL.execute(coarse, KAP_PIPELINE, confine_to_cluster=True).seconds
+        )

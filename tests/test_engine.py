@@ -1,0 +1,101 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.engine import Engine, SimulationError
+
+
+def test_events_run_in_time_order():
+    eng = Engine()
+    seen = []
+    eng.schedule(5, lambda: seen.append("b"))
+    eng.schedule(1, lambda: seen.append("a"))
+    eng.schedule(9, lambda: seen.append("c"))
+    eng.run()
+    assert seen == ["a", "b", "c"]
+    assert eng.now == 9
+
+
+def test_ties_break_in_fifo_order():
+    eng = Engine()
+    seen = []
+    for tag in range(5):
+        eng.schedule(3, lambda t=tag: seen.append(t))
+    eng.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_schedule_after_is_relative():
+    eng = Engine()
+    times = []
+
+    def chain():
+        times.append(eng.now)
+        if len(times) < 3:
+            eng.schedule_after(2, chain)
+
+    eng.schedule(1, chain)
+    eng.run()
+    assert times == [1, 3, 5]
+
+
+def test_cannot_schedule_in_the_past():
+    eng = Engine()
+    eng.schedule(10, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule_after(-1, lambda: None)
+
+
+def test_run_until_bound():
+    eng = Engine()
+    seen = []
+    eng.schedule(1, lambda: seen.append(1))
+    eng.schedule(100, lambda: seen.append(100))
+    eng.run(until=50)
+    assert seen == [1]
+    assert eng.now == 50
+    assert eng.pending() == 1
+
+
+def test_run_resumes_after_until():
+    eng = Engine()
+    seen = []
+    eng.schedule(100, lambda: seen.append(100))
+    eng.run(until=50)
+    eng.run()
+    assert seen == [100]
+
+
+def test_max_events_guards_against_livelock():
+    eng = Engine()
+
+    def forever():
+        eng.schedule_after(1, forever)
+
+    eng.schedule(0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        eng.run(max_events=100)
+
+
+def test_stop_when_predicate():
+    eng = Engine()
+    seen = []
+    for t in range(10):
+        eng.schedule(t, lambda t=t: seen.append(t))
+    eng.run(stop_when=lambda: len(seen) >= 3)
+    assert seen == [0, 1, 2]
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for t in range(4):
+        eng.schedule(t, lambda: None)
+    eng.run()
+    assert eng.events_processed == 4

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs clean end to end.
+
+The slow examples get their reduced modes; the point is that a user
+following the README never hits a broken script.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "restructure_my_loop.py",
+    "xylem_io.py",
+    "cg_solver.py",
+    "judging_parallelism.py",
+    "perfect_study.py",
+    "compile_and_run.py",
+    "trfd_vm_study.py",
+]
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_memory_hierarchy_example():
+    result = run_example("memory_hierarchy.py")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "hit rate" in result.stdout
+    assert "coherence manager refused" in result.stdout
+
+
+def test_rank64_example_small_mode():
+    result = run_example("rank64_update.py", "--small", timeout=400)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "GM/cache" in result.stdout
+
+
+def test_example_outputs_mention_paper_anchors():
+    out = run_example("quickstart.py").stdout
+    assert "8" in out and "MDG" in out

@@ -1,0 +1,120 @@
+"""Light integration tests for the experiment harnesses (the heavy
+assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.fig1 import render_fig1, topology_summary
+from repro.experiments.fig3 import band_census, render_fig3, run_fig3
+from repro.experiments.overheads import nest_comparison_us, run_overheads
+from repro.experiments.ppt4 import CedarCGModel, run_ppt4
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.metrics.bands import Band
+
+
+class TestTable3Harness:
+    def test_all_codes_present(self):
+        rows = run_table3()
+        assert len(rows) == 13
+
+    def test_spice_has_no_automatable_version(self):
+        rows = {r.code: r for r in run_table3()}
+        assert rows["SPICE"].auto_time is None
+        assert rows["SPICE"].mflops is not None
+
+    def test_render_includes_paper_rows(self):
+        text = render_table3(run_table3())
+        assert "[ADM]" in text and "[TRFD]" in text
+
+    def test_ymp_ratio_direction(self):
+        rows = {r.code: r for r in run_table3()}
+        assert rows["ARC2D"].ymp_ratio > 10  # vector code: YMP far ahead
+        assert rows["QCD"].ymp_ratio < 1     # Cedar ahead on QCD
+
+
+class TestTable4Harness:
+    def test_rows_and_order(self):
+        rows = run_table4()
+        assert [r.code for r in rows[:4]] == ["ARC2D", "BDNA", "TRFD", "QCD"]
+
+    def test_improvements_positive(self):
+        assert all(r.improvement > 1.0 for r in run_table4())
+
+
+class TestTable5Harness:
+    def test_machines(self):
+        machines = [r.machine for r in run_table5()]
+        assert machines == ["Cedar", "Cray YMP-8", "Cray-1"]
+
+    def test_instabilities_decrease(self):
+        for row in run_table5():
+            assert row.instabilities[0] >= row.instabilities[1] >= row.instabilities[2]
+
+
+class TestTable6Harness:
+    def test_counts_sum_to_13(self):
+        result = run_table6()
+        assert sum(result.cedar.counts) == 13
+        assert sum(result.ymp.counts) == 13
+
+
+class TestFig1:
+    def test_summary_and_render(self):
+        info = topology_summary()
+        assert info["total_ces"] == 32
+        text = render_fig1()
+        assert "Cluster 3" in text and "shuffle-exchange" in text
+
+
+class TestFig3:
+    def test_thirteen_points(self):
+        points = run_fig3()
+        assert len(points) == 13
+        census = band_census(points)
+        assert sum(census["Cedar"].values()) == 13
+
+    def test_efficiencies_in_unit_interval(self):
+        for p in run_fig3():
+            assert 0.0 < p.cedar_efficiency <= 1.0
+            assert 0.0 < p.ymp_efficiency <= 1.0
+
+    def test_render_contains_bands(self):
+        text = render_fig3(run_fig3())
+        assert "Cedar:" in text and "YMP:" in text
+
+
+class TestPPT4Harness:
+    def test_cg_model_monotone_in_processors(self):
+        cg = CedarCGModel()
+        times = [cg.iteration_seconds(65_536, p) for p in (1, 2, 8, 32)]
+        assert times == sorted(times, reverse=True)
+
+    def test_cg_model_bandwidth_saturation(self):
+        """Beyond ~20 CEs the machine bandwidth caps CG throughput."""
+        cg = CedarCGModel()
+        assert cg.mflops(176_128, 32) < cg.mflops(176_128, 20) * 1.2
+
+    def test_speedup_accounts_overheads(self):
+        cg = CedarCGModel()
+        assert cg.speedup(1024, 32) < cg.speedup(176_128, 32)
+
+    def test_grid_complete(self):
+        study = run_ppt4()
+        assert len(study.cedar.grid) == 30  # 5 processor counts x 6 sizes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CedarCGModel().iteration_seconds(1000, 0)
+
+
+class TestOverheadsHarness:
+    def test_three_constructs(self):
+        assert [r.construct for r in run_overheads()] == [
+            "XDOALL", "SDOALL", "CDOALL",
+        ]
+
+    def test_nest_comparison_returns_pair(self):
+        x, s = nest_comparison_us(64, 10.0)
+        assert x > 0 and s > 0

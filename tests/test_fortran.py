@@ -1,0 +1,193 @@
+"""Tests for the Cedar Fortran DSL: placement, vector ops, DOALLs."""
+
+import numpy as np
+import pytest
+
+from repro.fortran import CedarFortran, Placement
+from repro.fortran.placement import CedarArray
+
+
+@pytest.fixture
+def cf():
+    return CedarFortran()
+
+
+class TestPlacement:
+    def test_global_attribute(self, cf):
+        a = cf.global_array(np.zeros(8), name="A")
+        assert a.is_global and a.home_cluster is None
+
+    def test_default_placement_is_cluster(self, cf):
+        a = cf.cluster_array(np.zeros(8), cluster=2)
+        assert a.placement is Placement.CLUSTER and a.home_cluster == 2
+
+    def test_cluster_array_invisible_remotely(self, cf):
+        a = cf.cluster_array(np.zeros(8), cluster=0)
+        with pytest.raises(PermissionError):
+            a.check_visible_from(3)
+        a.check_visible_from(0)
+
+    def test_global_array_rejects_home_cluster(self):
+        with pytest.raises(ValueError):
+            CedarArray(np.zeros(4), Placement.GLOBAL, home_cluster=1)
+
+    def test_loop_local_only_inside_doall(self, cf):
+        with pytest.raises(RuntimeError):
+            cf.loop_local((4,))
+
+        seen = []
+
+        def body(i):
+            local = cf.loop_local((4,))
+            seen.append(local.placement)
+
+        cf.cdoall(2, body)
+        assert seen == [Placement.LOOP_LOCAL] * 2
+
+
+class TestVectorOps:
+    def test_vector_op_computes(self, cf):
+        a = cf.global_array(np.arange(64.0))
+        b = cf.global_array(np.ones(64))
+        out = cf.global_array(np.zeros(64))
+        cf.vector_op(lambda x, y: x + 2 * y, out, a, b)
+        np.testing.assert_allclose(out.data, np.arange(64.0) + 2)
+
+    def test_vector_op_charges_time(self, cf):
+        a = cf.global_array(np.zeros(1024))
+        out = cf.global_array(np.zeros(1024))
+        before = cf.clock_us
+        cf.vector_op(lambda x: x * 2, out, a)
+        assert cf.clock_us > before
+
+    def test_global_operands_cost_more_than_cached(self):
+        cf = CedarFortran()
+        n = 4096
+        g_out = cf.global_array(np.zeros(n))
+        g_in = cf.global_array(np.zeros(n))
+        with cf.scope() as g_time:
+            cf.vector_op(lambda x: x, g_out, g_in)
+
+        def body(_):
+            local_in = cf.loop_local(n)
+            local_out = cf.loop_local(n)
+            cf.vector_op(lambda x: x, local_out, local_in)
+
+        with cf.scope() as l_time:
+            cf.cdoall(1, body)
+        # cached loop-local access beats prefetched global access per word
+        # even after the CDOALL startup
+        assert g_time["us"] > 0
+
+    def test_no_prefetch_costs_more(self):
+        n = 8192
+        fast = CedarFortran(use_prefetch=True)
+        slow = CedarFortran(use_prefetch=False)
+        for cf in (fast, slow):
+            a = cf.global_array(np.zeros(n))
+            out = cf.global_array(np.zeros(n))
+            cf.vector_op(lambda x: x, out, a)
+        assert slow.clock_us > 2 * fast.clock_us
+
+    def test_reduction_returns_value(self, cf):
+        a = cf.global_array(np.arange(10.0))
+        assert cf.reduction(np.sum, a) == pytest.approx(45.0)
+
+
+class TestDoalls:
+    def test_cdoall_executes_all_iterations(self, cf):
+        data = cf.cluster_array(np.zeros(16))
+
+        def body(i):
+            data.data[i] = i * i
+
+        cf.cdoall(16, body)
+        np.testing.assert_allclose(data.data, np.arange(16.0) ** 2)
+
+    def test_xdoall_startup_dominates_empty_loop(self, cf):
+        before = cf.clock_us
+        cf.xdoall(0, lambda i: None)
+        assert cf.clock_us - before == pytest.approx(90.0)
+
+    def test_cdoall_cheaper_than_xdoall_for_small_loops(self):
+        """An SDOALL/CDOALL nest has lower scheduling cost (Section 3.2)."""
+        via_x = CedarFortran()
+        via_x.xdoall(8, lambda i: via_x.compute_us(5.0))
+        via_c = CedarFortran()
+        via_c.cdoall(8, lambda i: via_c.compute_us(5.0))
+        assert via_c.clock_us < via_x.clock_us
+
+    def test_parallel_speedup_of_uniform_loop(self, cf):
+        # 32 iterations of 1000us on 32 CEs: near-ideal one wave
+        cf.xdoall(32, lambda i: cf.compute_us(1000.0))
+        assert cf.clock_us == pytest.approx(90.0 + 30.0 + 1000.0)
+
+    def test_sdoall_cdoall_nest(self, cf):
+        hits = []
+
+        def inner(ctx):
+            def body(i):
+                cf.compute_us(10.0)
+                hits.append((ctx.cluster, i))
+
+            cf.cdoall(8, body)
+
+        cf.sdoall(4, inner)
+        assert len(hits) == 32
+        assert {c for c, _ in hits} == {0, 1, 2, 3}
+
+    def test_nested_makespan_composition(self, cf):
+        """4 SDOALL iterations each running an 8-iteration CDOALL of
+        100us bodies: clusters work concurrently, CEs within a cluster
+        work concurrently."""
+        def inner(ctx):
+            cf.cdoall(8, lambda i: cf.compute_us(100.0))
+
+        cf.sdoall(4, inner)
+        # inner CDOALL: ~3 + (0.4 + 100) one wave on 8 CEs
+        # outer SDOALL: 90 + 30 + inner, one wave on 4 clusters
+        assert cf.clock_us == pytest.approx(90.0 + 30.0 + 3.0 + 100.4, rel=0.01)
+
+    def test_without_cedar_sync_loops_slow_down(self):
+        with_sync = CedarFortran(use_cedar_sync=True)
+        without = CedarFortran(use_cedar_sync=False)
+        for cf in (with_sync, without):
+            cf.xdoall(256, lambda i: cf.compute_us(10.0))
+        assert without.clock_us > with_sync.clock_us
+
+    def test_doall_negative_iterations(self, cf):
+        with pytest.raises(ValueError):
+            cf.cdoall(-1, lambda i: None)
+
+
+class TestMoves:
+    def test_move_copies_and_charges(self, cf):
+        g = cf.global_array(np.arange(100.0))
+        c = cf.cluster_array(np.zeros(100))
+        before = cf.clock_us
+        cf.move(g, c)
+        np.testing.assert_allclose(c.data, np.arange(100.0))
+        assert cf.clock_us > before
+        assert cf.moves == 1
+
+    def test_move_size_mismatch(self, cf):
+        g = cf.global_array(np.zeros(4))
+        c = cf.cluster_array(np.zeros(5))
+        with pytest.raises(ValueError):
+            cf.move(g, c)
+
+
+class TestScopeAndClock:
+    def test_scope_measures(self, cf):
+        with cf.scope() as t:
+            cf.compute_us(42.0)
+        assert t["us"] == pytest.approx(42.0)
+        assert cf.clock_us == pytest.approx(42.0)
+
+    def test_negative_compute_rejected(self, cf):
+        with pytest.raises(ValueError):
+            cf.compute_us(-1.0)
+
+    def test_fetch_and_add_functional(self, cf):
+        assert cf.fetch_and_add(0) == 0
+        assert cf.fetch_and_add(0) == 1

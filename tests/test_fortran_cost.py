@@ -1,0 +1,87 @@
+"""Tests for the vector-operation cost model."""
+
+import pytest
+
+from repro.core.config import CedarConfig
+from repro.fortran.cost import VectorCostModel
+from repro.fortran.placement import Placement
+
+
+@pytest.fixture
+def cost():
+    return VectorCostModel(CedarConfig())
+
+
+class TestTransferRates:
+    def test_prefetched_global_near_one_cycle(self, cost):
+        assert 1.0 <= cost.transfer_cycles_per_word(Placement.GLOBAL) <= 1.5
+
+    def test_nopref_global_is_13_over_2(self):
+        model = VectorCostModel(CedarConfig(), use_prefetch=False)
+        assert model.transfer_cycles_per_word(Placement.GLOBAL) == pytest.approx(6.5)
+
+    def test_hierarchy_ordering(self, cost):
+        """cache <= cluster memory <= global-without-prefetch."""
+        nopref = VectorCostModel(CedarConfig(), use_prefetch=False)
+        assert (
+            cost.transfer_cycles_per_word(Placement.LOOP_LOCAL)
+            <= cost.transfer_cycles_per_word(Placement.CLUSTER)
+            <= nopref.transfer_cycles_per_word(Placement.GLOBAL)
+        )
+
+
+class TestVectorOpCost:
+    def test_zero_elements_free(self, cost):
+        assert cost.vector_op_cycles(0, [Placement.GLOBAL]) == 0.0
+
+    def test_per_strip_startup(self, cost):
+        one_strip = cost.vector_op_cycles(32, [Placement.LOOP_LOCAL])
+        two_strips = cost.vector_op_cycles(64, [Placement.LOOP_LOCAL])
+        # second strip pays another startup
+        assert two_strips > 2 * one_strip - 1e-9 - one_strip * 0.5
+
+    def test_more_operands_cost_more(self, cost):
+        one = cost.vector_op_cycles(320, [Placement.GLOBAL])
+        three = cost.vector_op_cycles(320, [Placement.GLOBAL] * 3)
+        assert three > one
+
+    def test_compute_bound_when_flops_dominate(self, cost):
+        cheap = cost.vector_op_cycles(320, [Placement.LOOP_LOCAL], flops_per_element=2)
+        heavy = cost.vector_op_cycles(320, [Placement.LOOP_LOCAL], flops_per_element=16)
+        assert heavy > cheap * 2
+
+    def test_prefetch_arm_charged_per_global_operand(self):
+        with_pref = VectorCostModel(CedarConfig(), use_prefetch=True)
+        base = with_pref.vector_op_cycles(32, [Placement.LOOP_LOCAL])
+        glob = with_pref.vector_op_cycles(32, [Placement.GLOBAL])
+        assert glob >= base  # arm overhead plus slightly slower words
+
+    def test_stores_add_port_traffic(self, cost):
+        no_store = cost.vector_op_cycles(320, [Placement.GLOBAL], stores=0)
+        store = cost.vector_op_cycles(320, [Placement.GLOBAL], stores=1)
+        assert store > no_store
+
+    def test_us_conversion(self, cost):
+        cycles = cost.vector_op_cycles(320, [Placement.GLOBAL])
+        us = cost.vector_op_us(320, [Placement.GLOBAL])
+        assert us == pytest.approx(cycles * 170e-3)
+
+
+class TestMoveCost:
+    def test_move_scales_with_words(self, cost):
+        assert cost.move_us(2000) > cost.move_us(1000) > 0
+
+    def test_negative_rejected(self, cost):
+        with pytest.raises(ValueError):
+            cost.move_us(-1)
+
+
+class TestScalarAccess:
+    def test_global_scalar_full_latency(self, cost):
+        one = cost.scalar_access_us(1, Placement.GLOBAL)
+        assert one == pytest.approx(13 * 170e-3 / 1e0 * 1e0, rel=1e-6)
+
+    def test_cluster_scalar_cheaper(self, cost):
+        assert cost.scalar_access_us(10, Placement.CLUSTER) < cost.scalar_access_us(
+            10, Placement.GLOBAL
+        )

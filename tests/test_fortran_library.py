@@ -1,0 +1,122 @@
+"""Tests for the Cedar Fortran vector library and the DSL-level CG."""
+
+import numpy as np
+import pytest
+
+from repro.fortran import CedarFortran
+from repro.fortran.library import (
+    PentadiagOperator,
+    cg_solve,
+    pentadiag_matvec,
+    vaxpy,
+    vcopy,
+    vdot,
+    vnorm2,
+    vscale,
+)
+from repro.kernels.reference import (
+    cg_solve as reference_cg,
+    make_spd_pentadiag,
+    pentadiag_matvec as reference_matvec,
+)
+
+
+@pytest.fixture
+def cf():
+    return CedarFortran()
+
+
+def garr(cf, values, name=""):
+    return cf.global_array(np.asarray(values, dtype=float), name=name)
+
+
+class TestBlasOps:
+    def test_vcopy(self, cf):
+        src = garr(cf, [1.0, 2.0, 3.0])
+        dst = garr(cf, np.zeros(3))
+        vcopy(cf, dst, src)
+        np.testing.assert_array_equal(dst.data, src.data)
+
+    def test_vscale(self, cf):
+        x = garr(cf, [1.0, -2.0])
+        out = garr(cf, np.zeros(2))
+        vscale(cf, out, 3.0, x)
+        np.testing.assert_array_equal(out.data, [3.0, -6.0])
+
+    def test_vaxpy(self, cf):
+        x = garr(cf, [1.0, 1.0])
+        y = garr(cf, [10.0, 20.0])
+        out = garr(cf, np.zeros(2))
+        vaxpy(cf, out, 2.0, x, y)
+        np.testing.assert_array_equal(out.data, [12.0, 22.0])
+
+    def test_vdot_and_norm(self, cf):
+        x = garr(cf, [3.0, 4.0])
+        assert vdot(cf, x, x) == pytest.approx(25.0)
+        assert vnorm2(cf, x) == pytest.approx(5.0)
+
+    def test_dot_length_mismatch(self, cf):
+        with pytest.raises(ValueError):
+            cf.dot(garr(cf, [1.0]), garr(cf, [1.0, 2.0]))
+
+    def test_ops_charge_time(self, cf):
+        x = garr(cf, np.zeros(1024))
+        out = garr(cf, np.zeros(1024))
+        before = cf.clock_us
+        vaxpy(cf, out, 1.0, x, out)
+        vdot(cf, x, x)
+        assert cf.clock_us > before
+
+
+class TestPentadiagOperator:
+    def test_matches_reference_matvec(self, cf):
+        n = 64
+        diagonals = make_spd_pentadiag(n, seed=11)
+        op = PentadiagOperator.from_diagonals(cf, diagonals)
+        rng = np.random.default_rng(11)
+        xv = rng.standard_normal(n)
+        x = garr(cf, xv)
+        y = garr(cf, np.zeros(n))
+        pentadiag_matvec(cf, y, op, x)
+        np.testing.assert_allclose(y.data, reference_matvec(diagonals, xv))
+
+
+class TestFortranCG:
+    def test_agrees_with_reference_solver(self, cf):
+        n = 128
+        diagonals = make_spd_pentadiag(n, seed=21)
+        rng = np.random.default_rng(21)
+        bv = rng.standard_normal(n)
+        op = PentadiagOperator.from_diagonals(cf, diagonals)
+        b = garr(cf, bv, name="b")
+        result = cg_solve(cf, op, b, tol=1e-10)
+        reference = reference_cg(diagonals, bv, tol=1e-10)
+        np.testing.assert_allclose(result.x, reference.x, atol=1e-6)
+        assert result.iterations == reference.iterations
+
+    def test_residual_small(self, cf):
+        n = 96
+        diagonals = make_spd_pentadiag(n, seed=5)
+        op = PentadiagOperator.from_diagonals(cf, diagonals)
+        b = garr(cf, np.ones(n))
+        result = cg_solve(cf, op, b, tol=1e-9)
+        assert result.residual < 1e-8
+
+    def test_simulated_time_scales_with_problem(self):
+        times = []
+        for n in (64, 256):
+            cf = CedarFortran()
+            diagonals = make_spd_pentadiag(n, seed=2)
+            op = PentadiagOperator.from_diagonals(cf, diagonals)
+            b = cf.global_array(np.ones(n))
+            result = cg_solve(cf, op, b, tol=1e-8, max_iter=10)
+            times.append(result.simulated_us / result.iterations)
+        assert times[1] > times[0]
+
+    def test_max_iter_cap(self, cf):
+        n = 64
+        diagonals = make_spd_pentadiag(n, seed=3)
+        op = PentadiagOperator.from_diagonals(cf, diagonals)
+        b = garr(cf, np.ones(n))
+        result = cg_solve(cf, op, b, tol=1e-16, max_iter=2)
+        assert result.iterations == 2

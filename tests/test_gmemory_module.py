@@ -1,0 +1,125 @@
+"""Tests for the memory-module resource behaviour (replies, writes,
+blocks, sync ops) using a minimal two-network harness."""
+
+import pytest
+
+from repro.core.config import GlobalMemoryConfig
+from repro.core.engine import Engine
+from repro.gmemory.interleave import iter_addresses, module_for_address, sweep_modules
+from repro.gmemory.module import GlobalMemory
+from repro.gmemory.sync import SyncOp, TestOp as RelOp
+from repro.network.omega import OmegaNetwork
+from repro.network.packet import Packet, PacketKind
+
+
+def make_harness(modules=32):
+    engine = Engine()
+    config = GlobalMemoryConfig(modules=modules)
+    fwd = OmegaNetwork(engine, "fwd", 32)
+    rev = OmegaNetwork(engine, "rev", 32)
+    gmem = GlobalMemory(engine, config, rev)
+    return engine, fwd, rev, gmem
+
+
+class TestInterleave:
+    def test_double_word_interleave(self):
+        assert module_for_address(0, 32) == 0
+        assert module_for_address(1, 32) == 1
+        assert module_for_address(33, 32) == 1
+
+    def test_sweep_stride_one_round_robin(self):
+        assert sweep_modules(0, 4, 1, 32) == [0, 1, 2, 3]
+
+    def test_sweep_pathological_stride(self):
+        assert set(sweep_modules(0, 8, 32, 32)) == {0}
+
+    def test_iter_addresses(self):
+        assert list(iter_addresses(10, 3, 2)) == [10, 12, 14]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            module_for_address(-1, 32)
+        with pytest.raises(ValueError):
+            module_for_address(0, 0)
+        with pytest.raises(ValueError):
+            sweep_modules(0, -1, 1, 32)
+
+
+class TestModuleService:
+    def test_read_generates_reply_to_source(self):
+        engine, fwd, rev, gmem = make_harness()
+        replies = []
+        rev.register_sink(3, lambda p: replies.append(p))
+        pkt = Packet(PacketKind.READ_REQ, src=3, dst=7, address=7)
+        fwd.inject(pkt, tail=gmem.route_tail(7))
+        engine.run()
+        assert len(replies) == 1
+        assert replies[0].kind is PacketKind.READ_REPLY
+        assert gmem.modules[7].reads == 1
+
+    def test_write_is_consumed_silently(self):
+        engine, fwd, rev, gmem = make_harness()
+        rev.register_sink(0, lambda p: pytest.fail("write must not reply"))
+        pkt = Packet(PacketKind.WRITE_REQ, src=0, dst=5, address=5, words=2)
+        fwd.inject(pkt, tail=gmem.route_tail(5))
+        engine.run()
+        assert gmem.total_writes == 1
+
+    def test_block_request_returns_block_reply(self):
+        engine, fwd, rev, gmem = make_harness()
+        replies = []
+        rev.register_sink(1, lambda p: replies.append(p))
+        pkt = Packet(
+            PacketKind.BLOCK_REQ, src=1, dst=2, address=2, words=1,
+            meta={"block_words": 3},
+        )
+        fwd.inject(pkt, tail=gmem.route_tail(2))
+        engine.run()
+        assert replies[0].kind is PacketKind.BLOCK_REPLY
+        assert replies[0].words == 4  # control + 3 data (network maximum)
+
+    def test_sync_request_executes_in_module(self):
+        engine, fwd, rev, gmem = make_harness()
+        replies = []
+        rev.register_sink(0, lambda p: replies.append(p))
+        pkt = Packet(
+            PacketKind.SYNC_REQ, src=0, dst=9, address=9, words=2,
+            meta={"sync": (RelOp.ALWAYS, 0, SyncOp.ADD, 5)},
+        )
+        fwd.inject(pkt, tail=gmem.route_tail(9))
+        engine.run()
+        result = replies[0].meta["sync_result"]
+        assert result.success and result.new_value == 5
+        assert gmem.modules[9].sync.peek(9) == 5
+        assert gmem.total_sync_ops == 1
+
+    def test_sync_takes_longer_than_read(self):
+        engine, fwd, rev, gmem = make_harness()
+        times = {}
+        rev.register_sink(0, lambda p: times.setdefault(p.kind, engine.now))
+        read = Packet(PacketKind.READ_REQ, src=0, dst=4, address=4)
+        fwd.inject(read, tail=gmem.route_tail(4))
+        engine.run()
+        engine2, fwd2, rev2, gmem2 = make_harness()
+        times2 = {}
+        rev2.register_sink(0, lambda p: times2.setdefault(p.kind, engine2.now))
+        sync = Packet(
+            PacketKind.SYNC_REQ, src=0, dst=4, address=4, words=2,
+            meta={"sync": (RelOp.ALWAYS, 0, SyncOp.READ, 0)},
+        )
+        fwd2.inject(sync, tail=gmem2.route_tail(4))
+        engine2.run()
+        assert times2[PacketKind.SYNC_REPLY] > times[PacketKind.READ_REPLY]
+
+    def test_module_steering(self):
+        _, _, _, gmem = make_harness()
+        assert gmem.module_for(0).index == 0
+        assert gmem.module_for(65).index == 1
+
+    def test_unknown_packet_kind_rejected(self):
+        engine, fwd, rev, gmem = make_harness()
+        rev.register_sink(0, lambda p: None)
+        bad = Packet(PacketKind.READ_REPLY, src=0, dst=0, address=0)
+        fwd.inject(bad, tail=gmem.route_tail(0))
+        with pytest.raises(ValueError):
+            engine.run()

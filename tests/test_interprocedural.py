@@ -1,0 +1,123 @@
+"""Tests for interprocedural call-site resolution."""
+
+import pytest
+
+from repro.restructurer.interprocedural import SubroutineSummary, SummaryRegistry
+from repro.restructurer.ir import CallSite, Loop, Statement, read, write
+from repro.restructurer.parser import parse_loop
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+
+
+def loop_with_call(call, rhs=None):
+    st = Statement(
+        lhs=write("y", 1, 0),
+        rhs=rhs if rhs is not None else [read("x", 1, 0)],
+        calls=[call],
+    )
+    return Loop(var="i", trips=64, body=[st], weight=1.0)
+
+
+class TestSummaries:
+    def test_pure_summary_clearable(self):
+        s = SubroutineSummary("F", reads=(0,), writes=())
+        assert s.pure_on_formals and s.clearable()
+
+    def test_common_blocks(self):
+        s = SubroutineSummary("F", common_touched=("STATE",))
+        assert not s.clearable()
+
+    def test_scratch_save_clearable(self):
+        s = SubroutineSummary("F", has_save=True, save_is_scratch=True)
+        assert s.clearable()
+
+    def test_live_save_blocks(self):
+        s = SubroutineSummary("F", has_save=True, save_is_scratch=False)
+        assert not s.clearable()
+
+
+class TestResolution:
+    def test_unknown_callee_left_alone(self):
+        registry = SummaryRegistry()
+        loop = loop_with_call(CallSite("MYSTERY"))
+        assert registry.resolve_loop(loop) == []
+        assert not AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel
+
+    def test_pure_callee_cleared(self):
+        registry = SummaryRegistry()
+        registry.register(SubroutineSummary("WORK", reads=(0,), writes=()))
+        loop = loop_with_call(CallSite("WORK"))
+        assert registry.resolve_loop(loop) == ["WORK"]
+        assert AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel
+        # even KAP accepts it: the call is now known side-effect-free
+        loop.reset_analysis()
+        assert KAP_PIPELINE.restructure_loop(loop).parallel
+
+    def test_writer_with_disjoint_actuals_cleared(self):
+        registry = SummaryRegistry()
+        registry.register(SubroutineSummary("FILL", writes=(0,)))
+        loop = loop_with_call(CallSite("FILL"), rhs=[read("out", 1, 0)])
+        assert registry.resolve_loop(loop) == ["FILL"]
+
+    def test_writer_hitting_one_location_blocks(self):
+        registry = SummaryRegistry()
+        registry.register(SubroutineSummary("ACCUM", writes=(0,)))
+        # actual argument is the same scalar every iteration
+        loop = loop_with_call(CallSite("ACCUM"), rhs=[read("total")])
+        assert registry.resolve_loop(loop) == []
+
+    def test_common_toucher_blocks(self):
+        registry = SummaryRegistry()
+        registry.register(
+            SubroutineSummary("GLOB", writes=(0,), common_touched=("CTX",))
+        )
+        loop = loop_with_call(CallSite("GLOB"), rhs=[read("out", 1, 0)])
+        assert registry.resolve_loop(loop) == []
+
+    def test_scratch_save_end_to_end(self):
+        """The paper's SAVE story with a summary: a routine with
+        privatizable SAVE scratch is cleared for both pipelines."""
+        registry = SummaryRegistry()
+        registry.register(
+            SubroutineSummary(
+                "KERNEL_SAVE", reads=(0,), writes=(),
+                has_save=True, save_is_scratch=True,
+            )
+        )
+        loop = parse_loop(
+            "DO I = 1, 100\nCALL KERNEL_SAVE(X(I))\nY(I) = X(I)\nEND DO"
+        )
+        assert registry.resolve_loop(loop) == ["KERNEL_SAVE"]
+        assert AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel
+
+    def test_counters(self):
+        registry = SummaryRegistry()
+        registry.register(SubroutineSummary("A"))
+        registry.register(SubroutineSummary("B", common_touched=("G",)))
+        loop = Loop(
+            var="i",
+            trips=8,
+            weight=1.0,
+            body=[
+                Statement(lhs=write("y", 1, 0), rhs=[], calls=[CallSite("A")]),
+                Statement(lhs=write("z", 1, 0), rhs=[], calls=[CallSite("B")]),
+            ],
+        )
+        registry.resolve_loop(loop)
+        assert registry.resolved_calls == 2
+        assert registry.cleared_calls == 1
+
+    def test_program_resolution(self):
+        registry = SummaryRegistry()
+        registry.register(SubroutineSummary("PUREFN"))
+        from repro.restructurer.ir import Program
+
+        loop = loop_with_call(CallSite("PUREFN"))
+        loop.label = "main"
+        program = Program("demo", loops=[loop], serial_fraction=0.0)
+        result = registry.resolve_program(program)
+        assert result == {"main": ["PUREFN"]}
+
+    def test_case_insensitive_lookup(self):
+        registry = SummaryRegistry()
+        registry.register(SubroutineSummary("MixedCase"))
+        assert registry.lookup("mixedcase") is not None

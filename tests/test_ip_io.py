@@ -1,0 +1,130 @@
+"""Tests for the IP (interactive processor) I/O path."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.ce import Compute, FileRead, FileWrite
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.xylem.filesystem import IOMode
+
+
+def machine_with_unit(mode=IOMode.UNFORMATTED, unit="fort.10"):
+    machine = CedarMachine(CedarConfig())
+    machine.filesystem.open(unit, mode)
+    return machine
+
+
+class TestFileWrite:
+    def test_write_does_not_stall_ce(self):
+        machine = machine_with_unit()
+        marks = {}
+
+        def prog():
+            yield FileWrite("fort.10", np.arange(1000.0))
+            marks["after_write"] = machine.engine.now
+            yield Compute(5)
+
+        machine.run_programs({0: prog()})
+        # the CE moved on immediately; the IP finished later
+        assert marks["after_write"] == 0.0
+        assert machine.engine.now > 5.0
+        assert machine.filesystem.stats.writes == 1
+
+    def test_records_land_in_order(self):
+        machine = machine_with_unit()
+
+        def prog():
+            yield FileWrite("fort.10", [1.0])
+            yield FileWrite("fort.10", [2.0])
+
+        machine.run_programs({0: prog()})
+        f = machine.filesystem.open("fort.10", IOMode.UNFORMATTED)
+        np.testing.assert_array_equal(machine.filesystem.read("fort.10"), [1.0])
+        np.testing.assert_array_equal(machine.filesystem.read("fort.10"), [2.0])
+
+    def test_ip_request_counter(self):
+        machine = machine_with_unit()
+
+        def prog():
+            for _ in range(3):
+                yield FileWrite("fort.10", [0.0])
+
+        machine.run_programs({0: prog()})
+        assert machine.clusters[0].ip.requests_served == 3
+
+
+class TestFileRead:
+    def test_read_blocks_and_returns_record(self):
+        machine = machine_with_unit()
+        machine.filesystem.write("fort.10", [7.0, 8.0])
+        machine.filesystem.rewind("fort.10")
+        got = {}
+
+        def prog():
+            record = yield FileRead("fort.10")
+            got["record"] = record
+            got["time"] = machine.engine.now
+
+        machine.run_programs({0: prog()})
+        np.testing.assert_array_equal(got["record"], [7.0, 8.0])
+        assert got["time"] > 0  # the CE waited for the IP
+
+    def test_formatted_read_slower(self):
+        def run(mode):
+            machine = CedarMachine(CedarConfig())
+            machine.filesystem.open("u", mode)
+            machine.filesystem.write("u", np.zeros(5000))
+            machine.filesystem.rewind("u")
+            times = {}
+
+            def prog():
+                yield FileRead("u")
+                times["t"] = machine.engine.now
+
+            machine.run_programs({0: prog()})
+            return times["t"]
+
+        assert run(IOMode.FORMATTED) > 5 * run(IOMode.UNFORMATTED)
+
+
+class TestOverlap:
+    def test_io_overlaps_compute(self):
+        """A big write plus compute should cost ~max, not ~sum."""
+        machine = machine_with_unit()
+        words = 20_000
+        io_only = CedarMachine(CedarConfig())
+        io_only.filesystem.open("fort.10", IOMode.UNFORMATTED)
+
+        def io_prog():
+            yield FileWrite("fort.10", np.zeros(words))
+
+        io_only.run_programs({0: io_prog()})
+        t_io = io_only.engine.now  # includes the drained IP service
+
+        def overlapped():
+            yield FileWrite("fort.10", np.zeros(words))
+            yield Compute(t_io * 0.9)
+
+        machine.run_programs({0: overlapped()})
+        t_both = machine.engine.now
+        assert t_io > 0
+        assert t_both < t_io * 1.2  # far less than io + compute
+
+    def test_per_cluster_ips_parallel(self):
+        machine = CedarMachine(CedarConfig())
+        for c in range(4):
+            machine.filesystem.open(f"u{c}", IOMode.UNFORMATTED)
+
+        def prog(cluster):
+            yield FileWrite(f"u{cluster}", np.zeros(10_000))
+            yield Compute(1)
+
+        solo = CedarMachine(CedarConfig())
+        solo.filesystem.open("u0", IOMode.UNFORMATTED)
+        solo.run_programs({0: prog(0)})
+        t_solo = solo.engine.now
+        # four clusters each writing through their own IP, in parallel
+        machine.run_programs({c * 8: prog(c) for c in range(4)})
+        t_four = machine.engine.now
+        assert t_four < t_solo * 1.5

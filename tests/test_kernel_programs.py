@@ -1,0 +1,113 @@
+"""Tests for the kernel trace programs (the Table 1/2 drivers)."""
+
+import pytest
+
+from repro.cluster.ce import (
+    AwaitStream,
+    Compute,
+    ConsumeStream,
+    GlobalLoad,
+    GlobalStore,
+    StartPrefetch,
+)
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.kernels.programs import KERNELS, kernel_program
+
+
+def collect_ops(shape_name, strips=2, prefetch=True):
+    """Statically walk a program, answering StartPrefetch with a fake
+    stream object so the generator keeps running."""
+
+    class FakeStream:
+        length = 0
+
+    ops = []
+    gen = kernel_program(KERNELS[shape_name], port=0, strips=strips, prefetch=prefetch)
+    try:
+        op = next(gen)
+        while True:
+            ops.append(op)
+            value = FakeStream() if isinstance(op, StartPrefetch) else None
+            op = gen.send(value)
+    except StopIteration:
+        pass
+    return ops
+
+
+class TestProgramStructure:
+    def test_known_kernels(self):
+        assert set(KERNELS) == {"VF", "TM", "CG", "RK"}
+
+    @pytest.mark.parametrize("name,streams", [("VF", 1), ("TM", 3), ("CG", 5)])
+    def test_prefetch_streams_per_strip(self, name, streams):
+        ops = collect_ops(name, strips=2)
+        starts = [o for o in ops if isinstance(o, StartPrefetch)]
+        assert len(starts) == 2 * streams
+        consumes = [o for o in ops if isinstance(o, ConsumeStream)]
+        assert len(consumes) == 2 * streams
+
+    def test_compiler_kernels_use_32_word_prefetches(self):
+        for name in ("VF", "TM", "CG"):
+            ops = collect_ops(name)
+            for op in ops:
+                if isinstance(op, StartPrefetch):
+                    assert op.length == 32, name
+
+    def test_rk_uses_256_word_blocks(self):
+        ops = collect_ops("RK", strips=3)
+        starts = [o for o in ops if isinstance(o, StartPrefetch)]
+        assert all(o.length == 256 for o in starts)
+
+    def test_rk_double_buffers(self):
+        """RK keeps the previous block while the next is in flight."""
+        ops = collect_ops("RK", strips=3)
+        keeps = [o.keep_previous for o in ops if isinstance(o, StartPrefetch)]
+        # first block is a plain fetch; subsequent ones keep the buffer
+        assert keeps[0] is False
+        assert all(keeps[1:])
+
+    def test_rk_awaits_next_block_after_consuming(self):
+        ops = collect_ops("RK", strips=2)
+        kinds = [type(o).__name__ for o in ops]
+        # fire, await, fire(keep), consume, ... await
+        assert kinds.count("AwaitStream") >= 2
+        assert kinds.index("ConsumeStream") > kinds.index("AwaitStream")
+
+    def test_noprefetch_variant_uses_global_loads(self):
+        for name in KERNELS:
+            ops = collect_ops(name, prefetch=False)
+            assert not any(isinstance(o, StartPrefetch) for o in ops)
+            assert any(isinstance(o, GlobalLoad) for o in ops)
+
+    def test_stores_present(self):
+        for name in KERNELS:
+            ops = collect_ops(name)
+            assert any(isinstance(o, GlobalStore) for o in ops), name
+
+    def test_register_register_work(self):
+        """TM and CG carry register-register vector work ("which reduce
+        the demand on the memory system"); VF carries none."""
+        for name, has_regreg in (("TM", True), ("CG", True), ("VF", False)):
+            shape = KERNELS[name]
+            assert (shape.regreg_cycles > 0) is has_regreg
+
+
+class TestProgramsOnTheMachine:
+    def test_all_kernels_run_to_completion(self):
+        config = CedarConfig()
+        for name in KERNELS:
+            machine = CedarMachine(config)
+            t = machine.run_programs(
+                {0: kernel_program(KERNELS[name], 0, strips=2, prefetch=True)}
+            )
+            assert t > 0
+
+    def test_flops_accounting_consistency(self):
+        shape = KERNELS["CG"]
+        # 19 flops per point, 32 points per strip
+        assert shape.flops == pytest.approx(19 * 32)
+
+    def test_loaded_words(self):
+        assert KERNELS["TM"].loaded_words == 96
+        assert KERNELS["RK"].loaded_words == 260

@@ -1,0 +1,190 @@
+"""Tests for the reference kernel mathematics (numpy-validated)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.reference import (
+    cg_flops_per_iteration,
+    cg_solve,
+    make_spd_pentadiag,
+    pentadiag_matvec,
+    rank_k_flops,
+    rank_k_update,
+    tridiag_flops,
+    tridiag_matvec,
+    vector_fetch,
+)
+
+
+def dense_from_tridiag(lower, diag, upper):
+    n = diag.shape[0]
+    a = np.diag(diag)
+    a += np.diag(lower, k=-1)
+    a += np.diag(upper, k=1)
+    return a
+
+
+def dense_from_pentadiag(diagonals):
+    dm2, dm1, d0, dp1, dp2 = diagonals
+    a = np.diag(d0)
+    a += np.diag(dm1, k=-1) + np.diag(dp1, k=1)
+    a += np.diag(dm2, k=-2) + np.diag(dp2, k=2)
+    return a
+
+
+class TestVectorFetch:
+    def test_copies_values(self):
+        src = np.arange(16.0)
+        dst = vector_fetch(src)
+        assert np.array_equal(dst, src)
+
+    def test_returns_private_copy(self):
+        src = np.zeros(4)
+        dst = vector_fetch(src)
+        dst[0] = 1.0
+        assert src[0] == 0.0
+
+
+class TestRankKUpdate:
+    def test_against_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 16))
+        c = rng.standard_normal((16, 64))
+        got = rank_k_update(a.copy(), b, c)
+        assert np.allclose(got, a + b @ c)
+
+    def test_out_parameter(self):
+        a = np.ones((4, 4))
+        b = np.ones((4, 2))
+        c = np.ones((2, 4))
+        out = np.zeros((4, 4))
+        rank_k_update(a, b, c, out=out)
+        assert np.allclose(out, a + 2.0)  # a itself untouched
+        assert np.allclose(a, 1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rank_k_update(np.zeros((4, 4)), np.zeros((4, 2)), np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            rank_k_update(np.zeros((5, 4)), np.zeros((4, 2)), np.zeros((2, 4)))
+
+    def test_flop_count(self):
+        assert rank_k_flops(1024, 64) == 2 * 64 * 1024 * 1024
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_update_property(self, n, k):
+        rng = np.random.default_rng(n * 100 + k)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, k))
+        c = rng.standard_normal((k, n))
+        assert np.allclose(rank_k_update(a.copy(), b, c), a + b @ c)
+
+
+class TestTridiagMatvec:
+    def test_against_dense(self):
+        rng = np.random.default_rng(1)
+        n = 50
+        lower = rng.standard_normal(n - 1)
+        diag = rng.standard_normal(n)
+        upper = rng.standard_normal(n - 1)
+        x = rng.standard_normal(n)
+        dense = dense_from_tridiag(lower, diag, upper)
+        assert np.allclose(tridiag_matvec(lower, diag, upper, x), dense @ x)
+
+    def test_identity(self):
+        n = 8
+        x = np.arange(float(n))
+        y = tridiag_matvec(np.zeros(n - 1), np.ones(n), np.zeros(n - 1), x)
+        assert np.allclose(y, x)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            tridiag_matvec(np.zeros(3), np.zeros(4), np.zeros(3), np.zeros(5))
+
+    def test_flops(self):
+        assert tridiag_flops(100) == 496
+
+
+class TestPentadiagMatvec:
+    def test_against_dense(self):
+        rng = np.random.default_rng(2)
+        n = 40
+        diagonals = (
+            rng.standard_normal(n - 2),
+            rng.standard_normal(n - 1),
+            rng.standard_normal(n),
+            rng.standard_normal(n - 1),
+            rng.standard_normal(n - 2),
+        )
+        x = rng.standard_normal(n)
+        dense = dense_from_pentadiag(diagonals)
+        assert np.allclose(pentadiag_matvec(diagonals, x), dense @ x)
+
+    def test_needs_five_diagonals(self):
+        with pytest.raises(ValueError):
+            pentadiag_matvec((np.zeros(3),) * 3, np.zeros(3))
+
+    @given(st.integers(min_value=5, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_operator_property(self, n):
+        diagonals = make_spd_pentadiag(n, seed=n)
+        rng = np.random.default_rng(n)
+        x, y = rng.standard_normal(n), rng.standard_normal(n)
+        lhs = pentadiag_matvec(diagonals, 2.0 * x + y)
+        rhs = 2.0 * pentadiag_matvec(diagonals, x) + pentadiag_matvec(diagonals, y)
+        assert np.allclose(lhs, rhs)
+
+    def test_spd_construction_is_symmetric_dominant(self):
+        diagonals = make_spd_pentadiag(30, seed=3)
+        dense = dense_from_pentadiag(diagonals)
+        assert np.allclose(dense, dense.T)
+        eigs = np.linalg.eigvalsh(dense)
+        assert eigs.min() > 0
+
+
+class TestCGSolve:
+    def test_solves_spd_system(self):
+        n = 200
+        diagonals = make_spd_pentadiag(n, seed=5)
+        rng = np.random.default_rng(5)
+        x_true = rng.standard_normal(n)
+        b = pentadiag_matvec(diagonals, x_true)
+        result = cg_solve(diagonals, b, tol=1e-12)
+        assert result.converged
+        assert np.allclose(result.x, x_true, atol=1e-6)
+
+    def test_zero_rhs_converges_immediately(self):
+        diagonals = make_spd_pentadiag(16, seed=0)
+        result = cg_solve(diagonals, np.zeros(16))
+        assert result.iterations == 0
+        assert np.allclose(result.x, 0.0)
+
+    def test_max_iter_respected(self):
+        diagonals = make_spd_pentadiag(100, seed=9)
+        b = np.ones(100)
+        result = cg_solve(diagonals, b, tol=1e-16, max_iter=3)
+        assert result.iterations == 3
+
+    def test_residual_reported(self):
+        diagonals = make_spd_pentadiag(64, seed=4)
+        b = np.ones(64)
+        result = cg_solve(diagonals, b, tol=1e-10)
+        r = b - pentadiag_matvec(diagonals, result.x)
+        assert np.linalg.norm(r) / np.linalg.norm(b) == pytest.approx(
+            result.residual, abs=1e-12
+        )
+
+    @given(st.integers(min_value=8, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_convergence_property(self, n):
+        diagonals = make_spd_pentadiag(n, seed=n * 3)
+        rng = np.random.default_rng(n)
+        b = rng.standard_normal(n)
+        result = cg_solve(diagonals, b, tol=1e-10)
+        assert result.residual < 1e-8
+
+    def test_flops_per_iteration(self):
+        assert cg_flops_per_iteration(1000) == 19_000

@@ -1,0 +1,103 @@
+"""Cross-layer consistency: the instruction-level vector unit, the
+cycle-level kernel traces, and the analytic Fortran cost model must
+tell one story about the same operations."""
+
+import pytest
+
+from repro.cluster.vector_unit import (
+    Operand,
+    Scalar,
+    VectorInstruction,
+    VectorUnit,
+    VECTOR_STARTUP_CYCLES,
+)
+from repro.core.config import CedarConfig
+from repro.fortran.cost import VectorCostModel
+from repro.fortran.placement import Placement
+from repro.kernels.programs import SCALAR_OVERHEAD, VSTART
+
+
+class TestStartupConstantsAgree:
+    def test_vector_startup_shared(self):
+        """The kernel traces' VSTART, the config's startup, and the
+        vector unit's pipeline fill are the same 12 cycles."""
+        assert VSTART == VECTOR_STARTUP_CYCLES
+        assert CedarConfig().ce.vector_startup_cycles == VSTART
+
+    def test_scalar_overhead_consistent_with_isa(self):
+        """A strip's scalar glue (~6 simple 68020 instructions of loop
+        control and addressing) matches the traces' SCALAR_OVERHEAD."""
+        unit = VectorUnit()
+        glue = unit.execute([Scalar(count=6)])
+        assert glue.cycles == pytest.approx(SCALAR_OVERHEAD)
+
+
+class TestStripCostsAgree:
+    def test_cached_strip(self):
+        """One 32-word cached multiply: ISA model vs cost model."""
+        unit = VectorUnit()
+        isa = unit.execute(
+            [VectorInstruction("vmul", operand=Operand.CACHE, dest=1, sources=(0,))]
+        )
+        cost = VectorCostModel(CedarConfig())
+        analytic = cost.vector_op_cycles(
+            32, [Placement.LOOP_LOCAL], flops_per_element=1.0
+        )
+        assert isa.cycles == pytest.approx(analytic, rel=0.05)
+
+    def test_prefetched_global_strip(self):
+        unit = VectorUnit()
+        isa = unit.execute(
+            [VectorInstruction("vmul", operand=Operand.GLOBAL_PREF,
+                               dest=1, sources=(0,))]
+        )
+        cost = VectorCostModel(CedarConfig())
+        analytic = cost.vector_op_cycles(
+            32, [Placement.GLOBAL], flops_per_element=1.0
+        )
+        # the analytic model adds the PFU arm; the ISA model does not
+        arm = CedarConfig().prefetch.arm_cycles
+        assert isa.cycles == pytest.approx(analytic - arm, rel=0.05)
+
+    def test_nopref_global_ratio(self):
+        """Both layers put the no-prefetch:prefetch word-cost ratio at
+        6.5 / 1.15."""
+        unit = VectorUnit()
+        pref = unit.execute(
+            [VectorInstruction("vmul", operand=Operand.GLOBAL_PREF,
+                               dest=1, sources=(0,))]
+        )
+        plain = unit.execute(
+            [VectorInstruction("vmul", operand=Operand.GLOBAL,
+                               dest=1, sources=(0,))]
+        )
+        isa_ratio = (plain.cycles - VSTART) / (pref.cycles - VSTART)
+        from repro.perfect.profiles import NOPREF_INFLATION
+
+        assert isa_ratio == pytest.approx(NOPREF_INFLATION, rel=0.02)
+
+
+class TestSimulatorAgreesWithCostModel:
+    def test_unloaded_prefetch_stream_rate(self):
+        """The cost model's 1.15 cycles/word for prefetched global data
+        is what the cycle-level simulator delivers unloaded (1.0) plus
+        mild self-interference; the calibrated value sits between the
+        unloaded floor and the 8-CE measurement."""
+        from repro.experiments.kernels_sim import run_kernel_measurement
+
+        unloaded = run_kernel_measurement("VF", 1, prefetch=True, strips=8)
+        assert unloaded.interarrival is not None
+        floor = unloaded.interarrival
+        calibrated = VectorCostModel(CedarConfig()).prefetched_word_cycles
+        loaded = run_kernel_measurement("VF", 8, prefetch=True, strips=8)
+        assert floor <= calibrated <= loaded.interarrival + 0.1
+
+    def test_nopref_round_trip_everywhere(self):
+        """13-cycle round trip: config-derived, simulator-measured, and
+        cost-model values coincide."""
+        cost = VectorCostModel(CedarConfig())
+        assert cost.nopref_word_cycles == pytest.approx(6.5)
+        from repro.experiments.characterization import run_characterization
+
+        measured = run_characterization().nopref_cycles_per_word
+        assert measured == pytest.approx(cost.nopref_word_cycles, rel=0.1)

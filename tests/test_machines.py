@@ -1,0 +1,126 @@
+"""Tests for the comparison machine models."""
+
+import pytest
+
+from repro.machines.base import MachineExecution
+from repro.machines.cm5 import CM5Model
+from repro.machines.cray import CRAY_1, CRAY_YMP8, CrayModel, YMP8_CONFIG
+from repro.machines.workstation import WORKSTATIONS
+from repro.perfect.profiles import PAPER_TABLE3, PERFECT_CODES
+
+
+class TestCrayYMP:
+    def test_compiled_rates_match_published_ratios(self):
+        for name, ref in PAPER_TABLE3.items():
+            rate = CRAY_YMP8.compiled_mflops(name)
+            assert rate == pytest.approx(ref.mflops * ref.ymp_ratio)
+
+    def test_cedar_harmonic_mean(self):
+        """"The harmonic mean for the MFLOPS on the YMP/8 is 23.7, 7.4
+        times that of Cedar": 23.7 / 7.4 = 3.2 for Cedar, which the
+        Table 3 MFLOPS column reproduces exactly.  (The YMP's 23.7 is
+        not recoverable from the published per-code ratios — SPICE and
+        QCD would dominate any harmonic mean — see EXPERIMENTS.md.)"""
+        cedar = [PAPER_TABLE3[n].mflops for n in PAPER_TABLE3]
+
+        def harmonic(xs):
+            return len(xs) / sum(1.0 / x for x in xs)
+
+        assert harmonic(cedar) == pytest.approx(23.7 / 7.4, rel=0.02)  # 3.20 vs 3.17
+        # the YMP wins on every code except the two it loses outright
+        losses = [n for n in PAPER_TABLE3 if PAPER_TABLE3[n].ymp_ratio < 1.0]
+        assert sorted(losses) == ["QCD", "SPICE"]
+
+    def test_manual_mode_speeds_up(self):
+        manual = CrayModel(YMP8_CONFIG, "manual")
+        for name in ("ARC2D", "MDG", "TRFD"):
+            assert manual.speedup(name) > CRAY_YMP8.speedup(name)
+
+    def test_speedups_bounded_by_processors(self):
+        manual = CrayModel(YMP8_CONFIG, "manual")
+        for name in PERFECT_CODES:
+            assert 1.0 <= manual.speedup(name) <= 8.0
+
+    def test_spice_is_the_weak_point(self):
+        manual = CrayModel(YMP8_CONFIG, "manual")
+        speedups = {n: manual.speedup(n) for n in PERFECT_CODES}
+        assert min(speedups, key=speedups.get) == "SPICE"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            CrayModel(YMP8_CONFIG, "turbo")
+
+    def test_execution_result_structure(self):
+        res = CRAY_YMP8.execute_code("MDG")
+        assert isinstance(res, MachineExecution)
+        assert res.seconds > 0 and res.mflops > 0
+        assert res.efficiency == pytest.approx(res.speedup / 8)
+
+
+class TestCray1:
+    def test_single_processor(self):
+        assert CRAY_1.processors == 1
+
+    def test_slower_than_ymp(self):
+        for name in ("ARC2D", "FLO52"):
+            assert (
+                CRAY_1.execute_code(name).mflops
+                < CRAY_YMP8.execute_code(name).mflops
+            )
+
+
+class TestCM5:
+    def test_paper_mflops_endpoints(self):
+        """"the 32-processor CM-5 delivers between 28 and 32 MFLOPS for
+        BW=3 and between 58 and 67 MFLOPS for BW=11, as the problem
+        sizes range from 16K to 256K"."""
+        cm5 = CM5Model(32)
+        assert cm5.matvec_mflops(16 * 1024, 3) == pytest.approx(28.0, rel=0.1)
+        assert cm5.matvec_mflops(256 * 1024, 3) == pytest.approx(32.0, rel=0.1)
+        assert cm5.matvec_mflops(16 * 1024, 11) == pytest.approx(58.0, rel=0.1)
+        assert cm5.matvec_mflops(256 * 1024, 11) == pytest.approx(67.0, rel=0.1)
+
+    def test_mflops_grow_with_problem_size(self):
+        cm5 = CM5Model(32)
+        rates = [cm5.matvec_mflops(n, 11) for n in (16_384, 65_536, 262_144)]
+        assert rates == sorted(rates)
+
+    def test_not_high_performance(self):
+        """"high performance was not achieved relative to 32, 256, or
+        512 processors"."""
+        from repro.metrics.bands import Band, band_for_speedup
+
+        for procs in (32, 256, 512):
+            cm5 = CM5Model(procs)
+            for n in (16 * 1024, 256 * 1024):
+                band = band_for_speedup(cm5.speedup(n, 11), procs)
+                assert band is not Band.HIGH
+
+    def test_perfect_suite_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            CM5Model(32).execute_code("MDG")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CM5Model(0)
+
+
+class TestWorkstations:
+    def test_workstation_instability_is_about_5(self):
+        """"an instability of about 5 has been common for the Perfect
+        benchmarks" on workstations."""
+        from repro.metrics.stability import instability
+
+        for ws in WORKSTATIONS.values():
+            rates = [ws.code_mflops(n) for n in PERFECT_CODES]
+            assert instability(rates) <= 5.0
+
+    def test_rs6000_faster_than_vax(self):
+        vax = WORKSTATIONS["VAX 780"]
+        rs = WORKSTATIONS["RS6000"]
+        for name in PERFECT_CODES:
+            assert rs.code_mflops(name) > vax.code_mflops(name)
+
+    def test_single_processor_speedup_is_one(self):
+        res = WORKSTATIONS["SPARC2"].execute_code("MDG")
+        assert res.speedup == 1.0 and res.efficiency == 1.0

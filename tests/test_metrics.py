@@ -1,0 +1,171 @@
+"""Tests for the judging-parallelism metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.bands import (
+    Band,
+    acceptable_threshold,
+    band_for_efficiency,
+    band_for_speedup,
+    classify,
+    high_threshold,
+)
+from repro.metrics.ppt import (
+    ppt1_delivered_performance,
+    ppt2_stable_performance,
+    ppt3_restructuring_bands,
+    ppt4_scalability,
+)
+from repro.metrics.stability import (
+    exclusions_for_stability,
+    instability,
+    stability,
+    stability_with_exclusions,
+)
+
+
+class TestBands:
+    def test_thresholds_for_cedar(self):
+        assert high_threshold(32) == 16.0
+        assert acceptable_threshold(32) == pytest.approx(3.2)
+
+    def test_thresholds_for_ymp(self):
+        assert high_threshold(8) == 4.0
+        assert acceptable_threshold(8) == pytest.approx(8 / 6)
+
+    def test_band_classification(self):
+        assert band_for_speedup(20, 32) is Band.HIGH
+        assert band_for_speedup(10, 32) is Band.INTERMEDIATE
+        assert band_for_speedup(2, 32) is Band.UNACCEPTABLE
+
+    def test_band_boundaries_inclusive(self):
+        assert band_for_speedup(16.0, 32) is Band.HIGH
+        assert band_for_speedup(3.2, 32) is Band.INTERMEDIATE
+
+    def test_efficiency_form(self):
+        assert band_for_efficiency(0.5, 32) is Band.HIGH
+        assert band_for_efficiency(0.11, 32) is Band.INTERMEDIATE
+        assert band_for_efficiency(0.05, 32) is Band.UNACCEPTABLE
+
+    def test_classify_partitions(self):
+        bands = classify([("a", 20), ("b", 10), ("c", 1)], 32)
+        assert bands[Band.HIGH] == ["a"]
+        assert bands[Band.INTERMEDIATE] == ["b"]
+        assert bands[Band.UNACCEPTABLE] == ["c"]
+
+    def test_small_machine_rejected(self):
+        with pytest.raises(ValueError):
+            band_for_speedup(1, 1)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    def test_every_speedup_gets_exactly_one_band(self, s):
+        assert band_for_speedup(s, 32) in Band
+
+
+class TestStability:
+    def test_definition_min_over_max(self):
+        assert stability([1.0, 2.0, 4.0]) == pytest.approx(0.25)
+        assert instability([1.0, 2.0, 4.0]) == pytest.approx(4.0)
+
+    def test_exclusion_removes_worst_outlier(self):
+        # excluding the 0.1 outlier leaves 2..4
+        st_, survivors = stability_with_exclusions([0.1, 2.0, 3.0, 4.0], 1)
+        assert st_ == pytest.approx(0.5)
+        assert survivors == [2.0, 3.0, 4.0]
+
+    def test_exclusions_split_optimally(self):
+        # best removal is one from each end
+        values = [0.1, 1.0, 2.0, 100.0]
+        st_, survivors = stability_with_exclusions(values, 2)
+        assert survivors == [1.0, 2.0]
+        assert st_ == pytest.approx(0.5)
+
+    def test_instability_monotone_in_exclusions(self):
+        values = [0.5, 1.0, 3.0, 9.0, 30.0]
+        ins = [instability(values, e) for e in range(3)]
+        assert ins[0] >= ins[1] >= ins[2]
+
+    def test_exclusions_for_threshold(self):
+        # In = 60; dropping both extremes reaches In = 3
+        values = [0.5, 1.0, 2.0, 3.0, 30.0]
+        assert exclusions_for_stability(values, threshold=0.2) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stability([1.0, -1.0])
+        with pytest.raises(ValueError):
+            stability([1.0, 2.0], exclusions=1)
+        with pytest.raises(ValueError):
+            stability_with_exclusions([1.0, 2.0], -1)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=3, max_size=12),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_stability_in_unit_interval(self, values, e):
+        if len(values) - e < 2:
+            return
+        s = stability(values, e)
+        assert 0 < s <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=4, max_size=12))
+    def test_exclusion_never_hurts(self, values):
+        assert stability(values, 1) >= stability(values, 0) - 1e-12
+
+
+class TestPPT1:
+    def test_majority_acceptable_passes(self):
+        res = ppt1_delivered_performance(
+            "m", {"a": 20.0, "b": 10.0, "c": 1.0}, processors=32
+        )
+        assert res.passes
+        assert res.bands[Band.HIGH] == ["a"]
+
+    def test_majority_unacceptable_fails(self):
+        res = ppt1_delivered_performance(
+            "m", {"a": 1.0, "b": 1.5, "c": 20.0}, processors=32
+        )
+        assert not res.passes
+
+
+class TestPPT2:
+    def test_stable_system_passes(self):
+        res = ppt2_stable_performance("m", [1.0, 2.0, 3.0, 4.0])
+        assert res.passes and res.exceptions_needed == 0
+
+    def test_two_exception_system_passes(self):
+        res = ppt2_stable_performance("m", [0.01, 1.0, 2.0, 3.0, 100.0])
+        assert res.exceptions_needed == 2 and res.passes
+
+    def test_hopeless_system_fails(self):
+        values = [10.0 ** k for k in range(8)]
+        res = ppt2_stable_performance("m", values, max_exceptions=3)
+        assert not res.passes
+
+
+class TestPPT3:
+    def test_counts(self):
+        res = ppt3_restructuring_bands(
+            "m", {"a": 0.6, "b": 0.2, "c": 0.01}, processors=32
+        )
+        assert res.counts == (1, 1, 1)
+
+
+class TestPPT4:
+    def test_grid_classification_and_stability(self):
+        speedups = {(32, 1000): 20.0, (32, 100): 5.0}
+        mflops = {(32, 1000): 48.0, (32, 100): 34.0}
+        res = ppt4_scalability("cedar", speedups, mflops)
+        assert res.grid[(32, 1000)] is Band.HIGH
+        assert res.grid[(32, 100)] is Band.INTERMEDIATE
+        assert res.size_instability[32] == pytest.approx(48.0 / 34.0)
+        assert res.passes()
+
+    def test_unacceptable_point_fails(self):
+        res = ppt4_scalability(
+            "m", {(32, 10): 1.0}, {(32, 10): 1.0, (32, 20): 10.0}
+        )
+        assert not res.passes()

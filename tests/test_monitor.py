@@ -1,0 +1,144 @@
+"""Tests for the performance-monitoring hardware models."""
+
+import pytest
+
+from repro.monitor.histogram import Histogrammer
+from repro.monitor.probes import PrefetchProbe
+from repro.monitor.tracer import EventTracer
+
+
+class TestEventTracer:
+    def test_records_in_order(self):
+        t = EventTracer()
+        t.post(1.0, "sig", "a")
+        t.post(2.0, "sig", "b")
+        assert [e.value for e in t.events] == ["a", "b"]
+
+    def test_capacity_and_drop_counting(self):
+        t = EventTracer(capacity=2)
+        for i in range(5):
+            t.post(float(i), "sig")
+        assert len(t.events) == 2 and t.dropped == 3
+
+    def test_cascading(self):
+        spill = EventTracer(capacity=10)
+        t = EventTracer(capacity=2, cascade=spill)
+        for i in range(5):
+            t.post(float(i), "sig")
+        assert len(t) == 5
+        assert t.dropped == 0
+        assert len(spill.events) == 3
+
+    def test_filter_spans_cascade(self):
+        spill = EventTracer(capacity=10)
+        t = EventTracer(capacity=1, cascade=spill)
+        t.post(0.0, "a")
+        t.post(1.0, "b")
+        t.post(2.0, "a")
+        assert [e.time for e in t.filter("a")] == [0.0, 2.0]
+
+    def test_software_event_hook(self):
+        t = EventTracer()
+        clock = iter([5.0, 7.0])
+        hook = t.hook("sw", lambda: next(clock))
+        hook("x")
+        hook("y")
+        assert [(e.time, e.value) for e in t.events] == [(5.0, "x"), (7.0, "y")]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+
+class TestHistogrammer:
+    def test_binning(self):
+        h = Histogrammer(0.0, 10.0, bins=10)
+        h.record(0.5)
+        h.record(9.5)
+        assert h.count(0) == 1 and h.count(9) == 1
+        assert h.samples == 2
+
+    def test_out_of_range_clamps(self):
+        h = Histogrammer(0.0, 10.0, bins=10)
+        h.record(-5.0)
+        h.record(50.0)
+        assert h.count(0) == 1 and h.count(9) == 1
+
+    def test_mean(self):
+        h = Histogrammer(0.0, 10.0, bins=10)
+        for v in (1.0, 3.0, 5.0):
+            h.record(v)
+        assert h.mean() == pytest.approx(3.5, abs=1.0)  # bin centers
+
+    def test_percentile(self):
+        h = Histogrammer(0.0, 100.0, bins=100)
+        for v in range(100):
+            h.record(float(v))
+        assert h.percentile(0.5) == pytest.approx(50.0, abs=2.0)
+
+    def test_counter_saturation(self):
+        h = Histogrammer(0.0, 1.0, bins=1)
+        h._counts[0] = Histogrammer.COUNTER_MAX
+        h.record(0.5)
+        assert h.count(0) == Histogrammer.COUNTER_MAX
+
+    def test_empty_statistics_raise(self):
+        h = Histogrammer(0.0, 1.0)
+        with pytest.raises(ValueError):
+            h.mean()
+        with pytest.raises(ValueError):
+            h.percentile(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogrammer(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Histogrammer(0.0, 1.0, bins=0)
+
+
+class TestPrefetchProbe:
+    def test_latency_and_interarrival(self):
+        p = PrefetchProbe()
+        p.begin_block()
+        p.record_issue(0, 100.0)
+        p.record_issue(1, 101.0)
+        p.record_issue(2, 102.0)
+        p.record_arrival(0, 108.0)
+        p.record_arrival(1, 109.5)
+        p.record_arrival(2, 111.0)
+        s = p.summary()
+        assert s.first_word_latency == pytest.approx(8.0)
+        assert s.interarrival == pytest.approx(1.5)
+        assert s.blocks == 1
+
+    def test_out_of_order_arrivals(self):
+        """Full/empty bits tolerate out-of-order returns; the first
+        arrival defines the latency regardless of word index."""
+        p = PrefetchProbe()
+        p.begin_block()
+        p.record_issue(0, 0.0)
+        p.record_issue(1, 1.0)
+        p.record_arrival(1, 7.0)   # word 1 returns first
+        p.record_arrival(0, 9.0)
+        assert p.latencies() == [7.0]
+        assert p.interarrivals() == [2.0]
+
+    def test_multiple_blocks_averaged(self):
+        p = PrefetchProbe()
+        for base in (0.0, 100.0):
+            p.begin_block()
+            p.record_issue(0, base)
+            p.record_arrival(0, base + 8.0)
+        s = p.summary()
+        assert s.blocks == 2 and s.samples_latency == 2
+        assert s.first_word_latency == pytest.approx(8.0)
+
+    def test_misuse_raises(self):
+        p = PrefetchProbe()
+        with pytest.raises(RuntimeError):
+            p.record_issue(0, 0.0)
+        p.begin_block()
+        with pytest.raises(RuntimeError):
+            p.record_arrival(0, 1.0)  # never issued
+        with pytest.raises(RuntimeError):
+            p.summary()  # no completed blocks

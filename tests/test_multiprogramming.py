@@ -1,0 +1,24 @@
+"""Tests for the single-user-mode rationale study."""
+
+import pytest
+
+from repro.experiments.multiprogramming import run_multiprogramming_study
+
+
+class TestMultiprogramming:
+    def test_single_user_is_deterministic_lower_bound(self):
+        result = run_multiprogramming_study()
+        # 16 x 10ms tasks on 4 clusters: 4 waves of 10ms
+        assert result.single_user_makespan == pytest.approx(40.0)
+        assert all(m >= result.single_user_makespan for m in result.shared_makespans)
+
+    def test_sharing_slows_the_job(self):
+        result = run_multiprogramming_study()
+        assert result.mean_slowdown > 1.05
+
+    def test_sharing_is_nondeterministic(self):
+        """Different competitor phasings give different makespans — the
+        non-determinism the paper avoided by measuring single-user."""
+        result = run_multiprogramming_study()
+        assert result.spread > 1.01
+        assert len(set(result.shared_makespans)) > 1

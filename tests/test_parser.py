@@ -1,0 +1,174 @@
+"""Tests for the Fortran-style loop parser + end-to-end restructuring."""
+
+import pytest
+
+from repro.restructurer.ir import UNKNOWN, AffineIndex
+from repro.restructurer.parser import (
+    ParseError,
+    parse_loop,
+    parse_program,
+    parse_statement,
+)
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+
+
+class TestSubscripts:
+    def test_plain_index(self):
+        st = parse_statement("Y(I) = X(I)", "I")
+        assert st.lhs.array == "Y"
+        assert st.lhs.index == AffineIndex(1, 0)
+
+    def test_offsets_and_coefficients(self):
+        st = parse_statement("Y(2*I-1) = X(I+3)", "I")
+        assert st.lhs.index == AffineIndex(2, -1)
+        assert st.rhs[0].index == AffineIndex(1, 3)
+
+    def test_constant_subscript(self):
+        st = parse_statement("W(1) = X(I)", "I")
+        assert st.lhs.index == AffineIndex(0, 1)
+
+    def test_index_array_is_unknown(self):
+        st = parse_statement("B(IDX(I)) = X(I)", "I")
+        assert st.lhs.index is UNKNOWN
+        # and IDX itself is recorded as read
+        assert any(r.array == "IDX" for r in st.rhs)
+
+    def test_scalar_reference(self):
+        st = parse_statement("T = X(I)", "I")
+        assert st.lhs.is_scalar
+
+    def test_loop_var_not_a_reference(self):
+        st = parse_statement("Y(I) = X(I) + I", "I")
+        assert all(r.array != "I" for r in st.rhs)
+
+    def test_intrinsics_transparent(self):
+        st = parse_statement("Y(I) = SQRT(X(I))", "I")
+        assert [r.array for r in st.rhs] == ["X"]
+
+
+class TestStatementClassification:
+    def test_sum_reduction(self):
+        st = parse_statement("S = S + X(I)", "I")
+        assert st.reduction_op == "+"
+
+    def test_product_reduction(self):
+        st = parse_statement("P = P * X(I)", "I")
+        assert st.reduction_op == "*"
+
+    def test_basic_induction(self):
+        st = parse_statement("K = K + 2", "I")
+        assert st.is_induction_update and not st.induction_is_advanced
+
+    def test_multiplicative_induction_is_advanced(self):
+        st = parse_statement("K = K * 2", "I")
+        assert st.is_induction_update and st.induction_is_advanced
+
+    def test_call_statement(self):
+        st = parse_statement("CALL FOO(Y(I))", "I")
+        assert st.calls and st.calls[0].name == "FOO"
+
+    def test_call_with_save_convention(self):
+        st = parse_statement("CALL KERNEL_SAVE(Y(I))", "I")
+        assert st.calls[0].has_save
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("GOTO 10", "I")
+
+
+class TestLoopParsing:
+    def test_header_and_trips(self):
+        loop = parse_loop("DO I = 1, 100\nY(I) = X(I)\nEND DO")
+        assert loop.var == "I" and loop.trips == 100
+
+    def test_step(self):
+        loop = parse_loop("DO I = 1, 100, 2\nY(I) = X(I)\nEND DO")
+        assert loop.trips == 50
+
+    def test_labelled_continue_form(self):
+        loop = parse_loop("DO 10 J = 1, 8\nY(J) = X(J)\n10 CONTINUE")
+        assert loop.var == "J" and loop.trips == 8
+
+    def test_comments_stripped(self):
+        loop = parse_loop(
+            "DO I = 1, 4  ! outer sweep\nY(I) = X(I)  ! copy\nEND DO"
+        )
+        assert len(loop.statements()) == 1
+
+    def test_nested_rejected(self):
+        src = "DO I = 1, 4\nDO J = 1, 4\nY(J) = X(J)\nEND DO\nEND DO"
+        with pytest.raises(ParseError):
+            parse_loop(src)
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("DO I = 1, 4\nY(I) = X(I)")
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("DO I = 1, 4, 0\nY(I) = X(I)\nEND DO")
+
+
+class TestEndToEndRestructuring:
+    def test_clean_loop_parallel(self):
+        loop = parse_loop("DO I = 1, 100\nY(I) = 2.0 * X(I)\nEND DO")
+        assert KAP_PIPELINE.restructure_loop(loop).parallel
+
+    def test_recurrence_detected(self):
+        loop = parse_loop("DO I = 1, 100\nY(I) = Y(I-1) + X(I)\nEND DO")
+        assert not AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel
+
+    def test_reduction_needs_advanced(self):
+        src = "DO I = 1, 100\nS = S + X(I)\nEND DO"
+        loop = parse_loop(src)
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel and "parallel reduction" in verdict.transforms
+
+    def test_scalar_temp_handled_by_kap(self):
+        src = "DO I = 1, 100\nT = X(I)\nY(I) = T * T\nEND DO"
+        verdict = KAP_PIPELINE.restructure_loop(parse_loop(src))
+        assert verdict.parallel
+        assert "scalar privatization" in verdict.transforms
+
+    def test_array_workspace_needs_advanced(self):
+        src = "DO I = 1, 100\nW(1) = X(I)\nY(I) = W(1) + 1.0\nEND DO"
+        loop = parse_loop(src)
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        assert AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel
+
+    def test_index_array_runtime_tested(self):
+        src = "DO I = 1, 100\nB(IDX(I)) = B(IDX(I)) + X(I)\nEND DO"
+        loop = parse_loop(src)
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel and "runtime dependence test" in verdict.transforms
+
+    def test_distance_two_recurrence_detected(self):
+        loop = parse_loop("DO I = 1, 100\nA(I) = A(I-2) * 0.5\nEND DO")
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert not verdict.parallel
+        assert any(d.distance == 2 for d in verdict.blockers)
+
+
+class TestProgramParsing:
+    def test_multiple_loops(self):
+        src = (
+            "DO I = 1, 10\nY(I) = X(I)\nEND DO\n"
+            "DO J = 1, 20\nS = S + Y(J)\nEND DO"
+        )
+        program = parse_program(src, name="demo")
+        assert len(program.loops) == 2
+        report = AUTOMATABLE_PIPELINE.restructure(program)
+        assert report.parallel_coverage == pytest.approx(1.0)
+
+    def test_statement_outside_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("Y(1) = 0.0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("   \n  ! just a comment\n")

@@ -1,0 +1,84 @@
+"""Property-based fuzzing of the Fortran parser + pipelines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.restructurer.parser import parse_loop
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+
+arrays = st.sampled_from(["X", "Y", "Z", "W", "A"])
+scalars = st.sampled_from(["S", "T", "K"])
+offsets = st.integers(min_value=-3, max_value=3)
+
+
+@st.composite
+def statements(draw):
+    form = draw(st.integers(min_value=0, max_value=5))
+    a = draw(arrays)
+    b = draw(arrays)
+    s = draw(scalars)
+    d1 = draw(offsets)
+    d2 = draw(offsets)
+
+    def sub(d):
+        if d == 0:
+            return "I"
+        return f"I{'+' if d > 0 else '-'}{abs(d)}"
+
+    if form == 0:
+        return f"{a}({sub(d1)}) = {b}({sub(d2)}) * 2.0"
+    if form == 1:
+        return f"{s} = {b}({sub(d1)})"
+    if form == 2:
+        return f"{s} = {s} + {b}({sub(d1)})"
+    if form == 3:
+        return f"{a}({sub(d1)}) = {s} + 1.0"
+    if form == 4:
+        return f"{a}(IDX(I)) = {b}({sub(d1)})"
+    return f"{s} = {s} + 1"
+
+
+@st.composite
+def loops(draw):
+    body = draw(st.lists(statements(), min_size=1, max_size=5))
+    trips = draw(st.integers(min_value=2, max_value=500))
+    return "DO I = 1, " + str(trips) + "\n" + "\n".join(body) + "\nEND DO"
+
+
+class TestParserFuzz:
+    @given(source=loops())
+    @settings(max_examples=80, deadline=None)
+    def test_generated_loops_parse_and_analyze(self, source):
+        loop = parse_loop(source)
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel in (True, False)
+
+    @given(source=loops())
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_monotonicity_through_the_parser(self, source):
+        """Anything KAP parallelizes, the automatable pipeline must too."""
+        loop = parse_loop(source)
+        kap = KAP_PIPELINE.restructure_loop(loop)
+        loop.reset_analysis()
+        auto = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        if kap.parallel:
+            assert auto.parallel
+
+    @given(source=loops())
+    @settings(max_examples=40, deadline=None)
+    def test_reset_makes_analysis_repeatable(self, source):
+        loop = parse_loop(source)
+        first = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        loop.reset_analysis()
+        second = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert first.parallel == second.parallel
+        assert set(first.transforms) == set(second.transforms)
+
+    @given(source=loops())
+    @settings(max_examples=40, deadline=None)
+    def test_self_recurrence_always_blocks(self, source):
+        """Appending a true recurrence makes any loop serial."""
+        body_with_recurrence = source.replace(
+            "\nEND DO", "\nQ(I) = Q(I-1) + 1.0\nEND DO"
+        )
+        loop = parse_loop(body_with_recurrence)
+        assert not AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel

@@ -1,0 +1,170 @@
+"""Tests for the Perfect Benchmarks layer: profiles, IR, forward model.
+
+The round-trip tests here are the calibration contract: profiles are
+derived from the paper's Table 3, and the forward model must recover
+the published times (through the restructurer + runtime machinery, not
+by echoing constants).
+"""
+
+import pytest
+
+from repro.perf.model import CedarApplicationModel
+from repro.perfect.handopt import HANDOPT_MODELS, vm_overhead_ratio
+from repro.perfect.ir_builder import build_ir
+from repro.perfect.profiles import PAPER_TABLE3, PERFECT_CODES, derive_profile
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+
+ALL_CODES = sorted(PERFECT_CODES)
+MODEL = CedarApplicationModel()
+
+
+class TestProfiles:
+    def test_thirteen_codes(self):
+        assert len(PERFECT_CODES) == 13
+
+    @pytest.mark.parametrize("name", ALL_CODES)
+    def test_weights_form_a_partition(self, name):
+        code = PERFECT_CODES[name]
+        total = code.serial_fraction + sum(lp.weight for lp in code.loops)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("name", ALL_CODES)
+    def test_sane_physical_parameters(self, name):
+        code = PERFECT_CODES[name]
+        assert code.serial_seconds > 0
+        assert code.flops > 0
+        for lp in code.loops:
+            assert lp.invocations >= 1
+            assert lp.trips >= 1
+            assert 1.0 <= lp.vector_speedup <= 8.0
+            assert 0.0 <= lp.global_vector_fraction <= 1.0
+
+    def test_serial_time_consistency(self):
+        """The two published products (time x improvement) agree."""
+        for name, ref in PAPER_TABLE3.items():
+            if ref.auto_time is None:
+                continue
+            kap_serial = ref.kap_time * ref.kap_improvement
+            auto_serial = ref.auto_time * ref.auto_improvement
+            assert kap_serial == pytest.approx(auto_serial, rel=0.12), name
+
+    def test_derivation_is_deterministic(self):
+        a = derive_profile("MDG", PAPER_TABLE3["MDG"])
+        b = derive_profile("MDG", PAPER_TABLE3["MDG"])
+        assert a == b
+
+
+class TestIRBuilder:
+    @pytest.mark.parametrize("name", ALL_CODES)
+    def test_programs_validate(self, name):
+        program = build_ir(PERFECT_CODES[name])
+        program.validate_weights()
+
+    @pytest.mark.parametrize("name", [n for n in ALL_CODES if n != "SPICE"])
+    def test_advanced_loop_blocked_under_kap(self, name):
+        """The loop carrying the code's advanced obstacle must be serial
+        under KAP and parallel under the automatable pipeline."""
+        code = PERFECT_CODES[name]
+        program = build_ir(code)
+        kap = KAP_PIPELINE.restructure(program)
+        auto = AUTOMATABLE_PIPELINE.restructure(program)
+        assert not kap.verdict_for("advanced_loops").parallel
+        assert auto.verdict_for("advanced_loops").parallel
+
+    def test_coverage_ordering(self):
+        for name in ALL_CODES:
+            program = build_ir(PERFECT_CODES[name])
+            kap = KAP_PIPELINE.restructure(program)
+            auto = AUTOMATABLE_PIPELINE.restructure(program)
+            assert auto.parallel_coverage >= kap.parallel_coverage
+
+
+class TestForwardModel:
+    """The calibration contract: model vs paper, all four versions."""
+
+    @pytest.mark.parametrize("name", ALL_CODES)
+    def test_kap_times(self, name):
+        ref = PAPER_TABLE3[name]
+        got = MODEL.execute(PERFECT_CODES[name], KAP_PIPELINE)
+        assert got.seconds == pytest.approx(ref.kap_time, rel=0.10), name
+
+    @pytest.mark.parametrize("name", [n for n in ALL_CODES if n != "SPICE"])
+    def test_automatable_times(self, name):
+        ref = PAPER_TABLE3[name]
+        got = MODEL.execute(PERFECT_CODES[name], AUTOMATABLE_PIPELINE)
+        assert got.seconds == pytest.approx(ref.auto_time, rel=0.10), name
+
+    @pytest.mark.parametrize("name", [n for n in ALL_CODES if n != "SPICE"])
+    def test_no_sync_times(self, name):
+        ref = PAPER_TABLE3[name]
+        target = ref.auto_time * (1 + ref.no_sync_slowdown)
+        got = MODEL.execute(
+            PERFECT_CODES[name], AUTOMATABLE_PIPELINE, use_cedar_sync=False
+        )
+        assert got.seconds == pytest.approx(target, rel=0.10), name
+
+    @pytest.mark.parametrize("name", [n for n in ALL_CODES if n != "SPICE"])
+    def test_no_prefetch_times(self, name):
+        ref = PAPER_TABLE3[name]
+        target = ref.auto_time * (1 + ref.no_sync_slowdown) * (
+            1 + ref.no_prefetch_slowdown
+        )
+        got = MODEL.execute(
+            PERFECT_CODES[name],
+            AUTOMATABLE_PIPELINE,
+            use_cedar_sync=False,
+            use_prefetch=False,
+        )
+        assert got.seconds == pytest.approx(target, rel=0.12), name
+
+    @pytest.mark.parametrize("name", [n for n in ALL_CODES if n != "SPICE"])
+    def test_mflops(self, name):
+        ref = PAPER_TABLE3[name]
+        got = MODEL.execute(PERFECT_CODES[name], AUTOMATABLE_PIPELINE)
+        assert got.mflops == pytest.approx(ref.mflops, rel=0.10), name
+
+    def test_ablations_only_slow_things_down(self):
+        for name in ALL_CODES:
+            code = PERFECT_CODES[name]
+            base = MODEL.execute(code, AUTOMATABLE_PIPELINE)
+            nosync = MODEL.execute(code, AUTOMATABLE_PIPELINE, use_cedar_sync=False)
+            nopref = MODEL.execute(
+                code, AUTOMATABLE_PIPELINE, use_cedar_sync=False, use_prefetch=False
+            )
+            assert nosync.seconds >= base.seconds - 1e-9
+            assert nopref.seconds >= nosync.seconds - 1e-9
+
+    def test_breakdown_sums_to_total(self):
+        got = MODEL.execute(PERFECT_CODES["MDG"], AUTOMATABLE_PIPELINE)
+        assert sum(got.breakdown.values()) == pytest.approx(got.seconds)
+
+    def test_scalar_dominated_code_ignores_prefetch(self):
+        base = MODEL.execute(PERFECT_CODES["TRACK"], AUTOMATABLE_PIPELINE)
+        nopref = MODEL.execute(
+            PERFECT_CODES["TRACK"], AUTOMATABLE_PIPELINE, use_prefetch=False
+        )
+        assert nopref.seconds == pytest.approx(base.seconds)
+
+
+class TestHandOptimizations:
+    @pytest.mark.parametrize("name", sorted(HANDOPT_MODELS))
+    def test_times_near_paper(self, name):
+        opt = HANDOPT_MODELS[name]
+        got = opt.apply()
+        assert got.seconds == pytest.approx(opt.paper_time, rel=0.35), name
+
+    def test_table4_rows_present(self):
+        for name in ("ARC2D", "BDNA", "TRFD", "QCD"):
+            assert name in HANDOPT_MODELS
+
+    def test_all_optimizations_improve(self):
+        for name, opt in HANDOPT_MODELS.items():
+            got = opt.apply()
+            assert got.improvement > 1.0, name
+
+    def test_vm_ratio_is_about_one_quarter(self):
+        """Distributed data leaves each cluster faulting on a quarter of
+        the pages — 'almost four times the number of page faults' in
+        reverse."""
+        ratio = vm_overhead_ratio(data_mb=4.0, passes=3)
+        assert 0.2 <= ratio <= 0.35

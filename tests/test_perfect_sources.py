@@ -1,0 +1,64 @@
+"""The human-readable Perfect sketches agree with the profile story."""
+
+import pytest
+
+from repro.perfect.profiles import PERFECT_CODES
+from repro.perfect.sources import SKETCHES, expected_verdicts, sketch_program
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+
+ALL = sorted(SKETCHES)
+
+
+class TestSketchCoverage:
+    def test_every_code_has_a_sketch(self):
+        assert set(SKETCHES) == set(PERFECT_CODES)
+
+    def test_sketches_parse(self):
+        for name in ALL:
+            program = sketch_program(name)
+            program.validate_weights()
+
+
+class TestSketchVerdicts:
+    @pytest.mark.parametrize("name", ALL)
+    def test_pipelines_reach_the_documented_verdicts(self, name):
+        program = sketch_program(name)
+        kap = KAP_PIPELINE.restructure(program)
+        auto = AUTOMATABLE_PIPELINE.restructure(program)
+        for label, expect_kap, expect_auto in expected_verdicts(name):
+            assert kap.verdict_for(label).parallel is expect_kap, (name, label, "kap")
+            assert auto.verdict_for(label).parallel is expect_auto, (name, label, "auto")
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_every_code_has_an_advanced_obstacle(self, name):
+        """Each sketch contains at least one loop only the automatable
+        pipeline parallelizes — the Section 3.3 per-code story."""
+        verdicts = expected_verdicts(name)
+        assert any(not kap and auto for _, kap, auto in verdicts), name
+
+    def test_sketch_and_profile_agree_on_the_obstacle_class(self):
+        """The transform unlocking each sketch's obstacle loop matches
+        the feature the derived profile assigns."""
+        feature_to_transform = {
+            "array_private": "array privatization",
+            "reduction": "parallel reduction",
+            "adv_induction": "advanced induction substitution",
+            "runtime_test": "runtime dependence test",
+            "save_call": "SAVE/RETURN parallelization",
+        }
+        for name in ALL:
+            profile = PERFECT_CODES[name]
+            advanced = [lp for lp in profile.loops if lp.label == "advanced_loops"]
+            if not advanced:
+                continue
+            wanted = feature_to_transform.get(advanced[0].feature)
+            if wanted is None:
+                continue
+            auto = AUTOMATABLE_PIPELINE.restructure(sketch_program(name))
+            unlocked_transforms = {
+                t
+                for v in auto.verdicts
+                if v.parallel
+                for t in v.transforms
+            }
+            assert wanted in unlocked_transforms, (name, wanted)

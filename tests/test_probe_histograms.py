@@ -1,0 +1,44 @@
+"""Tests for the probe-to-histogrammer wiring."""
+
+import pytest
+
+from repro.cluster.ce import AwaitStream, StartPrefetch
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.monitor.probes import PrefetchProbe
+
+
+class TestProbeHistograms:
+    def test_latency_histogram_from_probe(self):
+        p = PrefetchProbe()
+        for latency in (8.0, 9.0, 12.0):
+            p.begin_block()
+            p.record_issue(0, 0.0)
+            p.record_arrival(0, latency)
+        hist = p.latency_histogram(bins=64, hi=64.0)
+        assert hist.samples == 3
+        assert hist.mean() == pytest.approx(9.7, abs=1.0)
+
+    def test_interarrival_histogram(self):
+        p = PrefetchProbe()
+        p.begin_block()
+        for i in range(4):
+            p.record_issue(i, float(i))
+        for i, t in enumerate((8.0, 9.0, 10.5, 13.5)):
+            p.record_arrival(i, t)
+        hist = p.interarrival_histogram(bins=32, hi=16.0)
+        assert hist.samples == 3  # three gaps
+
+    def test_histogram_from_live_machine(self):
+        machine = CedarMachine(CedarConfig(), monitor_port=0)
+
+        def program():
+            for strip in range(6):
+                s = yield StartPrefetch(length=16, stride=1, address=strip * 64)
+                yield AwaitStream(s)
+
+        machine.run_programs({0: program()})
+        hist = machine.probe.latency_histogram()
+        assert hist.samples == 6
+        # unloaded: every block at the 8-cycle minimum
+        assert hist.mean() == pytest.approx(8.0, abs=0.6)

@@ -1,0 +1,241 @@
+"""Tests for the restructurer: dependence tests, transforms, pipelines."""
+
+import pytest
+
+from repro.restructurer.dependence import (
+    DependenceKind,
+    blocking_dependences,
+    dependences_in,
+    test_dependence as dep_test,
+)
+from repro.restructurer.ir import (
+    AffineIndex,
+    ArrayRef,
+    CallSite,
+    Loop,
+    Program,
+    Statement,
+)
+from repro.restructurer.ir import read, read_unknown, write, write_unknown
+from repro.restructurer.pipeline import AUTOMATABLE_PIPELINE, KAP_PIPELINE
+
+
+def loop_with(statements, trips=100, weight=1.0, **kw):
+    return Loop(var="i", trips=trips, body=list(statements), weight=weight, **kw)
+
+
+class TestDependenceTester:
+    def test_disjoint_arrays_independent(self):
+        assert dep_test(write("a", 1, 0), read("b", 1, 0), 10) is None
+
+    def test_read_read_ignored(self):
+        assert dep_test(read("a", 1, 0), read("a", 1, 1), 10) is None
+
+    def test_strong_siv_distance(self):
+        # a(i) written, a(i-1) read: flow dependence at distance 1
+        dep = dep_test(write("a", 1, 0), read("a", 1, -1), 10)
+        assert dep is not None and dep.distance == 1
+        assert dep.kind is DependenceKind.FLOW
+
+    def test_same_subscript_is_loop_independent(self):
+        # a(i) = f(a(i)): no cross-iteration dependence
+        assert dep_test(write("a", 1, 0), read("a", 1, 0), 10) is None
+
+    def test_distance_beyond_trip_count(self):
+        dep = dep_test(write("a", 1, 0), read("a", 1, -50), 10)
+        assert dep is None
+
+    def test_non_integer_distance(self):
+        # a(2i) vs a(2i+1): never the same element
+        assert dep_test(write("a", 2, 0), read("a", 2, 1), 10) is None
+
+    def test_gcd_filters_incompatible_strides(self):
+        # a(2i) vs a(2j+1) across iterations: gcd 2 does not divide 1
+        assert dep_test(write("a", 2, 0), read("a", 1, 0), 10) is not None
+        assert dep_test(write("a", 4, 0), read("a", 2, 1), 10) is None
+
+    def test_banerjee_bounds_exclude_far_offsets(self):
+        # a(i) vs a(j + 1000) with 10 trips: ranges never meet
+        assert dep_test(write("a", 1, 0), read("a", 1, 1000), 10) is None
+
+    def test_scalar_carried_dependence(self):
+        dep = dep_test(write("s"), read("s"), 10)
+        assert dep is not None and dep.loop_carried
+
+    def test_unknown_subscript_assumed_dependent(self):
+        dep = dep_test(write_unknown("a"), read_unknown("a"), 10)
+        assert dep is not None and dep.assumed
+
+    def test_anti_and_output_kinds(self):
+        anti = dep_test(read("a", 1, -1), write("a", 1, 0), 10)
+        assert anti is not None and anti.kind is DependenceKind.ANTI
+        out = dep_test(write("a", 1, 0), write("a", 1, -1), 10)
+        assert out is not None and out.kind is DependenceKind.OUTPUT
+
+
+class TestLoopAnalysis:
+    def test_clean_vector_loop_parallel_under_kap(self):
+        loop = loop_with([Statement(lhs=write("y", 1, 0), rhs=[read("x", 1, 0)])])
+        verdict = KAP_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel
+
+    def test_recurrence_never_parallel(self):
+        # y(i) = y(i-1) + x(i): a true recurrence
+        loop = loop_with(
+            [Statement(lhs=write("y", 1, 0), rhs=[read("y", 1, -1), read("x", 1, 0)])]
+        )
+        for pipeline in (KAP_PIPELINE, AUTOMATABLE_PIPELINE):
+            loop.reset_analysis()
+            assert not pipeline.restructure_loop(loop).parallel
+
+    def test_scalar_temp_privatized_by_kap(self):
+        # t = x(i); y(i) = t*t  — classic privatizable temporary
+        loop = loop_with(
+            [
+                Statement(lhs=write("t"), rhs=[read("x", 1, 0)]),
+                Statement(lhs=write("y", 1, 0), rhs=[read("t"), read("t")]),
+            ]
+        )
+        verdict = KAP_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel
+        assert "scalar privatization" in verdict.transforms
+
+    def test_array_workspace_needs_advanced_pipeline(self):
+        # w(1:m) written then read each iteration (array workspace)
+        body = [
+            Statement(lhs=write("w", 0, 1), rhs=[read("x", 1, 0)]),
+            Statement(lhs=write("y", 1, 0), rhs=[read("w", 0, 1)]),
+        ]
+        loop = loop_with(body)
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel
+        assert "array privatization" in verdict.transforms
+
+    def test_reduction_needs_advanced_pipeline(self):
+        loop = loop_with(
+            [Statement(lhs=write("s"), rhs=[read("s"), read("x", 1, 0)],
+                       reduction_op="+")]
+        )
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel
+        assert "parallel reduction" in verdict.transforms
+
+    def test_advanced_induction(self):
+        loop = loop_with(
+            [
+                Statement(lhs=write("k"), rhs=[read("k")],
+                          is_induction_update=True, induction_is_advanced=True),
+                Statement(lhs=write("y", 1, 0), rhs=[read("k")]),
+            ]
+        )
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel
+        assert "advanced induction substitution" in verdict.transforms
+
+    def test_basic_induction_handled_by_kap(self):
+        loop = loop_with(
+            [
+                Statement(lhs=write("k"), rhs=[read("k")], is_induction_update=True),
+                Statement(lhs=write("y", 1, 0), rhs=[read("k")]),
+            ]
+        )
+        assert KAP_PIPELINE.restructure_loop(loop).parallel
+
+    def test_runtime_test_clears_index_arrays(self):
+        loop = loop_with(
+            [Statement(lhs=write_unknown("a"), rhs=[read_unknown("a")])]
+        )
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel
+        assert "runtime dependence test" in verdict.transforms
+
+    def test_save_calls_block_kap_only(self):
+        loop = loop_with(
+            [
+                Statement(
+                    lhs=write("y", 1, 0),
+                    rhs=[read("x", 1, 0)],
+                    calls=[CallSite("kernel", has_save=True)],
+                )
+            ]
+        )
+        assert not KAP_PIPELINE.restructure_loop(loop).parallel
+        loop.reset_analysis()
+        assert AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel
+
+    def test_opaque_call_blocks_everyone(self):
+        loop = loop_with(
+            [
+                Statement(
+                    lhs=write("y", 1, 0),
+                    rhs=[],
+                    calls=[CallSite("mystery")],  # neither SAVE nor pure
+                )
+            ]
+        )
+        assert not AUTOMATABLE_PIPELINE.restructure_loop(loop).parallel
+
+    def test_ragged_loop_gets_stripmined(self):
+        loop = loop_with(
+            [Statement(lhs=write("y", 1, 0), rhs=[read("x", 1, 0)])], ragged=True
+        )
+        verdict = AUTOMATABLE_PIPELINE.restructure_loop(loop)
+        assert verdict.parallel and verdict.balanced_stripmine
+
+
+class TestProgramReports:
+    def make_program(self):
+        clean = loop_with(
+            [Statement(lhs=write("y", 1, 0), rhs=[read("x", 1, 0)])], weight=0.3
+        )
+        clean.label = "clean"
+        workspace = loop_with(
+            [
+                Statement(lhs=write("w", 0, 1), rhs=[read("x", 1, 0)]),
+                Statement(lhs=write("z", 1, 0), rhs=[read("w", 0, 1)]),
+            ],
+            weight=0.5,
+        )
+        workspace.label = "workspace"
+        recurrence = loop_with(
+            [Statement(lhs=write("y", 1, 0), rhs=[read("y", 1, -1)])], weight=0.1
+        )
+        recurrence.label = "recurrence"
+        return Program(
+            name="demo",
+            loops=[clean, workspace, recurrence],
+            serial_fraction=0.1,
+        )
+
+    def test_coverage_difference_between_pipelines(self):
+        prog = self.make_program()
+        kap = KAP_PIPELINE.restructure(prog)
+        auto = AUTOMATABLE_PIPELINE.restructure(prog)
+        assert kap.parallel_coverage == pytest.approx(0.3)
+        assert auto.parallel_coverage == pytest.approx(0.8)
+
+    def test_recurrence_blocked_everywhere(self):
+        prog = self.make_program()
+        auto = AUTOMATABLE_PIPELINE.restructure(prog)
+        assert not auto.verdict_for("recurrence").parallel
+
+    def test_weight_validation(self):
+        prog = Program("bad", loops=[loop_with([], weight=0.5)], serial_fraction=0.1)
+        with pytest.raises(ValueError):
+            AUTOMATABLE_PIPELINE.restructure(prog)
+
+    def test_reports_are_independent(self):
+        """Restructure resets analysis state: running KAP after the
+        automatable pipeline must not inherit its clearances."""
+        prog = self.make_program()
+        AUTOMATABLE_PIPELINE.restructure(prog)
+        kap = KAP_PIPELINE.restructure(prog)
+        assert not kap.verdict_for("workspace").parallel

@@ -1,0 +1,77 @@
+"""Tests for problem-size scaling of the Perfect workloads."""
+
+import pytest
+
+from repro.metrics.bands import Band
+from repro.perfect.profiles import PERFECT_CODES
+from repro.perfect.sizing import (
+    run_size_scaling,
+    scale_problem,
+    size_band,
+    size_stability,
+)
+
+
+class TestScaleProblem:
+    def test_scales_serial_time_flops_and_trips(self):
+        base = PERFECT_CODES["MDG"]
+        scaled = scale_problem(base, 2.0)
+        assert scaled.serial_seconds == pytest.approx(2 * base.serial_seconds)
+        assert scaled.flops == pytest.approx(2 * base.flops)
+        for lp_base, lp_scaled in zip(base.loops, scaled.loops):
+            assert lp_scaled.trips == 2 * lp_base.trips
+
+    def test_preserves_weights(self):
+        scaled = scale_problem(PERFECT_CODES["MDG"], 0.25)
+        total = scaled.serial_fraction + sum(lp.weight for lp in scaled.loops)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_problem(PERFECT_CODES["MDG"], 0.0)
+
+    def test_tiny_factor_floors_trips(self):
+        scaled = scale_problem(PERFECT_CODES["MDG"], 0.001)
+        assert all(lp.trips >= 1 for lp in scaled.loops)
+
+
+class TestSizeScalingStudy:
+    def test_speedup_grows_with_problem_size(self):
+        """Bigger problems amortize loop startup: speedup is
+        non-decreasing in the size factor (for the parallel codes)."""
+        study = run_size_scaling()
+        for name in ("MDG", "TRFD", "OCEAN"):
+            values = [study[name][f] for f in sorted(study[name])]
+            assert all(b >= a - 1e-6 for a, b in zip(values, values[1:])), name
+
+    def test_trfd_high_at_full_size_degrades_below(self):
+        """The application-level version of the Section 4.4 CG story:
+        high band at full size and above, a lower band once the problem
+        shrinks enough to starve the machine of iterations."""
+        for factor in (1.0, 2.0, 4.0):
+            assert size_band("TRFD", factor) is Band.HIGH
+        assert size_band("TRFD", 0.125) is not Band.HIGH
+        assert size_band("TRFD", 0.125) is not Band.UNACCEPTABLE
+
+    def test_small_problems_lose_a_band(self):
+        """At 1/8 size, some intermediate codes hold their band but
+        none gains one — and the scheduling-bound ones degrade."""
+        study = run_size_scaling()
+        for name in PERFECT_CODES:
+            assert study[name][0.125] <= study[name][4.0] + 1e-6
+
+    def test_size_stability_metric(self):
+        """Over the *large-problem* range (f >= 1) the parallel codes
+        meet PPT4's factor-of-2 size-stability criterion; over the full
+        range (1/8 .. 4x) they do not — small problems starve the
+        machine of iterations, exactly the CG study's lesson."""
+        study = run_size_scaling()
+        for name in ("TRFD", "MG3D", "MDG"):
+            large = [s for f, s in study[name].items() if f >= 1.0]
+            assert min(large) / max(large) > 0.5, name
+        assert size_stability("TRFD") < 0.5  # full range: unstable
+
+    def test_serial_codes_indifferent_to_size(self):
+        study = run_size_scaling()
+        values = list(study["SPICE"].values())
+        assert max(values) / min(values) < 1.1

@@ -1,0 +1,117 @@
+"""Unit + property tests for the Zhu-Yew synchronization processor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gmemory.sync import SyncOp, SyncProcessor, TestOp as RelOp
+
+
+class TestTestAndSet:
+    def test_first_acquisition_succeeds(self):
+        sp = SyncProcessor()
+        res = sp.test_and_set(100)
+        assert res.success and res.old_value == 0 and res.new_value == 1
+
+    def test_second_acquisition_sees_lock_held(self):
+        sp = SyncProcessor()
+        sp.test_and_set(100)
+        res = sp.test_and_set(100)
+        assert res.old_value == 1  # caller observes the lock was taken
+
+
+class TestTestAndOperate:
+    def test_failed_test_leaves_value(self):
+        sp = SyncProcessor()
+        sp.poke(4, 10)
+        res = sp.test_and_op(4, RelOp.GT, 20, SyncOp.ADD, 5)
+        assert not res.success
+        assert sp.peek(4) == 10
+
+    def test_successful_test_applies_op(self):
+        sp = SyncProcessor()
+        sp.poke(4, 30)
+        res = sp.test_and_op(4, RelOp.GT, 20, SyncOp.ADD, 5)
+        assert res.success and res.new_value == 35
+
+    @pytest.mark.parametrize(
+        "test,operand,expected",
+        [
+            (RelOp.EQ, 7, True),
+            (RelOp.NE, 7, False),
+            (RelOp.GT, 6, True),
+            (RelOp.GE, 7, True),
+            (RelOp.LT, 8, True),
+            (RelOp.LE, 6, False),
+            (RelOp.ALWAYS, 0, True),
+        ],
+    )
+    def test_relational_tests(self, test, operand, expected):
+        sp = SyncProcessor()
+        sp.poke(0, 7)
+        assert sp.test_and_op(0, test, operand, SyncOp.READ).success is expected
+
+    @pytest.mark.parametrize(
+        "op,operand,expected",
+        [
+            (SyncOp.READ, 0, 12),
+            (SyncOp.WRITE, 99, 99),
+            (SyncOp.ADD, 3, 15),
+            (SyncOp.SUB, 3, 9),
+            (SyncOp.AND, 8, 8),
+            (SyncOp.OR, 16, 28),
+            (SyncOp.XOR, 4, 8),
+        ],
+    )
+    def test_operations(self, op, operand, expected):
+        sp = SyncProcessor()
+        sp.poke(0, 12)
+        res = sp.test_and_op(0, RelOp.ALWAYS, 0, op, operand)
+        assert res.new_value == expected
+
+    def test_32bit_wraparound(self):
+        sp = SyncProcessor()
+        sp.poke(0, 0x7FFFFFFF)
+        res = sp.test_and_op(0, RelOp.ALWAYS, 0, SyncOp.ADD, 1)
+        assert res.new_value == -(1 << 31)  # signed overflow wraps
+
+    def test_negative_values_compare_signed(self):
+        sp = SyncProcessor()
+        sp.poke(0, -5 & 0xFFFFFFFF)
+        assert sp.test_and_op(0, RelOp.LT, 0, SyncOp.READ).success
+
+
+class TestFetchAndAdd:
+    def test_returns_old_value(self):
+        sp = SyncProcessor()
+        assert sp.fetch_and_add(0) == 0
+        assert sp.fetch_and_add(0) == 1
+        assert sp.fetch_and_add(0, 10) == 2
+        assert sp.peek(0) == 12
+
+    def test_self_scheduling_hands_out_unique_iterations(self):
+        """The runtime library's core use: concurrent CEs claiming loop
+        iterations each receive a distinct index."""
+        sp = SyncProcessor()
+        claimed = [sp.fetch_and_add(0) for _ in range(100)]
+        assert claimed == list(range(100))
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=50))
+    def test_adds_accumulate(self, increments):
+        sp = SyncProcessor()
+        for inc in increments:
+            sp.fetch_and_add(7, inc)
+        assert sp.peek(7) == sum(increments)
+
+
+class TestIsolation:
+    def test_addresses_are_independent(self):
+        sp = SyncProcessor()
+        sp.fetch_and_add(1, 5)
+        sp.fetch_and_add(2, 7)
+        assert sp.peek(1) == 5 and sp.peek(2) == 7
+
+    def test_operation_counter(self):
+        sp = SyncProcessor()
+        sp.test_and_set(0)
+        sp.fetch_and_add(1)
+        assert sp.operations == 2

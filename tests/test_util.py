@@ -1,0 +1,84 @@
+"""Tests for units and table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.tables import Table, format_table
+from repro.util.units import (
+    CYCLE_NS,
+    cycles_to_seconds,
+    cycles_to_us,
+    mflops,
+    seconds_to_cycles,
+    us_to_cycles,
+)
+
+
+class TestUnits:
+    def test_cedar_cycle(self):
+        assert CYCLE_NS == 170.0
+
+    def test_cycles_to_seconds(self):
+        # one million cycles at 170ns = 0.17s
+        assert cycles_to_seconds(1_000_000) == pytest.approx(0.17)
+
+    def test_us_round_trip(self):
+        assert cycles_to_us(us_to_cycles(90.0)) == pytest.approx(90.0)
+
+    def test_seconds_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(12345.0)) == pytest.approx(12345.0)
+
+    def test_known_conversion(self):
+        # 90 us at 170 ns/cycle ~ 529.4 cycles (the XDOALL startup)
+        assert us_to_cycles(90.0) == pytest.approx(529.4, rel=1e-3)
+
+    def test_mflops(self):
+        assert mflops(2_000_000, 1.0) == pytest.approx(2.0)
+
+    def test_mflops_requires_positive_time(self):
+        with pytest.raises(ValueError):
+            mflops(1.0, 0.0)
+
+    @given(st.floats(min_value=0.001, max_value=1e9))
+    def test_conversion_inverse_property(self, cycles):
+        assert seconds_to_cycles(cycles_to_seconds(cycles)) == pytest.approx(
+            cycles, rel=1e-9
+        )
+
+
+class TestTables:
+    def test_render_alignment(self):
+        t = Table(title="demo", columns=["name", "x"])
+        t.add_row(["a", 1.25])
+        t.add_row(["bb", 10.0])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.2" in text and "10.0" in text
+
+    def test_none_renders_na(self):
+        t = Table(title="t", columns=["a"])
+        t.add_row([None])
+        assert "NA" in t.render()
+
+    def test_precision(self):
+        t = Table(title="t", columns=["a"], precision=3)
+        t.add_row([1.23456])
+        assert "1.235" in t.render()
+
+    def test_row_length_validated(self):
+        t = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_column_accessor(self):
+        t = Table(title="t", columns=["a", "b"])
+        t.add_row([1, 2])
+        t.add_row([3, 4])
+        assert t.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            t.column("zz")
+
+    def test_format_table_function(self):
+        text = format_table("x", ["c"], [[1], [2]])
+        assert text.count("\n") >= 4

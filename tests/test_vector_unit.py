@@ -1,0 +1,137 @@
+"""Tests for the CE vector-unit model — the source of the timing
+constants the rest of the stack uses."""
+
+import pytest
+
+from repro.cluster.vector_unit import (
+    Operand,
+    Scalar,
+    VectorInstruction,
+    VectorUnit,
+    derived_effective_fraction,
+    derived_peak_mflops,
+    peak_chained_kernel,
+)
+
+
+def vinstr(op="vmul", length=32, operand=Operand.CACHE, dest=1, sources=(0,)):
+    return VectorInstruction(op, length=length, operand=operand, dest=dest,
+                             sources=sources)
+
+
+class TestSingleInstructions:
+    def test_cached_vector_op_timing(self):
+        unit = VectorUnit()
+        report = unit.execute([vinstr()])
+        # startup 12 + 32 elements at 1/cycle
+        assert report.cycles == pytest.approx(44.0)
+        assert report.flops == 32
+
+    def test_register_register_same_stream_rate(self):
+        unit = VectorUnit()
+        report = unit.execute([vinstr(operand=Operand.NONE)])
+        assert report.cycles == pytest.approx(44.0)
+
+    def test_global_operand_slows_stream(self):
+        unit = VectorUnit()
+        pref = unit.execute([vinstr(operand=Operand.GLOBAL_PREF)])
+        plain = unit.execute([vinstr(operand=Operand.GLOBAL)])
+        assert plain.cycles > 4 * pref.cycles
+
+    def test_scalar_block(self):
+        unit = VectorUnit()
+        report = unit.execute([Scalar(count=6)])
+        assert report.cycles == pytest.approx(12.0)
+        assert report.flops == 0
+
+    def test_short_vector(self):
+        unit = VectorUnit()
+        report = unit.execute([vinstr(length=4)])
+        assert report.cycles == pytest.approx(12.0 + 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorInstruction("vmul", length=64)
+        with pytest.raises(ValueError):
+            VectorInstruction("fma")
+        with pytest.raises(TypeError):
+            VectorUnit().execute([42])
+
+
+class TestChaining:
+    def test_dependent_ops_chain(self):
+        unit = VectorUnit()
+        mul = vinstr("vmul", dest=1, sources=(0,))
+        add = vinstr("vadd", operand=Operand.NONE, dest=2, sources=(1, 2))
+        report = unit.execute([mul, add])
+        # the add rides the multiply's stream: one startup, one pass
+        assert report.cycles == pytest.approx(44.0)
+        assert report.chained_pairs == 1
+        assert report.flops == 64
+
+    def test_independent_ops_do_not_chain(self):
+        unit = VectorUnit()
+        a = vinstr("vmul", dest=1, sources=(0,))
+        b = vinstr("vadd", operand=Operand.NONE, dest=3, sources=(2, 4))
+        report = unit.execute([a, b])
+        assert report.chained_pairs == 0
+        assert report.cycles == pytest.approx(88.0)
+
+    def test_chain_depth_limited_to_two(self):
+        """Only multiplier + adder exist: a third dependent op starts a
+        new stream."""
+        unit = VectorUnit()
+        i1 = vinstr("vmul", dest=1, sources=(0,))
+        i2 = vinstr("vadd", operand=Operand.NONE, dest=2, sources=(1,))
+        i3 = vinstr("vadd", operand=Operand.NONE, dest=3, sources=(2,))
+        report = unit.execute([i1, i2, i3])
+        assert report.chained_pairs == 1
+        assert report.cycles == pytest.approx(44.0 + 44.0)
+
+    def test_scalar_glue_breaks_chains(self):
+        unit = VectorUnit()
+        mul = vinstr("vmul", dest=1, sources=(0,))
+        add = vinstr("vadd", operand=Operand.NONE, dest=2, sources=(1,))
+        report = unit.execute([mul, Scalar(2), add])
+        assert report.chained_pairs == 0
+
+    def test_length_mismatch_breaks_chain(self):
+        unit = VectorUnit()
+        mul = vinstr("vmul", dest=1, sources=(0,))
+        add = vinstr("vadd", operand=Operand.NONE, dest=2, sources=(1,), length=16)
+        report = unit.execute([mul, add])
+        assert report.chained_pairs == 0
+
+    def test_chained_slower_operand_pays_difference(self):
+        unit = VectorUnit()
+        mul = vinstr("vmul", operand=Operand.CACHE, dest=1, sources=(0,))
+        add = vinstr("vadd", operand=Operand.CLUSTER, dest=2, sources=(1, 2))
+        report = unit.execute([mul, add])
+        # the cluster-memory operand streams at 2 cyc/word: +1 per word
+        assert report.cycles == pytest.approx(44.0 + 32.0)
+
+
+class TestDerivedConstants:
+    def test_peak_is_11_8_mflops(self):
+        """"The peak performance of each CE is 11.8 Mflops on 64-bit
+        vector operations" — the chained kernel must derive it."""
+        assert derived_peak_mflops() == pytest.approx(11.8, abs=0.3)
+
+    def test_effective_fraction_is_32_over_44(self):
+        """The 274-of-376 effective peak comes from the 12-cycle
+        startup per 32-element strip."""
+        assert derived_effective_fraction() == pytest.approx(32 / 44, abs=0.01)
+        # consistency with the machine configuration
+        from repro.core.config import DEFAULT_CONFIG
+
+        config_fraction = (
+            DEFAULT_CONFIG.effective_peak_mflops / DEFAULT_CONFIG.peak_mflops
+        )
+        assert derived_effective_fraction() == pytest.approx(
+            config_fraction, abs=0.01
+        )
+
+    def test_peak_kernel_chains_throughout(self):
+        unit = VectorUnit()
+        report = unit.execute(peak_chained_kernel(strips=8))
+        assert report.chained_pairs == 8

@@ -1,0 +1,135 @@
+"""Unit tests for Xylem virtual memory: address split, TLBs, faults."""
+
+import pytest
+
+from repro.core.config import VMConfig
+from repro.vm.address import AddressSpace, MemoryLevel
+from repro.vm.paging import PageTable, TLB, VirtualMemory
+
+
+class TestAddressSpace:
+    def test_lower_half_is_cluster(self):
+        sp = AddressSpace(bits=32)
+        assert sp.decode(0x1000).level is MemoryLevel.CLUSTER
+
+    def test_upper_half_is_global(self):
+        sp = AddressSpace(bits=32)
+        assert sp.decode(0x8000_0000).level is MemoryLevel.GLOBAL
+        assert sp.decode(0x8000_0000).offset == 0
+
+    def test_encode_decode_round_trip(self):
+        sp = AddressSpace(bits=32)
+        for level in MemoryLevel:
+            phys = sp.encode(level, 0x1234)
+            decoded = sp.decode(phys)
+            assert decoded.level is level and decoded.offset == 0x1234
+
+    def test_out_of_range_rejected(self):
+        sp = AddressSpace(bits=32)
+        with pytest.raises(ValueError):
+            sp.decode(1 << 32)
+
+    def test_remote_cluster_memory_not_addressable(self):
+        sp = AddressSpace(bits=32)
+        with pytest.raises(PermissionError):
+            sp.check_access(0x1000, cluster=1, owner_cluster=0)
+        sp.check_access(0x1000, cluster=0, owner_cluster=0)  # own cluster OK
+        sp.check_access(0x8000_1000, cluster=1, owner_cluster=0)  # global OK
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        assert not tlb.lookup(7)
+        tlb.insert(7, 1)
+        assert tlb.lookup(7)
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.insert(1, 0)
+        tlb.insert(2, 0)
+        tlb.lookup(1)        # 1 becomes most-recent
+        tlb.insert(3, 0)     # evicts 2
+        assert tlb.lookup(1)
+        assert not tlb.lookup(2)
+        assert tlb.lookup(3)
+
+    def test_flush(self):
+        tlb = TLB(entries=4)
+        tlb.insert(1, 0)
+        tlb.flush()
+        assert not tlb.lookup(1)
+
+
+class TestPageTable:
+    def test_populate_assigns_frames(self):
+        pt = PageTable()
+        f0 = pt.populate(10)
+        f1 = pt.populate(11)
+        assert f0 != f1
+        assert pt.is_valid(10) and pt.frame(10) == f0
+
+    def test_populate_idempotent(self):
+        pt = PageTable()
+        assert pt.populate(5) == pt.populate(5)
+        assert pt.populations == 1
+
+    def test_invalidate(self):
+        pt = PageTable()
+        pt.populate(5)
+        pt.invalidate(5)
+        assert not pt.is_valid(5)
+
+
+class TestVirtualMemory:
+    def make(self, clusters=4):
+        return VirtualMemory(VMConfig(), clusters=clusters)
+
+    def test_first_touch_is_page_fault(self):
+        vm = self.make()
+        out = vm.access(0, cluster=0)
+        assert out.page_fault and out.cycles == VMConfig().page_fault_cycles
+
+    def test_second_touch_same_cluster_hits(self):
+        vm = self.make()
+        vm.access(0, cluster=0)
+        out = vm.access(8, cluster=0)  # same page
+        assert out.tlb_hit and out.cycles == 0
+
+    def test_other_cluster_takes_tlb_miss_fault_not_page_fault(self):
+        """The TRFD effect: a valid PTE exists in global memory, but the
+        second cluster still faults (cheaper TLB-miss fault)."""
+        vm = self.make()
+        vm.access(0, cluster=0)
+        out = vm.access(0, cluster=1)
+        assert out.tlb_miss_fault and not out.page_fault
+        assert out.cycles == VMConfig().tlb_miss_cycles
+
+    def test_multicluster_fault_multiplication(self):
+        """Touching the same pages from all four clusters roughly
+        quadruples faults versus one cluster — the TRFD observation."""
+        one = self.make()
+        pages = 64
+        one.touch_range(0, pages * 4096, cluster=0)
+        four = self.make()
+        for c in range(4):
+            four.touch_range(0, pages * 4096, cluster=c)
+        assert one.faults == pages
+        assert four.faults == 4 * pages
+
+    def test_touch_range_cost_accumulates(self):
+        vm = self.make()
+        cost = vm.touch_range(0, 3 * 4096, cluster=0)
+        assert cost == 3 * VMConfig().page_fault_cycles
+
+    def test_bad_cluster_rejected(self):
+        vm = self.make(clusters=2)
+        with pytest.raises(ValueError):
+            vm.access(0, cluster=5)
+
+    def test_page_of(self):
+        vm = self.make()
+        assert vm.page_of(0) == 0
+        assert vm.page_of(4095) == 0
+        assert vm.page_of(4096) == 1

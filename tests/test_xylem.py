@@ -1,0 +1,142 @@
+"""Unit tests for the Xylem scheduler and runtime library."""
+
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.xylem.runtime import LoopKind, RuntimeLibrary
+from repro.xylem.scheduler import GangScheduler, XylemProcess
+
+
+class TestGangScheduler:
+    def test_tasks_spread_over_clusters(self):
+        sched = GangScheduler(clusters=4)
+        proc = XylemProcess("p")
+        tasks = [sched.schedule(proc.new_task(10.0)) for _ in range(4)]
+        assert sorted(t.cluster for t in tasks) == [0, 1, 2, 3]
+        assert all(t.start_time == 0.0 for t in tasks)
+
+    def test_fifth_task_waits(self):
+        sched = GangScheduler(clusters=4)
+        proc = XylemProcess("p")
+        for _ in range(4):
+            sched.schedule(proc.new_task(10.0))
+        fifth = sched.schedule(proc.new_task(5.0))
+        assert fifth.start_time == 10.0
+        assert proc.makespan == 15.0
+
+    def test_affinity_sticks_to_cluster(self):
+        """Successive SDOALLs schedule iterations on the same clusters
+        so distributed cluster-memory data is reused."""
+        sched = GangScheduler(clusters=4)
+        proc = XylemProcess("p")
+        first = sched.schedule(proc.new_task(1.0), affinity="block3")
+        # fill other clusters with long tasks
+        for _ in range(3):
+            sched.schedule(proc.new_task(100.0))
+        again = sched.schedule(proc.new_task(1.0), affinity="block3")
+        assert again.cluster == first.cluster
+
+    def test_barrier_aligns_clusters(self):
+        sched = GangScheduler(clusters=2)
+        proc = XylemProcess("p")
+        sched.schedule(proc.new_task(3.0))
+        sched.schedule(proc.new_task(7.0))
+        t = sched.barrier()
+        assert t == 7.0
+        assert sched.free_times == [7.0, 7.0]
+
+    def test_cannot_reschedule(self):
+        sched = GangScheduler()
+        proc = XylemProcess("p")
+        task = sched.schedule(proc.new_task(1.0))
+        with pytest.raises(ValueError):
+            sched.schedule(task)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            XylemProcess("p").new_task(-1.0)
+
+
+class TestRuntimeCosts:
+    def test_xdoall_costs_match_paper(self):
+        rt = RuntimeLibrary()
+        cost = rt.loop_cost(LoopKind.XDOALL)
+        assert cost.startup_us == 90.0
+        assert cost.fetch_us == 30.0
+
+    def test_cdoall_is_microseconds(self):
+        rt = RuntimeLibrary()
+        cost = rt.loop_cost(LoopKind.CDOALL)
+        assert cost.startup_us <= 5.0   # "a few microseconds"
+
+    def test_disabling_cedar_sync_inflates_fetch(self):
+        with_sync = RuntimeLibrary(use_cedar_sync=True)
+        without = RuntimeLibrary(use_cedar_sync=False)
+        assert (
+            without.loop_cost(LoopKind.XDOALL).fetch_us
+            > with_sync.loop_cost(LoopKind.XDOALL).fetch_us
+        )
+
+    def test_cdoall_unaffected_by_sync_setting(self):
+        """CDOALL self-scheduling uses the concurrency bus, not global
+        memory synchronization."""
+        without = RuntimeLibrary(use_cedar_sync=False)
+        assert without.loop_cost(LoopKind.CDOALL).fetch_us == pytest.approx(
+            RuntimeConfig().cdoall_fetch_us
+        )
+
+    def test_startup_cycles_conversion(self):
+        rt = RuntimeLibrary(cycle_ns=170.0)
+        # 90 us at 170 ns/cycle is about 529 cycles
+        assert rt.startup_cycles(LoopKind.XDOALL) == pytest.approx(529.4, rel=1e-3)
+
+
+class TestLoopScheduling:
+    def test_static_schedule_balanced_blocks(self):
+        rt = RuntimeLibrary()
+        sched = rt.schedule(LoopKind.XDOALL, 10, 4, self_scheduled=False)
+        sizes = sorted(len(a) for a in sched.assignment)
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 3  # block partition
+
+    def test_self_schedule_covers_all_iterations_once(self):
+        rt = RuntimeLibrary()
+        sched = rt.schedule(LoopKind.CDOALL, 100, 8)
+        seen = sorted(i for a in sched.assignment for i in a)
+        assert seen == list(range(100))
+
+    def test_self_schedule_balances_nonuniform_work(self):
+        rt = RuntimeLibrary()
+        # one giant iteration followed by many small ones
+        work = [1000.0] + [1.0] * 99
+        sched = rt.schedule(LoopKind.CDOALL, 100, 4, work_us=work)
+        giant_worker = next(
+            w for w, its in enumerate(sched.assignment) if 0 in its
+        )
+        # the worker with the giant iteration gets few others
+        assert len(sched.assignment[giant_worker]) < 10
+
+    def test_makespan_static_vs_self_scheduled(self):
+        rt = RuntimeLibrary()
+        work = [100.0] * 4 + [1.0] * 96
+        static = rt.schedule(LoopKind.CDOALL, 100, 4, self_scheduled=False)
+        dynamic = rt.schedule(LoopKind.CDOALL, 100, 4, work_us=work)
+        assert dynamic.makespan_us(work) <= static.makespan_us(work)
+
+    def test_empty_loop_costs_startup_only(self):
+        rt = RuntimeLibrary()
+        sched = rt.schedule(LoopKind.XDOALL, 0, 8)
+        assert sched.makespan_us([]) == pytest.approx(90.0)
+
+    def test_loop_time_closed_form(self):
+        rt = RuntimeLibrary()
+        # 64 iterations on 32 workers: two waves of fetch+work
+        t = rt.loop_time_us(LoopKind.XDOALL, 64, 32, work_us_per_iteration=10.0)
+        assert t == pytest.approx(90.0 + 2 * (30.0 + 10.0))
+
+    def test_validation(self):
+        rt = RuntimeLibrary()
+        with pytest.raises(ValueError):
+            rt.schedule(LoopKind.XDOALL, -1, 4)
+        with pytest.raises(ValueError):
+            rt.schedule(LoopKind.XDOALL, 4, 0)
