@@ -8,106 +8,118 @@ Usage::
     python -m repro ppt4                     # the scalability study
     python -m repro overheads                # Section 3.2 costs
     python -m repro characterization         # Section 4.1 anchors
-    python -m repro all [--fast]             # everything
+    python -m repro all [--fast]             # the paper's artifacts
+    python -m repro run-all [--jobs N] [--cached] [--fast]
+                                             # every registered experiment
 
-``--fast`` shrinks the cycle-level simulations (Tables 1-2) to smoke
-size.
+``--fast`` shrinks the cycle-level simulations to smoke size.
+
+``run-all`` drives the full experiment registry (the paper artifacts
+plus the studies and ablations), fanning independent experiments
+across ``--jobs`` worker processes and, with ``--cached``, memoizing
+results on disk keyed by experiment arguments and the machine
+configuration hash.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Callable, Dict
+
+#: the registry slice that ``all`` has always printed, in order.
+PAPER_SECTIONS = (
+    "topology",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig3",
+    "ppt4",
+    "overheads",
+    "characterization",
+)
+
+
+def _run_one(name: str, fast: bool = False) -> str:
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(name, fast=fast).output
 
 
 def _topology(args) -> str:
-    from repro.experiments.fig1 import render_fig1
-
-    return render_fig1()
+    return _run_one("topology")
 
 
 def _table(args) -> str:
     number = args.number
-    fast = args.fast
-    if number == 1:
-        from repro.experiments.table1 import render_table1, run_table1
-
-        return render_table1(run_table1(a_strips=1 if fast else 2))
-    if number == 2:
-        from repro.experiments.table2 import render_table2, run_table2
-
-        return render_table2(run_table2(strips=6 if fast else 10))
-    if number == 3:
-        from repro.experiments.table3 import render_table3, run_table3
-
-        return render_table3(run_table3())
-    if number == 4:
-        from repro.experiments.table4 import render_table4, run_table4
-
-        return render_table4(run_table4())
-    if number == 5:
-        from repro.experiments.table5 import render_table5, run_table5
-
-        return render_table5(run_table5())
-    if number == 6:
-        from repro.experiments.table6 import render_table6, run_table6
-
-        return render_table6(run_table6())
-    raise SystemExit(f"no table {number}; the paper has tables 1-6")
+    if number not in range(1, 7):
+        raise SystemExit(f"no table {number}; the paper has tables 1-6")
+    return _run_one(f"table{number}", fast=args.fast)
 
 
 def _fig3(args) -> str:
-    from repro.experiments.fig3 import render_fig3, run_fig3
-
-    return render_fig3(run_fig3())
+    return _run_one("fig3")
 
 
 def _ppt4(args) -> str:
-    from repro.experiments.ppt4 import render_ppt4, run_ppt4
-
-    return render_ppt4(run_ppt4())
+    return _run_one("ppt4")
 
 
 def _overheads(args) -> str:
-    from repro.experiments.overheads import render_overheads, run_overheads
-
-    return render_overheads(run_overheads())
+    return _run_one("overheads")
 
 
 def _characterization(args) -> str:
-    from repro.experiments.characterization import (
-        render_characterization,
-        run_characterization,
-    )
-
-    return render_characterization(run_characterization())
+    return _run_one("characterization")
 
 
 def _scaling(args) -> str:
-    from repro.experiments.scaling import render_scaling, run_scaling_study
-
-    return render_scaling(run_scaling_study())
+    return _run_one("scaling")
 
 
 def _permutations(args) -> str:
-    from repro.experiments.permutations import (
-        render_permutations,
-        run_permutation_study,
-    )
+    return _run_one("permutations")
 
-    return render_permutations(run_permutation_study())
+
+def _multiprogramming(args) -> str:
+    return _run_one("multiprogramming")
 
 
 def _all(args) -> str:
-    sections = [_topology(args)]
-    for number in (1, 2, 3, 4, 5, 6):
-        table_args = argparse.Namespace(number=number, fast=args.fast)
-        sections.append(_table(table_args))
-    sections.append(_fig3(args))
-    sections.append(_ppt4(args))
-    sections.append(_overheads(args))
-    sections.append(_characterization(args))
+    from repro.experiments.runner import render_all, run_all
+
+    return render_all(run_all(names=PAPER_SECTIONS, fast=args.fast))
+
+
+def _run_all(args) -> str:
+    from repro.experiments.runner import DEFAULT_CACHE_DIR, run_all
+
+    cache_dir = None
+    if args.cached:
+        cache_dir = Path(args.cache_dir or DEFAULT_CACHE_DIR)
+    start = time.perf_counter()
+    results = run_all(jobs=args.jobs, fast=args.fast, cache_dir=cache_dir)
+    elapsed = time.perf_counter() - start
+
+    sections = []
+    for result in results:
+        origin = "cached" if result.cached else f"{result.elapsed_s:.1f}s"
+        rule = "=" * 66
+        sections.append(
+            f"{rule}\n{result.name} — {result.title}  [{origin}]\n{rule}\n"
+            f"{result.output}"
+        )
+    hits = sum(1 for r in results if r.cached)
+    print(
+        f"[run-all] {len(results)} experiments in {elapsed:.1f}s "
+        f"({hits} cached, jobs={args.jobs})",
+        file=sys.stderr,
+    )
     return "\n\n".join(sections)
 
 
@@ -131,9 +143,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("characterization", help="Section 4.1 memory anchors")
     sub.add_parser("scaling", help="Perfect-code scaling curves")
     sub.add_parser("permutations", help="omega-network permutation study")
+    sub.add_parser("multiprogramming",
+                   help="single-user-mode justification study")
 
-    everything = sub.add_parser("all", help="every artifact")
+    everything = sub.add_parser("all", help="the paper's artifacts")
     everything.add_argument("--fast", action="store_true")
+
+    run_all_cmd = sub.add_parser(
+        "run-all", help="every registered experiment, parallel and cached"
+    )
+    run_all_cmd.add_argument("--jobs", type=int, default=1,
+                             help="worker processes (default 1)")
+    run_all_cmd.add_argument("--fast", action="store_true",
+                             help="smoke-size cycle simulations")
+    run_all_cmd.add_argument("--cached", action="store_true",
+                             help="memoize results on disk")
+    run_all_cmd.add_argument("--cache-dir", default=None,
+                             help="cache directory (default .repro-cache)")
     return parser
 
 
@@ -146,7 +172,9 @@ HANDLERS: Dict[str, Callable] = {
     "characterization": _characterization,
     "scaling": _scaling,
     "permutations": _permutations,
+    "multiprogramming": _multiprogramming,
     "all": _all,
+    "run-all": _run_all,
 }
 
 

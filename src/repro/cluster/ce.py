@@ -207,16 +207,62 @@ class CE:
         self._outstanding_replies: dict = {}
         self._stores_in_flight = 0
         self._fence_waiting = False
+        self._on_done: Optional[Callable[["CE"], None]] = None
+        self._sig_done = None
         self.done = False
+
+    # -- component lifecycle -----------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        self._sig_done = ctx.bus.signal("ce.done", key=self.port)
+
+    def reset(self) -> None:
+        self.stats = CEStats()
+        self._program = None
+        self._outstanding_replies = {}
+        self._stores_in_flight = 0
+        self._fence_waiting = False
+        self._on_done = None
+        self.done = False
+
+    def describe(self) -> dict:
+        return {
+            "port": self.port,
+            "cluster": self.cluster_id,
+            "local_id": self.local_id,
+            "cycle_ns": self.config.cycle_ns,
+        }
+
+    def counters(self) -> dict:
+        """Component-protocol ``stats()`` payload (the method name is
+        taken by the :class:`CEStats` data attribute; the machine
+        assembly adapts this via :class:`~repro.core.context.ComponentAdapter`)."""
+        return {
+            "compute_cycles": self.stats.compute_cycles,
+            "stall_cycles": self.stats.stall_cycles,
+            "words_loaded": self.stats.words_loaded,
+            "words_stored": self.stats.words_stored,
+            "finished_at": self.stats.finished_at,
+        }
 
     # -- program execution -----------------------------------------------------
 
-    def run(self, program: Program) -> None:
-        """Start executing ``program`` at the current simulation time."""
+    def run(
+        self,
+        program: Program,
+        on_done: Optional[Callable[["CE"], None]] = None,
+    ) -> None:
+        """Start executing ``program`` at the current simulation time.
+
+        ``on_done`` is invoked once when the program finishes — drivers
+        use completion counting instead of polling every CE after every
+        event.
+        """
         if self._program is not None:
             raise SimulationError(f"CE {self.port} is already running a program")
         self._program = program
-        self.engine.schedule_after(0.0, lambda: self._step(None))
+        self._on_done = on_done
+        self.engine.schedule_after(0.0, self._step, None)
 
     def _step(self, value: Any) -> None:
         assert self._program is not None
@@ -225,6 +271,11 @@ class CE:
         except StopIteration:
             self.done = True
             self.stats.finished_at = self.engine.now
+            sig = self._sig_done
+            if sig is not None and sig:
+                sig.emit(self.port, self.engine.now)
+            if self._on_done is not None:
+                self._on_done(self)
             return
         self._dispatch(op)
 
@@ -234,16 +285,16 @@ class CE:
     def _dispatch(self, op: Any) -> None:
         if isinstance(op, Compute):
             self.stats.compute_cycles += op.cycles
-            self.engine.schedule_after(op.cycles, lambda: self._resume(None))
+            self.engine.schedule_after(op.cycles, self._step, None)
         elif isinstance(op, StartPrefetch):
             stream = self.machine.pfu(self.port).start(
                 op.length, op.stride, op.address, keep_previous=op.keep_previous
             )
             self._resume(stream)
         elif isinstance(op, AwaitWord):
-            op.stream.when_available(op.index, lambda at: self._resume(at))
+            op.stream.when_available(op.index, self._resume)
         elif isinstance(op, AwaitStream):
-            op.stream.when_complete(lambda: self._resume(None))
+            op.stream.when_complete(self._resume)
         elif isinstance(op, ConsumeStream):
             self._consume(op, index=0, ready_at=self.engine.now)
         elif isinstance(op, GlobalLoad):
@@ -296,7 +347,7 @@ class CE:
             self.stats.words_loaded += stream.length
             self.stats.compute_cycles += stream.length * op.cycles_per_word
             extra = max(0.0, ready_at - self.engine.now)
-            self.engine.schedule_after(extra, lambda: self._resume(None))
+            self.engine.schedule_after(extra, self._step, None)
             return
         next_index = index
         resume_ready = ready_at
@@ -368,7 +419,7 @@ class CE:
             return
         if not self.machine.forward_network.can_inject(self.port):
             self.stats.stall_cycles += 1.0
-            self.engine.schedule_after(1.0, lambda: self._global_store(op, index))
+            self.engine.schedule_after(1.0, self._global_store, op, index)
             return
         address = op.address + index * op.stride
         packet = Packet(
@@ -385,7 +436,7 @@ class CE:
         )
         self.stats.words_stored += 1
         # one store issued per cycle
-        self.engine.schedule_after(1.0, lambda: self._global_store(op, index + 1))
+        self.engine.schedule_after(1.0, self._global_store, op, index + 1)
 
     def _store_completed(self, packet: Packet) -> None:
         self._stores_in_flight -= 1

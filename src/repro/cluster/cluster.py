@@ -55,6 +55,46 @@ class Cluster:
         )
         self.ces: List["CE"] = []
 
+    # -- component lifecycle ---------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        pass  # cluster-local resources are not globally monitored (yet)
+
+    def reset(self) -> None:
+        config = self.machine.config
+        self.cache.reset()
+        self.cluster_memory.reset()
+        self.cache_model = ClusterCacheModel(config.cache)
+        self.concurrency_bus = ConcurrencyBus(self.machine.engine, config.concurrency_bus)
+        from repro.cluster.ip import InteractiveProcessor
+
+        self.ip = InteractiveProcessor(
+            self.machine.engine,
+            self.machine.filesystem,
+            self.cluster_id,
+            cycle_ns=config.ce.cycle_ns,
+        )
+
+    def stats(self) -> dict:
+        return {
+            "cache_packets": self.cache.stats.packets,
+            "cache_words": self.cache.stats.words,
+            "cache_busy_cycles": self.cache.stats.busy_cycles,
+            "cmem_packets": self.cluster_memory.stats.packets,
+            "cmem_words": self.cluster_memory.stats.words,
+            "cmem_busy_cycles": self.cluster_memory.stats.busy_cycles,
+        }
+
+    def describe(self) -> dict:
+        config = self.machine.config
+        return {
+            "cluster": self.cluster_id,
+            "ces": len(self.ces),
+            "cache_kb": config.cache.size_bytes // 1024,
+            "cache_words_per_cycle": config.cache.words_per_cycle,
+            "cluster_memory_mb": config.cluster_memory.size_bytes // (1 << 20),
+        }
+
     def cache_request(
         self, port: int, words: int, on_done: Callable[[Packet], None]
     ) -> None:

@@ -13,10 +13,14 @@ from repro.core.config import (
     RuntimeConfig,
     VMConfig,
 )
+from repro.core.context import Component, ComponentAdapter, SimContext
 from repro.core.engine import Engine, SimulationError
 from repro.core.machine import CedarMachine
 
 __all__ = [
+    "Component",
+    "ComponentAdapter",
+    "SimContext",
     "CEConfig",
     "CacheConfig",
     "CedarConfig",

@@ -8,7 +8,9 @@ and the ablation studies called out in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.util.units import KB, MB
 
@@ -232,6 +234,34 @@ class CedarConfig:
         length = self.ce.vector_register_words
         eff = length / (length + self.ce.vector_startup_cycles)
         return self.peak_mflops * eff
+
+    # -- stable identity --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain nested dict of every field (JSON-serializable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CedarConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        kwargs = dict(data)
+        for f in fields(cls):
+            if f.name in kwargs and isinstance(kwargs[f.name], dict):
+                sub_cls = f.default_factory  # nested config dataclasses
+                kwargs[f.name] = sub_cls(**kwargs[f.name])
+        return cls(**kwargs)
+
+    def stable_hash(self) -> str:
+        """Deterministic hex digest of the full configuration.
+
+        Stable across processes and sessions (unlike ``hash()``, which
+        is salted): the canonical JSON of :meth:`to_dict` with sorted
+        keys, SHA-256 hashed.  Two configs share a hash iff every field
+        is equal, so it is a safe cache key for memoized experiment
+        results.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 DEFAULT_CONFIG = CedarConfig()

@@ -3,13 +3,49 @@
 The simulator's native time unit is the CE instruction cycle.  Components
 schedule callbacks at absolute cycle times; ties are broken in FIFO
 scheduling order so simulations are fully deterministic.
+
+Hot-path design
+---------------
+
+Events are *slot-based records*: plain lists ``[when, seq, callback,
+args]`` ordered by ``(when, seq)``.  The record doubles as the
+**cancellation handle** — :meth:`Engine.cancel` blanks the callback
+slot in place, so cancellation is O(1) and cancelled slots are skipped
+(and reclaimed) when they surface at the head of the queue.
+
+The pending set is split into two structures:
+
+* a **sorted tail** (deque): most simulation scheduling is monotone —
+  each event is scheduled at or after the latest pending time — so an
+  append keeps the deque sorted by ``(when, seq)`` with no heap work;
+* a **heap** for the out-of-order remainder.
+
+The run loop merges the two sorted sequences by comparing their heads.
+Chained hot loops (the PFU issue loop, resource service/finish) hit
+the deque path: O(1) append, O(1) popleft, no sift.
+
+Callbacks take positional ``*args`` captured in the record, so hot
+loops schedule *bound methods with arguments* instead of allocating a
+fresh closure per event.
+
+:meth:`Engine.run_until_idle` is the batch fast path: a tight drain
+loop with no bound/predicate checks per event.  ``run()`` delegates to
+it whenever no bound is requested.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, List, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: A scheduled event slot: ``[when, seq, callback, args]``.  ``callback``
+#: is ``None`` once cancelled.  The list itself is the cancellation handle.
+EventHandle = list
 
 
 class SimulationError(RuntimeError):
@@ -21,17 +57,41 @@ class Engine:
 
     >>> eng = Engine()
     >>> hits = []
-    >>> eng.schedule(5, lambda: hits.append(eng.now))
-    >>> eng.run()
+    >>> _ = eng.schedule(5, lambda: hits.append(eng.now))
+    >>> _ = eng.run()
     >>> hits
     [5]
+
+    **Resume contract**: ``run(until=T)`` advances ``now`` to exactly
+    ``T`` and leaves every event scheduled after ``T`` on the queue.  A
+    subsequent ``run()`` (or ``run(until=T2)``) continues from the
+    preserved queue with no events lost, duplicated, or reordered —
+    bounded runs compose: ``run(until=a); run()`` processes the same
+    events at the same times as a single unbounded ``run()``.
     """
 
+    __slots__ = (
+        "_heap",
+        "_tail",
+        "_tail_last",
+        "_next_seq",
+        "_now",
+        "_events_processed",
+        "_cancelled",
+        "_stop_requested",
+    )
+
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
-        self._counter = itertools.count()
+        self._heap: List[list] = []
+        self._tail: deque = deque()
+        #: timestamp of the tail's last record; -inf when the tail is
+        #: empty, so the monotone-append test is one float compare.
+        self._tail_last = float("-inf")
+        self._next_seq = itertools.count().__next__
         self._now: float = 0.0
         self._events_processed = 0
+        self._cancelled = 0
+        self._stop_requested = False
 
     @property
     def now(self) -> float:
@@ -42,19 +102,105 @@ class Engine:
     def events_processed(self) -> int:
         return self._events_processed
 
-    def schedule(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute time ``when`` (>= now)."""
+    def schedule(self, when: float, callback: Callable, *args) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when`` (>= now).
+
+        Returns the event's slot record, usable with :meth:`cancel`.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule event at {when} before current time {self._now}"
             )
-        heapq.heappush(self._queue, (when, next(self._counter), callback))
+        record = [when, self._next_seq(), callback, args]
+        if when >= self._tail_last or not self._tail:
+            self._tail.append(record)
+            self._tail_last = when
+        else:
+            _heappush(self._heap, record)
+        return record
 
-    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` ``delay`` cycles from now."""
+    def schedule_after(self, delay: float, callback: Callable, *args) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.schedule(self._now + delay, callback)
+        when = self._now + delay
+        record = [when, self._next_seq(), callback, args]
+        if when >= self._tail_last or not self._tail:
+            self._tail.append(record)
+            self._tail_last = when
+        else:
+            _heappush(self._heap, record)
+        return record
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled event by its handle.
+
+        O(1): the slot is blanked in place and reclaimed lazily when it
+        reaches the head of the queue.  Returns ``False`` if the event
+        already ran or was already cancelled.
+        """
+        if handle[2] is None:
+            return False
+        handle[2] = None
+        handle[3] = ()
+        self._cancelled += 1
+        return True
+
+    def request_stop(self) -> None:
+        """Ask the running loop to stop after the current event.
+
+        Cheaper than a ``stop_when`` predicate (a flag check instead of
+        a callback per event); used by completion-counting drivers like
+        :meth:`~repro.core.machine.CedarMachine.run_programs`.
+        """
+        self._stop_requested = True
+
+    def run_until_idle(self) -> float:
+        """Batch fast path: drain the queue with no per-event bound,
+        predicate, or budget checks; returns the final time.
+
+        Honors :meth:`request_stop` and skips cancelled slots.
+        """
+        self._stop_requested = False
+        heap = self._heap
+        tail = self._tail
+        pop = _heappop
+        popleft = tail.popleft
+        processed = 0
+        try:
+            while True:
+                if heap:
+                    if tail and tail[0] < heap[0]:
+                        record = popleft()
+                    else:
+                        record = pop(heap)
+                else:
+                    try:
+                        record = popleft()
+                    except IndexError:
+                        break
+                callback = record[2]
+                if callback is None:
+                    self._cancelled -= 1
+                    continue
+                self._now = record[0]
+                args = record[3]
+                # blank the slot first: cancel() on an executed handle is
+                # then a no-op returning False, and the record drops its
+                # callback/args references immediately.
+                record[2] = None
+                record[3] = ()
+                # plain call beats CALL_FUNCTION_EX on the no-arg path
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                processed += 1
+                if self._stop_requested:
+                    break
+        finally:
+            self._events_processed += processed
+        return self._now
 
     def run(
         self,
@@ -66,18 +212,52 @@ class Engine:
 
         ``until`` bounds simulated time, ``max_events`` bounds work, and
         ``stop_when`` is polled after every event for early termination.
+        With no bounds at all this delegates to :meth:`run_until_idle`.
+
+        After an ``until``-bounded return, ``now == until`` and the
+        queue is intact; calling ``run()`` again *continues correctly*
+        (see the class docstring's resume contract).
         """
+        if until is None and max_events is None and stop_when is None:
+            return self.run_until_idle()
+        self._stop_requested = False
+        heap = self._heap
+        tail = self._tail
+        pop = _heappop
+        popleft = tail.popleft
         processed = 0
-        while self._queue:
-            when, _, callback = self._queue[0]
+        while True:
+            if heap:
+                if tail and tail[0] < heap[0]:
+                    head, from_tail = tail[0], True
+                else:
+                    head, from_tail = heap[0], False
+            elif tail:
+                head, from_tail = tail[0], True
+            else:
+                break
+            if head[2] is None:
+                popleft() if from_tail else pop(heap)
+                self._cancelled -= 1
+                continue
+            when = head[0]
             if until is not None and when > until:
                 self._now = until
                 break
-            heapq.heappop(self._queue)
+            popleft() if from_tail else pop(heap)
             self._now = when
-            callback()
+            callback = head[2]
+            args = head[3]
+            head[2] = None
+            head[3] = ()
+            if args:
+                callback(*args)
+            else:
+                callback()
             self._events_processed += 1
             processed += 1
+            if self._stop_requested:
+                break
             if stop_when is not None and stop_when():
                 break
             if max_events is not None and processed >= max_events:
@@ -87,5 +267,17 @@ class Engine:
         return self._now
 
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) + len(self._tail) - self._cancelled
+
+    def reset(self) -> None:
+        """Return to time zero with an empty queue, in place — holders
+        of an engine reference (components) stay valid."""
+        self._heap.clear()
+        self._tail.clear()
+        self._tail_last = float("-inf")
+        self._next_seq = itertools.count().__next__
+        self._now = 0.0
+        self._events_processed = 0
+        self._cancelled = 0
+        self._stop_requested = False

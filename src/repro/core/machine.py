@@ -4,6 +4,16 @@ Builds Figure 1: clusters of CEs on one side, two unidirectional
 multistage networks in the middle, interleaved global memory with
 synchronization processors on the other side, plus per-CE prefetch
 units.  Kernel studies drive it with CE generator programs.
+
+Assembly is declarative: a :class:`~repro.core.context.SimContext` owns
+the engine / signal bus / config, the network topology comes from the
+:data:`~repro.core.context.NETWORK_VARIANTS` registry keyed off the
+configuration (dual fabrics, one shared fabric, shared with reply
+escape), and every part of the machine is registered as a named
+component with the attach/reset/stats/describe lifecycle.
+``CedarMachine`` itself is a thin facade over the context that keeps
+the accessors the experiments use (``machine.gmem``, ``machine.pfu(0)``,
+``machine.probe`` ...).
 """
 
 from __future__ import annotations
@@ -11,22 +21,23 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional
 
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
-from repro.core.engine import Engine
+from repro.core.context import ComponentAdapter, SimContext, build_networks
+from repro.core.engine import SimulationError
 from repro.cluster.ce import CE
 from repro.cluster.cluster import Cluster
 from repro.gmemory.module import GlobalMemory
 from repro.monitor.probes import PrefetchProbe
-from repro.network.omega import OmegaNetwork
 from repro.network.packet import Packet
 from repro.prefetch.pfu import PrefetchUnit
+from repro.xylem.filesystem import FSStats, XylemFileSystem
 
 
 class CedarMachine:
     """Four Alliant FX/8 clusters, two omega networks, global memory.
 
-    ``monitor_port`` attaches a :class:`PrefetchProbe` to one CE's PFU,
-    reproducing the paper's methodology ("we monitored all requests of a
-    single processor").
+    ``monitor_port`` clips a :class:`PrefetchProbe` onto one CE's PFU
+    signal channels, reproducing the paper's methodology ("we monitored
+    all requests of a single processor").
     """
 
     def __init__(
@@ -34,79 +45,87 @@ class CedarMachine:
         config: CedarConfig = DEFAULT_CONFIG,
         monitor_port: Optional[int] = None,
     ) -> None:
+        self.ctx = SimContext(config)
         self.config = config
-        self.engine = Engine()
+        self.engine = self.ctx.engine
+        self.bus = self.ctx.bus
+        self._assemble()
+        self.probe: Optional[PrefetchProbe] = None
+        self.monitor_port = monitor_port
+        if monitor_port is not None:
+            self.probe = PrefetchProbe().attach(self.bus, monitor_port)
+
+    # -- assembly plan ----------------------------------------------------------
+
+    def _assemble(self) -> None:
+        ctx = self.ctx
+        config = self.config
         n_ports = max(config.total_ces, config.global_memory.modules)
-        net = config.network
-        self.forward_network = OmegaNetwork(
-            self.engine,
-            name="fwd",
-            n_ports=n_ports,
-            switch_radix=net.switch_radix,
-            queue_words=net.queue_words,
-            stage_cycles=net.stage_cycles,
-            link_words_per_cycle=net.link_words_per_cycle,
-            injection_queue_words=net.injection_queue_words,
+
+        forward, reverse = build_networks(ctx, n_ports)
+        self.forward_network = ctx.add("net.fwd", forward)
+        if reverse is not forward:
+            ctx.add("net.rev", reverse)
+        self.reverse_network = reverse
+
+        self.gmem = ctx.add(
+            "gmem", GlobalMemory(self.engine, config.global_memory, reverse)
         )
-        if net.shared_single_network and net.reply_escape:
-            # one fabric, but replies keep their own injection buffers:
-            # stage contention without the entry-point deadlock
-            self.reverse_network = self.forward_network.view_with_own_injection("rev")
-        elif net.shared_single_network:
-            # ablation: requests and replies contend on one fabric
-            self.reverse_network = self.forward_network
-        else:
-            self.reverse_network = OmegaNetwork(
-                self.engine,
-                name="rev",
-                n_ports=n_ports,
-                switch_radix=net.switch_radix,
-                queue_words=net.queue_words,
-                stage_cycles=net.stage_cycles,
-                link_words_per_cycle=net.link_words_per_cycle,
-                injection_queue_words=net.injection_queue_words,
-            )
-        self.gmem = GlobalMemory(self.engine, config.global_memory, self.reverse_network)
-        from repro.xylem.filesystem import XylemFileSystem
 
         self.filesystem = XylemFileSystem()
-        self.clusters: List[Cluster] = [
-            Cluster(self, cid) for cid in range(config.clusters)
-        ]
+        ctx.add(
+            "xylem.fs",
+            ComponentAdapter(
+                self.filesystem,
+                reset=self._reset_filesystem,
+                stats=lambda: vars(self.filesystem.stats).copy(),
+                describe=lambda: {"costs": vars(self.filesystem.costs).copy()},
+            ),
+        )
+
+        self.clusters: List[Cluster] = []
+        for cid in range(config.clusters):
+            self.clusters.append(ctx.add(f"cluster[{cid}]", Cluster(self, cid)))
+
         self.ces: List[CE] = []
+        self._pfus: Dict[int, PrefetchUnit] = {}
         for cid in range(config.clusters):
             for local in range(config.ces_per_cluster):
                 ce = CE(self, cid, local)
                 self.ces.append(ce)
                 self.clusters[cid].ces.append(ce)
-        self.probe: Optional[PrefetchProbe] = None
-        self._pfus: Dict[int, PrefetchUnit] = {}
-        self.monitor_port = monitor_port
-        for ce in self.ces:
-            probe = None
-            if monitor_port is not None and ce.port == monitor_port:
-                probe = PrefetchProbe()
-                self.probe = probe
-            self._pfus[ce.port] = PrefetchUnit(
-                self.engine,
-                ce.port,
-                self.forward_network,
-                self.gmem,
-                config.prefetch,
-                vm_config=config.vm,
-                probe=probe,
-            )
-            self.reverse_network.register_sink(ce.port, self._make_sink(ce.port))
+                # CE.stats is the CEStats record (public API) — adapt the
+                # lifecycle around it instead of renaming it.
+                ctx.add(
+                    f"ce[{ce.port}]",
+                    ComponentAdapter(
+                        ce, reset=ce.reset, stats=ce.counters, describe=ce.describe
+                    ),
+                )
+                self._pfus[ce.port] = ctx.add(
+                    f"pfu[{ce.port}]",
+                    PrefetchUnit(
+                        self.engine,
+                        ce.port,
+                        self.forward_network,
+                        self.gmem,
+                        config.prefetch,
+                        vm_config=config.vm,
+                    ),
+                )
+                self.reverse_network.register_sink(ce.port, self._make_sink(ce.port))
         # memory modules may outnumber CEs; replies only target CE ports,
         # but register a trap on the rest to fail loudly if misrouted.
         for port in range(config.total_ces, n_ports):
             self.reverse_network.register_sink(port, self._unexpected_sink(port))
 
+    def _reset_filesystem(self) -> None:
+        self.filesystem._files.clear()
+        self.filesystem.stats = FSStats()
+
     # -- wiring -----------------------------------------------------------------
 
     def _make_sink(self, port: int):
-        pfu = None  # resolved lazily; _pfus filled during construction
-
         def _sink(packet: Packet) -> None:
             handler = packet.meta.get("handler")
             if handler is not None:
@@ -137,6 +156,11 @@ class CedarMachine:
     def cluster_of(self, port: int) -> Cluster:
         return self.clusters[port // self.config.ces_per_cluster]
 
+    def reset(self) -> None:
+        """Fresh-machine state without re-assembly (engine at time zero,
+        all component counters cleared); monitors stay subscribed."""
+        self.ctx.reset()
+
     # -- running ---------------------------------------------------------------------
 
     def run_programs(
@@ -146,22 +170,32 @@ class CedarMachine:
     ) -> float:
         """Run one generator program per CE port; returns completion time
         (cycles) of the last CE to finish."""
-        for port, program in programs.items():
-            self.ce(port).run(program)
-        participants = [self.ce(port) for port in programs]
-        self.engine.run(
-            max_events=max_events,
-            stop_when=lambda: all(ce.done for ce in participants),
-        )
-        if not all(ce.done for ce in participants):
-            from repro.core.engine import SimulationError
+        engine = self.engine
+        remaining = len(programs)
 
+        def _finished(_ce: CE) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                engine.request_stop()
+
+        for port, program in programs.items():
+            self.ce(port).run(program, on_done=_finished)
+        participants = [self.ce(port) for port in programs]
+        if max_events is None:
+            engine.run_until_idle()
+        else:
+            engine.run(max_events=max_events)
+        if remaining:
             stuck = [ce.port for ce in participants if not ce.done]
             raise SimulationError(f"CEs never finished: {stuck}")
         finish = max(ce.stats.finished_at or 0.0 for ce in participants)
         # drain in-flight traffic (e.g. writes the CEs never waited for)
         # so memory/network counters are complete; `finish` is unaffected.
-        self.engine.run(max_events=max_events)
+        if max_events is None:
+            engine.run_until_idle()
+        else:
+            engine.run(max_events=max_events)
         return finish
 
     # -- topology description (Figures 1 and 2) -----------------------------------------

@@ -63,3 +63,23 @@ def run_multiprogramming_study(clusters: int = 4) -> MultiprogrammingResult:
         single_user_makespan=single,
         shared_makespans=tuple(shared_makespans),
     )
+
+
+def render_multiprogramming(result: MultiprogrammingResult) -> str:
+    """Text artifact for the single-user-mode justification study."""
+    lines = [
+        "Multiprogramming study: why the paper measured single-user",
+        "----------------------------------------------------------",
+        f"single-user makespan      : {result.single_user_makespan:.1f} ms",
+    ]
+    for i, makespan in enumerate(result.shared_makespans):
+        lines.append(f"shared, competitor phase {i}: {makespan:.1f} ms")
+    lines.append(f"mean slowdown             : {result.mean_slowdown:.2f}x")
+    lines.append(
+        f"run-to-run spread         : {result.spread:.2f}x (max/min across phasings)"
+    )
+    lines.append(
+        '=> "collected in single-user mode to avoid the non-determinism'
+        ' of multiprogramming"'
+    )
+    return "\n".join(lines)

@@ -1,0 +1,415 @@
+"""The experiment registry, result cache, and parallel driver.
+
+Every artifact the reproduction can produce — the topology figures, the
+six tables, the studies and ablations — is registered here as a named
+:class:`Experiment`.  ``python -m repro run-all`` drives the registry:
+
+* independent experiments fan out across worker processes
+  (``--jobs N``);
+* results are memoized on disk (``--cached``) keyed by a stable hash
+  of (experiment name, arguments, machine configuration, cache
+  version), so re-running with an unchanged configuration replays from
+  the cache instead of re-simulating.
+
+The cache key uses :meth:`~repro.core.config.CedarConfig.stable_hash`
+— a cross-process content hash — **not** Python's salted ``hash()``,
+so cache entries are valid across interpreter sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.config import CedarConfig, DEFAULT_CONFIG
+
+#: bump when renderer output formats change, invalidating old entries.
+CACHE_VERSION = 1
+
+#: default on-disk cache location (repo-/cwd-relative).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# ---------------------------------------------------------------------------
+# experiment execution functions (module-level: picklable for worker
+# processes; imports deferred so the registry itself imports instantly)
+
+
+def _exp_topology() -> str:
+    from repro.experiments.fig1 import render_fig1
+
+    return render_fig1()
+
+
+def _exp_table1(a_strips: int = 2) -> str:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    return render_table1(run_table1(a_strips=a_strips))
+
+
+def _exp_table2(strips: int = 10) -> str:
+    from repro.experiments.table2 import render_table2, run_table2
+
+    return render_table2(run_table2(strips=strips))
+
+
+def _exp_table3() -> str:
+    from repro.experiments.table3 import render_table3, run_table3
+
+    return render_table3(run_table3())
+
+
+def _exp_table4() -> str:
+    from repro.experiments.table4 import render_table4, run_table4
+
+    return render_table4(run_table4())
+
+
+def _exp_table5() -> str:
+    from repro.experiments.table5 import render_table5, run_table5
+
+    return render_table5(run_table5())
+
+
+def _exp_table6() -> str:
+    from repro.experiments.table6 import render_table6, run_table6
+
+    return render_table6(run_table6())
+
+
+def _exp_fig3() -> str:
+    from repro.experiments.fig3 import render_fig3, run_fig3
+
+    return render_fig3(run_fig3())
+
+
+def _exp_ppt4() -> str:
+    from repro.experiments.ppt4 import render_ppt4, run_ppt4
+
+    return render_ppt4(run_ppt4())
+
+
+def _exp_overheads() -> str:
+    from repro.experiments.overheads import render_overheads, run_overheads
+
+    return render_overheads(run_overheads())
+
+
+def _exp_characterization() -> str:
+    from repro.experiments.characterization import (
+        render_characterization,
+        run_characterization,
+    )
+
+    return render_characterization(run_characterization())
+
+
+def _exp_scaling() -> str:
+    from repro.experiments.scaling import render_scaling, run_scaling_study
+
+    return render_scaling(run_scaling_study())
+
+
+def _exp_permutations(rounds: int = 16) -> str:
+    from repro.experiments.permutations import (
+        render_permutations,
+        run_permutation_study,
+    )
+
+    return render_permutations(run_permutation_study(rounds=rounds))
+
+
+def _exp_multiprogramming() -> str:
+    from repro.experiments.multiprogramming import (
+        render_multiprogramming,
+        run_multiprogramming_study,
+    )
+
+    return render_multiprogramming(run_multiprogramming_study())
+
+
+def _exp_ablation_network(n_ces: int = 32) -> str:
+    from repro.experiments.ablations import ablate_shared_network, render_ablation
+
+    return render_ablation(
+        "Ablation: one shared network vs Cedar's two",
+        ablate_shared_network(n_ces=n_ces),
+    )
+
+
+def _exp_ablation_memory(n_ces: int = 32) -> str:
+    from repro.experiments.ablations import ablate_memory_recovery, render_ablation
+
+    return render_ablation(
+        "Ablation: memory-module recovery time",
+        ablate_memory_recovery(n_ces=n_ces),
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered artifact generator."""
+
+    name: str
+    title: str
+    runner: Callable[..., str]
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    #: overrides applied in ``--fast`` (smoke-size) mode.
+    fast_kwargs: Optional[Dict[str, object]] = None
+
+    def arguments(self, fast: bool = False) -> Dict[str, object]:
+        if fast and self.fast_kwargs is not None:
+            return {**self.kwargs, **self.fast_kwargs}
+        return dict(self.kwargs)
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    if experiment.name in REGISTRY:
+        raise ValueError(f"experiment {experiment.name!r} already registered")
+    REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def experiment(name: str) -> Experiment:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no experiment {name!r}; have {', '.join(REGISTRY)}"
+        ) from None
+
+
+def experiment_names() -> List[str]:
+    return list(REGISTRY)
+
+
+register(Experiment("topology", "Figures 1-2: machine organization", _exp_topology))
+register(
+    Experiment(
+        "table1",
+        "Table 1: SAXPY memory hierarchy",
+        _exp_table1,
+        kwargs={"a_strips": 2},
+        fast_kwargs={"a_strips": 1},
+    )
+)
+register(
+    Experiment(
+        "table2",
+        "Table 2: prefetch latency/interarrival",
+        _exp_table2,
+        kwargs={"strips": 10},
+        fast_kwargs={"strips": 6},
+    )
+)
+register(Experiment("table3", "Table 3: loop-scheduling costs", _exp_table3))
+register(Experiment("table4", "Table 4: application optimizations", _exp_table4))
+register(Experiment("table5", "Table 5: application performance", _exp_table5))
+register(Experiment("table6", "Table 6: perfect-club summary", _exp_table6))
+register(Experiment("fig3", "Figure 3: efficiency scatter", _exp_fig3))
+register(Experiment("ppt4", "Section 4.4: scalability study", _exp_ppt4))
+register(Experiment("overheads", "Section 3.2: runtime costs", _exp_overheads))
+register(
+    Experiment(
+        "characterization", "Section 4.1: memory anchors", _exp_characterization
+    )
+)
+register(Experiment("scaling", "Perfect-code scaling curves", _exp_scaling))
+register(
+    Experiment(
+        "permutations",
+        "Omega-network permutation study",
+        _exp_permutations,
+        kwargs={"rounds": 16},
+        fast_kwargs={"rounds": 4},
+    )
+)
+register(
+    Experiment(
+        "multiprogramming",
+        "Single-user-mode justification",
+        _exp_multiprogramming,
+    )
+)
+register(
+    Experiment(
+        "ablation-network",
+        "Ablation: shared vs dual networks",
+        _exp_ablation_network,
+        kwargs={"n_ces": 32},
+        fast_kwargs={"n_ces": 8},
+    )
+)
+register(
+    Experiment(
+        "ablation-memory",
+        "Ablation: module recovery time",
+        _exp_ablation_memory,
+        kwargs={"n_ces": 32},
+        fast_kwargs={"n_ces": 8},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# cache
+
+
+def cache_key(
+    name: str, kwargs: Dict[str, object], config: CedarConfig = DEFAULT_CONFIG
+) -> str:
+    """Stable cache key: experiment identity + arguments + machine config."""
+    import hashlib
+
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "experiment": name,
+            "kwargs": kwargs,
+            "config": config.stable_hash(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _cache_path(cache_dir: Path, name: str, key: str) -> Path:
+    return cache_dir / f"{name}.{key[:16]}.json"
+
+
+def cache_load(cache_dir: Path, name: str, key: str) -> Optional[str]:
+    path = _cache_path(cache_dir, name, key)
+    try:
+        entry = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if entry.get("key") != key:
+        return None
+    return entry.get("output")
+
+
+def cache_store(
+    cache_dir: Path, name: str, key: str, output: str, elapsed: float
+) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "key": key,
+        "experiment": name,
+        "output": output,
+        "elapsed_s": round(elapsed, 3),
+        "cache_version": CACHE_VERSION,
+    }
+    _cache_path(cache_dir, name, key).write_text(json.dumps(entry, indent=1))
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    name: str
+    title: str
+    output: str
+    elapsed_s: float
+    cached: bool
+
+
+def _execute(name: str, kwargs: Dict[str, object]) -> str:
+    """Worker entry point: run one experiment to its rendered text."""
+    return REGISTRY[name].runner(**kwargs)
+
+
+def run_experiment(
+    name: str,
+    fast: bool = False,
+    cache_dir: Optional[Path] = None,
+    config: CedarConfig = DEFAULT_CONFIG,
+) -> ExperimentResult:
+    """Run (or replay from cache) a single registered experiment."""
+    exp = experiment(name)
+    kwargs = exp.arguments(fast)
+    key = cache_key(name, kwargs, config)
+    if cache_dir is not None:
+        hit = cache_load(cache_dir, name, key)
+        if hit is not None:
+            return ExperimentResult(name, exp.title, hit, 0.0, cached=True)
+    start = time.perf_counter()
+    output = _execute(name, kwargs)
+    elapsed = time.perf_counter() - start
+    if cache_dir is not None:
+        cache_store(cache_dir, name, key, output, elapsed)
+    return ExperimentResult(name, exp.title, output, elapsed, cached=False)
+
+
+def run_all(
+    names: Optional[Iterable[str]] = None,
+    jobs: int = 1,
+    fast: bool = False,
+    cache_dir: Optional[Path] = None,
+    config: CedarConfig = DEFAULT_CONFIG,
+) -> List[ExperimentResult]:
+    """Run a set of experiments (default: every registered one).
+
+    Cache hits are resolved in-process; the misses fan out across
+    ``jobs`` worker processes.  Results come back in registry order
+    regardless of completion order.
+    """
+    selected = list(names) if names is not None else experiment_names()
+    for name in selected:
+        experiment(name)  # validate up front
+
+    results: Dict[str, ExperimentResult] = {}
+    misses: List[str] = []
+    for name in selected:
+        exp = REGISTRY[name]
+        kwargs = exp.arguments(fast)
+        key = cache_key(name, kwargs, config)
+        hit = cache_load(cache_dir, name, key) if cache_dir is not None else None
+        if hit is not None:
+            results[name] = ExperimentResult(name, exp.title, hit, 0.0, cached=True)
+        else:
+            misses.append(name)
+
+    if misses and jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {}
+            for name in misses:
+                kwargs = REGISTRY[name].arguments(fast)
+                futures[name] = (
+                    pool.submit(_execute, name, kwargs),
+                    time.perf_counter(),
+                    kwargs,
+                )
+            for name, (future, start, kwargs) in futures.items():
+                output = future.result()
+                elapsed = time.perf_counter() - start
+                if cache_dir is not None:
+                    cache_store(
+                        cache_dir, name, cache_key(name, kwargs, config), output, elapsed
+                    )
+                results[name] = ExperimentResult(
+                    name, REGISTRY[name].title, output, elapsed, cached=False
+                )
+    else:
+        for name in misses:
+            results[name] = run_experiment(name, fast, cache_dir, config)
+
+    return [results[name] for name in selected]
+
+
+def render_all(results: List[ExperimentResult]) -> str:
+    """Join experiment outputs the way ``python -m repro all`` always has."""
+    return "\n\n".join(result.output for result in results)

@@ -45,6 +45,9 @@ class MemoryModule(Resource):
         self.reads = 0
         self.writes = 0
         self.sync_ops = 0
+        #: monitoring channels, wired by :meth:`GlobalMemory.attach`.
+        self.service_signal = None
+        self.sync_signal = None
 
     # -- Resource overrides --------------------------------------------------
 
@@ -60,6 +63,9 @@ class MemoryModule(Resource):
 
     def on_service_complete(self, transit: Transit) -> bool:
         packet = transit.packet
+        sig = self.service_signal
+        if sig is not None and sig:
+            sig.emit(self.index, packet, self.engine.now)
         reply = self._make_reply(packet)
         if reply is None:
             return False
@@ -98,6 +104,9 @@ class MemoryModule(Resource):
         raise ValueError(f"memory module cannot service packet kind {packet.kind}")
 
     def _execute_sync(self, packet: Packet):
+        sig = self.sync_signal
+        if sig is not None and sig:
+            sig.emit(self.index, packet.address, self.engine.now)
         operation = packet.meta.get("sync")
         if operation is None:
             return self.sync.test_and_set(packet.address)
@@ -134,6 +143,40 @@ class GlobalMemory:
             MemoryModule(engine, i, config, reverse_network)
             for i in range(config.modules)
         ]
+
+    # -- component lifecycle ---------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        """Give every module its per-module ``gmem.service`` / ``sync.op``
+        monitoring channels."""
+        for module in self.modules:
+            module.service_signal = ctx.bus.signal("gmem.service", key=module.index)
+            module.sync_signal = ctx.bus.signal("sync.op", key=module.index)
+
+    def reset(self) -> None:
+        for module in self.modules:
+            module.reset()
+            module.reads = module.writes = module.sync_ops = 0
+            module.sync = SyncProcessor()
+
+    def stats(self) -> dict:
+        return {
+            "reads": self.total_reads,
+            "writes": self.total_writes,
+            "sync_ops": self.total_sync_ops,
+            "busy_cycles": sum(m.stats.busy_cycles for m in self.modules),
+        }
+
+    def describe(self) -> dict:
+        return {
+            "modules": self.config.modules,
+            "size_mb": self.config.size_bytes // (1 << 20),
+            "access_cycles": self.config.access_cycles,
+            "recovery_cycles": self.config.recovery_cycles,
+            "module_queue_words": self.config.module_queue_words,
+        }
+
+    # -- address steering ------------------------------------------------------
 
     def module_for(self, word_address: int) -> MemoryModule:
         return self.modules[word_address % self.config.modules]

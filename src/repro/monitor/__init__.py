@@ -15,6 +15,12 @@ the forward network and when each datum returns to the prefetch buffer".
 from repro.monitor.tracer import Event, EventTracer
 from repro.monitor.histogram import Histogrammer
 from repro.monitor.probes import PrefetchProbe, ProbeSummary
+from repro.monitor.signals import (
+    SIGNAL_CATALOG,
+    Signal,
+    SignalBus,
+    Subscription,
+)
 
 __all__ = [
     "Event",
@@ -22,4 +28,8 @@ __all__ = [
     "Histogrammer",
     "PrefetchProbe",
     "ProbeSummary",
+    "SIGNAL_CATALOG",
+    "Signal",
+    "SignalBus",
+    "Subscription",
 ]

@@ -47,6 +47,38 @@ class PrefetchProbe:
     def __init__(self) -> None:
         self._blocks: List[_BlockRecord] = []
         self._current: Optional[_BlockRecord] = None
+        self._subscriptions: list = []
+
+    # -- signal-bus attachment ----------------------------------------------
+
+    def attach(self, bus, port: int) -> "PrefetchProbe":
+        """Subscribe to one CE port's PFU signal channels.
+
+        The hardware analogue: clipping the monitor onto the internal
+        signals of a single processor's prefetch unit.  Returns self so
+        ``PrefetchProbe().attach(bus, 0)`` reads naturally.
+        """
+        self._subscriptions = [
+            bus.subscribe("pfu.arm", self._on_arm, key=port),
+            bus.subscribe("pfu.request", self._on_request, key=port),
+            bus.subscribe("pfu.deliver", self._on_deliver, key=port),
+        ]
+        return self
+
+    def detach(self, bus) -> None:
+        """Unclip from the bus; recorded data is retained."""
+        for subscription in self._subscriptions:
+            bus.unsubscribe(subscription)
+        self._subscriptions = []
+
+    def _on_arm(self, port: int, time: float) -> None:
+        self.begin_block()
+
+    def _on_request(self, port: int, word_index: int, time: float) -> None:
+        self.record_issue(word_index, time)
+
+    def _on_deliver(self, port: int, word_index: int, time: float) -> None:
+        self.record_arrival(word_index, time)
 
     def begin_block(self) -> None:
         """A new prefetch (arm/fire) starts."""

@@ -1,0 +1,226 @@
+"""Typed signal bus: the wiring layer between hardware and monitors.
+
+The paper's methodology instruments a *running* machine with external
+hardware (event tracers, histogrammers, the prefetch probe) "without
+perturbing it".  The signal bus reproduces that decoupling in software:
+components **publish** named signals at architectural events and
+probes/tracers/histogrammers **subscribe** — the machine model never
+references a monitor.
+
+Zero-cost fast path
+-------------------
+
+Publishers hold a :class:`Signal` channel and guard every emission::
+
+    sig = self._sig_request
+    if sig:                      # False while nobody subscribes
+        sig.emit(index, now)
+
+``Signal.__bool__`` is a subscriber-list truthiness check, so a signal
+with zero subscribers costs one attribute load and one branch — the
+payload is never built and no callback machinery runs.  Un-monitored
+simulations therefore pay (effectively) nothing, and cycle counts are
+bit-identical with and without monitoring because signals only observe.
+
+Channels and keys
+-----------------
+
+Signals are *typed*: every name must be declared (the architectural
+catalog below, or :meth:`SignalBus.declare`) with its payload field
+names.  A signal name fans out into per-key channels — ``("pfu.request",
+key=7)`` is CE port 7's request channel — so a probe monitoring one
+port never runs, or filters, callbacks for the other 31.  Subscribing
+with ``key=None`` attaches to every current *and future* channel of the
+name (broadcast), which is how machine-wide tracers listen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+#: Architectural signals every Cedar machine publishes.  Field names
+#: document the positional payload of ``emit``.
+SIGNAL_CATALOG: Dict[str, Tuple[str, ...]] = {
+    # prefetch unit (per-CE-port channels)
+    "pfu.arm": ("port", "time"),
+    "pfu.request": ("port", "word_index", "time"),
+    "pfu.deliver": ("port", "word_index", "time"),
+    # network (broadcast channel per network name)
+    "net.hop": ("resource", "packet", "time"),
+    # global memory (per-module channels)
+    "gmem.service": ("module", "packet", "time"),
+    "sync.op": ("module", "address", "time"),
+    # CE lifecycle
+    "ce.done": ("port", "time"),
+}
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """Handle returned by ``subscribe``; pass to ``unsubscribe``."""
+
+    name: str
+    key: Optional[Hashable]
+    callback: Callable
+
+
+class Signal:
+    """One named (and optionally keyed) channel of a :class:`SignalBus`.
+
+    Truthiness reflects the subscriber count, enabling the publisher
+    fast path ``if sig: sig.emit(...)``.
+    """
+
+    __slots__ = ("name", "key", "fields", "_subscribers")
+
+    def __init__(
+        self, name: str, key: Optional[Hashable], fields: Tuple[str, ...]
+    ) -> None:
+        self.name = name
+        self.key = key
+        self.fields = fields
+        self._subscribers: List[Callable] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._subscribers)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def emit(self, *args) -> None:
+        """Deliver ``args`` to every subscriber (snapshot semantics:
+        subscribing or unsubscribing *during* an emit affects the next
+        emit, not the one in flight)."""
+        for callback in tuple(self._subscribers):
+            callback(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        key = "" if self.key is None else f"[{self.key}]"
+        return f"<Signal {self.name}{key} subs={len(self._subscribers)}>"
+
+
+class SignalBus:
+    """Registry of named signal channels with declared payloads.
+
+    >>> bus = SignalBus()
+    >>> seen = []
+    >>> sub = bus.subscribe("pfu.request", lambda port, i, t: seen.append(i), key=0)
+    >>> sig = bus.signal("pfu.request", key=0)
+    >>> if sig: sig.emit(0, 3, 100.0)
+    >>> seen
+    [3]
+    >>> bus.unsubscribe(sub)
+    >>> bool(sig)
+    False
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        #: names -> payload fields; seeded with the architectural catalog.
+        self._declared: Dict[str, Tuple[str, ...]] = dict(SIGNAL_CATALOG)
+        self._channels: Dict[Tuple[str, Optional[Hashable]], Signal] = {}
+        #: per-name broadcast subscribers, mirrored into keyed channels.
+        self._broadcast: Dict[str, List[Callable]] = {}
+        self.strict = strict
+
+    # -- declaration -----------------------------------------------------------
+
+    def declare(self, name: str, fields: Tuple[str, ...]) -> None:
+        """Declare a new signal name and its payload field names."""
+        existing = self._declared.get(name)
+        if existing is not None and existing != tuple(fields):
+            raise ValueError(
+                f"signal {name!r} already declared with fields {existing}"
+            )
+        self._declared[name] = tuple(fields)
+
+    def declared(self, name: str) -> bool:
+        return name in self._declared
+
+    def fields(self, name: str) -> Tuple[str, ...]:
+        self._check_name(name)
+        return self._declared[name]
+
+    # -- channels --------------------------------------------------------------
+
+    def signal(self, name: str, key: Optional[Hashable] = None) -> Signal:
+        """The channel for ``(name, key)``; created on first use.
+
+        Publishers call this once at attach time and cache the result —
+        channel identity is stable for the bus's lifetime.
+        """
+        self._check_name(name)
+        channel = self._channels.get((name, key))
+        if channel is None:
+            channel = Signal(name, key, self._declared[name])
+            # keyed channels inherit the name's broadcast subscribers
+            if key is not None:
+                channel._subscribers.extend(self._broadcast.get(name, ()))
+            self._channels[(name, key)] = channel
+        return channel
+
+    def subscribe(
+        self,
+        name: str,
+        callback: Callable,
+        key: Optional[Hashable] = None,
+    ) -> Subscription:
+        """Attach ``callback`` to ``(name, key)``.
+
+        ``key=None`` is a *broadcast* subscription: the callback joins
+        every existing channel of the name, the name's un-keyed channel,
+        and every keyed channel created later.
+        """
+        self._check_name(name)
+        if key is None:
+            self._broadcast.setdefault(name, []).append(callback)
+            for (cname, ckey), channel in self._channels.items():
+                if cname == name:
+                    channel._subscribers.append(callback)
+            if (name, None) not in self._channels:
+                self.signal(name, None)._subscribers.append(callback)
+        else:
+            self.signal(name, key)._subscribers.append(callback)
+        return Subscription(name=name, key=key, callback=callback)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach a subscription everywhere it was mirrored."""
+        name, key, callback = (
+            subscription.name,
+            subscription.key,
+            subscription.callback,
+        )
+        if key is None:
+            broadcast = self._broadcast.get(name, [])
+            if callback in broadcast:
+                broadcast.remove(callback)
+            for (cname, _), channel in self._channels.items():
+                if cname == name and callback in channel._subscribers:
+                    channel._subscribers.remove(callback)
+        else:
+            channel = self._channels.get((name, key))
+            if channel is not None and callback in channel._subscribers:
+                channel._subscribers.remove(callback)
+
+    # -- introspection ---------------------------------------------------------
+
+    def subscriber_count(self, name: str) -> int:
+        """Distinct live subscriptions across all channels of ``name``."""
+        total = sum(
+            channel.subscriber_count
+            for (cname, _), channel in self._channels.items()
+            if cname == name
+        )
+        return total
+
+    def quiescent(self) -> bool:
+        """True when no channel on the bus has any subscriber — the
+        whole-machine zero-cost condition."""
+        return all(not channel for channel in self._channels.values())
+
+    def _check_name(self, name: str) -> None:
+        if self.strict and name not in self._declared:
+            raise KeyError(
+                f"signal {name!r} not declared; known: {sorted(self._declared)}"
+            )

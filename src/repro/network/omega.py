@@ -42,6 +42,9 @@ class OmegaNetwork:
         self.radices = stage_radices(n_ports, switch_radix)
         self.stage_cycles = stage_cycles
         self._sinks: Dict[int, Callable[[Packet], None]] = {}
+        #: (src, dst) -> tuple of network-internal hops; the delta path
+        #: is a pure function of the port pair, so compute it once.
+        self._route_cache: Dict[tuple, tuple] = {}
         self.injection_ports: List[Resource] = [
             Resource(
                 engine,
@@ -69,6 +72,52 @@ class OmegaNetwork:
     def n_stages(self) -> int:
         return len(self.radices)
 
+    # -- component lifecycle ---------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        """Wire every link's departure to the bus's ``net.hop`` channel
+        (keyed by network name).  Links already owned by another network
+        (shared-fabric views) keep their original channel."""
+        signal = ctx.bus.signal("net.hop", key=self.name)
+        for port in self.injection_ports:
+            if port.depart_signal is None:
+                port.depart_signal = signal
+        for stage in self.stages:
+            for link in stage:
+                if link.depart_signal is None:
+                    link.depart_signal = signal
+
+    def reset(self) -> None:
+        for port in self.injection_ports:
+            port.reset()
+        for stage in self.stages:
+            for link in stage:
+                link.reset()
+
+    def stats(self) -> dict:
+        return {
+            "packets_delivered": sum(r.stats.packets for r in self.stages[-1]),
+            "words_delivered": self.total_words_delivered(),
+            "rejected_offers": sum(
+                r.stats.rejected_offers
+                for stage in self.stages
+                for r in stage
+            ),
+            "injection_rejections": sum(
+                p.stats.rejected_offers for p in self.injection_ports
+            ),
+        }
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "ports": self.n_ports,
+            "stages": self.n_stages,
+            "stage_radices": list(self.radices),
+            "queue_words": self.stages[0][0].capacity_words,
+            "injection_queue_words": self.injection_ports[0].capacity_words,
+        }
+
     def view_with_own_injection(self, name: str) -> "OmegaNetwork":
         """A second network *view* sharing this network's stage links
         but with its own injection ports and sinks.
@@ -91,6 +140,7 @@ class OmegaNetwork:
         )
         view.radices = self.radices
         view.stages = self.stages  # shared fabric
+        view._route_cache.clear()  # stale: routes were built for its own stages
         return view
 
     def register_sink(self, port: int, sink: Callable[[Packet], None]) -> None:
@@ -102,19 +152,24 @@ class OmegaNetwork:
         """Build the hop list for ``packet``: injection port, one output
         port per stage, then either ``tail`` hops (e.g. a memory module)
         or the registered delivery sink."""
-        self._check_port(packet.src)
-        self._check_port(packet.dst)
-        hops: List[Hop] = [self.injection_ports[packet.src]]
-        for stage, port in enumerate(delta_path(packet.src, packet.dst, self.radices)):
-            hops.append(self.stages[stage][port])
+        key = (packet.src, packet.dst)
+        body = self._route_cache.get(key)
+        if body is None:
+            self._check_port(packet.src)
+            self._check_port(packet.dst)
+            hops: List[Hop] = [self.injection_ports[packet.src]]
+            for stage, port in enumerate(
+                delta_path(packet.src, packet.dst, self.radices)
+            ):
+                hops.append(self.stages[stage][port])
+            body = tuple(hops)
+            self._route_cache[key] = body
         if tail is not None:
-            hops.extend(tail)
-        else:
-            sink = self._sinks.get(packet.dst)
-            if sink is None:
-                raise KeyError(f"{self.name}: no sink registered for port {packet.dst}")
-            hops.append(sink)
-        return hops
+            return [*body, *tail]
+        sink = self._sinks.get(packet.dst)
+        if sink is None:
+            raise KeyError(f"{self.name}: no sink registered for port {packet.dst}")
+        return [*body, sink]
 
     def can_inject(self, src: int) -> bool:
         """Whether source ``src``'s injection queue has space now."""

@@ -94,6 +94,17 @@ class Resource:
         self._blocked_head: Optional[Transit] = None
         self._blocked_since: float = 0.0
         self._waiters: Deque["Resource"] = deque()
+        #: optional monitoring channel (e.g. ``net.hop``), set by the
+        #: owning component at attach time.  ``None`` or subscriber-less
+        #: costs one branch per departure — the zero-cost fast path.
+        self.depart_signal = None
+        # devirtualize the per-packet hooks: plain FIFO links (the vast
+        # majority) take branch-only fast paths in _start_service/_finish.
+        cls = type(self)
+        self._has_service_hook = cls.service_cycles is not Resource.service_cycles
+        self._has_complete_hook = (
+            cls.on_service_complete is not Resource.on_service_complete
+        )
 
     # -- admission ---------------------------------------------------------
 
@@ -103,12 +114,13 @@ class Resource:
     def offer(self, transit: Transit) -> bool:
         """Try to accept ``transit``; returns False when the queue is
         full — the caller must block and retry on waiter notification."""
-        if not self.has_space():
+        if self._words_queued >= self.capacity_words:
             self.stats.rejected_offers += 1
             return False
         self._queue.append(transit)
         self._words_queued += transit.packet.words
-        self._maybe_start()
+        if not self._serving and self._blocked_head is None:
+            self._maybe_start()
         return True
 
     def add_waiter(self, upstream: "Resource") -> None:
@@ -136,28 +148,33 @@ class Resource:
             self._serving = True  # hold the slot through recovery
             transit = self._queue[0]
             delay = self._recovered_at - self.engine.now
-            self.engine.schedule_after(delay, lambda: self._start_service(transit))
+            self.engine.schedule_after(delay, self._start_service, transit)
             return
         self._start_service(self._queue[0])
 
     def _start_service(self, transit: Transit) -> None:
         self._serving = True
-        cycles = self.service_cycles(transit.packet)
+        if self._has_service_hook:
+            cycles = self.service_cycles(transit.packet)
+        else:
+            cycles = self.fixed_cycles + transit.packet.words / self.words_per_cycle
         self.stats.busy_cycles += cycles
-        self.engine.schedule_after(cycles, lambda: self._finish(transit))
+        self.engine.schedule_after(cycles, self._finish, transit)
 
     def _finish(self, transit: Transit) -> None:
         if not self._queue or self._queue[0] is not transit:
             raise SimulationError(f"{self.name}: finished packet is not at head")
         self._serving = False
-        if not self.on_service_complete(transit):
+        if self._has_complete_hook and not self.on_service_complete(transit):
             self._pop_head(transit)
             self._advance()
             return
         self._try_handoff(transit)
 
     def _try_handoff(self, transit: Transit) -> None:
-        nxt = transit.next_hop()
+        route = transit.route
+        nxt_idx = transit.idx + 1
+        nxt = route[nxt_idx] if nxt_idx < len(route) else None
         if nxt is None:
             self._pop_head(transit)
             self._advance()
@@ -167,9 +184,9 @@ class Resource:
             nxt(transit.packet)
             self._advance()
             return
-        if nxt.has_space():
+        if nxt._words_queued < nxt.capacity_words:
             self._pop_head(transit)
-            transit.idx += 1
+            transit.idx = nxt_idx
             if not nxt.offer(transit):
                 raise SimulationError(f"{nxt.name} refused after reporting space")
             self._advance()
@@ -183,19 +200,26 @@ class Resource:
         head = self._queue.popleft()
         if head is not transit:
             raise SimulationError(f"{self.name}: departing packet is not at head")
-        self._words_queued -= transit.packet.words
-        self.stats.packets += 1
-        self.stats.words += transit.packet.words
+        words = transit.packet.words
+        self._words_queued -= words
+        st = self.stats
+        st.packets += 1
+        st.words += words
         if self.recovery_cycles:
             self._recovered_at = self.engine.now + self.recovery_cycles
         if self._blocked_head is transit:
-            self.stats.blocked_cycles += self.engine.now - self._blocked_since
+            st.blocked_cycles += self.engine.now - self._blocked_since
             self._blocked_head = None
+        sig = self.depart_signal
+        if sig is not None and sig:
+            sig.emit(self, transit.packet, self.engine.now)
 
     def _advance(self) -> None:
         """After a departure: wake upstream waiters, start next service."""
-        self._notify_waiters()
-        self._maybe_start()
+        if self._waiters:
+            self._notify_waiters()
+        if not self._serving and self._blocked_head is None and self._queue:
+            self._maybe_start()
 
     def _notify_waiters(self) -> None:
         while self._waiters and self.has_space():
@@ -208,6 +232,20 @@ class Resource:
             return
         # _try_handoff clears _blocked_head via _pop_head on success.
         self._try_handoff(transit)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to post-construction state: empty queue, zero stats,
+        no blocking.  Part of the component-lifecycle contract."""
+        self.stats = ResourceStats()
+        self._queue.clear()
+        self._words_queued = 0
+        self._serving = False
+        self._blocked_head = None
+        self._blocked_since = 0.0
+        self._waiters.clear()
+        self._recovered_at = 0.0
 
     # -- introspection -----------------------------------------------------
 

@@ -18,7 +18,6 @@ from typing import Callable, Dict, List, Optional
 from repro.core.config import PrefetchConfig, VMConfig
 from repro.core.engine import Engine
 from repro.gmemory.module import GlobalMemory
-from repro.monitor.probes import PrefetchProbe
 from repro.network.omega import OmegaNetwork
 from repro.network.packet import Packet, PacketKind
 
@@ -82,7 +81,14 @@ class PrefetchStream:
 
 
 class PrefetchUnit:
-    """One CE's prefetch engine attached to the forward network port."""
+    """One CE's prefetch engine attached to the forward network port.
+
+    Monitoring is decoupled through the signal bus: the PFU publishes
+    ``pfu.arm`` / ``pfu.request`` / ``pfu.deliver`` on its per-port
+    channels (wired in :meth:`attach`); probes subscribe.  With no
+    subscribers each emission point is a single guarded branch — the
+    paper's "monitor without perturbing" property.
+    """
 
     def __init__(
         self,
@@ -92,7 +98,6 @@ class PrefetchUnit:
         global_memory: GlobalMemory,
         config: PrefetchConfig,
         vm_config: Optional[VMConfig] = None,
-        probe: Optional[PrefetchProbe] = None,
     ) -> None:
         self.engine = engine
         self.port = port
@@ -100,11 +105,41 @@ class PrefetchUnit:
         self.global_memory = global_memory
         self.config = config
         self.vm_config = vm_config
-        self.probe = probe
         self._active: Optional[PrefetchStream] = None
         self.streams_fired = 0
         self.words_requested = 0
         self.page_suspensions = 0
+        self._sig_arm = None
+        self._sig_request = None
+        self._sig_deliver = None
+
+    # -- component lifecycle ---------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        self._sig_arm = ctx.bus.signal("pfu.arm", key=self.port)
+        self._sig_request = ctx.bus.signal("pfu.request", key=self.port)
+        self._sig_deliver = ctx.bus.signal("pfu.deliver", key=self.port)
+
+    def reset(self) -> None:
+        self._active = None
+        self.streams_fired = 0
+        self.words_requested = 0
+        self.page_suspensions = 0
+
+    def stats(self) -> dict:
+        return {
+            "streams_fired": self.streams_fired,
+            "words_requested": self.words_requested,
+            "page_suspensions": self.page_suspensions,
+        }
+
+    def describe(self) -> dict:
+        return {
+            "port": self.port,
+            "buffer_words": self.config.buffer_words,
+            "max_outstanding": self.config.max_outstanding,
+            "arm_cycles": self.config.arm_cycles,
+        }
 
     @property
     def page_words(self) -> int:
@@ -138,11 +173,10 @@ class PrefetchUnit:
         stream = PrefetchStream(length, stride, start_address)
         self._active = stream
         self.streams_fired += 1
-        if self.probe is not None:
-            self.probe.begin_block()
-        self.engine.schedule_after(
-            self.config.arm_cycles, lambda: self._issue(stream, 0)
-        )
+        sig = self._sig_arm
+        if sig is not None and sig:
+            sig.emit(self.port, self.engine.now)
+        self.engine.schedule_after(self.config.arm_cycles, self._issue, stream, 0)
         return stream
 
     # -- request issue ---------------------------------------------------------
@@ -152,9 +186,7 @@ class PrefetchUnit:
             return
         if not self.forward_network.can_inject(self.port):
             # injection queue full: backpressure stalls the PFU; retry.
-            self.engine.schedule_after(
-                1.0, lambda: self._issue(stream, index, resupplied)
-            )
+            self.engine.schedule_after(1.0, self._issue, stream, index, resupplied)
             return
         address = stream.start_address + index * stream.stride
         if index > 0 and not resupplied:
@@ -162,8 +194,7 @@ class PrefetchUnit:
             if address // self.page_words != prev // self.page_words:
                 self.page_suspensions += 1
                 self.engine.schedule_after(
-                    PAGE_RESUPPLY_CYCLES,
-                    lambda: self._issue(stream, index, resupplied=True),
+                    PAGE_RESUPPLY_CYCLES, self._issue, stream, index, True
                 )
                 return
         self._issue_word(stream, index, address)
@@ -172,8 +203,9 @@ class PrefetchUnit:
         now = self.engine.now
         stream.issued[index] = now
         self.words_requested += 1
-        if self.probe is not None:
-            self.probe.record_issue(index, now)
+        sig = self._sig_request
+        if sig is not None and sig:
+            sig.emit(self.port, index, now)
         packet = Packet(
             kind=PacketKind.READ_REQ,
             src=self.port,
@@ -184,7 +216,7 @@ class PrefetchUnit:
         )
         self.forward_network.inject(packet, tail=self.global_memory.route_tail(address))
         delay = 1.0 / self.config.issue_per_cycle
-        self.engine.schedule_after(delay, lambda: self._issue(stream, index + 1))
+        self.engine.schedule_after(delay, self._issue, stream, index + 1)
 
     # -- reply delivery ----------------------------------------------------------
 
@@ -195,6 +227,8 @@ class PrefetchUnit:
         if stream is None or index is None:
             raise RuntimeError("reply packet lacks prefetch metadata")
         now = self.engine.now
-        if self.probe is not None and stream is self._active:
-            self.probe.record_arrival(index, now)
+        if stream is self._active:
+            sig = self._sig_deliver
+            if sig is not None and sig:
+                sig.emit(self.port, index, now)
         stream._deliver(index, now)

@@ -105,3 +105,43 @@ class TestConfigValidation:
 
         with pytest.raises(dataclasses.FrozenInstanceError):
             DEFAULT_CONFIG.clusters = 5
+
+
+class TestStableIdentity:
+    def test_round_trip_through_dict(self):
+        cfg = CedarConfig(clusters=2, ces_per_cluster=4)
+        clone = CedarConfig.from_dict(cfg.to_dict())
+        assert clone == cfg
+        assert clone.stable_hash() == cfg.stable_hash()
+
+    def test_round_trip_preserves_nested_overrides(self):
+        from repro.core.config import GlobalMemoryConfig, NetworkConfig
+
+        cfg = CedarConfig(
+            network=NetworkConfig(queue_words=8, shared_single_network=True),
+            global_memory=GlobalMemoryConfig(recovery_cycles=3.0),
+        )
+        clone = CedarConfig.from_dict(cfg.to_dict())
+        assert clone.network.queue_words == 8
+        assert clone.network.shared_single_network is True
+        assert clone.global_memory.recovery_cycles == 3.0
+        assert clone == cfg
+
+    def test_equal_configs_share_a_hash(self):
+        assert CedarConfig().stable_hash() == CedarConfig().stable_hash()
+        assert DEFAULT_CONFIG.stable_hash() == CedarConfig().stable_hash()
+
+    def test_any_field_change_changes_the_hash(self):
+        from repro.core.config import PrefetchConfig
+
+        base = CedarConfig()
+        assert base.stable_hash() != CedarConfig(clusters=2).stable_hash()
+        assert (
+            base.stable_hash()
+            != CedarConfig(prefetch=PrefetchConfig(arm_cycles=7)).stable_hash()
+        )
+
+    def test_hash_is_a_hex_digest(self):
+        digest = DEFAULT_CONFIG.stable_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex

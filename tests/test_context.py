@@ -1,0 +1,155 @@
+"""Tests for the SimContext component registry and assembly variants."""
+
+import pytest
+
+from repro.core.config import CedarConfig, NetworkConfig
+from repro.core.context import (
+    ComponentAdapter,
+    NETWORK_VARIANTS,
+    SimContext,
+    network_variant_for,
+    validate_component,
+)
+from repro.core.machine import CedarMachine
+
+
+class FakeComponent:
+    def __init__(self):
+        self.attached_to = None
+        self.resets = 0
+
+    def attach(self, ctx):
+        self.attached_to = ctx
+
+    def reset(self):
+        self.resets += 1
+
+    def stats(self):
+        return {"resets": self.resets}
+
+    def describe(self):
+        return {"kind": "fake"}
+
+
+class TestSimContext:
+    def test_add_attaches_and_returns_component(self):
+        ctx = SimContext()
+        comp = FakeComponent()
+        assert ctx.add("fake", comp) is comp
+        assert comp.attached_to is ctx
+        assert "fake" in ctx
+        assert ctx.component("fake") is comp
+
+    def test_duplicate_name_rejected(self):
+        ctx = SimContext()
+        ctx.add("fake", FakeComponent())
+        with pytest.raises(ValueError):
+            ctx.add("fake", FakeComponent())
+
+    def test_non_component_rejected(self):
+        ctx = SimContext()
+        with pytest.raises(TypeError, match="not a Component"):
+            ctx.add("bad", object())
+
+    def test_validate_component_names_missing_methods(self):
+        class Half:
+            def attach(self, ctx):
+                pass
+
+            def reset(self):
+                pass
+
+        with pytest.raises(TypeError, match="stats"):
+            validate_component(Half())
+
+    def test_reset_fans_out_in_registration_order(self):
+        ctx = SimContext()
+        a, b = FakeComponent(), FakeComponent()
+        ctx.add("a", a)
+        ctx.add("b", b)
+        ctx.engine.schedule(5, lambda: None)
+        ctx.reset()
+        assert (a.resets, b.resets) == (1, 1)
+        assert ctx.engine.now == 0.0 and ctx.engine.pending() == 0
+
+    def test_stats_and_describe_aggregate_by_name(self):
+        ctx = SimContext()
+        ctx.add("fake", FakeComponent())
+        assert ctx.stats() == {"fake": {"resets": 0}}
+        assert ctx.describe()["fake"] == {"kind": "fake"}
+
+    def test_adapter_wraps_protocol_foreign_objects(self):
+        class Legacy:
+            stats = {"words": 3}  # data attribute shadows the protocol
+
+        legacy = Legacy()
+        calls = []
+        adapter = ComponentAdapter(
+            legacy,
+            reset=lambda: calls.append("reset"),
+            stats=lambda: dict(legacy.stats),
+            describe=lambda: {"kind": "legacy"},
+        )
+        ctx = SimContext()
+        ctx.add("legacy", adapter)
+        adapter.reset()
+        assert calls == ["reset"]
+        assert adapter.stats() == {"words": 3}
+        assert adapter.target is legacy
+
+
+class TestNetworkVariants:
+    def test_registry_has_all_variants(self):
+        assert set(NETWORK_VARIANTS) >= {"dual", "shared", "shared-escape"}
+
+    def test_config_selects_variant(self):
+        assert network_variant_for(CedarConfig()) == "dual"
+        shared = CedarConfig(network=NetworkConfig(shared_single_network=True))
+        assert network_variant_for(shared) == "shared"
+        escape = CedarConfig(
+            network=NetworkConfig(shared_single_network=True, reply_escape=True)
+        )
+        assert network_variant_for(escape) == "shared-escape"
+
+    def test_dual_machine_has_two_networks(self):
+        machine = CedarMachine(CedarConfig())
+        assert "net.fwd" in machine.ctx and "net.rev" in machine.ctx
+        assert machine.ctx.component("net.fwd") is not machine.ctx.component(
+            "net.rev"
+        )
+
+    def test_shared_machine_registers_one_fabric(self):
+        machine = CedarMachine(
+            CedarConfig(network=NetworkConfig(shared_single_network=True))
+        )
+        assert "net.fwd" in machine.ctx
+        assert "net.rev" not in machine.ctx
+
+
+class TestMachineLifecycle:
+    def test_machine_components_are_registered(self):
+        machine = CedarMachine(CedarConfig())
+        names = machine.ctx.names()
+        assert "gmem" in names and "xylem.fs" in names
+        assert sum(1 for n in names if n.startswith("cluster[")) == 4
+        assert sum(1 for n in names if n.startswith("ce[")) == 32
+        assert sum(1 for n in names if n.startswith("pfu[")) == 32
+
+    def test_stats_tree_covers_every_component(self):
+        machine = CedarMachine(CedarConfig())
+        tree = machine.ctx.stats()
+        assert set(tree) == set(machine.ctx.names())
+
+    def test_machine_reset_allows_identical_rerun(self):
+        from repro.cluster.ce import AwaitStream, StartPrefetch
+
+        def program():
+            s = yield StartPrefetch(length=16, stride=1, address=0)
+            yield AwaitStream(s)
+
+        machine = CedarMachine(CedarConfig())
+        first = machine.run_programs({0: program()})
+        machine.reset()
+        assert machine.engine.now == 0.0
+        second = machine.run_programs({0: program()})
+        assert first == second

@@ -99,3 +99,174 @@ def test_events_processed_counter():
         eng.schedule(t, lambda: None)
     eng.run()
     assert eng.events_processed == 4
+
+
+# -- cancellation handles --------------------------------------------------
+
+
+def test_cancel_prevents_execution():
+    eng = Engine()
+    seen = []
+    handle = eng.schedule(5, lambda: seen.append("x"))
+    assert eng.cancel(handle) is True
+    eng.run()
+    assert seen == []
+    assert eng.pending() == 0
+
+
+def test_cancel_twice_returns_false():
+    eng = Engine()
+    handle = eng.schedule(5, lambda: None)
+    assert eng.cancel(handle) is True
+    assert eng.cancel(handle) is False
+    eng.run()
+    assert eng.pending() == 0
+
+
+def test_cancel_after_run_is_a_noop():
+    eng = Engine()
+    seen = []
+    handle = eng.schedule(5, lambda: seen.append("x"))
+    eng.run()
+    assert seen == ["x"]
+    assert eng.cancel(handle) is False
+    assert eng.pending() == 0
+
+
+def test_cancel_middle_of_ties_preserves_fifo():
+    eng = Engine()
+    seen = []
+    handles = [eng.schedule(3, lambda t=t: seen.append(t)) for t in range(5)]
+    eng.cancel(handles[2])
+    eng.run()
+    assert seen == [0, 1, 3, 4]
+
+
+def test_pending_excludes_cancelled():
+    eng = Engine()
+    handles = [eng.schedule(t, lambda: None) for t in range(4)]
+    assert eng.pending() == 4
+    eng.cancel(handles[1])
+    eng.cancel(handles[3])
+    assert eng.pending() == 2
+
+
+# -- varargs dispatch ------------------------------------------------------
+
+
+def test_callback_receives_scheduled_args():
+    eng = Engine()
+    seen = []
+    eng.schedule(1, seen.append, "a")
+    eng.schedule_after(2, lambda x, y: seen.append((x, y)), 1, 2)
+    eng.run()
+    assert seen == ["a", (1, 2)]
+
+
+# -- out-of-order scheduling (heap path) -----------------------------------
+
+
+def test_out_of_order_schedules_interleave_correctly():
+    # Descending times force every record through the heap, then the
+    # monotone appends land on the sorted tail; the merged order must
+    # still be global (when, seq) order.
+    eng = Engine()
+    seen = []
+    for t in (9, 7, 5, 3, 1):
+        eng.schedule(t, lambda t=t: seen.append(t))
+
+    def chase():
+        seen.append(eng.now)
+        if eng.now < 8:
+            eng.schedule_after(2, chase)
+
+    eng.schedule(0, chase)
+    eng.run()
+    assert seen == [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+
+
+def test_tie_between_heap_and_tail_breaks_by_schedule_order():
+    eng = Engine()
+    seen = []
+    eng.schedule(10, lambda: seen.append("tail-early"))
+    eng.schedule(5, lambda: seen.append("heap"))  # out of order -> heap
+    eng.run()
+    assert seen == ["heap", "tail-early"]
+
+
+def test_fifo_ties_across_heap_and_tail():
+    eng = Engine()
+    seen = []
+    eng.schedule(10, lambda: seen.append("a"))  # tail, seq 0
+    eng.schedule(10, lambda: seen.append("b"))  # tail, seq 1
+    eng.schedule(9, lambda: None)               # heap (out of order)
+    eng.schedule(10, lambda: seen.append("c"))  # tail, seq 3
+    eng.run()
+    assert seen == ["a", "b", "c"]
+
+
+# -- stop / resume contract ------------------------------------------------
+
+
+def test_request_stop_halts_after_current_event():
+    eng = Engine()
+    seen = []
+    eng.schedule(1, lambda: seen.append(1))
+    eng.schedule(2, lambda: (seen.append(2), eng.request_stop()))
+    eng.schedule(3, lambda: seen.append(3))
+    eng.run()
+    assert seen == [1, 2]
+    assert eng.pending() == 1
+    eng.run()
+    assert seen == [1, 2, 3]
+
+
+def test_run_until_idle_drains_everything():
+    eng = Engine()
+    seen = []
+    for t in (4, 2, 8):
+        eng.schedule(t, lambda t=t: seen.append(t))
+    final = eng.run_until_idle()
+    assert seen == [2, 4, 8]
+    assert final == 8
+    assert eng.pending() == 0
+
+
+def test_bounded_runs_compose_like_one_run():
+    def build():
+        eng = Engine()
+        seen = []
+
+        def chain(n):
+            seen.append((eng.now, n))
+            if n:
+                eng.schedule_after(3, chain, n - 1)
+
+        eng.schedule(1, chain, 5)
+        eng.schedule(7, seen.append, "mid")
+        return eng, seen
+
+    eng1, seen1 = build()
+    eng1.run()
+
+    eng2, seen2 = build()
+    eng2.run(until=6)
+    assert eng2.now == 6
+    eng2.run(until=11)
+    eng2.run()
+    assert seen2 == seen1
+    assert eng2.now == eng1.now
+
+
+def test_reset_clears_queue_in_place():
+    eng = Engine()
+    eng.schedule(5, lambda: None)
+    eng.schedule(1, lambda: None)
+    eng.run(until=0)
+    eng.reset()
+    assert eng.pending() == 0
+    assert eng.now == 0.0
+    seen = []
+    eng.schedule(2, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [2]

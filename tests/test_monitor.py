@@ -142,3 +142,113 @@ class TestPrefetchProbe:
             p.record_arrival(0, 1.0)  # never issued
         with pytest.raises(RuntimeError):
             p.summary()  # no completed blocks
+
+
+class TestSignalBus:
+    def _bus(self):
+        from repro.monitor.signals import SignalBus
+
+        return SignalBus()
+
+    def test_emit_reaches_keyed_subscriber(self):
+        bus = self._bus()
+        seen = []
+        bus.subscribe("pfu.request", lambda p, i, t: seen.append((p, i, t)), key=3)
+        bus.signal("pfu.request", key=3).emit(3, 7, 100.0)
+        assert seen == [(3, 7, 100.0)]
+
+    def test_other_keys_are_isolated(self):
+        bus = self._bus()
+        seen = []
+        bus.subscribe("pfu.request", lambda *a: seen.append(a), key=3)
+        sig_other = bus.signal("pfu.request", key=4)
+        assert not sig_other  # port 4 has no subscribers
+        sig_other.emit(4, 0, 0.0)
+        assert seen == []
+
+    def test_zero_subscriber_signal_is_falsy(self):
+        bus = self._bus()
+        sig = bus.signal("gmem.service", key=0)
+        assert not sig
+        bus.subscribe("gmem.service", lambda *a: None, key=0)
+        assert sig  # same channel object turns truthy
+
+    def test_publisher_guard_never_builds_payload(self):
+        bus = self._bus()
+        sig = bus.signal("net.hop")
+
+        def expensive():
+            raise AssertionError("payload built with no subscribers")
+
+        # the publisher pattern: payload construction behind the guard
+        if sig:
+            sig.emit(expensive(), None, 0.0)
+        # no exception: the guard short-circuited
+
+    def test_broadcast_subscription_sees_existing_and_future_keys(self):
+        bus = self._bus()
+        seen = []
+        bus.signal("gmem.service", key=0)  # pre-existing channel
+        bus.subscribe("gmem.service", lambda m, p, t: seen.append(m))
+        bus.signal("gmem.service", key=0).emit(0, None, 1.0)
+        bus.signal("gmem.service", key=9).emit(9, None, 2.0)  # created later
+        assert seen == [0, 9]
+
+    def test_unsubscribe_detaches_everywhere(self):
+        bus = self._bus()
+        seen = []
+        sub = bus.subscribe("gmem.service", lambda m, p, t: seen.append(m))
+        bus.signal("gmem.service", key=1).emit(1, None, 0.0)
+        bus.unsubscribe(sub)
+        bus.signal("gmem.service", key=1).emit(1, None, 1.0)
+        bus.signal("gmem.service", key=2).emit(2, None, 2.0)
+        assert seen == [1]
+        assert bus.quiescent()
+
+    def test_subscribe_during_emit_affects_next_emit_only(self):
+        bus = self._bus()
+        sig = bus.signal("ce.done", key=0)
+        seen = []
+
+        def first(port, time):
+            seen.append("first")
+            bus.subscribe("ce.done", lambda p, t: seen.append("late"), key=0)
+
+        bus.subscribe("ce.done", first, key=0)
+        sig.emit(0, 1.0)
+        assert seen == ["first"]  # snapshot: late joiner not called in-flight
+        seen.clear()
+        sig.emit(0, 2.0)
+        assert seen.count("late") == 1
+
+    def test_unsubscribe_during_emit_is_safe(self):
+        bus = self._bus()
+        sig = bus.signal("ce.done", key=0)
+        seen = []
+        subs = []
+
+        def self_removing(port, time):
+            seen.append("once")
+            bus.unsubscribe(subs[0])
+
+        subs.append(bus.subscribe("ce.done", self_removing, key=0))
+        bus.subscribe("ce.done", lambda p, t: seen.append("stable"), key=0)
+        sig.emit(0, 1.0)
+        sig.emit(0, 2.0)
+        assert seen == ["once", "stable", "stable"]
+
+    def test_undeclared_signal_rejected_when_strict(self):
+        bus = self._bus()
+        with pytest.raises(KeyError):
+            bus.signal("made.up")
+        bus.declare("made.up", ("x",))
+        assert bus.signal("made.up").fields == ("x",)
+
+    def test_redeclaration_with_other_fields_rejected(self):
+        bus = self._bus()
+        with pytest.raises(ValueError):
+            bus.declare("pfu.request", ("different",))
+
+    def test_channel_identity_is_stable(self):
+        bus = self._bus()
+        assert bus.signal("net.hop", key="fwd") is bus.signal("net.hop", key="fwd")

@@ -42,3 +42,39 @@ class TestProbeHistograms:
         assert hist.samples == 6
         # unloaded: every block at the 8-cycle minimum
         assert hist.mean() == pytest.approx(8.0, abs=0.6)
+
+
+class TestZeroCostMonitoring:
+    """The bus only observes: monitored and unmonitored runs are
+    cycle-identical, and an unmonitored machine never runs a probe
+    callback (its bus is quiescent)."""
+
+    @staticmethod
+    def _program():
+        for strip in range(4):
+            s = yield StartPrefetch(length=16, stride=1, address=strip * 64)
+            yield AwaitStream(s)
+
+    def test_unmonitored_machine_has_quiescent_bus(self):
+        machine = CedarMachine(CedarConfig())
+        assert machine.probe is None
+        machine.run_programs({0: self._program()})
+        assert machine.bus.quiescent()
+
+    def test_monitoring_does_not_perturb_cycle_counts(self):
+        plain = CedarMachine(CedarConfig())
+        monitored = CedarMachine(CedarConfig(), monitor_port=0)
+        finish_plain = plain.run_programs({0: self._program()})
+        finish_monitored = monitored.run_programs({0: self._program()})
+        assert finish_monitored == finish_plain
+        assert monitored.probe.summary().blocks == 4
+
+    def test_detached_probe_stops_observing(self):
+        machine = CedarMachine(CedarConfig(), monitor_port=0)
+        machine.run_programs({0: self._program()})
+        blocks_before = machine.probe.summary().blocks
+        machine.probe.detach(machine.bus)
+        assert machine.bus.quiescent()
+        machine.reset()
+        machine.run_programs({0: self._program()})
+        assert machine.probe.summary().blocks == blocks_before
