@@ -1,0 +1,75 @@
+"""CI perf smoke: the engine's self-metered throughput vs the baseline.
+
+Runs the same 64-chain / 20k-event drain as the pytest-benchmark suite,
+but measures it with the engine's own self-metrics (events dispatched
+and wall time inside the run loop) instead of pytest-benchmark, so it
+needs no plugins and finishes in well under a second.
+
+The realized events/sec is compared against the archived
+``engine_event_throughput`` rate in ``benchmarks/output/BENCH_engine.json``
+with a generous 3x tolerance — shared CI runners are noisy; this guards
+against order-of-magnitude regressions (an accidentally-hot monitoring
+path, a lost fast path), not percent-level drift.
+
+Usage: ``python benchmarks/perf_smoke.py`` (exit 0 = within tolerance).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BENCH_JSON = pathlib.Path(__file__).parent / "output" / "BENCH_engine.json"
+
+#: a smoke run on a noisy shared runner may be this much slower than the
+#: archived baseline before we call it a regression.
+TOLERANCE = 3.0
+
+EVENTS = 20_000
+CHAINS = 64
+
+
+def measured_events_per_sec() -> float:
+    from repro.core.engine import Engine
+
+    engine = Engine()
+    count = {"n": 0}
+
+    def tick():
+        if count["n"] < EVENTS:
+            count["n"] += 1
+            engine.schedule_after(1.0, tick)
+
+    for worker in range(CHAINS):
+        engine.schedule(worker / CHAINS, tick)
+    engine.run()
+    metrics = engine.self_metrics()
+    assert metrics["events_processed"] == EVENTS + CHAINS
+    return metrics["events_per_sec"]
+
+
+def main() -> int:
+    try:
+        baseline = json.loads(BENCH_JSON.read_text())
+        baseline_rate = float(baseline["engine_event_throughput"]["rate"])
+    except (OSError, ValueError, KeyError):
+        print(f"perf-smoke: no baseline in {BENCH_JSON}; skipping comparison")
+        rate = max(measured_events_per_sec() for _ in range(3))
+        print(f"perf-smoke: measured {rate:,.0f} events/s")
+        return 0
+
+    # best of three: absorbs one-off scheduler hiccups on shared runners
+    rate = max(measured_events_per_sec() for _ in range(3))
+    floor = baseline_rate / TOLERANCE
+    verdict = "OK" if rate >= floor else "REGRESSION"
+    print(
+        f"perf-smoke: {rate:,.0f} events/s vs baseline "
+        f"{baseline_rate:,.0f} (floor {floor:,.0f}, tolerance {TOLERANCE}x): "
+        f"{verdict}"
+    )
+    return 0 if rate >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Usage::
     python -m repro all [--fast]             # the paper's artifacts
     python -m repro run-all [--jobs N] [--cached] [--fast]
                                              # every registered experiment
+    python -m repro trace EXPERIMENT --out trace.json
+                                             # Chrome/Perfetto trace
+    python -m repro report [EXPERIMENT]      # structured run reports
 
 ``--fast`` shrinks the cycle-level simulations to smoke size.
 
@@ -18,7 +21,17 @@ Usage::
 plus the studies and ablations), fanning independent experiments
 across ``--jobs`` worker processes and, with ``--cached``, memoizing
 results on disk keyed by experiment arguments and the machine
-configuration hash.
+configuration hash.  It also writes one RunReport JSON per artifact
+into ``--report-dir`` (default ``.repro-reports``; disable with
+``--no-reports``).
+
+``trace`` re-runs one experiment with a :class:`ChromeTracer` attached
+to every machine it builds and writes a trace-event JSON openable in
+https://ui.perfetto.dev or ``chrome://tracing``.
+
+``report`` with an experiment name runs it instrumented and prints its
+RunReport JSON; with no name it aggregates the report directory into a
+summary table.
 """
 
 from __future__ import annotations
@@ -97,14 +110,35 @@ def _all(args) -> str:
 
 
 def _run_all(args) -> str:
+    import json
+
     from repro.experiments.runner import DEFAULT_CACHE_DIR, run_all
+    from repro.monitor.report import DEFAULT_REPORT_DIR
 
     cache_dir = None
     if args.cached:
         cache_dir = Path(args.cache_dir or DEFAULT_CACHE_DIR)
+    collect = not args.no_reports
     start = time.perf_counter()
-    results = run_all(jobs=args.jobs, fast=args.fast, cache_dir=cache_dir)
+    results = run_all(
+        jobs=args.jobs,
+        fast=args.fast,
+        cache_dir=cache_dir,
+        collect_reports=collect,
+    )
     elapsed = time.perf_counter() - start
+
+    if collect:
+        report_dir = Path(args.report_dir or DEFAULT_REPORT_DIR)
+        report_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for result in results:
+            if result.report is not None:
+                (report_dir / f"{result.name}.json").write_text(
+                    json.dumps(result.report, indent=1)
+                )
+                written += 1
+        print(f"[run-all] {written} run reports -> {report_dir}/", file=sys.stderr)
 
     sections = []
     for result in results:
@@ -121,6 +155,63 @@ def _run_all(args) -> str:
         file=sys.stderr,
     )
     return "\n\n".join(sections)
+
+
+def _trace(args) -> str:
+    from repro.core.context import add_context_observer, remove_context_observer
+    from repro.experiments.kernels_sim import _run_cached
+    from repro.experiments.runner import experiment
+    from repro.monitor.tracer import ChromeTracer, validate_chrome_trace
+
+    exp = experiment(args.experiment)
+    tracer = ChromeTracer()
+    machines = {"n": 0}
+
+    def _observe(ctx) -> None:
+        # one scope per machine so several coexist in the same trace
+        scope = f"m{machines['n']}:" if machines["n"] else ""
+        machines["n"] += 1
+        tracer.attach(ctx.bus, scope=scope)
+
+    _run_cached.cache_clear()  # memoized runs would build no machines
+    observer = add_context_observer(_observe)
+    try:
+        exp.runner(**exp.arguments(args.fast))
+    finally:
+        remove_context_observer(observer)
+        tracer.detach()
+    n_events, n_tracks = validate_chrome_trace(tracer.trace())
+    tracer.write(args.out)
+    return (
+        f"wrote {args.out}: {n_events} events on {n_tracks} tracks from "
+        f"{machines['n']} machine(s), {tracer.dropped} dropped\n"
+        f"open in https://ui.perfetto.dev or chrome://tracing"
+    )
+
+
+def _report(args) -> str:
+    import json
+
+    from repro.monitor.report import DEFAULT_REPORT_DIR, render_report_summary
+
+    if args.experiment is None:
+        report_dir = Path(args.dir or DEFAULT_REPORT_DIR)
+        reports = []
+        for path in sorted(report_dir.glob("*.json")):
+            try:
+                reports.append(json.loads(path.read_text()))
+            except ValueError:
+                print(f"[report] skipping unreadable {path}", file=sys.stderr)
+        if not reports:
+            raise SystemExit(
+                f"no reports under {report_dir}/; run `python -m repro run-all` first"
+            )
+        return render_report_summary(reports)
+
+    from repro.experiments.runner import run_experiment
+
+    result = run_experiment(args.experiment, fast=args.fast, collect_report=True)
+    return json.dumps(result.report, indent=1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +251,31 @@ def build_parser() -> argparse.ArgumentParser:
                              help="memoize results on disk")
     run_all_cmd.add_argument("--cache-dir", default=None,
                              help="cache directory (default .repro-cache)")
+    run_all_cmd.add_argument("--report-dir", default=None,
+                             help="run-report directory (default .repro-reports)")
+    run_all_cmd.add_argument("--no-reports", action="store_true",
+                             help="skip run-report collection")
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment and write a Chrome/Perfetto trace"
+    )
+    trace.add_argument("experiment", help="registered experiment name")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default trace.json)")
+    trace.add_argument("--fast", action="store_true",
+                       help="smoke-size cycle simulations")
+
+    report = sub.add_parser(
+        "report", help="structured run reports (one experiment or the fleet)"
+    )
+    report.add_argument("experiment", nargs="?", default=None,
+                        help="experiment to run instrumented; omit to "
+                             "aggregate the report directory")
+    report.add_argument("--fast", action="store_true",
+                        help="smoke-size cycle simulations")
+    report.add_argument("--dir", default=None,
+                        help="report directory to aggregate "
+                             "(default .repro-reports)")
     return parser
 
 
@@ -175,6 +291,8 @@ HANDLERS: Dict[str, Callable] = {
     "multiprogramming": _multiprogramming,
     "all": _all,
     "run-all": _run_all,
+    "trace": _trace,
+    "report": _report,
 }
 
 

@@ -43,11 +43,42 @@ network pair declaratively.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Protocol, Tuple, runtime_checkable
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
 from repro.core.engine import Engine
 from repro.monitor.signals import Signal, SignalBus
+
+
+# ---------------------------------------------------------------------------
+# context observers: the attachment point for machine-wide instrumentation
+#
+# The paper's monitors clip onto a *running* machine from outside; the
+# software analogue is a process-global list of callables invoked with
+# every newly created SimContext.  The observability layer (ChromeTracer,
+# the run-report collector) registers here so experiment code — which
+# builds machines internally and never exposes them — can be traced and
+# metered without modification.  With no observers registered (the
+# default), context construction pays one empty-tuple iteration.
+
+_CONTEXT_OBSERVERS: List[Callable[["SimContext"], None]] = []
+
+
+def add_context_observer(observer: Callable[["SimContext"], None]):
+    """Register ``observer`` to be called with every SimContext built
+    from now on (machine assembly has not happened yet when it runs —
+    subscribe broadcast, which sees future channels).  Returns the
+    observer for use with :func:`remove_context_observer`."""
+    _CONTEXT_OBSERVERS.append(observer)
+    return observer
+
+
+def remove_context_observer(observer: Callable[["SimContext"], None]) -> None:
+    """Deregister; unknown observers are ignored."""
+    try:
+        _CONTEXT_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
 
 
 @runtime_checkable
@@ -131,6 +162,8 @@ class SimContext:
         self.engine = engine if engine is not None else Engine()
         self.bus = bus if bus is not None else SignalBus()
         self._components: Dict[str, object] = {}
+        for observer in tuple(_CONTEXT_OBSERVERS):
+            observer(self)
 
     # -- registry --------------------------------------------------------------
 

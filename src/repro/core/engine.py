@@ -38,7 +38,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Callable, List, Optional
+from time import perf_counter as _perf_counter
+from typing import Callable, Dict, List, Optional
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -79,6 +80,8 @@ class Engine:
         "_events_processed",
         "_cancelled",
         "_stop_requested",
+        "_run_wall_s",
+        "_runs",
     )
 
     def __init__(self) -> None:
@@ -92,6 +95,9 @@ class Engine:
         self._events_processed = 0
         self._cancelled = 0
         self._stop_requested = False
+        #: wall-clock seconds spent inside run loops (self-metrics).
+        self._run_wall_s = 0.0
+        self._runs = 0
 
     @property
     def now(self) -> float:
@@ -167,6 +173,7 @@ class Engine:
         pop = _heappop
         popleft = tail.popleft
         processed = 0
+        started = _perf_counter()
         try:
             while True:
                 if heap:
@@ -200,6 +207,8 @@ class Engine:
                     break
         finally:
             self._events_processed += processed
+            self._run_wall_s += _perf_counter() - started
+            self._runs += 1
         return self._now
 
     def run(
@@ -225,6 +234,15 @@ class Engine:
         tail = self._tail
         pop = _heappop
         popleft = tail.popleft
+        started = _perf_counter()
+        try:
+            self._run_bounded(until, max_events, stop_when, heap, tail, pop, popleft)
+        finally:
+            self._run_wall_s += _perf_counter() - started
+            self._runs += 1
+        return self._now
+
+    def _run_bounded(self, until, max_events, stop_when, heap, tail, pop, popleft):
         processed = 0
         while True:
             if heap:
@@ -264,11 +282,32 @@ class Engine:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely livelock"
                 )
-        return self._now
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._heap) + len(self._tail) - self._cancelled
+
+    @property
+    def run_wall_s(self) -> float:
+        """Wall-clock seconds spent inside run loops since reset."""
+        return self._run_wall_s
+
+    def self_metrics(self) -> Dict[str, object]:
+        """The engine's own observability counters: dispatch volume,
+        realized events/sec, and queue depths.  This is the native data
+        source for the BENCH trajectory and per-run reports."""
+        wall = self._run_wall_s
+        return {
+            "events_processed": self._events_processed,
+            "events_per_sec": round(self._events_processed / wall, 1) if wall > 0 else 0.0,
+            "run_wall_s": round(wall, 6),
+            "runs": self._runs,
+            "sim_cycles": self._now,
+            "pending": self.pending(),
+            "queue_depth_tail": len(self._tail),
+            "queue_depth_heap": len(self._heap),
+            "cancelled_pending": self._cancelled,
+        }
 
     def reset(self) -> None:
         """Return to time zero with an empty queue, in place — holders
@@ -281,3 +320,5 @@ class Engine:
         self._events_processed = 0
         self._cancelled = 0
         self._stop_requested = False
+        self._run_wall_s = 0.0
+        self._runs = 0

@@ -73,8 +73,9 @@ def _run(
     latency = interarrival = None
     if prefetch and machine.probe is not None:
         summary = machine.probe.summary()
-        latency = summary.first_word_latency
-        interarrival = summary.interarrival
+        if summary.blocks:  # an empty summary has no meaningful timings
+            latency = summary.first_word_latency
+            interarrival = summary.interarrival
     return KernelMeasurement(
         kernel=kernel,
         n_ces=n_ces,

@@ -28,7 +28,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
 
 #: bump when renderer output formats change, invalidating old entries.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: default on-disk cache location (repo-/cwd-relative).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -289,7 +289,8 @@ def _cache_path(cache_dir: Path, name: str, key: str) -> Path:
     return cache_dir / f"{name}.{key[:16]}.json"
 
 
-def cache_load(cache_dir: Path, name: str, key: str) -> Optional[str]:
+def cache_load_entry(cache_dir: Path, name: str, key: str) -> Optional[Dict]:
+    """The full cache entry (output plus any stored run report)."""
     path = _cache_path(cache_dir, name, key)
     try:
         entry = json.loads(path.read_text())
@@ -297,11 +298,23 @@ def cache_load(cache_dir: Path, name: str, key: str) -> Optional[str]:
         return None
     if entry.get("key") != key:
         return None
+    return entry
+
+
+def cache_load(cache_dir: Path, name: str, key: str) -> Optional[str]:
+    entry = cache_load_entry(cache_dir, name, key)
+    if entry is None:
+        return None
     return entry.get("output")
 
 
 def cache_store(
-    cache_dir: Path, name: str, key: str, output: str, elapsed: float
+    cache_dir: Path,
+    name: str,
+    key: str,
+    output: str,
+    elapsed: float,
+    report: Optional[Dict] = None,
 ) -> None:
     cache_dir.mkdir(parents=True, exist_ok=True)
     entry = {
@@ -311,6 +324,8 @@ def cache_store(
         "elapsed_s": round(elapsed, 3),
         "cache_version": CACHE_VERSION,
     }
+    if report is not None:
+        entry["report"] = report
     _cache_path(cache_dir, name, key).write_text(json.dumps(entry, indent=1))
 
 
@@ -325,6 +340,8 @@ class ExperimentResult:
     output: str
     elapsed_s: float
     cached: bool
+    #: RunReport dict when the run collected observability data.
+    report: Optional[Dict] = None
 
 
 def _execute(name: str, kwargs: Dict[str, object]) -> str:
@@ -332,26 +349,77 @@ def _execute(name: str, kwargs: Dict[str, object]) -> str:
     return REGISTRY[name].runner(**kwargs)
 
 
+def _execute_with_report(name: str, kwargs: Dict[str, object]) -> tuple:
+    """Worker entry point for instrumented runs.
+
+    Returns ``(output, machine_dicts, elapsed_s)``.  Elapsed time is
+    measured here, inside the worker, so a report never charges an
+    experiment for time it spent queued behind other work.  Kernel
+    memoization is cleared first so every machine the experiment needs
+    is actually built (and therefore monitored) inside the collection
+    window — a worker process may have warm memo entries from an
+    earlier experiment.
+    """
+    from repro.experiments.kernels_sim import _run_cached
+    from repro.monitor.report import ReportCollector
+
+    _run_cached.cache_clear()
+    start = time.perf_counter()
+    with ReportCollector() as collector:
+        output = REGISTRY[name].runner(**kwargs)
+    return output, collector.machine_dicts(), time.perf_counter() - start
+
+
+def _build_report(
+    name: str,
+    kwargs: Dict[str, object],
+    elapsed: float,
+    cached: bool,
+    machines: List[Dict],
+) -> Dict:
+    from repro.monitor.report import RunReport
+
+    return RunReport(
+        experiment=name,
+        title=REGISTRY[name].title,
+        kwargs=dict(kwargs),
+        elapsed_s=elapsed,
+        cached=cached,
+        machines=machines,
+    ).to_dict()
+
+
 def run_experiment(
     name: str,
     fast: bool = False,
     cache_dir: Optional[Path] = None,
     config: CedarConfig = DEFAULT_CONFIG,
+    collect_report: bool = False,
 ) -> ExperimentResult:
     """Run (or replay from cache) a single registered experiment."""
     exp = experiment(name)
     kwargs = exp.arguments(fast)
     key = cache_key(name, kwargs, config)
     if cache_dir is not None:
-        hit = cache_load(cache_dir, name, key)
-        if hit is not None:
-            return ExperimentResult(name, exp.title, hit, 0.0, cached=True)
+        entry = cache_load_entry(cache_dir, name, key)
+        if entry is not None and entry.get("output") is not None:
+            report = entry.get("report") if collect_report else None
+            if not collect_report or report is not None:
+                return ExperimentResult(
+                    name, exp.title, entry["output"], 0.0, cached=True, report=report
+                )
+            # cached output but no stored report: fall through and re-run
     start = time.perf_counter()
-    output = _execute(name, kwargs)
-    elapsed = time.perf_counter() - start
+    if collect_report:
+        output, machines, elapsed = _execute_with_report(name, kwargs)
+        report = _build_report(name, kwargs, elapsed, False, machines)
+    else:
+        output = _execute(name, kwargs)
+        elapsed = time.perf_counter() - start
+        report = None
     if cache_dir is not None:
-        cache_store(cache_dir, name, key, output, elapsed)
-    return ExperimentResult(name, exp.title, output, elapsed, cached=False)
+        cache_store(cache_dir, name, key, output, elapsed, report=report)
+    return ExperimentResult(name, exp.title, output, elapsed, cached=False, report=report)
 
 
 def run_all(
@@ -360,12 +428,16 @@ def run_all(
     fast: bool = False,
     cache_dir: Optional[Path] = None,
     config: CedarConfig = DEFAULT_CONFIG,
+    collect_reports: bool = False,
 ) -> List[ExperimentResult]:
     """Run a set of experiments (default: every registered one).
 
     Cache hits are resolved in-process; the misses fan out across
     ``jobs`` worker processes.  Results come back in registry order
-    regardless of completion order.
+    regardless of completion order.  With ``collect_reports`` every
+    non-cached run is instrumented and its :class:`ExperimentResult`
+    carries a RunReport dict (cache hits replay a stored report when
+    the entry has one; entries without one are re-run).
     """
     selected = list(names) if names is not None else experiment_names()
     for name in selected:
@@ -377,35 +449,64 @@ def run_all(
         exp = REGISTRY[name]
         kwargs = exp.arguments(fast)
         key = cache_key(name, kwargs, config)
-        hit = cache_load(cache_dir, name, key) if cache_dir is not None else None
-        if hit is not None:
-            results[name] = ExperimentResult(name, exp.title, hit, 0.0, cached=True)
+        entry = (
+            cache_load_entry(cache_dir, name, key) if cache_dir is not None else None
+        )
+        hit = entry.get("output") if entry is not None else None
+        report = entry.get("report") if entry is not None else None
+        if hit is not None and (not collect_reports or report is not None):
+            results[name] = ExperimentResult(
+                name,
+                exp.title,
+                hit,
+                0.0,
+                cached=True,
+                report=report if collect_reports else None,
+            )
         else:
             misses.append(name)
 
+    worker = _execute_with_report if collect_reports else _execute
     if misses and jobs > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {}
             for name in misses:
                 kwargs = REGISTRY[name].arguments(fast)
                 futures[name] = (
-                    pool.submit(_execute, name, kwargs),
+                    pool.submit(worker, name, kwargs),
                     time.perf_counter(),
                     kwargs,
                 )
             for name, (future, start, kwargs) in futures.items():
-                output = future.result()
-                elapsed = time.perf_counter() - start
+                outcome = future.result()
+                if collect_reports:
+                    output, machines, elapsed = outcome
+                    report = _build_report(name, kwargs, elapsed, False, machines)
+                else:
+                    output, report = outcome, None
+                    elapsed = time.perf_counter() - start
                 if cache_dir is not None:
                     cache_store(
-                        cache_dir, name, cache_key(name, kwargs, config), output, elapsed
+                        cache_dir,
+                        name,
+                        cache_key(name, kwargs, config),
+                        output,
+                        elapsed,
+                        report=report,
                     )
                 results[name] = ExperimentResult(
-                    name, REGISTRY[name].title, output, elapsed, cached=False
+                    name,
+                    REGISTRY[name].title,
+                    output,
+                    elapsed,
+                    cached=False,
+                    report=report,
                 )
     else:
         for name in misses:
-            results[name] = run_experiment(name, fast, cache_dir, config)
+            results[name] = run_experiment(
+                name, fast, cache_dir, config, collect_report=collect_reports
+            )
 
     return [results[name] for name in selected]
 

@@ -65,7 +65,10 @@ class MemoryModule(Resource):
         packet = transit.packet
         sig = self.service_signal
         if sig is not None and sig:
-            sig.emit(self.index, packet, self.engine.now)
+            # recomputing the service time here costs nothing on the
+            # unmonitored path (we are inside the subscriber guard); it
+            # gives the monitors per-module service-time histograms.
+            sig.emit(self.index, packet, self.engine.now, self.service_cycles(packet))
         reply = self._make_reply(packet)
         if reply is None:
             return False
@@ -148,10 +151,15 @@ class GlobalMemory:
 
     def attach(self, ctx) -> None:
         """Give every module its per-module ``gmem.service`` / ``sync.op``
-        monitoring channels."""
+        monitoring channels, plus the shared queue-occupancy channels
+        (keyed ``"gmem"`` so one subscription covers every module)."""
+        enqueue = ctx.bus.signal("net.enqueue", key="gmem")
+        dequeue = ctx.bus.signal("net.dequeue", key="gmem")
         for module in self.modules:
             module.service_signal = ctx.bus.signal("gmem.service", key=module.index)
             module.sync_signal = ctx.bus.signal("sync.op", key=module.index)
+            module.enqueue_signal = enqueue
+            module.dequeue_signal = dequeue
 
     def reset(self) -> None:
         for module in self.modules:

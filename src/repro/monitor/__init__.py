@@ -1,4 +1,4 @@
-"""Cedar performance-monitoring hardware.
+"""Cedar performance-monitoring hardware and the observability layer.
 
 "The Cedar approach to performance monitoring relies on external
 hardware to collect time-stamped event traces and histograms of various
@@ -10,11 +10,56 @@ The Table 2 methodology is implemented by :class:`PrefetchProbe`: first
 word Latency and Interarrival time are "measured for every prefetch
 request by recording when an address from the prefetch unit is issued to
 the forward network and when each datum returns to the prefetch buffer".
+
+On top of the probe hardware sits the machine-wide observability stack:
+
+* :class:`MetricsRegistry` — counters / gauges / time-weighted series
+  keyed by component path (``gmem.module[12]``, ``net.fwd.s1[3]``);
+* the utilization monitors (:mod:`repro.monitor.monitors`) — broadcast
+  bus subscribers deriving busy-fraction timelines, queue-occupancy
+  distributions, and service-time histograms;
+* :class:`ChromeTracer` — whole-run Chrome/Perfetto trace export
+  (``python -m repro trace <experiment> --out trace.json``);
+* :class:`RunReport` / :class:`ReportCollector` — structured per-run
+  reports (``python -m repro run-all`` / ``python -m repro report``).
+
+Everything subscribes through the zero-cost :class:`SignalBus`; an
+unmonitored machine pays one guarded branch per would-be emission and
+its cycle counts are bit-identical with or without monitors attached.
 """
 
-from repro.monitor.tracer import Event, EventTracer
+from repro.monitor.tracer import (
+    ChromeTracer,
+    Event,
+    EventTracer,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
 from repro.monitor.histogram import Histogrammer
+from repro.monitor.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timeline,
+    TimeWeighted,
+)
+from repro.monitor.monitors import (
+    ClusterMonitor,
+    MemoryMonitor,
+    NetworkMonitor,
+    PrefetchMonitor,
+    SyncMonitor,
+    attach_standard_monitors,
+    detach_monitors,
+)
 from repro.monitor.probes import PrefetchProbe, ProbeSummary
+from repro.monitor.report import (
+    DEFAULT_REPORT_DIR,
+    ReportCollector,
+    RunReport,
+    aggregate_reports,
+    render_report_summary,
+)
 from repro.monitor.signals import (
     SIGNAL_CATALOG,
     Signal,
@@ -23,13 +68,33 @@ from repro.monitor.signals import (
 )
 
 __all__ = [
+    "ChromeTracer",
+    "ClusterMonitor",
+    "Counter",
+    "DEFAULT_REPORT_DIR",
     "Event",
     "EventTracer",
+    "Gauge",
     "Histogrammer",
+    "MemoryMonitor",
+    "MetricsRegistry",
+    "NetworkMonitor",
+    "PrefetchMonitor",
     "PrefetchProbe",
     "ProbeSummary",
+    "ReportCollector",
+    "RunReport",
     "SIGNAL_CATALOG",
     "Signal",
     "SignalBus",
     "Subscription",
+    "SyncMonitor",
+    "Timeline",
+    "TimeWeighted",
+    "aggregate_reports",
+    "attach_standard_monitors",
+    "detach_monitors",
+    "render_report_summary",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
 ]

@@ -1,0 +1,215 @@
+"""Utilization monitors: broadcast bus subscribers feeding the registry.
+
+The paper attaches histogrammers and tracers to arbitrary hardware
+signals; these classes are their software counterparts.  Each monitor
+subscribes *broadcast* to one family of architectural signals and
+derives:
+
+* **busy-fraction timelines** (network stages, memory modules) from
+  departure/service events and the resources' public rate parameters;
+* **queue-occupancy distributions** (time-weighted words queued per
+  resource) from the ``net.enqueue`` / ``net.dequeue`` pair;
+* **per-module service-time histograms** from ``gmem.service``'s
+  ``cycles`` payload.
+
+Monitors only read signal payloads and write
+:class:`~repro.monitor.metrics.MetricsRegistry` instruments — they
+never touch machine state, so attaching any set of them leaves cycle
+counts bit-identical (the zero-cost contract, verified by
+``tests/test_zero_cost.py``).
+
+Metric naming scheme: ``<component path>.<metric>`` where the component
+path matches the machine's resource names — ``net.fwd.s0[3]``,
+``gmem.module[12]``, ``sync.module[12]``, ``pfu.port[0]``,
+``cluster.cl2.cache``.  Stage/subsystem aggregates drop the trailing
+index: ``net.fwd.s0.busy``, ``gmem.busy``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.monitor.metrics import MetricsRegistry
+
+#: default busy-timeline bin width in cycles.
+DEFAULT_BIN_CYCLES = 256.0
+
+
+class MonitorBase:
+    """Subscription bookkeeping shared by every monitor."""
+
+    #: signal names the monitor wants (subclasses override).
+    SIGNALS: tuple = ()
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+        self._subscriptions: List[tuple] = []
+
+    def attach(self, bus) -> "MonitorBase":
+        """Broadcast-subscribe to every declared signal of interest."""
+        for name in self.SIGNALS:
+            if bus.declared(name):
+                handler = getattr(self, "_on_" + name.replace(".", "_"))
+                self._subscriptions.append((bus, bus.subscribe(name, handler)))
+        return self
+
+    def detach(self) -> None:
+        for bus, subscription in self._subscriptions:
+            bus.unsubscribe(subscription)
+        self._subscriptions = []
+
+
+class NetworkMonitor(MonitorBase):
+    """Per-link traffic counters, stage busy timelines, queue occupancy."""
+
+    SIGNALS = ("net.hop", "net.enqueue", "net.dequeue")
+
+    def __init__(
+        self, metrics: MetricsRegistry, bin_cycles: float = DEFAULT_BIN_CYCLES
+    ) -> None:
+        super().__init__(metrics)
+        self.bin_cycles = bin_cycles
+
+    @staticmethod
+    def _stage_path(resource_name: str) -> str:
+        """``"fwd.s0[3]"`` -> ``"net.fwd.s0"`` (aggregation track)."""
+        return "net." + resource_name.split("[", 1)[0]
+
+    def _on_net_hop(self, resource, packet, time: float) -> None:
+        m = self.metrics
+        base = f"net.{resource.name}"
+        m.counter(f"{base}.packets").inc()
+        m.counter(f"{base}.words").inc(packet.words)
+        duration = resource.fixed_cycles + packet.words / resource.words_per_cycle
+        m.timeline(self._stage_path(resource.name), self.bin_cycles).add(
+            time - duration, duration
+        )
+
+    def _on_net_enqueue(self, resource, packet, time: float) -> None:
+        self._occupancy(resource, time)
+
+    def _on_net_dequeue(self, resource, packet, time: float) -> None:
+        self._occupancy(resource, time)
+
+    def _occupancy(self, resource, time: float) -> None:
+        # raw resource names here: queue signals also come from memory
+        # modules ("gm[4]") and cluster banks ("cl0.cache"), not only
+        # network links.
+        m = self.metrics
+        m.time_weighted(f"{resource.name}.queue_words").update(
+            resource.queued_words, time
+        )
+        m.histogram(
+            f"{resource.name}.queue_dist",
+            0.0,
+            float(max(resource.capacity_words, 1)) + 1.0,
+            bins=min(64, resource.capacity_words + 2),
+        ).record(resource.queued_words)
+
+
+class MemoryMonitor(MonitorBase):
+    """Per-module service counters and service-time histograms."""
+
+    SIGNALS = ("gmem.service",)
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        bin_cycles: float = DEFAULT_BIN_CYCLES,
+        histogram_hi: float = 64.0,
+    ) -> None:
+        super().__init__(metrics)
+        self.bin_cycles = bin_cycles
+        self.histogram_hi = histogram_hi
+
+    def _on_gmem_service(self, module: int, packet, time: float, cycles: float) -> None:
+        m = self.metrics
+        base = f"gmem.module[{module}]"
+        m.counter(f"{base}.services").inc()
+        m.counter(f"{base}.words").inc(packet.words)
+        m.histogram(f"{base}.service_cycles", 0.0, self.histogram_hi).record(cycles)
+        m.timeline("gmem.busy", self.bin_cycles).add(time - cycles, cycles)
+
+
+class SyncMonitor(MonitorBase):
+    """Synchronization-processor operation counters."""
+
+    SIGNALS = ("sync.op",)
+
+    def _on_sync_op(self, module: int, address: int, time: float) -> None:
+        self.metrics.counter(f"sync.module[{module}].ops").inc()
+        self.metrics.counter("sync.total_ops").inc()
+
+
+class PrefetchMonitor(MonitorBase):
+    """Machine-wide PFU activity: per-port counters and words in flight."""
+
+    SIGNALS = ("pfu.arm", "pfu.request", "pfu.deliver", "pfu.suspend")
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        super().__init__(metrics)
+        self._in_flight: dict = {}
+
+    def _on_pfu_arm(self, port: int, time: float) -> None:
+        self.metrics.counter(f"pfu.port[{port}].streams").inc()
+
+    def _on_pfu_request(self, port: int, word_index: int, time: float) -> None:
+        self.metrics.counter(f"pfu.port[{port}].requests").inc()
+        self._bump(port, +1, time)
+
+    def _on_pfu_deliver(self, port: int, word_index: int, time: float) -> None:
+        self.metrics.counter(f"pfu.port[{port}].deliveries").inc()
+        self._bump(port, -1, time)
+
+    def _on_pfu_suspend(self, port: int, time: float) -> None:
+        self.metrics.counter(f"pfu.port[{port}].page_suspensions").inc()
+
+    def _bump(self, port: int, delta: int, time: float) -> None:
+        count = self._in_flight.get(port, 0) + delta
+        self._in_flight[port] = count
+        self.metrics.time_weighted(f"pfu.port[{port}].outstanding").update(count, time)
+
+
+class ClusterMonitor(MonitorBase):
+    """Cluster cache / cluster-memory traffic and busy timelines."""
+
+    SIGNALS = ("cluster.access",)
+
+    def __init__(
+        self, metrics: MetricsRegistry, bin_cycles: float = DEFAULT_BIN_CYCLES
+    ) -> None:
+        super().__init__(metrics)
+        self.bin_cycles = bin_cycles
+
+    def _on_cluster_access(self, resource, packet, time: float) -> None:
+        m = self.metrics
+        base = f"cluster.{resource.name}"
+        m.counter(f"{base}.packets").inc()
+        m.counter(f"{base}.words").inc(packet.words)
+        duration = resource.fixed_cycles + packet.words / resource.words_per_cycle
+        m.timeline(f"{base}.busy", self.bin_cycles).add(time - duration, duration)
+
+
+#: the monitor set `attach_standard_monitors` instantiates, in order.
+STANDARD_MONITORS = (
+    NetworkMonitor,
+    MemoryMonitor,
+    SyncMonitor,
+    PrefetchMonitor,
+    ClusterMonitor,
+)
+
+
+def attach_standard_monitors(
+    bus, metrics: Optional[MetricsRegistry] = None
+) -> List[MonitorBase]:
+    """Attach one of each standard monitor to ``bus``; returns them
+    (all sharing ``metrics``, created if not supplied).  Detach with
+    :func:`detach_monitors`."""
+    registry = metrics if metrics is not None else MetricsRegistry()
+    return [monitor_cls(registry).attach(bus) for monitor_cls in STANDARD_MONITORS]
+
+
+def detach_monitors(monitors: List[MonitorBase]) -> None:
+    for monitor in monitors:
+        monitor.detach()

@@ -147,10 +147,20 @@ class PrefetchProbe:
         return hist
 
     def summary(self) -> ProbeSummary:
+        """Aggregate metrics; an empty summary (``blocks=0``) when no
+        prefetch block completed, so reports on degenerate configurations
+        (no prefetch traffic at the monitored port) render zeros instead
+        of crashing."""
         lats = self.latencies()
         gaps = self.interarrivals()
         if not lats:
-            raise RuntimeError("probe saw no completed prefetch blocks")
+            return ProbeSummary(
+                blocks=0,
+                first_word_latency=0.0,
+                interarrival=0.0,
+                samples_latency=0,
+                samples_interarrival=0,
+            )
         return ProbeSummary(
             blocks=len(self._blocks),
             first_word_latency=mean(lats),

@@ -1,0 +1,210 @@
+"""Structured run reports: what one experiment run actually did.
+
+A :class:`RunReport` is the machine-readable record of one registered
+experiment execution — configuration hash, simulated time, wall time,
+engine self-metrics (events dispatched, realized events/sec, queue
+depths), and a metrics snapshot from the standard utilization monitors.
+``python -m repro run-all`` emits one JSON report per artifact and
+``python -m repro report`` aggregates a directory of them.
+
+Collection uses the context-observer hook
+(:func:`repro.core.context.add_context_observer`): while a
+:class:`ReportCollector` is installed, every machine built anywhere in
+the process — including deep inside experiment code — gets a
+:class:`~repro.monitor.metrics.MetricsRegistry` plus the standard
+monitor set attached to its signal bus.  Monitors only observe, so the
+simulated results are bit-identical with or without collection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.monitor.metrics import MetricsRegistry
+from repro.monitor.monitors import attach_standard_monitors, detach_monitors
+
+#: report format version (bump on breaking shape changes).
+REPORT_VERSION = 1
+
+#: default on-disk report location (repo-/cwd-relative), one JSON per
+#: artifact, written by ``python -m repro run-all``.
+DEFAULT_REPORT_DIR = ".repro-reports"
+
+
+class ReportCollector:
+    """Instrument every SimContext built while installed.
+
+    Use as a context manager::
+
+        with ReportCollector() as collector:
+            output = experiment.runner(**kwargs)
+        machines = collector.machine_dicts()
+    """
+
+    def __init__(self) -> None:
+        self._records: List[tuple] = []
+        self._observer = None
+
+    # -- installation ------------------------------------------------------
+
+    def install(self) -> "ReportCollector":
+        # deferred import: repro.core.context itself imports the monitor
+        # package (the signal bus), so a module-level import would cycle.
+        from repro.core.context import add_context_observer
+
+        if self._observer is None:
+            self._observer = add_context_observer(self._observe)
+        return self
+
+    def uninstall(self) -> None:
+        from repro.core.context import remove_context_observer
+
+        if self._observer is not None:
+            remove_context_observer(self._observer)
+            self._observer = None
+        for _ctx, _registry, monitors in self._records:
+            detach_monitors(monitors)
+
+    def __enter__(self) -> "ReportCollector":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    def _observe(self, ctx) -> None:
+        registry = MetricsRegistry()
+        monitors = attach_standard_monitors(ctx.bus, registry)
+        self._records.append((ctx, registry, monitors))
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def machines(self) -> int:
+        return len(self._records)
+
+    def machine_dicts(self) -> List[Dict[str, object]]:
+        """One JSON-ready record per machine built during collection."""
+        out = []
+        for ctx, registry, _monitors in self._records:
+            engine = ctx.engine
+            out.append(
+                {
+                    "config_hash": ctx.config.stable_hash(),
+                    "components": len(ctx.names()),
+                    "sim_cycles": engine.now,
+                    "engine": engine.self_metrics(),
+                    "metrics": registry.snapshot(now=engine.now),
+                }
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The structured record of one experiment execution."""
+
+    experiment: str
+    title: str
+    kwargs: Dict[str, object]
+    elapsed_s: float
+    cached: bool
+    machines: List[Dict[str, object]] = field(default_factory=list)
+    version: int = REPORT_VERSION
+
+    # -- derived aggregates ------------------------------------------------
+
+    def total_sim_cycles(self) -> float:
+        return sum(m.get("sim_cycles", 0.0) for m in self.machines)
+
+    def total_engine_events(self) -> int:
+        return sum(
+            m.get("engine", {}).get("events_processed", 0) for m in self.machines
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "experiment": self.experiment,
+            "title": self.title,
+            "kwargs": dict(self.kwargs),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "cached": self.cached,
+            "machines_built": len(self.machines),
+            "total_sim_cycles": self.total_sim_cycles(),
+            "total_engine_events": self.total_engine_events(),
+            "machines": list(self.machines),
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        return cls(
+            experiment=str(data.get("experiment", "?")),
+            title=str(data.get("title", "")),
+            kwargs=dict(data.get("kwargs", {})),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            cached=bool(data.get("cached", False)),
+            machines=list(data.get("machines", [])),
+            version=int(data.get("version", REPORT_VERSION)),
+        )
+
+
+def aggregate_reports(reports: List[Dict[str, object]]) -> Dict[str, object]:
+    """Roll a set of report dicts up into fleet-level totals."""
+    total_events = sum(r.get("total_engine_events", 0) for r in reports)
+    total_cycles = sum(r.get("total_sim_cycles", 0.0) for r in reports)
+    total_wall = sum(
+        m.get("engine", {}).get("run_wall_s", 0.0)
+        for r in reports
+        for m in r.get("machines", [])
+    )
+    return {
+        "experiments": len(reports),
+        "machines_built": sum(r.get("machines_built", 0) for r in reports),
+        "total_sim_cycles": total_cycles,
+        "total_engine_events": total_events,
+        "total_engine_wall_s": round(total_wall, 4),
+        "aggregate_events_per_sec": round(total_events / total_wall, 1)
+        if total_wall > 0
+        else 0.0,
+    }
+
+
+def render_report_summary(reports: List[Dict[str, object]]) -> str:
+    """Human-readable rollup of per-artifact reports (the ``python -m
+    repro report`` view)."""
+    from repro.util.tables import Table
+
+    table = Table(
+        title="Run reports",
+        columns=["experiment", "machines", "sim cycles", "events", "ev/s", "wall s"],
+        precision=1,
+    )
+    for report in sorted(reports, key=lambda r: str(r.get("experiment", ""))):
+        machines = report.get("machines", [])
+        wall = sum(m.get("engine", {}).get("run_wall_s", 0.0) for m in machines)
+        events = report.get("total_engine_events", 0)
+        table.add_row(
+            [
+                str(report.get("experiment", "?")),
+                report.get("machines_built", 0),
+                report.get("total_sim_cycles", 0.0),
+                events,
+                (events / wall) if wall > 0 else 0.0,
+                report.get("elapsed_s", 0.0),
+            ]
+        )
+    summary = aggregate_reports(reports)
+    lines = [
+        table.render(),
+        "",
+        f"{summary['experiments']} experiments, "
+        f"{summary['machines_built']} machines, "
+        f"{summary['total_engine_events']} engine events "
+        f"({summary['aggregate_events_per_sec']:.0f} events/s inside run loops)",
+    ]
+    return "\n".join(lines)

@@ -46,11 +46,19 @@ SIGNAL_CATALOG: Dict[str, Tuple[str, ...]] = {
     "pfu.arm": ("port", "time"),
     "pfu.request": ("port", "word_index", "time"),
     "pfu.deliver": ("port", "word_index", "time"),
+    "pfu.suspend": ("port", "time"),
     # network (broadcast channel per network name)
     "net.hop": ("resource", "packet", "time"),
-    # global memory (per-module channels)
-    "gmem.service": ("module", "packet", "time"),
+    # queue occupancy: a packet entering / leaving a resource's queue
+    # (keyed like ``net.hop``; emitted by every queueing Resource that a
+    # component wires up, including memory modules and cluster banks)
+    "net.enqueue": ("resource", "packet", "time"),
+    "net.dequeue": ("resource", "packet", "time"),
+    # global memory (per-module channels); ``cycles`` is the service time
+    "gmem.service": ("module", "packet", "time", "cycles"),
     "sync.op": ("module", "address", "time"),
+    # cluster-local shared resources (per-cluster channels)
+    "cluster.access": ("resource", "packet", "time"),
     # CE lifecycle
     "ce.done": ("port", "time"),
 }
@@ -206,13 +214,24 @@ class SignalBus:
     # -- introspection ---------------------------------------------------------
 
     def subscriber_count(self, name: str) -> int:
-        """Distinct live subscriptions across all channels of ``name``."""
-        total = sum(
-            channel.subscriber_count
-            for (cname, _), channel in self._channels.items()
-            if cname == name
-        )
-        return total
+        """Distinct live subscriptions across all channels of ``name``.
+
+        A broadcast subscription is mirrored into every keyed channel of
+        the name but is still *one* subscription; the mirror copies are
+        discounted so the count matches what ``subscribe`` was called
+        with (one per :class:`Subscription`).
+        """
+        n_channels = 0
+        raw = 0
+        for (cname, _), channel in self._channels.items():
+            if cname == name:
+                n_channels += 1
+                raw += channel.subscriber_count
+        n_broadcast = len(self._broadcast.get(name, ()))
+        if n_broadcast and n_channels > 1:
+            # each broadcast callback appears once per channel of the name
+            raw -= n_broadcast * (n_channels - 1)
+        return raw
 
     def quiescent(self) -> bool:
         """True when no channel on the bus has any subscriber — the

@@ -1,13 +1,22 @@
-"""Time-stamped event tracing.
+"""Time-stamped event tracing and Chrome/Perfetto trace export.
 
 Each hardware tracer collects up to 1M events; tracers "can be cascaded
 to capture more events".  Programs may post software events too.
+
+:class:`ChromeTracer` is the whole-machine tracer: it subscribes
+broadcast to every architectural signal on a bus and renders what it
+sees as Chrome trace-event JSON — one track per network stage, memory
+module, and CE port — so an entire Cedar run can be opened in
+``chrome://tracing`` or https://ui.perfetto.dev.  Simulated cycles are
+written as trace microseconds one-for-one (the viewer's "1 us" is one
+CE instruction cycle).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -40,7 +49,20 @@ class EventTracer:
         self.capacity = capacity
         self.cascade = cascade
         self.events: List[Event] = []
-        self.dropped = 0
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events lost across the whole cascade chain.
+
+        A full cascade drops into *its own* counter; reporting only the
+        head tracer's count would silently understate loss, so the
+        property sums the chain.
+        """
+        n = self._dropped
+        if self.cascade is not None:
+            n += self.cascade.dropped
+        return n
 
     def post(self, time: float, signal: str, value: Any = None) -> None:
         """Record an event, spilling into the cascaded tracer when full."""
@@ -49,7 +71,7 @@ class EventTracer:
         elif self.cascade is not None:
             self.cascade.post(time, signal, value)
         else:
-            self.dropped += 1
+            self._dropped += 1
 
     def filter(self, signal: str) -> List[Event]:
         """Events matching ``signal``, including cascaded ones."""
@@ -71,3 +93,331 @@ class EventTracer:
         if self.cascade is not None:
             n += len(self.cascade)
         return n
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+
+
+def _service_cycles(resource, packet) -> float:
+    """Approximate service duration of ``packet`` on ``resource`` from
+    its public rate parameters (the monitor-side view of busy time)."""
+    return resource.fixed_cycles + packet.words / resource.words_per_cycle
+
+
+class ChromeTracer:
+    """Broadcast bus subscriber emitting Chrome trace-event JSON.
+
+    Attach to one or more machines' buses (``scope`` prefixes the
+    process names so several machines coexist in one trace), run the
+    simulation, then :meth:`write` the trace::
+
+        tracer = ChromeTracer()
+        tracer.attach(machine.bus)
+        machine.run_programs(...)
+        tracer.write("trace.json")
+
+    Tracks
+    ------
+
+    * ``net.fwd`` / ``net.rev`` processes, one thread per stage (plus
+      ``inject``): complete ("X") events per link departure, counter
+      ("C") events for queue occupancy.
+    * ``gmem`` process, one thread per module: complete events per
+      service (duration = the actual service cycles), instants for
+      sync ops.
+    * ``ce`` process, one thread per CE port: instants for PFU
+      arm/request/deliver/suspend and CE completion.
+    * ``cluster`` process: complete events on cache / cluster-memory
+      accesses.
+
+    Signals only observe, so an attached tracer never changes cycle
+    counts — only wall-clock speed.
+    """
+
+    DEFAULT_CAPACITY = 1 << 20
+
+    #: signal names a ChromeTracer listens to when the bus declares them.
+    SIGNALS = (
+        "net.hop",
+        "net.enqueue",
+        "net.dequeue",
+        "gmem.service",
+        "sync.op",
+        "cluster.access",
+        "pfu.arm",
+        "pfu.request",
+        "pfu.deliver",
+        "pfu.suspend",
+        "ce.done",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.events: List[dict] = []
+        self._metadata: List[dict] = []
+        self._dropped = 0
+        #: (scope, process name) -> pid; (pid, thread name) -> tid
+        self._pids: Dict[Tuple[str, str], int] = {}
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self._subscriptions: List[tuple] = []
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    # -- attachment --------------------------------------------------------
+
+    def attach(self, bus, scope: str = "") -> "ChromeTracer":
+        """Subscribe broadcast to every catalog signal ``bus`` declares.
+
+        ``scope`` (e.g. ``"m1:"``) prefixes process names, keeping
+        machines distinct when one tracer observes several.
+        """
+        handlers = {
+            "net.hop": lambda r, p, t: self._on_hop(scope, r, p, t),
+            "net.enqueue": lambda r, p, t: self._on_queue(scope, r, t),
+            "net.dequeue": lambda r, p, t: self._on_queue(scope, r, t),
+            "gmem.service": lambda m, p, t, c: self._on_service(scope, m, p, t, c),
+            "sync.op": lambda m, a, t: self._on_sync(scope, m, a, t),
+            "cluster.access": lambda r, p, t: self._on_cluster(scope, r, p, t),
+            "pfu.arm": lambda port, t: self._instant(scope, "ce", f"port[{port}]", "pfu.arm", t),
+            "pfu.request": lambda port, i, t: self._instant(
+                scope, "ce", f"port[{port}]", "pfu.request", t, {"word": i}
+            ),
+            "pfu.deliver": lambda port, i, t: self._instant(
+                scope, "ce", f"port[{port}]", "pfu.deliver", t, {"word": i}
+            ),
+            "pfu.suspend": lambda port, t: self._instant(
+                scope, "ce", f"port[{port}]", "pfu.suspend", t
+            ),
+            "ce.done": lambda port, t: self._instant(
+                scope, "ce", f"port[{port}]", "ce.done", t
+            ),
+        }
+        for name, handler in handlers.items():
+            if bus.declared(name):
+                self._subscriptions.append((bus, bus.subscribe(name, handler)))
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from every bus this tracer was attached to."""
+        for bus, subscription in self._subscriptions:
+            bus.unsubscribe(subscription)
+        self._subscriptions = []
+
+    # -- track bookkeeping -------------------------------------------------
+
+    def _track(self, scope: str, process: str, thread: str) -> Tuple[int, int]:
+        pkey = (scope, process)
+        pid = self._pids.get(pkey)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[pkey] = pid
+            self._metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"{scope}{process}"},
+                }
+            )
+        tkey = (pid, thread)
+        tid = self._tids.get(tkey)
+        if tid is None:
+            tid = sum(1 for (p, _t) in self._tids if p == pid) + 1
+            self._tids[tkey] = tid
+            self._metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        return pid, tid
+
+    def _post(self, event: dict) -> None:
+        if len(self.events) < self.capacity:
+            self.events.append(event)
+        else:
+            self._dropped += 1
+
+    # -- signal handlers ---------------------------------------------------
+
+    @staticmethod
+    def _split_resource(name: str) -> Tuple[str, str]:
+        """``"fwd.s0[3]"`` -> (process ``"net.fwd"``, thread ``"s0"``);
+        undotted names (``"gm[4]"``) keep the full name as the thread."""
+        net, dot, rest = name.partition(".")
+        if not dot:
+            return f"net.{name.split('[', 1)[0]}", name
+        thread = rest.split("[", 1)[0] or rest
+        return f"net.{net}", thread
+
+    def _on_hop(self, scope: str, resource, packet, time: float) -> None:
+        process, thread = self._split_resource(resource.name)
+        pid, tid = self._track(scope, process, thread)
+        duration = _service_cycles(resource, packet)
+        self._post(
+            {
+                "name": resource.name,
+                "cat": "net",
+                "ph": "X",
+                "ts": max(0.0, time - duration),
+                "dur": duration,
+                "pid": pid,
+                "tid": tid,
+                "args": {"src": packet.src, "dst": packet.dst, "words": packet.words},
+            }
+        )
+
+    def _on_queue(self, scope: str, resource, time: float) -> None:
+        process, _thread = self._split_resource(resource.name)
+        pid, _ = self._track(scope, process, "queues")
+        self._post(
+            {
+                "name": f"{resource.name} queue",
+                "cat": "queue",
+                "ph": "C",
+                "ts": time,
+                "pid": pid,
+                "args": {"words": resource.queued_words},
+            }
+        )
+
+    def _on_service(self, scope: str, module: int, packet, time: float, cycles: float) -> None:
+        pid, tid = self._track(scope, "gmem", f"module[{module}]")
+        self._post(
+            {
+                "name": packet.kind.name if hasattr(packet.kind, "name") else str(packet.kind),
+                "cat": "gmem",
+                "ph": "X",
+                "ts": max(0.0, time - cycles),
+                "dur": cycles,
+                "pid": pid,
+                "tid": tid,
+                "args": {"address": packet.address, "words": packet.words},
+            }
+        )
+
+    def _on_sync(self, scope: str, module: int, address: int, time: float) -> None:
+        pid, tid = self._track(scope, "gmem", f"module[{module}]")
+        self._post(
+            {
+                "name": "sync.op",
+                "cat": "sync",
+                "ph": "i",
+                "s": "t",
+                "ts": time,
+                "pid": pid,
+                "tid": tid,
+                "args": {"address": address},
+            }
+        )
+
+    def _on_cluster(self, scope: str, resource, packet, time: float) -> None:
+        pid, tid = self._track(scope, "cluster", resource.name)
+        duration = _service_cycles(resource, packet)
+        self._post(
+            {
+                "name": resource.name,
+                "cat": "cluster",
+                "ph": "X",
+                "ts": max(0.0, time - duration),
+                "dur": duration,
+                "pid": pid,
+                "tid": tid,
+                "args": {"words": packet.words},
+            }
+        )
+
+    def _instant(
+        self,
+        scope: str,
+        process: str,
+        thread: str,
+        name: str,
+        time: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        pid, tid = self._track(scope, process, thread)
+        event = {
+            "name": name,
+            "cat": "ce",
+            "ph": "i",
+            "s": "t",
+            "ts": time,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._post(event)
+
+    # -- export ------------------------------------------------------------
+
+    def trace(self) -> dict:
+        """The complete trace object (JSON-serializable)."""
+        return {
+            "traceEvents": [*self._metadata, *self.events],
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.monitor.tracer.ChromeTracer",
+                "time_unit": "1 trace us == 1 CE instruction cycle",
+                "dropped": self._dropped,
+            },
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.trace(), fh)
+
+    def track_count(self) -> int:
+        """Distinct (pid, tid) tracks carrying real (non-metadata) events."""
+        return len({(e["pid"], e.get("tid", 0)) for e in self.events})
+
+
+#: keys required per trace-event phase; every event needs name/ph/pid.
+_REQUIRED = ("name", "ph", "pid")
+
+
+def validate_chrome_trace(trace: dict) -> Tuple[int, int]:
+    """Check ``trace`` against the trace-event schema essentials.
+
+    Returns ``(n_events, n_tracks)`` counting non-metadata events and
+    distinct (pid, tid) tracks; raises ``ValueError`` on malformation.
+    Used by the CI trace-artifact check.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with a traceEvents array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be an array")
+    tracks = set()
+    n_events = 0
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError(f"trace event is not an object: {event!r}")
+        for key in _REQUIRED:
+            if key not in event:
+                raise ValueError(f"trace event missing {key!r}: {event!r}")
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        if "ts" not in event:
+            raise ValueError(f"non-metadata event missing ts: {event!r}")
+        if phase == "X" and "dur" not in event:
+            raise ValueError(f"complete event missing dur: {event!r}")
+        n_events += 1
+        tracks.add((event["pid"], event.get("tid", 0)))
+    return n_events, len(tracks)
+
+
+def validate_chrome_trace_file(path) -> Tuple[int, int]:
+    """Load ``path`` and validate it; see :func:`validate_chrome_trace`."""
+    with open(path) as fh:
+        return validate_chrome_trace(json.load(fh))

@@ -76,16 +76,23 @@ class OmegaNetwork:
 
     def attach(self, ctx) -> None:
         """Wire every link's departure to the bus's ``net.hop`` channel
-        (keyed by network name).  Links already owned by another network
-        (shared-fabric views) keep their original channel."""
+        and its queue edges to ``net.enqueue`` / ``net.dequeue`` (all
+        keyed by network name).  Links already owned by another network
+        (shared-fabric views) keep their original channels."""
         signal = ctx.bus.signal("net.hop", key=self.name)
+        enqueue = ctx.bus.signal("net.enqueue", key=self.name)
+        dequeue = ctx.bus.signal("net.dequeue", key=self.name)
         for port in self.injection_ports:
             if port.depart_signal is None:
                 port.depart_signal = signal
+                port.enqueue_signal = enqueue
+                port.dequeue_signal = dequeue
         for stage in self.stages:
             for link in stage:
                 if link.depart_signal is None:
                     link.depart_signal = signal
+                    link.enqueue_signal = enqueue
+                    link.dequeue_signal = dequeue
 
     def reset(self) -> None:
         for port in self.injection_ports:

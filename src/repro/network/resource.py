@@ -94,10 +94,15 @@ class Resource:
         self._blocked_head: Optional[Transit] = None
         self._blocked_since: float = 0.0
         self._waiters: Deque["Resource"] = deque()
-        #: optional monitoring channel (e.g. ``net.hop``), set by the
-        #: owning component at attach time.  ``None`` or subscriber-less
-        #: costs one branch per departure — the zero-cost fast path.
+        #: optional monitoring channels, set by the owning component at
+        #: attach time.  ``None`` or subscriber-less costs one branch per
+        #: would-be emission — the zero-cost fast path.
+        #: ``depart_signal`` -> ``net.hop`` (a packet leaving the server),
+        #: ``enqueue_signal`` / ``dequeue_signal`` -> ``net.enqueue`` /
+        #: ``net.dequeue`` (queue-occupancy edges for the monitors).
         self.depart_signal = None
+        self.enqueue_signal = None
+        self.dequeue_signal = None
         # devirtualize the per-packet hooks: plain FIFO links (the vast
         # majority) take branch-only fast paths in _start_service/_finish.
         cls = type(self)
@@ -119,6 +124,9 @@ class Resource:
             return False
         self._queue.append(transit)
         self._words_queued += transit.packet.words
+        sig = self.enqueue_signal
+        if sig is not None and sig:
+            sig.emit(self, transit.packet, self.engine.now)
         if not self._serving and self._blocked_head is None:
             self._maybe_start()
         return True
@@ -210,6 +218,9 @@ class Resource:
         if self._blocked_head is transit:
             st.blocked_cycles += self.engine.now - self._blocked_since
             self._blocked_head = None
+        sig = self.dequeue_signal
+        if sig is not None and sig:
+            sig.emit(self, transit.packet, self.engine.now)
         sig = self.depart_signal
         if sig is not None and sig:
             sig.emit(self, transit.packet, self.engine.now)

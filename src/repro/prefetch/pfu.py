@@ -112,6 +112,7 @@ class PrefetchUnit:
         self._sig_arm = None
         self._sig_request = None
         self._sig_deliver = None
+        self._sig_suspend = None
 
     # -- component lifecycle ---------------------------------------------------
 
@@ -119,6 +120,7 @@ class PrefetchUnit:
         self._sig_arm = ctx.bus.signal("pfu.arm", key=self.port)
         self._sig_request = ctx.bus.signal("pfu.request", key=self.port)
         self._sig_deliver = ctx.bus.signal("pfu.deliver", key=self.port)
+        self._sig_suspend = ctx.bus.signal("pfu.suspend", key=self.port)
 
     def reset(self) -> None:
         self._active = None
@@ -193,6 +195,9 @@ class PrefetchUnit:
             prev = stream.start_address + (index - 1) * stream.stride
             if address // self.page_words != prev // self.page_words:
                 self.page_suspensions += 1
+                sig = self._sig_suspend
+                if sig is not None and sig:
+                    sig.emit(self.port, self.engine.now)
                 self.engine.schedule_after(
                     PAGE_RESUPPLY_CYCLES, self._issue, stream, index, True
                 )

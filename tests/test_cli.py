@@ -22,6 +22,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "table2", "--out", "t.json", "--fast"]
+        )
+        assert args.command == "trace"
+        assert args.experiment == "table2" and args.out == "t.json" and args.fast
+
+    def test_trace_default_out(self):
+        args = build_parser().parse_args(["trace", "characterization"])
+        assert args.out == "trace.json"
+
+    def test_report_experiment_is_optional(self):
+        args = build_parser().parse_args(["report"])
+        assert args.command == "report" and args.experiment is None
+        args = build_parser().parse_args(["report", "table2", "--fast"])
+        assert args.experiment == "table2" and args.fast
+
+    def test_run_all_report_flags(self):
+        args = build_parser().parse_args(
+            ["run-all", "--no-reports", "--report-dir", "r"]
+        )
+        assert args.no_reports and args.report_dir == "r"
+
 
 class TestExecution:
     def test_topology_output(self, capsys):
@@ -57,3 +80,51 @@ class TestExecution:
     def test_overheads_output(self, capsys):
         assert main(["overheads"]) == 0
         assert "XDOALL" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        from repro.monitor.tracer import validate_chrome_trace_file
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "characterization", "--out", str(out)]) == 0
+        n_events, n_tracks = validate_chrome_trace_file(out)
+        assert n_events > 0 and n_tracks >= 3
+        stdout = capsys.readouterr().out
+        assert str(out) in stdout and "tracks" in stdout
+
+    def test_trace_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            main(["trace", "not-an-experiment", "--out", "/tmp/x.json"])
+
+    def test_report_single_experiment_prints_json(self, capsys):
+        import json
+
+        from repro.experiments.characterization import run_characterization
+
+        run_characterization.cache_clear()
+        assert main(["report", "characterization"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["experiment"] == "characterization"
+        assert report["machines_built"] >= 1
+        assert report["machines"][0]["metrics"]
+
+    def test_report_aggregates_directory(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        report = {
+            "experiment": "x",
+            "machines_built": 1,
+            "total_sim_cycles": 10.0,
+            "total_engine_events": 5,
+            "elapsed_s": 0.1,
+            "machines": [{"engine": {"run_wall_s": 0.05}}],
+        }
+        (tmp_path / "x.json").write_text(json.dumps(report))
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run reports" in out and "x" in out
+
+    def test_report_empty_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "--dir", str(tmp_path / "missing")])

@@ -29,6 +29,16 @@ class TestEventTracer:
         assert t.dropped == 0
         assert len(spill.events) == 3
 
+    def test_dropped_spans_cascade(self):
+        """When the whole chain overflows, the head's ``dropped`` must
+        report loss anywhere in the cascade, not just its own."""
+        spill = EventTracer(capacity=2)
+        t = EventTracer(capacity=2, cascade=spill)
+        for i in range(7):
+            t.post(float(i), "sig")
+        assert spill.dropped == 3
+        assert t.dropped == 3  # cascade loss surfaces at the head
+
     def test_filter_spans_cascade(self):
         spill = EventTracer(capacity=10)
         t = EventTracer(capacity=1, cascade=spill)
@@ -140,8 +150,15 @@ class TestPrefetchProbe:
         p.begin_block()
         with pytest.raises(RuntimeError):
             p.record_arrival(0, 1.0)  # never issued
-        with pytest.raises(RuntimeError):
-            p.summary()  # no completed blocks
+
+    def test_no_completed_blocks_gives_empty_summary(self):
+        """A probe that saw nothing reports zeros, not an exception —
+        short smoke runs may finish before any block completes."""
+        p = PrefetchProbe()
+        s = p.summary()
+        assert s.blocks == 0
+        assert s.samples_latency == 0 and s.samples_interarrival == 0
+        assert s.first_word_latency == 0.0 and s.interarrival == 0.0
 
 
 class TestSignalBus:
@@ -252,3 +269,22 @@ class TestSignalBus:
     def test_channel_identity_is_stable(self):
         bus = self._bus()
         assert bus.signal("net.hop", key="fwd") is bus.signal("net.hop", key="fwd")
+
+    def test_subscriber_count_counts_distinct_subscriptions(self):
+        """A broadcast subscription mirrors into every keyed channel; it
+        is still ONE subscription and must be counted once."""
+        bus = self._bus()
+        bus.signal("gmem.service", key=0)
+        bus.signal("gmem.service", key=1)
+        bus.signal("gmem.service", key=2)
+        bus.subscribe("gmem.service", lambda *a: None)  # broadcast
+        assert bus.subscriber_count("gmem.service") == 1
+        bus.subscribe("gmem.service", lambda *a: None, key=1)
+        assert bus.subscriber_count("gmem.service") == 2
+
+    def test_subscriber_count_broadcast_covers_late_channels(self):
+        bus = self._bus()
+        bus.subscribe("gmem.service", lambda *a: None)
+        bus.signal("gmem.service", key=7)  # created after the broadcast
+        bus.signal("gmem.service", key=8)
+        assert bus.subscriber_count("gmem.service") == 1

@@ -1,0 +1,102 @@
+"""The zero-cost guarantee: monitoring never changes simulated results.
+
+The signal bus promises that attaching any broadcast subscriber — a
+ChromeTracer, the standard utilization monitors, a ReportCollector —
+changes wall-clock speed only; every cycle count and every rendered
+experiment artifact must be bit-identical to the unmonitored run.
+"""
+
+import pytest
+
+from repro.core.config import CedarConfig
+from repro.core.context import add_context_observer, remove_context_observer
+from repro.experiments.kernels_sim import _run
+from repro.monitor.metrics import MetricsRegistry
+from repro.monitor.monitors import attach_standard_monitors, detach_monitors
+from repro.monitor.report import ReportCollector
+from repro.monitor.tracer import ChromeTracer
+
+
+def measure(kernel="CG", n_ces=2, strips=2, prefetch=True):
+    """One small kernel simulation on a fresh machine (bypasses the
+    process-wide memo cache, which would hide any perturbation)."""
+    return _run(CedarConfig(), kernel, n_ces, prefetch, strips)
+
+
+class TestZeroCost:
+    def test_chrome_tracer_does_not_change_cycles(self):
+        baseline = measure()
+        tracer = ChromeTracer()
+        observer = add_context_observer(lambda ctx: tracer.attach(ctx.bus))
+        try:
+            traced = measure()
+        finally:
+            remove_context_observer(observer)
+            tracer.detach()
+        assert len(tracer.events) > 0  # the tracer really was attached
+        assert traced == baseline  # cycles, rates, probe metrics: identical
+
+    def test_standard_monitors_do_not_change_cycles(self):
+        baseline = measure()
+        registry = MetricsRegistry()
+        attached = []
+        observer = add_context_observer(
+            lambda ctx: attached.extend(attach_standard_monitors(ctx.bus, registry))
+        )
+        try:
+            monitored = measure()
+        finally:
+            remove_context_observer(observer)
+            detach_monitors(attached)
+        assert len(registry) > 0  # the monitors really saw traffic
+        assert monitored == baseline
+
+    def test_no_prefetch_path_is_also_unperturbed(self):
+        baseline = measure(prefetch=False)
+        tracer = ChromeTracer()
+        observer = add_context_observer(lambda ctx: tracer.attach(ctx.bus))
+        try:
+            traced = measure(prefetch=False)
+        finally:
+            remove_context_observer(observer)
+            tracer.detach()
+        assert traced == baseline
+
+    def test_experiment_text_is_identical_under_collection(self):
+        """A full rendered artifact must not change when every machine it
+        builds is instrumented by a ReportCollector."""
+        from repro.experiments.characterization import (
+            render_characterization,
+            run_characterization,
+        )
+
+        run_characterization.cache_clear()
+        baseline = render_characterization(run_characterization())
+        run_characterization.cache_clear()
+        with ReportCollector() as collector:
+            instrumented = render_characterization(run_characterization())
+        run_characterization.cache_clear()
+        assert collector.machines >= 1  # collection really happened
+        assert instrumented == baseline
+
+    def test_rerun_on_same_machine_is_deterministic(self):
+        """Attach/detach cycles leave no residue: a monitored machine,
+        reset and re-run unmonitored, reproduces its first run."""
+        from repro.core.machine import CedarMachine
+        from repro.cluster.ce import AwaitStream, StartPrefetch
+
+        def prog():
+            stream = yield StartPrefetch(length=8, stride=1, address=0)
+            yield AwaitStream(stream)
+
+        machine = CedarMachine(CedarConfig(), monitor_port=0)
+        first = machine.run_programs({0: prog()})
+        machine.reset()
+        monitors = attach_standard_monitors(machine.bus)
+        tracer = ChromeTracer().attach(machine.bus)
+        second = machine.run_programs({0: prog()})
+        detach_monitors(monitors)
+        tracer.detach()
+        machine.reset()
+        third = machine.run_programs({0: prog()})
+        assert first == second == third
