@@ -8,14 +8,22 @@ Usage::
     python -m repro ppt4                     # the scalability study
     python -m repro overheads                # Section 3.2 costs
     python -m repro characterization         # Section 4.1 anchors
+    python -m repro degradation              # robustness fault-rate sweep
     python -m repro all [--fast]             # the paper's artifacts
-    python -m repro run-all [--jobs N] [--cached] [--fast]
+    python -m repro run-all [NAMES...] [--jobs N] [--cached] [--fast]
+                            [--timeout S] [--retries N]
                                              # every registered experiment
     python -m repro trace EXPERIMENT --out trace.json
                                              # Chrome/Perfetto trace
     python -m repro report [EXPERIMENT]      # structured run reports
 
 ``--fast`` shrinks the cycle-level simulations to smoke size.
+
+Failures are contained: an unknown experiment name or a failed run
+prints a one-line ``error:`` to stderr and exits nonzero (no
+traceback; set ``REPRO_DEBUG=1`` to re-raise).  ``run-all`` keeps
+going past individual failures — it prints the partial results, lists
+each failed artifact, and exits 1.
 
 ``run-all`` drives the full experiment registry (the paper artifacts
 plus the studies and ablations), fanning independent experiments
@@ -103,6 +111,10 @@ def _multiprogramming(args) -> str:
     return _run_one("multiprogramming")
 
 
+def _degradation(args) -> str:
+    return _run_one("degradation", fast=args.fast)
+
+
 def _all(args) -> str:
     from repro.experiments.runner import render_all, run_all
 
@@ -121,10 +133,13 @@ def _run_all(args) -> str:
     collect = not args.no_reports
     start = time.perf_counter()
     results = run_all(
+        names=args.names or None,
         jobs=args.jobs,
         fast=args.fast,
         cache_dir=cache_dir,
         collect_reports=collect,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     elapsed = time.perf_counter() - start
 
@@ -142,19 +157,31 @@ def _run_all(args) -> str:
 
     sections = []
     for result in results:
-        origin = "cached" if result.cached else f"{result.elapsed_s:.1f}s"
         rule = "=" * 66
+        if result.ok:
+            origin = "cached" if result.cached else f"{result.elapsed_s:.1f}s"
+            body = result.output
+        else:
+            origin = f"FAILED after {result.attempts} attempt(s)"
+            body = f"error: {result.error}"
         sections.append(
-            f"{rule}\n{result.name} — {result.title}  [{origin}]\n{rule}\n"
-            f"{result.output}"
+            f"{rule}\n{result.name} — {result.title}  [{origin}]\n{rule}\n{body}"
         )
     hits = sum(1 for r in results if r.cached)
+    failed = [r for r in results if not r.ok]
     print(
         f"[run-all] {len(results)} experiments in {elapsed:.1f}s "
-        f"({hits} cached, jobs={args.jobs})",
+        f"({hits} cached, {len(failed)} failed, jobs={args.jobs})",
         file=sys.stderr,
     )
-    return "\n\n".join(sections)
+    for result in failed:
+        print(
+            f"[run-all] FAILED {result.name}: {result.error} "
+            f"({result.attempts} attempt(s))",
+            file=sys.stderr,
+        )
+    text = "\n\n".join(sections)
+    return (text, 1) if failed else text
 
 
 def _trace(args) -> str:
@@ -236,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("permutations", help="omega-network permutation study")
     sub.add_parser("multiprogramming",
                    help="single-user-mode justification study")
+    degradation = sub.add_parser(
+        "degradation", help="robustness: performance vs injected fault rate"
+    )
+    degradation.add_argument("--fast", action="store_true",
+                             help="smoke-size cycle simulations")
 
     everything = sub.add_parser("all", help="the paper's artifacts")
     everything.add_argument("--fast", action="store_true")
@@ -243,8 +275,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_cmd = sub.add_parser(
         "run-all", help="every registered experiment, parallel and cached"
     )
+    run_all_cmd.add_argument("names", nargs="*", metavar="NAME",
+                             help="experiments to run (default: all)")
     run_all_cmd.add_argument("--jobs", type=int, default=1,
                              help="worker processes (default 1)")
+    run_all_cmd.add_argument("--timeout", type=float, default=None,
+                             dest="timeout", metavar="S",
+                             help="per-experiment wall-clock timeout in "
+                                  "seconds (runaway workers are terminated)")
+    run_all_cmd.add_argument("--retries", type=int, default=0,
+                             help="retries per failed experiment, with "
+                                  "exponential backoff (default 0)")
     run_all_cmd.add_argument("--fast", action="store_true",
                              help="smoke-size cycle simulations")
     run_all_cmd.add_argument("--cached", action="store_true",
@@ -289,6 +330,7 @@ HANDLERS: Dict[str, Callable] = {
     "scaling": _scaling,
     "permutations": _permutations,
     "multiprogramming": _multiprogramming,
+    "degradation": _degradation,
     "all": _all,
     "run-all": _run_all,
     "trace": _trace,
@@ -300,8 +342,25 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if not hasattr(args, "fast"):
         args.fast = False
-    print(HANDLERS[args.command](args))
-    return 0
+    try:
+        outcome = HANDLERS[args.command](args)
+    except SystemExit:
+        raise
+    except Exception as exc:  # noqa: BLE001 - one-line errors, no traceback
+        import os
+
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        # a KeyError's str() wraps the message in quotes; unwrap it
+        reason = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {reason}", file=sys.stderr)
+        return 1
+    if isinstance(outcome, tuple):
+        text, code = outcome
+    else:
+        text, code = outcome, 0
+    print(text)
+    return code
 
 
 if __name__ == "__main__":

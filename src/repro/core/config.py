@@ -12,6 +12,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field, fields
 
+from repro.faults.plan import FaultPlan
 from repro.util.units import KB, MB
 
 
@@ -206,6 +207,10 @@ class CedarConfig:
     prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
     vm: VMConfig = field(default_factory=VMConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: fault-injection schedule; the all-zero default is inert (machine
+    #: assembly skips the injector entirely) but still hashed, so cached
+    #: results are keyed by the fault schedule too.
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
         if self.clusters < 1:

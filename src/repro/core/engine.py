@@ -53,6 +53,119 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
+class WatchdogError(SimulationError):
+    """Raised when a :class:`Watchdog` aborts a run.
+
+    ``dump`` carries the engine's diagnostic state snapshot
+    (:meth:`Engine.dump_state`) taken at the moment of the abort.
+    """
+
+    def __init__(self, message: str, dump: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(message)
+        self.dump = dump or {}
+
+
+class Watchdog:
+    """Run supervisor: budgets and no-progress (livelock) detection.
+
+    Attach to an engine with :meth:`Engine.attach_watchdog`; every
+    ``check_every`` processed events the watchdog verifies:
+
+    * **cycle budget** — simulated cycles consumed since arming stay
+      within ``max_cycles``;
+    * **event budget** — events processed since arming stay within
+      ``max_events``;
+    * **progress** — the ``progress`` fingerprint (any equality-
+      comparable value; the caller supplies a callable describing real
+      forward progress, e.g. packets delivered + programs finished)
+      changes at least once every ``stall_checks`` consecutive checks.
+      With no ``progress`` callable, the engine clock is the
+      fingerprint: a frozen clock across a full stall window is the
+      classic zero-delay event livelock.
+
+    A violation raises :class:`WatchdogError` carrying a diagnostic
+    state dump.  The watchdog is a pure observer — a run that stays
+    within budget and keeps progressing is bit-identical with and
+    without it (it only *reads* engine state).
+    """
+
+    __slots__ = (
+        "max_cycles",
+        "max_events",
+        "progress",
+        "check_every",
+        "stall_checks",
+        "_cycles_at_arm",
+        "_events_at_arm",
+        "_since_check",
+        "_last_fp",
+        "_stall_count",
+    )
+
+    #: sentinel distinguishing "no fingerprint yet" from any real value.
+    _UNSET = object()
+
+    def __init__(
+        self,
+        max_cycles: Optional[float] = None,
+        max_events: Optional[int] = None,
+        progress: Optional[Callable[[], object]] = None,
+        check_every: int = 8192,
+        stall_checks: int = 8,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be at least one event")
+        if stall_checks < 1:
+            raise ValueError("stall_checks must be at least one check")
+        self.max_cycles = max_cycles
+        self.max_events = max_events
+        self.progress = progress
+        self.check_every = check_every
+        self.stall_checks = stall_checks
+        self._cycles_at_arm = 0.0
+        self._events_at_arm = 0
+        self._since_check = 0
+        self._last_fp: object = Watchdog._UNSET
+        self._stall_count = 0
+
+    def _arm(self, engine: "Engine") -> None:
+        self._cycles_at_arm = engine.now
+        self._events_at_arm = engine.events_processed
+        self._since_check = 0
+        self._last_fp = Watchdog._UNSET
+        self._stall_count = 0
+
+    def _check(self, engine: "Engine") -> None:
+        cycles = engine.now - self._cycles_at_arm
+        if self.max_cycles is not None and cycles > self.max_cycles:
+            self._abort(
+                engine,
+                f"cycle budget exceeded: {cycles:.0f} > {self.max_cycles:.0f}",
+            )
+        events = engine.events_processed - self._events_at_arm
+        if self.max_events is not None and events > self.max_events:
+            self._abort(
+                engine,
+                f"event budget exceeded: {events} > {self.max_events}",
+            )
+        fp = self.progress() if self.progress is not None else engine.now
+        if fp == self._last_fp:
+            self._stall_count += 1
+            if self._stall_count >= self.stall_checks:
+                window = self.stall_checks * self.check_every
+                self._abort(
+                    engine,
+                    f"no progress across {window} events "
+                    f"(fingerprint frozen at {fp!r}); likely livelock",
+                )
+        else:
+            self._last_fp = fp
+            self._stall_count = 0
+
+    def _abort(self, engine: "Engine", reason: str) -> None:
+        raise WatchdogError(f"watchdog abort: {reason}", engine.dump_state())
+
+
 class Engine:
     """A deterministic event-driven simulation kernel.
 
@@ -82,6 +195,7 @@ class Engine:
         "_stop_requested",
         "_run_wall_s",
         "_runs",
+        "_watchdog",
     )
 
     def __init__(self) -> None:
@@ -98,6 +212,8 @@ class Engine:
         #: wall-clock seconds spent inside run loops (self-metrics).
         self._run_wall_s = 0.0
         self._runs = 0
+        #: armed run supervisor; None keeps the unchecked fast paths.
+        self._watchdog: Optional[Watchdog] = None
 
     @property
     def now(self) -> float:
@@ -165,8 +281,13 @@ class Engine:
         """Batch fast path: drain the queue with no per-event bound,
         predicate, or budget checks; returns the final time.
 
-        Honors :meth:`request_stop` and skips cancelled slots.
+        Honors :meth:`request_stop` and skips cancelled slots.  With a
+        watchdog armed the drain routes through the checked loop instead
+        (``run()``'s fast path also requires no watchdog, so this does
+        not recurse).
         """
+        if self._watchdog is not None:
+            return self.run(until=None)
         self._stop_requested = False
         heap = self._heap
         tail = self._tail
@@ -227,7 +348,12 @@ class Engine:
         queue is intact; calling ``run()`` again *continues correctly*
         (see the class docstring's resume contract).
         """
-        if until is None and max_events is None and stop_when is None:
+        if (
+            until is None
+            and max_events is None
+            and stop_when is None
+            and self._watchdog is None
+        ):
             return self.run_until_idle()
         self._stop_requested = False
         heap = self._heap
@@ -244,6 +370,7 @@ class Engine:
 
     def _run_bounded(self, until, max_events, stop_when, heap, tail, pop, popleft):
         processed = 0
+        wd = self._watchdog
         while True:
             if heap:
                 if tail and tail[0] < heap[0]:
@@ -274,6 +401,11 @@ class Engine:
                 callback()
             self._events_processed += 1
             processed += 1
+            if wd is not None:
+                wd._since_check += 1
+                if wd._since_check >= wd.check_every:
+                    wd._since_check = 0
+                    wd._check(self)
             if self._stop_requested:
                 break
             if stop_when is not None and stop_when():
@@ -282,6 +414,44 @@ class Engine:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely livelock"
                 )
+
+    # -- supervision -------------------------------------------------------
+
+    def attach_watchdog(self, watchdog: Watchdog) -> Watchdog:
+        """Arm ``watchdog`` over subsequent runs (budgets and progress
+        count from this moment).  Runs route through the checked loop
+        until :meth:`detach_watchdog`."""
+        watchdog._arm(self)
+        self._watchdog = watchdog
+        return watchdog
+
+    def detach_watchdog(self) -> Optional[Watchdog]:
+        """Disarm the current watchdog (restoring the unchecked fast
+        paths) and return it, or None when none was armed."""
+        watchdog = self._watchdog
+        self._watchdog = None
+        return watchdog
+
+    def dump_state(self, limit: int = 10) -> Dict[str, object]:
+        """Diagnostic snapshot for abort reports: the self-metrics plus
+        the next ``limit`` live queued events with callback names —
+        enough to see *what* a stuck simulation keeps rescheduling."""
+        live = [r for r in self._tail if r[2] is not None]
+        live.extend(r for r in self._heap if r[2] is not None)
+        live.sort(key=lambda r: (r[0], r[1]))
+        upcoming = [
+            {
+                "when": record[0],
+                "seq": record[1],
+                "callback": getattr(
+                    record[2], "__qualname__", repr(record[2])
+                ),
+            }
+            for record in live[:limit]
+        ]
+        state = self.self_metrics()
+        state["upcoming"] = upcoming
+        return state
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
@@ -322,3 +492,4 @@ class Engine:
         self._stop_requested = False
         self._run_wall_s = 0.0
         self._runs = 0
+        self._watchdog = None

@@ -22,7 +22,8 @@ from typing import Dict, Generator, List, Optional
 
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
 from repro.core.context import ComponentAdapter, SimContext, build_networks
-from repro.core.engine import SimulationError
+from repro.core.engine import SimulationError, Watchdog
+from repro.faults.injector import FaultInjector
 from repro.cluster.ce import CE
 from repro.cluster.cluster import Cluster
 from repro.gmemory.module import GlobalMemory
@@ -119,6 +120,14 @@ class CedarMachine:
         for port in range(config.total_ces, n_ports):
             self.reverse_network.register_sink(port, self._unexpected_sink(port))
 
+        # fault injection arms last (it instruments the components
+        # registered above).  An inert plan builds nothing at all — the
+        # no-fault machine is bit-identical to one assembled before the
+        # faults subsystem existed.
+        self.faults: Optional[FaultInjector] = None
+        if config.faults.enabled:
+            self.faults = ctx.add("faults", FaultInjector(config.faults))
+
     def _reset_filesystem(self) -> None:
         self.filesystem._files.clear()
         self.filesystem.stats = FSStats()
@@ -167,9 +176,18 @@ class CedarMachine:
         self,
         programs: Dict[int, Generator],
         max_events: Optional[int] = None,
+        watchdog: Optional[Watchdog] = None,
     ) -> float:
         """Run one generator program per CE port; returns completion time
-        (cycles) of the last CE to finish."""
+        (cycles) of the last CE to finish.
+
+        ``watchdog`` supervises the run (budgets + livelock detection,
+        see :class:`~repro.core.engine.Watchdog`); one without its own
+        ``progress`` callable gets a machine-level fingerprint — programs
+        still running plus words delivered by each fabric — so a run
+        that burns events while moving nothing aborts with a
+        :class:`~repro.core.engine.WatchdogError` diagnostic dump.
+        """
         engine = self.engine
         remaining = len(programs)
 
@@ -182,20 +200,34 @@ class CedarMachine:
         for port, program in programs.items():
             self.ce(port).run(program, on_done=_finished)
         participants = [self.ce(port) for port in programs]
-        if max_events is None:
-            engine.run_until_idle()
-        else:
-            engine.run(max_events=max_events)
-        if remaining:
-            stuck = [ce.port for ce in participants if not ce.done]
-            raise SimulationError(f"CEs never finished: {stuck}")
-        finish = max(ce.stats.finished_at or 0.0 for ce in participants)
-        # drain in-flight traffic (e.g. writes the CEs never waited for)
-        # so memory/network counters are complete; `finish` is unaffected.
-        if max_events is None:
-            engine.run_until_idle()
-        else:
-            engine.run(max_events=max_events)
+        if watchdog is not None:
+            if watchdog.progress is None:
+                fwd, rev = self.forward_network, self.reverse_network
+                watchdog.progress = lambda: (
+                    remaining,
+                    fwd.total_words_delivered(),
+                    rev.total_words_delivered(),
+                )
+            engine.attach_watchdog(watchdog)
+        try:
+            if max_events is None:
+                engine.run_until_idle()
+            else:
+                engine.run(max_events=max_events)
+            if remaining:
+                stuck = [ce.port for ce in participants if not ce.done]
+                raise SimulationError(f"CEs never finished: {stuck}")
+            finish = max(ce.stats.finished_at or 0.0 for ce in participants)
+            # drain in-flight traffic (e.g. writes the CEs never waited
+            # for) so memory/network counters are complete; `finish` is
+            # unaffected.
+            if max_events is None:
+                engine.run_until_idle()
+            else:
+                engine.run(max_events=max_events)
+        finally:
+            if watchdog is not None:
+                engine.detach_watchdog()
         return finish
 
     # -- topology description (Figures 1 and 2) -----------------------------------------

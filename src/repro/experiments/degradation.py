@@ -1,0 +1,198 @@
+"""Degradation study: kernel performance under injected faults.
+
+The robustness analogue of the paper's Figure 3 contention study: where
+Figure 3 varies *load* and watches efficiency fall, this experiment
+varies the machine's *fault rate* (one-knob
+:meth:`~repro.faults.plan.FaultPlan.uniform` plans over a shared seed)
+and watches delivered bandwidth fall and latency rise as switch ports
+drop transfers, memory modules take ECC retries, and sync processors
+time out.
+
+Each rate point runs two phases on fresh machines:
+
+* a **kernel phase** — the usual prefetch kernel measurement
+  (MFLOPS, first-word latency, interarrival), and
+* a **sync phase** — every CE hammers Test-And-Operate instructions
+  across the modules, timing completion, so sync-processor timeouts
+  show up somewhere they dominate.
+
+Both phases run under an engine :class:`~repro.core.engine.Watchdog`;
+a point whose machine livelocks or blows its event budget is reported
+as ``[ABORTED]`` with zero MFLOPS rather than hanging the sweep (the
+same convention as the ablation studies' ``[DEADLOCK]`` rows).
+
+Determinism: every number here is a pure function of (rates, seed,
+kernel, n_ces, strips, rounds) — the injector derives all randomness
+from the plan seed, so re-running the sweep reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import CedarConfig
+from repro.core.engine import SimulationError, Watchdog
+from repro.core.machine import CedarMachine
+from repro.cluster.ce import SyncInstruction
+from repro.faults.plan import FaultPlan
+from repro.kernels.programs import KERNELS, kernel_program
+from repro.util.tables import Table
+
+#: event budget per phase: a healthy point needs well under a tenth of
+#: this; a livelocked one aborts here instead of spinning forever.
+PHASE_EVENT_BUDGET = 20_000_000
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One fault-rate setting of the sweep."""
+
+    rate: float
+    mflops: float
+    latency: Optional[float]
+    interarrival: Optional[float]
+    sync_cycles: float
+    transients: int
+    port_downs: int
+    ecc_retries: int
+    sync_timeouts: int
+    rerouted: int
+    aborted: bool
+
+
+def _plan(rate: float, seed: int) -> FaultPlan:
+    return FaultPlan.uniform(rate, seed=seed) if rate > 0.0 else FaultPlan(seed=seed)
+
+
+def _watchdog() -> Watchdog:
+    return Watchdog(max_events=PHASE_EVENT_BUDGET)
+
+
+def _fault_counts(machine: CedarMachine) -> Tuple[int, int, int, int, int]:
+    injector = machine.faults
+    if injector is None:
+        return 0, 0, 0, 0, 0
+    return (
+        injector.transients,
+        injector.port_downs,
+        injector.ecc_retries,
+        injector.sync_timeouts,
+        injector.rerouted,
+    )
+
+
+def _sync_program(port: int, rounds: int, modules: int):
+    """``rounds`` Test-And-Operate round trips, striding the modules so
+    every sync processor sees traffic."""
+    for i in range(rounds):
+        yield SyncInstruction(address=port + i * (modules + 1))
+
+
+def run_degradation(
+    rates: Sequence[float] = (0.0, 0.005, 0.02, 0.05),
+    seed: int = 2024,
+    kernel: str = "CG",
+    n_ces: int = 8,
+    strips: int = 6,
+    rounds: int = 24,
+) -> Tuple[DegradationPoint, ...]:
+    """Sweep ``rates`` and measure kernel + sync performance per point."""
+    shape = KERNELS[kernel]
+    points = []
+    for rate in rates:
+        config = CedarConfig(faults=_plan(rate, seed))
+
+        # kernel phase
+        machine = CedarMachine(config, monitor_port=0)
+        programs = {
+            port: kernel_program(shape, port, strips, prefetch=True)
+            for port in range(n_ces)
+        }
+        aborted = False
+        rate_mflops = 0.0
+        latency = interarrival = None
+        try:
+            cycles = machine.run_programs(programs, watchdog=_watchdog())
+            seconds = cycles * config.ce.cycle_ns * 1e-9
+            rate_mflops = shape.flops * strips * n_ces / seconds / 1e6
+            summary = machine.probe.summary()
+            if summary.blocks:
+                latency = summary.first_word_latency
+                interarrival = summary.interarrival
+        except SimulationError:
+            aborted = True
+        kernel_faults = _fault_counts(machine)
+
+        # sync phase
+        sync_cycles = 0.0
+        sync_machine = CedarMachine(config)
+        modules = config.global_memory.modules
+        sync_programs = {
+            port: _sync_program(port, rounds, modules) for port in range(n_ces)
+        }
+        try:
+            sync_cycles = sync_machine.run_programs(
+                sync_programs, watchdog=_watchdog()
+            )
+        except SimulationError:
+            aborted = True
+        sync_faults = _fault_counts(sync_machine)
+
+        totals = tuple(a + b for a, b in zip(kernel_faults, sync_faults))
+        points.append(
+            DegradationPoint(
+                rate=rate,
+                mflops=0.0 if aborted else rate_mflops,
+                latency=latency,
+                interarrival=interarrival,
+                sync_cycles=sync_cycles,
+                transients=totals[0],
+                port_downs=totals[1],
+                ecc_retries=totals[2],
+                sync_timeouts=totals[3],
+                rerouted=totals[4],
+                aborted=aborted,
+            )
+        )
+    return tuple(points)
+
+
+def render_degradation(points: Sequence[DegradationPoint]) -> str:
+    table = Table(
+        title="Degradation: kernel bandwidth/latency vs fault rate",
+        columns=[
+            "fault rate",
+            "MFLOPS",
+            "latency (cyc)",
+            "interarrival (cyc)",
+            "sync run (cyc)",
+            "transients",
+            "ecc",
+            "sync t/o",
+            "rerouted",
+            "status",
+        ],
+        precision=2,
+    )
+    for p in points:
+        table.add_row(
+            [
+                f"{p.rate:g}",
+                p.mflops,
+                p.latency,
+                p.interarrival,
+                p.sync_cycles,
+                p.transients,
+                p.ecc_retries,
+                p.sync_timeouts,
+                p.rerouted,
+                "[ABORTED]" if p.aborted else "ok",
+            ]
+        )
+    lines = [table.render()]
+    lines.append(
+        "Faults are drawn deterministically from the plan seed: the same "
+        "sweep reproduces these rows exactly."
+    )
+    return "\n".join(lines)

@@ -14,21 +14,37 @@ six tables, the studies and ablations — is registered here as a named
 The cache key uses :meth:`~repro.core.config.CedarConfig.stable_hash`
 — a cross-process content hash — **not** Python's salted ``hash()``,
 so cache entries are valid across interpreter sessions.
+
+Hardening
+---------
+
+``run_all`` is built for partial results: each experiment runs in its
+own worker process (plain ``multiprocessing.Process``, not a shared
+pool, so one worker's death cannot poison the others), an optional
+per-experiment wall-clock ``timeout_s`` terminates runaways, failures
+retry up to ``retries`` times with exponential backoff, and whatever
+happens every selected experiment comes back as an
+:class:`ExperimentResult` — failed ones carry ``error`` instead of
+output.  Corrupt or truncated cache entries are a warning and a cache
+miss, never a crash.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
 
 #: bump when renderer output formats change, invalidating old entries.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: default on-disk cache location (repo-/cwd-relative).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -150,6 +166,16 @@ def _exp_ablation_memory(n_ces: int = 32) -> str:
     )
 
 
+def _exp_degradation(
+    seed: int = 2024, strips: int = 6, rounds: int = 24
+) -> str:
+    from repro.experiments.degradation import render_degradation, run_degradation
+
+    return render_degradation(
+        run_degradation(seed=seed, strips=strips, rounds=rounds)
+    )
+
+
 # ---------------------------------------------------------------------------
 # registry
 
@@ -260,6 +286,15 @@ register(
         fast_kwargs={"n_ces": 8},
     )
 )
+register(
+    Experiment(
+        "degradation",
+        "Robustness: performance vs fault rate",
+        _exp_degradation,
+        kwargs={"seed": 2024, "strips": 6, "rounds": 24},
+        fast_kwargs={"strips": 3, "rounds": 8},
+    )
+)
 
 
 # ---------------------------------------------------------------------------
@@ -290,13 +325,38 @@ def _cache_path(cache_dir: Path, name: str, key: str) -> Path:
 
 
 def cache_load_entry(cache_dir: Path, name: str, key: str) -> Optional[Dict]:
-    """The full cache entry (output plus any stored run report)."""
+    """The full cache entry (output plus any stored run report).
+
+    A corrupted or truncated entry file — unparseable JSON, a non-object
+    payload, a non-string output — is a cache **miss**: the entry is
+    reported with a warning and the caller recomputes.  A missing file
+    is the ordinary silent miss.
+    """
     path = _cache_path(cache_dir, name, key)
     try:
-        entry = json.loads(path.read_text())
-    except (OSError, ValueError):
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        warnings.warn(f"unreadable cache entry {path}: {exc}; recomputing")
+        return None
+    try:
+        entry = json.loads(text)
+    except ValueError as exc:
+        warnings.warn(f"corrupt cache entry {path}: {exc}; recomputing")
+        return None
+    if not isinstance(entry, dict):
+        warnings.warn(f"corrupt cache entry {path}: not an object; recomputing")
         return None
     if entry.get("key") != key:
+        return None  # stale entry for another config: ordinary miss
+    output = entry.get("output")
+    if output is not None and not isinstance(output, str):
+        warnings.warn(f"corrupt cache entry {path}: bad output field; recomputing")
+        return None
+    report = entry.get("report")
+    if report is not None and not isinstance(report, dict):
+        warnings.warn(f"corrupt cache entry {path}: bad report field; recomputing")
         return None
     return entry
 
@@ -326,7 +386,12 @@ def cache_store(
     }
     if report is not None:
         entry["report"] = report
-    _cache_path(cache_dir, name, key).write_text(json.dumps(entry, indent=1))
+    # write-then-rename so a crash mid-write leaves no truncated entry
+    # (a torn entry would otherwise surface as a warning on every read).
+    path = _cache_path(cache_dir, name, key)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(entry, indent=1))
+    tmp.replace(path)
 
 
 # ---------------------------------------------------------------------------
@@ -342,6 +407,15 @@ class ExperimentResult:
     cached: bool
     #: RunReport dict when the run collected observability data.
     report: Optional[Dict] = None
+    #: one-line failure description ("Type: message", "timeout after Ns",
+    #: "worker crashed (exit N)"); None on success.
+    error: Optional[str] = None
+    #: how many attempts this result took (1 = first try).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 def _execute(name: str, kwargs: Dict[str, object]) -> str:
@@ -422,6 +496,241 @@ def run_experiment(
     return ExperimentResult(name, exp.title, output, elapsed, cached=False, report=report)
 
 
+def _subprocess_main(conn, name: str, kwargs: Dict, collect_report: bool) -> None:
+    """Worker-process entry point: run one experiment, ship the outcome
+    back over ``conn``.  Every failure becomes an ``("error", reason)``
+    message; only a hard crash (segfault, kill) leaves the pipe silent,
+    which the manager detects as worker death."""
+    try:
+        if collect_report:
+            payload = _execute_with_report(name, kwargs)
+        else:
+            payload = _execute(name, kwargs)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - isolate *any* worker failure
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Fork where available (cheap workers, warm imports); the platform
+    default elsewhere — ``_subprocess_main`` and its arguments are
+    picklable either way."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+@dataclass
+class _Attempt:
+    """One in-flight worker: process + pipe + deadline bookkeeping."""
+
+    name: str
+    attempt: int
+    process: multiprocessing.Process
+    conn: object
+    kwargs: Dict
+    started: float
+    deadline: Optional[float]
+
+
+def _run_isolated(
+    misses: List[str],
+    jobs: int,
+    fast: bool,
+    cache_dir: Optional[Path],
+    config: CedarConfig,
+    collect_reports: bool,
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+) -> Dict[str, ExperimentResult]:
+    """Run ``misses`` in per-experiment worker processes.
+
+    Up to ``jobs`` workers run at once; each failure (exception,
+    timeout, crash) is retried with exponential backoff until its
+    attempts are exhausted, then recorded as a failed result.  One
+    worker's fate never affects another's.
+    """
+    ctx = _mp_context()
+    results: Dict[str, ExperimentResult] = {}
+    #: (name, attempt, not_before) — attempts awaiting a worker slot.
+    pending: deque = deque((name, 1, 0.0) for name in misses)
+    running: Dict[object, _Attempt] = {}
+
+    def _spawn(name: str, attempt: int) -> None:
+        kwargs = REGISTRY[name].arguments(fast)
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_subprocess_main,
+            args=(send_conn, name, kwargs, collect_reports),
+        )
+        process.start()
+        send_conn.close()  # manager keeps only the read end
+        now = time.perf_counter()
+        running[recv_conn] = _Attempt(
+            name=name,
+            attempt=attempt,
+            process=process,
+            conn=recv_conn,
+            kwargs=kwargs,
+            started=now,
+            deadline=(now + timeout_s) if timeout_s is not None else None,
+        )
+
+    def _settle(attempt: _Attempt, error: str) -> None:
+        """Record a failed attempt: retry with backoff or final failure."""
+        if attempt.attempt <= retries:
+            delay = retry_backoff_s * (2 ** (attempt.attempt - 1))
+            pending.append(
+                (attempt.name, attempt.attempt + 1, time.perf_counter() + delay)
+            )
+            return
+        results[attempt.name] = ExperimentResult(
+            attempt.name,
+            REGISTRY[attempt.name].title,
+            "",
+            time.perf_counter() - attempt.started,
+            cached=False,
+            error=error,
+            attempts=attempt.attempt,
+        )
+
+    def _succeed(attempt: _Attempt, payload) -> None:
+        if collect_reports:
+            output, machines, elapsed = payload
+            report = _build_report(
+                attempt.name, attempt.kwargs, elapsed, False, machines
+            )
+        else:
+            output, report = payload, None
+            elapsed = time.perf_counter() - attempt.started
+        if cache_dir is not None:
+            cache_store(
+                cache_dir,
+                attempt.name,
+                cache_key(attempt.name, attempt.kwargs, config),
+                output,
+                elapsed,
+                report=report,
+            )
+        results[attempt.name] = ExperimentResult(
+            attempt.name,
+            REGISTRY[attempt.name].title,
+            output,
+            elapsed,
+            cached=False,
+            report=report,
+            attempts=attempt.attempt,
+        )
+
+    def _reap(attempt: _Attempt, error: str) -> None:
+        process = attempt.process
+        if process.is_alive():
+            process.terminate()
+        process.join()
+        attempt.conn.close()
+        del running[attempt.conn]
+        _settle(attempt, error)
+
+    while pending or running:
+        # fill free worker slots with attempts whose backoff has elapsed
+        now = time.perf_counter()
+        deferred = []
+        while pending and len(running) < max(1, jobs):
+            name, attempt_no, not_before = pending.popleft()
+            if not_before > now:
+                deferred.append((name, attempt_no, not_before))
+                continue
+            _spawn(name, attempt_no)
+        pending.extend(deferred)
+
+        if not running:
+            # everything pending is backing off: sleep to the earliest
+            wake = min(entry[2] for entry in pending)
+            time.sleep(max(0.0, wake - time.perf_counter()))
+            continue
+
+        for conn in _conn_wait(list(running), timeout=0.05):
+            attempt = running[conn]
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                # pipe closed with no message: the worker died hard
+                attempt.process.join()
+                code = attempt.process.exitcode
+                conn.close()
+                del running[conn]
+                _settle(attempt, f"worker crashed (exit {code})")
+                continue
+            attempt.process.join()
+            conn.close()
+            del running[conn]
+            if status == "ok":
+                _succeed(attempt, payload)
+            else:
+                _settle(attempt, payload)
+
+        if timeout_s is not None:
+            now = time.perf_counter()
+            for attempt in [
+                a
+                for a in running.values()
+                if a.deadline is not None and now > a.deadline
+            ]:
+                _reap(attempt, f"timeout after {timeout_s:g}s")
+
+    return results
+
+
+def _run_inline(
+    misses: List[str],
+    fast: bool,
+    cache_dir: Optional[Path],
+    config: CedarConfig,
+    collect_reports: bool,
+    retries: int,
+    retry_backoff_s: float,
+) -> Dict[str, ExperimentResult]:
+    """Single-process path (no timeout enforcement, but the same
+    failure isolation and retry policy as the worker path)."""
+    results: Dict[str, ExperimentResult] = {}
+    for name in misses:
+        for attempt in range(1, retries + 2):
+            start = time.perf_counter()
+            try:
+                result = run_experiment(
+                    name, fast, cache_dir, config, collect_report=collect_reports
+                )
+                results[name] = ExperimentResult(
+                    result.name,
+                    result.title,
+                    result.output,
+                    result.elapsed_s,
+                    result.cached,
+                    report=result.report,
+                    attempts=attempt,
+                )
+                break
+            except Exception as exc:  # noqa: BLE001 - isolate each artifact
+                if attempt <= retries:
+                    time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+                    continue
+                results[name] = ExperimentResult(
+                    name,
+                    REGISTRY[name].title,
+                    "",
+                    time.perf_counter() - start,
+                    cached=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=attempt,
+                )
+    return results
+
+
 def run_all(
     names: Optional[Iterable[str]] = None,
     jobs: int = 1,
@@ -429,15 +738,28 @@ def run_all(
     cache_dir: Optional[Path] = None,
     config: CedarConfig = DEFAULT_CONFIG,
     collect_reports: bool = False,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.25,
 ) -> List[ExperimentResult]:
     """Run a set of experiments (default: every registered one).
 
-    Cache hits are resolved in-process; the misses fan out across
-    ``jobs`` worker processes.  Results come back in registry order
-    regardless of completion order.  With ``collect_reports`` every
-    non-cached run is instrumented and its :class:`ExperimentResult`
-    carries a RunReport dict (cache hits replay a stored report when
-    the entry has one; entries without one are re-run).
+    Cache hits are resolved in-process; the misses fan out across up to
+    ``jobs`` worker processes (one process per experiment — a crash is
+    contained to its artifact).  ``timeout_s`` bounds each experiment's
+    wall clock (the worker is terminated past it; requires the worker
+    path, so it forces process isolation even at ``jobs=1``), and each
+    failure retries up to ``retries`` times with exponential backoff
+    starting at ``retry_backoff_s``.
+
+    Results come back in registry order regardless of completion order;
+    failed experiments are *included*, with
+    :attr:`ExperimentResult.error` set and empty output — callers get
+    partial results, never an exception for one bad artifact.  With
+    ``collect_reports`` every non-cached run is instrumented and its
+    :class:`ExperimentResult` carries a RunReport dict (cache hits
+    replay a stored report when the entry has one; entries without one
+    are re-run).
     """
     selected = list(names) if names is not None else experiment_names()
     for name in selected:
@@ -466,51 +788,44 @@ def run_all(
         else:
             misses.append(name)
 
-    worker = _execute_with_report if collect_reports else _execute
-    if misses and jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {}
-            for name in misses:
-                kwargs = REGISTRY[name].arguments(fast)
-                futures[name] = (
-                    pool.submit(worker, name, kwargs),
-                    time.perf_counter(),
-                    kwargs,
+    if misses:
+        if jobs > 1 or timeout_s is not None:
+            results.update(
+                _run_isolated(
+                    misses,
+                    jobs,
+                    fast,
+                    cache_dir,
+                    config,
+                    collect_reports,
+                    timeout_s,
+                    retries,
+                    retry_backoff_s,
                 )
-            for name, (future, start, kwargs) in futures.items():
-                outcome = future.result()
-                if collect_reports:
-                    output, machines, elapsed = outcome
-                    report = _build_report(name, kwargs, elapsed, False, machines)
-                else:
-                    output, report = outcome, None
-                    elapsed = time.perf_counter() - start
-                if cache_dir is not None:
-                    cache_store(
-                        cache_dir,
-                        name,
-                        cache_key(name, kwargs, config),
-                        output,
-                        elapsed,
-                        report=report,
-                    )
-                results[name] = ExperimentResult(
-                    name,
-                    REGISTRY[name].title,
-                    output,
-                    elapsed,
-                    cached=False,
-                    report=report,
+            )
+        else:
+            results.update(
+                _run_inline(
+                    misses,
+                    fast,
+                    cache_dir,
+                    config,
+                    collect_reports,
+                    retries,
+                    retry_backoff_s,
                 )
-    else:
-        for name in misses:
-            results[name] = run_experiment(
-                name, fast, cache_dir, config, collect_report=collect_reports
             )
 
     return [results[name] for name in selected]
 
 
 def render_all(results: List[ExperimentResult]) -> str:
-    """Join experiment outputs the way ``python -m repro all`` always has."""
-    return "\n\n".join(result.output for result in results)
+    """Join experiment outputs the way ``python -m repro all`` always
+    has; failed experiments contribute a one-line failure marker."""
+    parts = []
+    for result in results:
+        if result.ok:
+            parts.append(result.output)
+        else:
+            parts.append(f"[{result.name} FAILED: {result.error}]")
+    return "\n\n".join(parts)

@@ -1,0 +1,21 @@
+"""Deterministic fault injection for the Cedar reproduction.
+
+See :mod:`repro.faults.plan` for the declarative fault schedule and
+:mod:`repro.faults.injector` for the machine component that arms it.
+
+The injector is imported lazily (PEP 562): :mod:`repro.core.config`
+embeds a :class:`FaultPlan`, and an eager injector import here would
+close a cycle through the machine modules the injector instruments.
+"""
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan"]
+
+
+def __getattr__(name: str):
+    if name == "FaultInjector":
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,296 @@
+"""FaultInjector: deterministic fault injection wired through SimContext.
+
+The injector is a regular machine component (attach/reset/stats/
+describe).  At attach time it walks the context's registry and arms
+every contended resource it understands:
+
+* each **network stage port** gets a :class:`_PortSite` — transient
+  drop-and-re-arbitrate failures and full outages;
+* each **memory module** gets a :class:`_ModuleSite` — ECC stall/retry
+  cycles and sync-processor timeouts;
+* the **forward network** gets this injector as its ``fault_router``,
+  enabling degraded-mode escape routing: when a new injection's route
+  crosses a port that is currently down, the packet is injected into an
+  escape *view* of the reverse fabric instead (the shared-escape
+  network variant built with
+  :meth:`~repro.network.omega.OmegaNetwork.view_with_own_injection`),
+  so requests keep flowing — at shared-fabric contention cost — while
+  the port recovers.
+
+Determinism
+-----------
+
+Every site owns a private :class:`random.Random` seeded from
+``sha256(plan.seed, site name)`` — not Python's salted ``hash`` — so
+the decision stream at each site depends only on the plan seed and the
+(deterministic) order of service attempts at that site.  Two runs of
+the same machine under the same plan produce identical faults, cycle
+counts, and metrics; ``reset()`` re-seeds every site so a reused
+machine replays the same schedule.
+
+Observability
+-------------
+
+Sites publish on the ``fault.*`` signal channels (see
+:mod:`repro.monitor.signals`) through the usual guarded fast path, and
+the injector keeps plain counters surfaced via ``stats()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.gmemory.module import GlobalMemory, MemoryModule
+from repro.network.omega import OmegaNetwork
+from repro.network.packet import PacketKind
+from repro.network.resource import Resource, Transit
+
+
+def _site_rng(seed: int, name: str) -> random.Random:
+    """A private random stream for one site, stable across processes."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class _PortSite:
+    """Fault state of one switch output port."""
+
+    __slots__ = ("injector", "rng", "name", "consecutive")
+
+    def __init__(self, injector: "FaultInjector", name: str) -> None:
+        self.injector = injector
+        self.name = name
+        self.rng = _site_rng(injector.plan.seed, name)
+        self.consecutive = 0
+
+    def reseed(self) -> None:
+        self.rng = _site_rng(self.injector.plan.seed, self.name)
+        self.consecutive = 0
+
+    def before_service(self, resource: Resource, transit: Transit) -> float:
+        """Cycles the port must hold before this service may start
+        (0.0 means the transfer proceeds normally)."""
+        inj = self.injector
+        plan = inj.plan
+        now = resource.engine.now
+        until = inj._down.get(resource)
+        if until is not None:
+            if now < until:
+                # port is down: wait out the remaining outage, then the
+                # retried service start rolls again.
+                return until - now
+            del inj._down[resource]
+        rng = self.rng
+        if plan.port_down_rate and rng.random() < plan.port_down_rate:
+            until = now + plan.port_down_cycles
+            inj._down[resource] = until
+            inj.port_downs += 1
+            sig = inj._sig_port_down
+            if sig is not None and sig:
+                sig.emit(resource, now, until)
+            return plan.port_down_cycles
+        if plan.switch_fail_rate and rng.random() < plan.switch_fail_rate:
+            self.consecutive += 1
+            backoff = min(
+                plan.backoff_base_cycles
+                * plan.backoff_factor ** (self.consecutive - 1),
+                plan.backoff_max_cycles,
+            )
+            inj.transients += 1
+            sig = inj._sig_transient
+            if sig is not None and sig:
+                sig.emit(resource, transit.packet, now, backoff)
+            return backoff
+        self.consecutive = 0
+        return 0.0
+
+
+class _ModuleSite:
+    """Fault state of one global-memory module."""
+
+    __slots__ = ("injector", "rng", "name", "module")
+
+    def __init__(
+        self, injector: "FaultInjector", name: str, module: MemoryModule
+    ) -> None:
+        self.injector = injector
+        self.name = name
+        self.module = module
+        self.rng = _site_rng(injector.plan.seed, name)
+
+    def reseed(self) -> None:
+        self.rng = _site_rng(self.injector.plan.seed, self.name)
+
+    def before_service(self, resource: Resource, transit: Transit) -> float:
+        inj = self.injector
+        plan = inj.plan
+        packet = transit.packet
+        if packet.kind is PacketKind.SYNC_REQ:
+            if plan.sync_timeout_rate and self.rng.random() < plan.sync_timeout_rate:
+                self.module.sync_timeouts += 1
+                inj.sync_timeouts += 1
+                sig = inj._sig_sync_timeout
+                if sig is not None and sig:
+                    sig.emit(
+                        self.module.index,
+                        packet.address,
+                        resource.engine.now,
+                        plan.sync_timeout_cycles,
+                    )
+                return plan.sync_timeout_cycles
+            return 0.0
+        if plan.ecc_rate and self.rng.random() < plan.ecc_rate:
+            self.module.ecc_retries += 1
+            inj.ecc_retries += 1
+            sig = inj._sig_ecc
+            if sig is not None and sig:
+                sig.emit(
+                    self.module.index,
+                    packet,
+                    resource.engine.now,
+                    plan.ecc_stall_cycles,
+                )
+            return plan.ecc_stall_cycles
+        return 0.0
+
+
+class FaultInjector:
+    """The machine-wide fault-injection component.
+
+    Build it into a machine by enabling any rate on
+    ``config.faults`` (assembly registers it automatically), or install
+    one explicitly on an assembled machine for tests::
+
+        injector = FaultInjector(plan).install(machine)
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.engine = None
+        self._sites: List[object] = []
+        #: resources currently down -> cycle they come back up.
+        self._down: Dict[Resource, float] = {}
+        #: forward network -> escape view of the reverse fabric.
+        self._escape: Dict[OmegaNetwork, OmegaNetwork] = {}
+        self.transients = 0
+        self.port_downs = 0
+        self.ecc_retries = 0
+        self.sync_timeouts = 0
+        self.rerouted = 0
+        self._sig_transient = None
+        self._sig_port_down = None
+        self._sig_ecc = None
+        self._sig_sync_timeout = None
+        self._sig_reroute = None
+
+    # -- component lifecycle ---------------------------------------------------
+
+    def attach(self, ctx) -> None:
+        self.engine = ctx.engine
+        bus = ctx.bus
+        self._sig_transient = bus.signal("fault.transient")
+        self._sig_port_down = bus.signal("fault.port_down")
+        self._sig_ecc = bus.signal("fault.ecc")
+        self._sig_sync_timeout = bus.signal("fault.sync_timeout")
+        self._sig_reroute = bus.signal("fault.reroute")
+
+        networks: List[OmegaNetwork] = []
+        for _name, component in ctx.components():
+            if isinstance(component, OmegaNetwork):
+                networks.append(component)
+            elif isinstance(component, GlobalMemory):
+                for module in component.modules:
+                    if module.fault_hook is None:
+                        site = _ModuleSite(self, module.name, module)
+                        module.fault_hook = site
+                        self._sites.append(site)
+        for net in networks:
+            for stage in net.stages:
+                for link in stage:
+                    # shared-fabric views alias stage resources; arm once.
+                    if link.fault_hook is None:
+                        site = _PortSite(self, link.name)
+                        link.fault_hook = site
+                        self._sites.append(site)
+        self._wire_escape_routes(networks)
+
+    def _wire_escape_routes(self, networks: List[OmegaNetwork]) -> None:
+        """Give each forward fabric an escape view of a *different*
+        fabric (the dual-network case).  A shared single fabric has no
+        disjoint escape path, so degraded routing is skipped there."""
+        for net in networks:
+            others = [n for n in networks if n.stages is not net.stages]
+            if not others:
+                continue
+            self._escape[net] = others[0].view_with_own_injection(f"esc.{net.name}")
+            net.fault_router = self
+
+    def install(self, machine) -> "FaultInjector":
+        """Register this injector on an already-assembled machine."""
+        machine.ctx.add("faults", self)
+        return self
+
+    def reset(self) -> None:
+        self._down.clear()
+        self.transients = 0
+        self.port_downs = 0
+        self.ecc_retries = 0
+        self.sync_timeouts = 0
+        self.rerouted = 0
+        for site in self._sites:
+            site.reseed()
+
+    def stats(self) -> dict:
+        return {
+            "transients": self.transients,
+            "port_downs": self.port_downs,
+            "ecc_retries": self.ecc_retries,
+            "sync_timeouts": self.sync_timeouts,
+            "rerouted": self.rerouted,
+            "ports_down_now": len(self._down),
+        }
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.plan.seed,
+            "switch_fail_rate": self.plan.switch_fail_rate,
+            "port_down_rate": self.plan.port_down_rate,
+            "ecc_rate": self.plan.ecc_rate,
+            "sync_timeout_rate": self.plan.sync_timeout_rate,
+            "sites": len(self._sites),
+            "escape_routes": len(self._escape),
+        }
+
+    # -- degraded-mode routing -------------------------------------------------
+
+    def try_reroute(self, net: OmegaNetwork, packet, tail) -> Optional[Transit]:
+        """Called by ``net.inject``: when the primary route crosses a
+        down port, inject into the escape fabric instead.  Returns the
+        escape transit, or ``None`` to proceed on the primary route."""
+        down = self._down
+        if not down:
+            return None
+        escape = self._escape.get(net)
+        if escape is None:
+            return None
+        now = self.engine.now
+        route = net.route_for(packet, tail)
+        blocked = False
+        for hop in route:
+            until = down.get(hop)
+            if until is None:
+                continue
+            if until > now:
+                blocked = True
+                break
+            del down[hop]
+        if not blocked or not escape.can_inject(packet.src):
+            return None
+        self.rerouted += 1
+        sig = self._sig_reroute
+        if sig is not None and sig:
+            sig.emit(net.name, packet, now)
+        return escape.inject(packet, tail)

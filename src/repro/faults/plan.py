@@ -1,0 +1,102 @@
+"""FaultPlan: the seeded, declarative description of what may fail.
+
+Cedar's memory path was engineered for loss-free degradation — two-word
+port queues with backpressure retry, lockup-free caches, per-module
+recovery — so the interesting robustness questions are about *transient*
+failures the hardware rides through, not silent data loss.  A
+:class:`FaultPlan` declares three such fault classes and their rates:
+
+* **transient switch-port failures**: a stage output port drops the
+  transfer it was about to make; the packet re-arbitrates for the port
+  after an exponentially growing backoff;
+* **stage-port outages**: a port goes *down* for a fixed window; traffic
+  already queued waits it out, and new injections whose route crosses
+  the down port escape into the reply fabric (the shared-escape network
+  variant) for the duration;
+* **memory-module ECC stall/retry** and **sync-processor timeouts**:
+  the module detects a correctable error (or its synchronization
+  processor misses its window) and holds the access for a retry cycle
+  before servicing it.
+
+The plan is *data*: plain frozen floats, hashed into
+:meth:`~repro.core.config.CedarConfig.stable_hash`, so cached
+experiment results are keyed by the fault schedule too.  All randomness
+is derived deterministically from ``seed`` per injection site (see
+:class:`~repro.faults.injector.FaultInjector`) — the same plan on the
+same machine reproduces the same faults, cycle for cycle.
+
+A plan with every rate at zero is *inert*: machine assembly skips the
+injector entirely and the simulation is bit-identical to one built
+before this subsystem existed (the zero-cost guarantee, extended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault-injection schedule for one machine."""
+
+    #: root seed; every injection site derives its own stream from it.
+    seed: int = 0
+    #: per-service-start probability a stage port drops the transfer
+    #: (the packet re-arbitrates after exponential backoff).
+    switch_fail_rate: float = 0.0
+    #: per-service-start probability a stage port goes down outright.
+    port_down_rate: float = 0.0
+    #: how long a down port stays down, in cycles.
+    port_down_cycles: float = 200.0
+    #: per-access probability a memory module takes an ECC stall/retry.
+    ecc_rate: float = 0.0
+    #: cycles one ECC stall/retry holds the module before the access.
+    ecc_stall_cycles: float = 16.0
+    #: per-sync-op probability the sync processor times out and retries.
+    sync_timeout_rate: float = 0.0
+    #: cycles one sync-processor timeout costs before the op executes.
+    sync_timeout_cycles: float = 48.0
+    #: exponential re-arbitration backoff: base * factor^(n-1), capped.
+    backoff_base_cycles: float = 2.0
+    backoff_factor: float = 2.0
+    backoff_max_cycles: float = 64.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "switch_fail_rate",
+            "port_down_rate",
+            "ecc_rate",
+            "sync_timeout_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        if self.backoff_base_cycles <= 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be positive and non-shrinking")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class can actually fire."""
+        return (
+            self.switch_fail_rate > 0.0
+            or self.port_down_rate > 0.0
+            or self.ecc_rate > 0.0
+            or self.sync_timeout_rate > 0.0
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "FaultPlan":
+        """One-knob plan for sweep studies: transient, ECC, and sync
+        faults at ``rate``; full port outages an order rarer."""
+        return cls(
+            seed=seed,
+            switch_fail_rate=rate,
+            ecc_rate=rate,
+            sync_timeout_rate=rate,
+            port_down_rate=rate / 10.0,
+            **overrides,
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same schedule shape under a different random stream."""
+        return replace(self, seed=seed)

@@ -45,6 +45,9 @@ class MemoryModule(Resource):
         self.reads = 0
         self.writes = 0
         self.sync_ops = 0
+        #: fault-injection counters, bumped by the module's fault site.
+        self.ecc_retries = 0
+        self.sync_timeouts = 0
         #: monitoring channels, wired by :meth:`GlobalMemory.attach`.
         self.service_signal = None
         self.sync_signal = None
@@ -165,6 +168,7 @@ class GlobalMemory:
         for module in self.modules:
             module.reset()
             module.reads = module.writes = module.sync_ops = 0
+            module.ecc_retries = module.sync_timeouts = 0
             module.sync = SyncProcessor()
 
     def stats(self) -> dict:
@@ -173,6 +177,8 @@ class GlobalMemory:
             "writes": self.total_writes,
             "sync_ops": self.total_sync_ops,
             "busy_cycles": sum(m.stats.busy_cycles for m in self.modules),
+            "ecc_retries": sum(m.ecc_retries for m in self.modules),
+            "sync_timeouts": sum(m.sync_timeouts for m in self.modules),
         }
 
     def describe(self) -> dict:

@@ -190,6 +190,50 @@ class ClusterMonitor(MonitorBase):
         m.timeline(f"{base}.busy", self.bin_cycles).add(time - duration, duration)
 
 
+class FaultMonitor(MonitorBase):
+    """Fault-injection event counters and stall-cost accounting."""
+
+    SIGNALS = (
+        "fault.transient",
+        "fault.port_down",
+        "fault.ecc",
+        "fault.sync_timeout",
+        "fault.reroute",
+    )
+
+    def _on_fault_transient(
+        self, resource, packet, time: float, backoff_cycles: float
+    ) -> None:
+        m = self.metrics
+        m.counter("fault.transients").inc()
+        m.counter(f"fault.{resource.name}.transients").inc()
+        m.counter("fault.backoff_cycles").inc(backoff_cycles)
+
+    def _on_fault_port_down(self, resource, time: float, until: float) -> None:
+        m = self.metrics
+        m.counter("fault.port_downs").inc()
+        m.counter(f"fault.{resource.name}.port_downs").inc()
+        m.counter("fault.down_cycles").inc(until - time)
+
+    def _on_fault_ecc(self, module: int, packet, time: float, stall_cycles: float) -> None:
+        m = self.metrics
+        m.counter("fault.ecc_retries").inc()
+        m.counter(f"fault.gm[{module}].ecc_retries").inc()
+        m.counter("fault.ecc_stall_cycles").inc(stall_cycles)
+
+    def _on_fault_sync_timeout(
+        self, module: int, address: int, time: float, penalty_cycles: float
+    ) -> None:
+        m = self.metrics
+        m.counter("fault.sync_timeouts").inc()
+        m.counter(f"fault.gm[{module}].sync_timeouts").inc()
+        m.counter("fault.sync_timeout_cycles").inc(penalty_cycles)
+
+    def _on_fault_reroute(self, network: str, packet, time: float) -> None:
+        self.metrics.counter("fault.reroutes").inc()
+        self.metrics.counter(f"fault.{network}.reroutes").inc()
+
+
 #: the monitor set `attach_standard_monitors` instantiates, in order.
 STANDARD_MONITORS = (
     NetworkMonitor,
@@ -197,6 +241,7 @@ STANDARD_MONITORS = (
     SyncMonitor,
     PrefetchMonitor,
     ClusterMonitor,
+    FaultMonitor,
 )
 
 

@@ -61,6 +61,12 @@ SIGNAL_CATALOG: Dict[str, Tuple[str, ...]] = {
     "cluster.access": ("resource", "packet", "time"),
     # CE lifecycle
     "ce.done": ("port", "time"),
+    # fault injection (un-keyed channels; see repro.faults)
+    "fault.transient": ("resource", "packet", "time", "backoff_cycles"),
+    "fault.port_down": ("resource", "time", "until"),
+    "fault.ecc": ("module", "packet", "time", "stall_cycles"),
+    "fault.sync_timeout": ("module", "address", "time", "penalty_cycles"),
+    "fault.reroute": ("network", "packet", "time"),
 }
 
 

@@ -150,6 +150,11 @@ class ChromeTracer:
         "pfu.deliver",
         "pfu.suspend",
         "ce.done",
+        "fault.transient",
+        "fault.port_down",
+        "fault.ecc",
+        "fault.sync_timeout",
+        "fault.reroute",
     )
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
@@ -195,6 +200,25 @@ class ChromeTracer:
             ),
             "ce.done": lambda port, t: self._instant(
                 scope, "ce", f"port[{port}]", "ce.done", t
+            ),
+            "fault.transient": lambda r, p, t, b: self._instant(
+                scope, "faults", "network", "fault.transient", t,
+                {"resource": r.name, "backoff_cycles": b},
+            ),
+            "fault.port_down": lambda r, t, until: self._instant(
+                scope, "faults", "network", "fault.port_down", t,
+                {"resource": r.name, "until": until},
+            ),
+            "fault.ecc": lambda m, p, t, c: self._instant(
+                scope, "faults", "gmem", "fault.ecc", t,
+                {"module": m, "stall_cycles": c},
+            ),
+            "fault.sync_timeout": lambda m, a, t, c: self._instant(
+                scope, "faults", "gmem", "fault.sync_timeout", t,
+                {"module": m, "address": a, "penalty_cycles": c},
+            ),
+            "fault.reroute": lambda n, p, t: self._instant(
+                scope, "faults", "network", "fault.reroute", t, {"network": n}
             ),
         }
         for name, handler in handlers.items():

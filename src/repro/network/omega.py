@@ -42,6 +42,9 @@ class OmegaNetwork:
         self.radices = stage_radices(n_ports, switch_radix)
         self.stage_cycles = stage_cycles
         self._sinks: Dict[int, Callable[[Packet], None]] = {}
+        #: optional degraded-mode router (a ``FaultInjector``), consulted
+        #: on injection when set; ``None`` is the zero-cost default.
+        self.fault_router = None
         #: (src, dst) -> tuple of network-internal hops; the delta path
         #: is a pure function of the port pair, so compute it once.
         self._route_cache: Dict[tuple, tuple] = {}
@@ -185,7 +188,17 @@ class OmegaNetwork:
 
     def inject(self, packet: Packet, tail: Optional[List[Hop]] = None) -> Transit:
         """Inject ``packet``; the caller must have checked
-        :meth:`can_inject` (injection raises when the port is full)."""
+        :meth:`can_inject` (injection raises when the port is full).
+
+        When a fault router is armed and the primary route crosses a
+        down port, the packet escapes into the reply fabric instead
+        (degraded-mode routing); replies never re-enter ``inject`` so
+        only fresh requests are rerouted."""
+        router = self.fault_router
+        if router is not None and tail is not None:
+            transit = router.try_reroute(self, packet, tail)
+            if transit is not None:
+                return transit
         packet.injected_at = self.engine.now
         route = self.route_for(packet, tail)
         transit = Transit(packet=packet, route=route, idx=0)

@@ -103,6 +103,10 @@ class Resource:
         self.depart_signal = None
         self.enqueue_signal = None
         self.dequeue_signal = None
+        #: optional fault-injection site (see ``repro.faults``), set at
+        #: injector attach time.  Same ``is not None`` fast path as the
+        #: signals: an unarmed resource pays one branch per service.
+        self.fault_hook = None
         # devirtualize the per-packet hooks: plain FIFO links (the vast
         # majority) take branch-only fast paths in _start_service/_finish.
         cls = type(self)
@@ -162,6 +166,14 @@ class Resource:
 
     def _start_service(self, transit: Transit) -> None:
         self._serving = True
+        hook = self.fault_hook
+        if hook is not None:
+            delay = hook.before_service(self, transit)
+            if delay > 0.0:
+                # fault stall: hold the head slot (still serving) and
+                # re-arbitrate once the stall elapses.
+                self.engine.schedule_after(delay, self._start_service, transit)
+                return
         if self._has_service_hook:
             cycles = self.service_cycles(transit.packet)
         else:

@@ -93,9 +93,10 @@ class TestObservabilityCommands:
         stdout = capsys.readouterr().out
         assert str(out) in stdout and "tracks" in stdout
 
-    def test_trace_unknown_experiment_rejected(self):
-        with pytest.raises(KeyError):
-            main(["trace", "not-an-experiment", "--out", "/tmp/x.json"])
+    def test_trace_unknown_experiment_rejected(self, capsys):
+        assert main(["trace", "not-an-experiment", "--out", "/tmp/x.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not-an-experiment" in err
 
     def test_report_single_experiment_prints_json(self, capsys):
         import json

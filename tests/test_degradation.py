@@ -1,0 +1,45 @@
+"""The degradation experiment: graceful performance loss under faults.
+
+Acceptance contract: delivered MFLOPS degrade monotonically as the
+injected fault rate rises, and the whole sweep is a deterministic
+function of its seed.
+"""
+
+from repro.experiments.degradation import render_degradation, run_degradation
+
+RATES = (0.0, 0.02, 0.05)
+
+
+def sweep(seed=2024):
+    return run_degradation(rates=RATES, seed=seed, strips=3, rounds=8)
+
+
+class TestDegradation:
+    def test_performance_degrades_monotonically(self):
+        points = sweep()
+        mflops = [p.mflops for p in points]
+        assert mflops[0] > mflops[1] > mflops[2] > 0.0
+        # the clean point sees no faults at all; faulty points do
+        assert points[0].transients == points[0].ecc_retries == 0
+        assert points[1].transients > 0
+        assert points[2].transients > points[1].transients
+        assert not any(p.aborted for p in points)
+
+    def test_sweep_is_deterministic_per_seed(self):
+        assert sweep() == sweep()
+
+    def test_sync_phase_slows_down_too(self):
+        points = sweep()
+        assert points[-1].sync_cycles > points[0].sync_cycles > 0.0
+
+    def test_render_includes_every_rate_and_status(self):
+        text = render_degradation(sweep())
+        for rate in RATES:
+            assert f"{rate:g}" in text
+        assert "ok" in text and "deterministically" in text
+
+    def test_registered_fast_mode_smokes(self):
+        from repro.experiments.runner import REGISTRY
+
+        exp = REGISTRY["degradation"]
+        assert exp.arguments(fast=True)["strips"] < exp.arguments(False)["strips"]

@@ -36,9 +36,10 @@ class TestRegistry:
             "multiprogramming",
             "ablation-network",
             "ablation-memory",
+            "degradation",
         }
         assert set(experiment_names()) == expected
-        assert len(expected) == 16
+        assert len(expected) == 17
 
     def test_registry_preserves_insertion_order(self):
         names = experiment_names()
@@ -94,7 +95,8 @@ class TestCacheStore:
         cache_store(tmp_path, "topology", key, "text", 0.0)
         for path in tmp_path.iterdir():
             path.write_text("{not json")
-        assert cache_load(tmp_path, "topology", key) is None
+        with pytest.warns(UserWarning, match="corrupt cache entry"):
+            assert cache_load(tmp_path, "topology", key) is None
 
 
 class TestDriver:

@@ -79,6 +79,37 @@ class TestZeroCost:
         assert collector.machines >= 1  # collection really happened
         assert instrumented == baseline
 
+    def test_inert_fault_plan_is_bit_identical(self):
+        """An all-zero FaultPlan builds no injector: the machine must be
+        indistinguishable from one assembled before the faults
+        subsystem existed (the zero-cost guarantee, extended)."""
+        from repro.faults import FaultPlan
+
+        baseline = measure()
+        inert = _run(CedarConfig(faults=FaultPlan(seed=99)), "CG", 2, True, 2)
+        assert inert == baseline
+
+    def test_armed_but_zero_rate_injector_is_bit_identical(self):
+        """Even an explicitly-installed injector with every rate at zero
+        must not perturb the simulation: hooks roll no dice and the
+        fault router never fires when nothing is down."""
+        from repro.core.machine import CedarMachine
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.kernels.programs import KERNELS, kernel_program
+
+        def programs():
+            return {
+                port: kernel_program(KERNELS["CG"], port, 2, prefetch=True)
+                for port in range(2)
+            }
+
+        bare = CedarMachine(CedarConfig()).run_programs(programs())
+        armed = CedarMachine(CedarConfig())
+        injector = FaultInjector(FaultPlan()).install(armed)
+        assert injector.describe()["sites"] > 0  # hooks really are armed
+        assert armed.run_programs(programs()) == bare
+        assert injector.stats()["transients"] == 0
+
     def test_rerun_on_same_machine_is_deterministic(self):
         """Attach/detach cycles leave no residue: a monitored machine,
         reset and re-run unmonitored, reproduces its first run."""
