@@ -1,15 +1,23 @@
-"""CI perf smoke: the engine's self-metered throughput vs the baseline.
+"""CI perf smoke: the engine's self-metered throughput vs the baseline,
+plus the simulator-level perf trajectory with span-collection overhead.
 
-Runs the same 64-chain / 20k-event drain as the pytest-benchmark suite,
-but measures it with the engine's own self-metrics (events dispatched
-and wall time inside the run loop) instead of pytest-benchmark, so it
-needs no plugins and finishes in well under a second.
+Part one runs the same 64-chain / 20k-event drain as the
+pytest-benchmark suite, but measures it with the engine's own
+self-metrics (events dispatched and wall time inside the run loop)
+instead of pytest-benchmark, so it needs no plugins and finishes in
+well under a second.  The realized events/sec is compared against the
+archived ``engine_event_throughput`` rate in
+``benchmarks/output/BENCH_engine.json`` with a generous 3x tolerance —
+shared CI runners are noisy; this guards against order-of-magnitude
+regressions (an accidentally-hot monitoring path, a lost fast path),
+not percent-level drift.
 
-The realized events/sec is compared against the archived
-``engine_event_throughput`` rate in ``benchmarks/output/BENCH_engine.json``
-with a generous 3x tolerance — shared CI runners are noisy; this guards
-against order-of-magnitude regressions (an accidentally-hot monitoring
-path, a lost fast path), not percent-level drift.
+Part two runs a small whole-machine kernel simulation twice — bare and
+with a :class:`~repro.monitor.spans.SpanCollector` attached — and
+appends one trajectory point (realized simulator events/sec and the
+span-collection wall-clock overhead percentage) to ``BENCH_sim.json``
+at the repository root.  The two runs must report *identical* simulated
+cycles (the zero-cost contract); a mismatch fails the smoke.
 
 Usage: ``python benchmarks/perf_smoke.py`` (exit 0 = within tolerance).
 """
@@ -19,8 +27,15 @@ from __future__ import annotations
 import json
 import pathlib
 import sys
+import time
 
 BENCH_JSON = pathlib.Path(__file__).parent / "output" / "BENCH_engine.json"
+
+#: simulator perf trajectory at the repo root, one point appended per run.
+BENCH_SIM_JSON = pathlib.Path(__file__).parent.parent / "BENCH_sim.json"
+
+#: trajectory length cap: drop the oldest points past this.
+SIM_HISTORY = 200
 
 #: a smoke run on a noisy shared runner may be this much slower than the
 #: archived baseline before we call it a regression.
@@ -28,6 +43,10 @@ TOLERANCE = 3.0
 
 EVENTS = 20_000
 CHAINS = 64
+
+#: sim-trajectory workload: CEs running the CG kernel, strip-mined.
+SIM_CES = 8
+SIM_STRIPS = 4
 
 
 def measured_events_per_sec() -> float:
@@ -49,7 +68,73 @@ def measured_events_per_sec() -> float:
     return metrics["events_per_sec"]
 
 
+def sim_measurement(with_spans: bool):
+    """One whole-machine kernel run; returns (sim cycles, events/sec,
+    requests traced)."""
+    from repro.core.config import CedarConfig
+    from repro.core.machine import CedarMachine
+    from repro.kernels.programs import KERNELS, kernel_program
+    from repro.monitor.spans import SpanCollector
+
+    machine = CedarMachine(CedarConfig())
+    collector = SpanCollector().attach(machine.bus) if with_spans else None
+    programs = {
+        port: kernel_program(KERNELS["CG"], port, SIM_STRIPS, prefetch=True)
+        for port in range(SIM_CES)
+    }
+    cycles = machine.run_programs(programs)
+    metrics = machine.engine.self_metrics()
+    traced = collector.completed if collector is not None else 0
+    if collector is not None:
+        collector.detach()
+    return cycles, float(metrics["events_per_sec"]), traced
+
+
+def append_sim_point() -> dict:
+    """Measure the sim trajectory point and append it to BENCH_sim.json.
+
+    Raises ``RuntimeError`` if the traced run's simulated cycles differ
+    from the bare run's (a zero-cost violation).
+    """
+    # best of three on both sides: shared-runner noise, not regressions
+    bare = max(sim_measurement(False) for _ in range(3))
+    traced = max(sim_measurement(True) for _ in range(3))
+    if traced[0] != bare[0]:
+        raise RuntimeError(
+            f"span collection changed simulated cycles: "
+            f"{bare[0]} bare vs {traced[0]} traced"
+        )
+    overhead = (bare[1] / traced[1] - 1.0) * 100.0 if traced[1] else 0.0
+    point = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": f"CG x{SIM_CES}ces x{SIM_STRIPS}strips",
+        "sim_cycles": bare[0],
+        "events_per_sec": round(bare[1], 1),
+        "events_per_sec_with_spans": round(traced[1], 1),
+        "span_overhead_pct": round(overhead, 1),
+        "requests_traced": traced[2],
+    }
+    try:
+        doc = json.loads(BENCH_SIM_JSON.read_text())
+    except (OSError, ValueError):
+        doc = {
+            "description": "simulator perf trajectory: one point per "
+            "perf-smoke run (bare events/sec and span-collection "
+            "overhead %)",
+            "points": [],
+        }
+    doc["points"] = (doc.get("points", []) + [point])[-SIM_HISTORY:]
+    BENCH_SIM_JSON.write_text(json.dumps(doc, indent=1) + "\n")
+    return point
+
+
 def main() -> int:
+    point = append_sim_point()
+    print(
+        f"perf-smoke: sim {point['events_per_sec']:,.0f} events/s, "
+        f"span overhead {point['span_overhead_pct']:+.1f}% "
+        f"({point['requests_traced']} requests traced) -> {BENCH_SIM_JSON.name}"
+    )
     try:
         baseline = json.loads(BENCH_JSON.read_text())
         baseline_rate = float(baseline["engine_event_throughput"]["rate"])

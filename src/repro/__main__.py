@@ -15,6 +15,8 @@ Usage::
                                              # every registered experiment
     python -m repro trace EXPERIMENT --out trace.json
                                              # Chrome/Perfetto trace
+    python -m repro analyze EXPERIMENT [--out spans.json] [--top N]
+                                             # request-latency analysis
     python -m repro report [EXPERIMENT]      # structured run reports
 
 ``--fast`` shrinks the cycle-level simulations to smoke size.
@@ -36,6 +38,11 @@ into ``--report-dir`` (default ``.repro-reports``; disable with
 ``trace`` re-runs one experiment with a :class:`ChromeTracer` attached
 to every machine it builds and writes a trace-event JSON openable in
 https://ui.perfetto.dev or ``chrome://tracing``.
+
+``analyze`` re-runs one experiment with a :class:`SpanCollector`
+attached, prints the request-latency decomposition (per-phase and
+per-stage tables, percentiles, bottleneck attribution, slowest-request
+waterfalls), and with ``--out`` writes the stitched spans as JSON.
 
 ``report`` with an experiment name runs it instrumented and prints its
 RunReport JSON; with no name it aggregates the report directory into a
@@ -186,8 +193,7 @@ def _run_all(args) -> str:
 
 def _trace(args) -> str:
     from repro.core.context import add_context_observer, remove_context_observer
-    from repro.experiments.kernels_sim import _run_cached
-    from repro.experiments.runner import experiment
+    from repro.experiments.runner import clear_memoized_runs, experiment
     from repro.monitor.tracer import ChromeTracer, validate_chrome_trace
 
     exp = experiment(args.experiment)
@@ -200,7 +206,7 @@ def _trace(args) -> str:
         machines["n"] += 1
         tracer.attach(ctx.bus, scope=scope)
 
-    _run_cached.cache_clear()  # memoized runs would build no machines
+    clear_memoized_runs()  # memoized runs would build no machines
     observer = add_context_observer(_observe)
     try:
         exp.runner(**exp.arguments(args.fast))
@@ -214,6 +220,63 @@ def _trace(args) -> str:
         f"{machines['n']} machine(s), {tracer.dropped} dropped\n"
         f"open in https://ui.perfetto.dev or chrome://tracing"
     )
+
+
+def _analyze(args) -> str:
+    from repro.core.context import add_context_observer, remove_context_observer
+    from repro.experiments.runner import clear_memoized_runs, experiment
+    from repro.monitor.analysis import latency_report
+    from repro.monitor.spans import LatencyAnalysis, SpanCollector, validate_spans
+
+    exp = experiment(args.experiment)
+    collectors = []
+
+    def _observe(ctx) -> None:
+        collectors.append(SpanCollector().attach(ctx.bus))
+
+    clear_memoized_runs()  # memoized runs would build no machines
+    observer = add_context_observer(_observe)
+    try:
+        exp.runner(**exp.arguments(args.fast))
+    finally:
+        remove_context_observer(observer)
+        for collector in collectors:
+            collector.detach()
+    if not collectors:
+        raise SystemExit(
+            f"experiment {args.experiment!r} built no machines to trace"
+        )
+    spans = [s for c in collectors for s in c.complete_spans()]
+    analysis = LatencyAnalysis(spans)
+    sections = [latency_report(analysis, top=args.top)]
+    incomplete = sum(len(c.incomplete_spans()) for c in collectors)
+    dropped = sum(c.dropped for c in collectors)
+    sections.append(
+        f"{len(spans)} requests traced across {len(collectors)} machine(s)"
+        f" ({incomplete} incomplete at sim end, {dropped} dropped)"
+    )
+    if args.out:
+        import json
+
+        if len(collectors) == 1:
+            doc = collectors[0].spans()
+        else:
+            docs = [c.spans() for c in collectors]
+            doc = {
+                "version": docs[0]["version"],
+                "complete": sum(d["complete"] for d in docs),
+                "incomplete": sum(d["incomplete"] for d in docs),
+                "dropped": sum(d["dropped"] for d in docs),
+                # request ids are process-wide unique, so machines merge
+                "requests": [r for d in docs for r in d["requests"]],
+            }
+        n_requests, n_complete = validate_spans(doc)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh)
+        sections.append(
+            f"wrote {args.out}: {n_requests} spans ({n_complete} complete)"
+        )
+    return "\n\n".join(sections)
 
 
 def _report(args) -> str:
@@ -306,6 +369,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--fast", action="store_true",
                        help="smoke-size cycle simulations")
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="run one experiment and print its request-latency decomposition",
+    )
+    analyze.add_argument("experiment", help="registered experiment name")
+    analyze.add_argument("--out", default=None, metavar="SPANS_JSON",
+                         help="also write the stitched spans as JSON")
+    analyze.add_argument("--top", type=int, default=5,
+                         help="slowest-request waterfalls to show (default 5)")
+    analyze.add_argument("--fast", action="store_true",
+                         help="smoke-size cycle simulations")
+
     report = sub.add_parser(
         "report", help="structured run reports (one experiment or the fleet)"
     )
@@ -334,6 +409,7 @@ HANDLERS: Dict[str, Callable] = {
     "all": _all,
     "run-all": _run_all,
     "trace": _trace,
+    "analyze": _analyze,
     "report": _report,
 }
 

@@ -209,12 +209,14 @@ class CE:
         self._fence_waiting = False
         self._on_done: Optional[Callable[["CE"], None]] = None
         self._sig_done = None
+        self._sig_birth = None
         self.done = False
 
     # -- component lifecycle -----------------------------------------------------
 
     def attach(self, ctx) -> None:
         self._sig_done = ctx.bus.signal("ce.done", key=self.port)
+        self._sig_birth = ctx.bus.signal("req.birth", key=self.port)
 
     def reset(self) -> None:
         self.stats = CEStats()
@@ -389,6 +391,9 @@ class CE:
                     words=1,
                     meta={"ce_reply": self.port, "handler": _on_reply},
                 )
+                sig = self._sig_birth
+                if sig is not None and sig:
+                    sig.emit(packet, "demand", self.engine.now)
                 self.machine.forward_network.inject(
                     packet, tail=self.machine.gmem.route_tail(address)
                 )
@@ -430,6 +435,9 @@ class CE:
             words=2,  # control/address word + one data word
             meta={"on_write_done": self._store_completed},
         )
+        sig = self._sig_birth
+        if sig is not None and sig:
+            sig.emit(packet, "store", self.engine.now)
         self._stores_in_flight += 1
         self.machine.forward_network.inject(
             packet, tail=self.machine.gmem.route_tail(address)
@@ -494,6 +502,9 @@ class CE:
                         "handler": _on_reply,
                     },
                 )
+                sig = self._sig_birth
+                if sig is not None and sig:
+                    sig.emit(packet, "block", self.engine.now)
                 self.machine.forward_network.inject(
                     packet, tail=self.machine.gmem.route_tail(address)
                 )
@@ -525,6 +536,9 @@ class CE:
                     "handler": _on_reply,
                 },
             )
+            sig = self._sig_birth
+            if sig is not None and sig:
+                sig.emit(packet, "sync", self.engine.now)
             self.machine.forward_network.inject(
                 packet, tail=self.machine.gmem.route_tail(op.address)
             )

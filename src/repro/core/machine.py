@@ -135,7 +135,12 @@ class CedarMachine:
     # -- wiring -----------------------------------------------------------------
 
     def _make_sink(self, port: int):
+        deliver = self.bus.signal("req.deliver", key=port)
+        engine = self.engine
+
         def _sink(packet: Packet) -> None:
+            if deliver:
+                deliver.emit(packet, engine.now)
             handler = packet.meta.get("handler")
             if handler is not None:
                 handler(packet)

@@ -44,7 +44,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
 
 #: bump when renderer output formats change, invalidating old entries.
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 #: default on-disk cache location (repo-/cwd-relative).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -418,6 +418,25 @@ class ExperimentResult:
         return self.error is None
 
 
+def clear_memoized_runs() -> None:
+    """Clear every in-process experiment memo — the kernel-simulation
+    memo plus each experiment's own ``lru_cache`` — so the next run
+    really builds machines.  Instrumentation (span collection, tracing,
+    report collection) observes nothing on a memo replay; every caller
+    that attaches observers must clear first.  All the caches are pure
+    run memos, so clearing only costs recompute time.
+    """
+    import sys
+
+    for name, module in list(sys.modules.items()):
+        if not name.startswith("repro."):
+            continue
+        for attr in list(vars(module).values()):
+            clear = getattr(attr, "cache_clear", None)
+            if callable(clear) and getattr(attr, "__module__", None) == name:
+                clear()
+
+
 def _execute(name: str, kwargs: Dict[str, object]) -> str:
     """Worker entry point: run one experiment to its rendered text."""
     return REGISTRY[name].runner(**kwargs)
@@ -428,16 +447,15 @@ def _execute_with_report(name: str, kwargs: Dict[str, object]) -> tuple:
 
     Returns ``(output, machine_dicts, elapsed_s)``.  Elapsed time is
     measured here, inside the worker, so a report never charges an
-    experiment for time it spent queued behind other work.  Kernel
+    experiment for time it spent queued behind other work.  Run
     memoization is cleared first so every machine the experiment needs
     is actually built (and therefore monitored) inside the collection
     window — a worker process may have warm memo entries from an
     earlier experiment.
     """
-    from repro.experiments.kernels_sim import _run_cached
     from repro.monitor.report import ReportCollector
 
-    _run_cached.cache_clear()
+    clear_memoized_runs()
     start = time.perf_counter()
     with ReportCollector() as collector:
         output = REGISTRY[name].runner(**kwargs)

@@ -110,14 +110,20 @@ class MemoryModule(Resource):
         raise ValueError(f"memory module cannot service packet kind {packet.kind}")
 
     def _execute_sync(self, packet: Packet):
-        sig = self.sync_signal
-        if sig is not None and sig:
-            sig.emit(self.index, packet.address, self.engine.now)
         operation = packet.meta.get("sync")
         if operation is None:
-            return self.sync.test_and_set(packet.address)
-        test, test_operand, op, op_operand = operation
-        return self.sync.test_and_op(packet.address, test, test_operand, op, op_operand)
+            result = self.sync.test_and_set(packet.address)
+        else:
+            test, test_operand, op, op_operand = operation
+            result = self.sync.test_and_op(
+                packet.address, test, test_operand, op, op_operand
+            )
+        sig = self.sync_signal
+        if sig is not None and sig:
+            sig.emit(
+                self.index, packet.address, self.engine.now, packet, result.success
+            )
+        return result
 
     def _extend_route_into_reverse(self, transit: Transit, reply: Packet) -> None:
         """Splice the reverse-network route after this module.

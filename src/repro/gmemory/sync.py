@@ -129,3 +129,16 @@ class SyncProcessor:
         """Convenience: unconditional add returning the old value — the
         primitive the runtime library uses for loop self-scheduling."""
         return self.test_and_op(address, TestOp.ALWAYS, 0, SyncOp.ADD, increment).old_value
+
+
+def format_sync_op(operation) -> str:
+    """Human-readable rendering of a packet's ``meta["sync"]`` tuple
+    (``None`` is the bare Test-And-Set) for span waterfalls and reports."""
+    if operation is None:
+        return "test-and-set"
+    test, test_operand, op, op_operand = operation
+    if test is TestOp.ALWAYS:
+        condition = "always"
+    else:
+        condition = f"{test.value} {test_operand}"
+    return f"if {condition}: {op.value} {op_operand}"

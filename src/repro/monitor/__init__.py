@@ -66,6 +66,13 @@ from repro.monitor.signals import (
     SignalBus,
     Subscription,
 )
+from repro.monitor.spans import (
+    LatencyAnalysis,
+    RequestSpan,
+    SpanCollector,
+    validate_spans,
+    validate_spans_file,
+)
 
 __all__ = [
     "ChromeTracer",
@@ -76,6 +83,7 @@ __all__ = [
     "EventTracer",
     "Gauge",
     "Histogrammer",
+    "LatencyAnalysis",
     "MemoryMonitor",
     "MetricsRegistry",
     "NetworkMonitor",
@@ -83,10 +91,12 @@ __all__ = [
     "PrefetchProbe",
     "ProbeSummary",
     "ReportCollector",
+    "RequestSpan",
     "RunReport",
     "SIGNAL_CATALOG",
     "Signal",
     "SignalBus",
+    "SpanCollector",
     "Subscription",
     "SyncMonitor",
     "Timeline",
@@ -97,4 +107,6 @@ __all__ = [
     "render_report_summary",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
+    "validate_spans",
+    "validate_spans_file",
 ]

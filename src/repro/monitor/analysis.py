@@ -13,7 +13,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.machine import CedarMachine
+from repro.monitor.spans import LatencyAnalysis, PHASES, RequestSpan
 from repro.network.resource import Resource
+from repro.util.ascii_chart import line_chart
+from repro.util.tables import Table
 
 
 @dataclass(frozen=True)
@@ -134,3 +137,116 @@ def stage_heat_strip(machine: CedarMachine, elapsed: Optional[float] = None) -> 
     lines.append(f"gm     |{''.join(cells)}|")
     lines.append("        utilization shade: ' '=idle .. '@'=saturated")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# request-latency rendering (the `repro analyze` output)
+
+#: waterfall glyph per phase, in timeline order.
+_PHASE_GLYPHS = dict(zip(PHASES, "fwsbr"))
+
+
+def latency_tables(analysis: LatencyAnalysis) -> str:
+    """The per-phase / per-stage / per-origin decomposition tables."""
+    phase_table = Table(
+        title="latency decomposition by phase (cycles)",
+        columns=["phase", "n", "mean", "p50", "p90", "p95", "p99", "max", "share%"],
+    )
+    for phase, row in analysis.phase_decomposition().items():
+        phase_table.add_row([
+            phase, row["count"], row["mean"], row["p50"], row["p90"],
+            row["p95"], row["p99"], row["max"], 100.0 * row["share"],
+        ])
+    stage_table = Table(
+        title="queue wait vs. service per stage (cycles/traversal)",
+        columns=["stage", "traversals", "queue_wait", "service", "blocked", "share%"],
+        precision=2,
+    )
+    for stage, row in analysis.stage_decomposition().items():
+        stage_table.add_row([
+            stage, row["traversals"], row["queue_wait"], row["service"],
+            row["blocked"], 100.0 * row["share"],
+        ])
+    origin_table = Table(
+        title="end-to-end latency by origin (cycles)",
+        columns=["origin", "n", "mean", "p50", "p90", "p95", "p99", "max"],
+    )
+    for origin, row in analysis.end_to_end().items():
+        origin_table.add_row([
+            origin, row["count"], row["mean"], row["p50"], row["p90"],
+            row["p95"], row["p99"], row["max"],
+        ])
+    return "\n\n".join(
+        t.render() for t in (phase_table, stage_table, origin_table)
+    )
+
+
+def latency_distribution_chart(
+    analysis: LatencyAnalysis, width: int = 64, height: int = 12
+) -> str:
+    """End-to-end latency quantile curve (x: percentile, y: cycles)."""
+    qs = [i / 100.0 for i in range(1, 100)]
+    hist = analysis._histogram([s.latency for s in analysis.spans])
+    points = [(q * 100.0, hist.percentile(q)) for q in qs]
+    return line_chart(
+        {"latency": points},
+        width=width,
+        height=height,
+        title="end-to-end latency quantiles",
+        x_label="percentile",
+        y_label="cycles",
+    )
+
+
+def _waterfall_row(span: RequestSpan, scale: float, width: int) -> str:
+    phases = span.phases()
+    bar = []
+    for phase in PHASES:
+        cells = int(round(phases[phase] * scale))
+        bar.append(_PHASE_GLYPHS[phase] * cells)
+    bar = "".join(bar)[:width].ljust(width)
+    notes = ""
+    if span.faults:
+        kinds = sorted({fault["type"] for fault in span.faults})
+        notes = "  !" + ",".join(kinds)
+    return (
+        f"#{span.request_id:<8d} {span.origin:<8s} port {span.port:<3d} "
+        f"{span.latency:8.1f} cy |{bar}|{notes}"
+    )
+
+
+def span_waterfalls(
+    analysis: LatencyAnalysis, top: int = 5, width: int = 56
+) -> str:
+    """Slowest-``top`` request waterfalls: one bar per request, phases
+    as glyph runs proportional to their share of the slowest latency."""
+    slowest = analysis.slowest(top)
+    if not slowest:
+        return "no completed requests"
+    scale = width / max(s.latency for s in slowest)
+    legend = "  ".join(f"{g}={p}" for p, g in _PHASE_GLYPHS.items())
+    lines = [f"slowest {len(slowest)} requests  ({legend})"]
+    lines.extend(_waterfall_row(span, scale, width) for span in slowest)
+    return "\n".join(lines)
+
+
+def latency_report(analysis: LatencyAnalysis, top: int = 5) -> str:
+    """The full `repro analyze` text block: tables, quantile chart,
+    bottleneck attribution, exemplar waterfalls, reconciliation check."""
+    if not analysis.spans:
+        return "no completed request spans collected"
+    parts = [latency_tables(analysis), latency_distribution_chart(analysis)]
+    attribution = analysis.bottleneck_attribution()
+    if attribution:
+        worst = attribution[0]
+        parts.append(
+            f"bottleneck: stage {worst['stage']!r} contributes "
+            f"{100.0 * worst['share']:.0f}% of p95-cohort latency"
+        )
+    parts.append(span_waterfalls(analysis, top=top))
+    parts.append(
+        f"phase sums reconcile with end-to-end latency to within "
+        f"{analysis.reconciliation_error():.3g} cycles "
+        f"(bound: 1 cycle/request)"
+    )
+    return "\n\n".join(parts)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 
 class Histogrammer:
@@ -58,7 +58,16 @@ class Histogrammer:
         return acc / total
 
     def percentile(self, q: float) -> float:
-        """Approximate percentile from binned counts (0 <= q <= 1)."""
+        """Percentile from binned counts (0 <= q <= 1), interpolated
+        linearly *within* the bin that crosses the target rank — the
+        resolution limit is one bin width, not one bin midpoint.
+
+        Edge-bin clamping: out-of-range samples were clamped into the
+        edge bins at :meth:`record` time, so extreme quantiles clamp to
+        ``[lo, hi]`` — a p99 of data above ``hi`` reports ``hi``, never
+        extrapolates beyond the counter range (as the 64K-counter
+        hardware would).
+        """
         if not 0 <= q <= 1:
             raise ValueError("q must be within [0, 1]")
         if not self._counts:
@@ -68,7 +77,16 @@ class Histogrammer:
         seen = 0
         width = (self.hi - self.lo) / self.bins
         for idx in sorted(self._counts):
-            seen += self._counts[idx]
-            if seen >= target:
-                return self.lo + (idx + 0.5) * width
+            count = self._counts[idx]
+            if seen + count >= target:
+                frac = (target - seen) / count if count else 0.0
+                frac = min(max(frac, 0.0), 1.0)
+                value = self.lo + (idx + frac) * width
+                return min(max(value, self.lo), self.hi)
+            seen += count
         return self.hi
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.9, 0.95, 0.99)) -> List[float]:
+        """:meth:`percentile` for each ``q`` in ``qs`` (one pass per q;
+        the bank is small enough that a shared pass is not worth it)."""
+        return [self.percentile(q) for q in qs]

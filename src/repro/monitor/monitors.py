@@ -136,9 +136,14 @@ class SyncMonitor(MonitorBase):
 
     SIGNALS = ("sync.op",)
 
-    def _on_sync_op(self, module: int, address: int, time: float) -> None:
+    def _on_sync_op(
+        self, module: int, address: int, time: float, packet, success: bool
+    ) -> None:
         self.metrics.counter(f"sync.module[{module}].ops").inc()
         self.metrics.counter("sync.total_ops").inc()
+        self.metrics.counter(
+            "sync.successes" if success else "sync.failures"
+        ).inc()
 
 
 class PrefetchMonitor(MonitorBase):

@@ -24,9 +24,10 @@ from typing import Dict, List, Optional
 
 from repro.monitor.metrics import MetricsRegistry
 from repro.monitor.monitors import attach_standard_monitors, detach_monitors
+from repro.monitor.spans import LatencyAnalysis, SpanCollector
 
 #: report format version (bump on breaking shape changes).
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 #: default on-disk report location (repo-/cwd-relative), one JSON per
 #: artifact, written by ``python -m repro run-all``.
@@ -43,9 +44,14 @@ class ReportCollector:
         machines = collector.machine_dicts()
     """
 
-    def __init__(self) -> None:
+    #: per-machine span cap while reporting (smaller than the analyze
+    #: CLI's: reports want the decomposition, not every exemplar).
+    SPAN_CAP = 100_000
+
+    def __init__(self, collect_spans: bool = True) -> None:
         self._records: List[tuple] = []
         self._observer = None
+        self.collect_spans = collect_spans
 
     # -- installation ------------------------------------------------------
 
@@ -64,8 +70,10 @@ class ReportCollector:
         if self._observer is not None:
             remove_context_observer(self._observer)
             self._observer = None
-        for _ctx, _registry, monitors in self._records:
+        for _ctx, _registry, monitors, spans in self._records:
             detach_monitors(monitors)
+            if spans is not None:
+                spans.detach()
 
     def __enter__(self) -> "ReportCollector":
         return self.install()
@@ -76,7 +84,10 @@ class ReportCollector:
     def _observe(self, ctx) -> None:
         registry = MetricsRegistry()
         monitors = attach_standard_monitors(ctx.bus, registry)
-        self._records.append((ctx, registry, monitors))
+        spans = None
+        if self.collect_spans:
+            spans = SpanCollector(max_requests=self.SPAN_CAP).attach(ctx.bus)
+        self._records.append((ctx, registry, monitors, spans))
 
     # -- results -----------------------------------------------------------
 
@@ -87,17 +98,20 @@ class ReportCollector:
     def machine_dicts(self) -> List[Dict[str, object]]:
         """One JSON-ready record per machine built during collection."""
         out = []
-        for ctx, registry, _monitors in self._records:
+        for ctx, registry, _monitors, spans in self._records:
             engine = ctx.engine
-            out.append(
-                {
-                    "config_hash": ctx.config.stable_hash(),
-                    "components": len(ctx.names()),
-                    "sim_cycles": engine.now,
-                    "engine": engine.self_metrics(),
-                    "metrics": registry.snapshot(now=engine.now),
-                }
-            )
+            record = {
+                "config_hash": ctx.config.stable_hash(),
+                "components": len(ctx.names()),
+                "sim_cycles": engine.now,
+                "engine": engine.self_metrics(),
+                "metrics": registry.snapshot(now=engine.now),
+            }
+            if spans is not None:
+                record["latency"] = LatencyAnalysis.from_collector(
+                    spans
+                ).summary()
+            out.append(record)
         return out
 
 
@@ -123,6 +137,30 @@ class RunReport:
             m.get("engine", {}).get("events_processed", 0) for m in self.machines
         )
 
+    def latency_summary(self) -> Dict[str, object]:
+        """Run-level latency rollup over the per-machine span analyses:
+        traced-request total, the worst machine p95, and the stage
+        that dominates the worst machine's tail."""
+        traced = [
+            m["latency"] for m in self.machines
+            if isinstance(m.get("latency"), dict) and m["latency"].get("requests")
+        ]
+        summary: Dict[str, object] = {
+            "requests": sum(m["requests"] for m in traced),
+        }
+        p95s = [
+            m["end_to_end"]["all"]["p95"]
+            for m in traced
+            if m.get("end_to_end", {}).get("all")
+        ]
+        if p95s:
+            worst = max(range(len(p95s)), key=lambda i: p95s[i])
+            summary["worst_p95_cycles"] = p95s[worst]
+            bottleneck = traced[worst].get("bottleneck")
+            if bottleneck:
+                summary["bottleneck"] = bottleneck
+        return summary
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "version": self.version,
@@ -134,6 +172,7 @@ class RunReport:
             "machines_built": len(self.machines),
             "total_sim_cycles": self.total_sim_cycles(),
             "total_engine_events": self.total_engine_events(),
+            "latency": self.latency_summary(),
             "machines": list(self.machines),
         }
 

@@ -54,9 +54,20 @@ SIGNAL_CATALOG: Dict[str, Tuple[str, ...]] = {
     # component wires up, including memory modules and cluster banks)
     "net.enqueue": ("resource", "packet", "time"),
     "net.dequeue": ("resource", "packet", "time"),
+    # a link's service completing (before any head-of-line blocking on
+    # the next hop); with ``net.enqueue``/``net.hop`` this splits a hop
+    # into queue-wait / service / blocked segments (keyed like net.hop)
+    "net.service": ("resource", "packet", "time"),
     # global memory (per-module channels); ``cycles`` is the service time
     "gmem.service": ("module", "packet", "time", "cycles"),
-    "sync.op": ("module", "address", "time"),
+    "sync.op": ("module", "address", "time", "packet", "success"),
+    # request lifecycle (per-CE-port channels): a global reference being
+    # born at its issue site (``origin`` is "prefetch"/"demand"/"block"/
+    # "store"/"sync") and a reply being delivered back at its port.  The
+    # packet's ``request_id`` — shared by request and reply — is the
+    # span identity the SpanCollector stitches on.
+    "req.birth": ("packet", "origin", "time"),
+    "req.deliver": ("packet", "time"),
     # cluster-local shared resources (per-cluster channels)
     "cluster.access": ("resource", "packet", "time"),
     # CE lifecycle

@@ -1,0 +1,649 @@
+"""Request-level causal tracing: per-reference spans on the signal bus.
+
+Every global reference a CE or PFU issues already carries a stable
+``request_id`` (shared by the request packet and its reply).  A
+:class:`SpanCollector` subscribes *broadcast* to the architectural
+signals a reference crosses on its way out and back —
+
+* ``req.birth`` at the issue site (PFU word issue, CE demand load,
+  store, block transfer, sync instruction),
+* ``net.enqueue`` / ``net.service`` / ``net.hop`` at every network
+  link (queue entry, service completion, departure — splitting each hop
+  into queue-wait / service / head-of-line-blocked segments),
+* ``gmem.service`` / ``net.dequeue`` at the memory module,
+* ``sync.op`` for synchronization outcomes,
+* ``fault.*`` for retry/stall annotations,
+* ``req.deliver`` back at the originating port —
+
+and stitches them into one **span tree per request**: an end-to-end
+span decomposed into forward-network, memory (wait / service / block)
+and reverse-network phases, with one child span per hop.
+
+The phases are a *segmentation of the request's timeline* — forward
+ends where memory-queue entry begins, memory-block ends where the
+reverse network begins — so their sum reconciles with the end-to-end
+latency exactly, not approximately.
+
+Zero-cost contract: all publishers guard their emissions on subscriber
+count, so with no collector attached no payload is ever built and runs
+are bit-identical (``tests/test_zero_cost.py`` pins this).  Packets
+carry no tracing state beyond the id they always had.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gmemory.sync import format_sync_op
+from repro.monitor.histogram import Histogrammer
+
+#: exported spans-JSON schema version (see :func:`validate_spans`).
+SPANS_VERSION = 1
+
+#: the five phases of a global reference, in timeline order.
+PHASES = ("forward", "memory_wait", "memory_service", "memory_block", "reverse")
+
+
+def _stage_of(resource_name: str) -> str:
+    """``"fwd.s0[3]"`` -> ``"fwd.s0"``; ``"gm[4]"`` -> ``"gmem"``."""
+    if resource_name.startswith("gm["):
+        return "gmem"
+    return resource_name.split("[", 1)[0]
+
+
+class HopSpan:
+    """One network hop of a request: its queue entry, service end and
+    departure on one link, plus the link's nominal service time (rate
+    parameters captured at enqueue, so queue-wait = time at the head
+    minus service — including any fault stall or recovery hold)."""
+
+    __slots__ = ("resource", "stage", "is_reply", "enqueue", "svc",
+                 "service_end", "depart")
+
+    def __init__(self, resource: str, stage: str, is_reply: bool,
+                 enqueue: float, svc: float) -> None:
+        self.resource = resource
+        self.stage = stage
+        self.is_reply = is_reply
+        self.enqueue = enqueue
+        self.svc = svc
+        self.service_end: Optional[float] = None
+        self.depart: Optional[float] = None
+
+    def segments(self) -> Optional[Tuple[float, float, float]]:
+        """(queue_wait, service, blocked) cycles, or None while the hop
+        is still in flight."""
+        if self.service_end is None or self.depart is None:
+            return None
+        wait = max(0.0, self.service_end - self.svc - self.enqueue)
+        blocked = max(0.0, self.depart - self.service_end)
+        return wait, self.svc, blocked
+
+    def to_dict(self) -> dict:
+        out = {
+            "resource": self.resource,
+            "stage": self.stage,
+            "direction": "reverse" if self.is_reply else "forward",
+            "enqueue": self.enqueue,
+            "service_end": self.service_end,
+            "depart": self.depart,
+        }
+        segments = self.segments()
+        if segments is not None:
+            out["queue_wait"], out["service"], out["blocked"] = segments
+        return out
+
+
+class RequestSpan:
+    """The stitched span tree of one global reference."""
+
+    __slots__ = (
+        "request_id", "origin", "port", "address", "kind", "words", "birth",
+        "hops", "mem_module", "mem_enqueue", "mem_cycles", "mem_service_end",
+        "mem_depart", "sync_success", "sync_op", "faults", "end", "complete",
+    )
+
+    def __init__(self, request_id: int, origin: str, port: int, address: int,
+                 kind: str, words: int, birth: float) -> None:
+        self.request_id = request_id
+        self.origin = origin
+        self.port = port
+        self.address = address
+        self.kind = kind
+        self.words = words
+        self.birth = birth
+        self.hops: List[HopSpan] = []
+        self.mem_module: Optional[int] = None
+        self.mem_enqueue: Optional[float] = None
+        self.mem_cycles: Optional[float] = None
+        self.mem_service_end: Optional[float] = None
+        self.mem_depart: Optional[float] = None
+        self.sync_success: Optional[bool] = None
+        self.sync_op: Optional[str] = None
+        self.faults: List[dict] = []
+        self.end: Optional[float] = None
+        self.complete = False
+
+    # -- derived latency ---------------------------------------------------
+
+    @property
+    def latency(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.birth
+
+    def phases(self) -> Optional[Dict[str, float]]:
+        """Per-phase latency decomposition, or None while incomplete.
+
+        Defined as a segmentation of [birth, end] at the memory-module
+        event times, so ``sum(phases.values()) == latency`` exactly.
+        """
+        if self.end is None or self.mem_enqueue is None:
+            return None
+        if self.mem_service_end is None or self.mem_cycles is None:
+            return None
+        depart = self.mem_depart if self.mem_depart is not None else self.end
+        return {
+            "forward": self.mem_enqueue - self.birth,
+            "memory_wait": (self.mem_service_end - self.mem_cycles)
+            - self.mem_enqueue,
+            "memory_service": self.mem_cycles,
+            "memory_block": depart - self.mem_service_end,
+            "reverse": self.end - depart,
+        }
+
+    def to_dict(self) -> dict:
+        out = {
+            "id": self.request_id,
+            "origin": self.origin,
+            "port": self.port,
+            "address": self.address,
+            "kind": self.kind,
+            "words": self.words,
+            "birth": self.birth,
+            "end": self.end,
+            "latency": self.latency,
+            "complete": self.complete,
+            "hops": [hop.to_dict() for hop in self.hops],
+        }
+        phases = self.phases()
+        if phases is not None:
+            out["phases"] = phases
+        if self.mem_module is not None:
+            out["memory"] = {
+                "module": self.mem_module,
+                "enqueue": self.mem_enqueue,
+                "service_cycles": self.mem_cycles,
+                "service_end": self.mem_service_end,
+                "depart": self.mem_depart,
+            }
+        if self.sync_success is not None:
+            out["sync"] = {"success": self.sync_success, "op": self.sync_op}
+        if self.faults:
+            out["faults"] = list(self.faults)
+        return out
+
+
+class SpanCollector:
+    """Broadcast bus subscriber stitching per-request span trees.
+
+    Attach before the machine assembles (via a context observer) or to
+    an already-built machine's bus; only references born *after* attach
+    are traced — events for unknown request ids (cluster-local traffic,
+    pre-attach births) are ignored.
+
+    ``max_requests`` bounds memory: births past the cap count into
+    :attr:`dropped` instead of being tracked.
+    """
+
+    SIGNALS = (
+        "req.birth",
+        "req.deliver",
+        "net.enqueue",
+        "net.service",
+        "net.hop",
+        "net.dequeue",
+        "gmem.service",
+        "sync.op",
+        "fault.transient",
+        "fault.ecc",
+        "fault.sync_timeout",
+        "fault.reroute",
+    )
+
+    DEFAULT_MAX_REQUESTS = 200_000
+
+    def __init__(self, max_requests: int = DEFAULT_MAX_REQUESTS) -> None:
+        if max_requests < 1:
+            raise ValueError("max_requests must be positive")
+        self.max_requests = max_requests
+        self.requests: Dict[int, RequestSpan] = {}
+        self.dropped = 0
+        self.completed = 0
+        self._open_syncs: Dict[int, List[int]] = {}
+        self._subscriptions: List[tuple] = []
+
+    # -- attachment --------------------------------------------------------
+
+    def attach(self, bus) -> "SpanCollector":
+        for name in self.SIGNALS:
+            if bus.declared(name):
+                handler = getattr(self, "_on_" + name.replace(".", "_"))
+                self._subscriptions.append((bus, bus.subscribe(name, handler)))
+        return self
+
+    def detach(self) -> None:
+        for bus, subscription in self._subscriptions:
+            bus.unsubscribe(subscription)
+        self._subscriptions = []
+
+    # -- signal handlers ---------------------------------------------------
+
+    def _on_req_birth(self, packet, origin: str, time: float) -> None:
+        if len(self.requests) >= self.max_requests:
+            self.dropped += 1
+            return
+        span = RequestSpan(
+            packet.request_id, origin, packet.src, packet.address,
+            packet.kind.name, packet.words, time,
+        )
+        self.requests[packet.request_id] = span
+        if origin == "sync":
+            self._open_syncs.setdefault(packet.address, []).append(
+                packet.request_id
+            )
+
+    def _on_req_deliver(self, packet, time: float) -> None:
+        span = self.requests.get(packet.request_id)
+        if span is None or span.complete:
+            return
+        self._finish(span, time)
+
+    def _on_net_enqueue(self, resource, packet, time: float) -> None:
+        span = self.requests.get(packet.request_id)
+        if span is None or span.complete:
+            return
+        name = resource.name
+        if name.startswith("gm["):
+            span.mem_enqueue = time
+            return
+        svc = resource.fixed_cycles + packet.words / resource.words_per_cycle
+        span.hops.append(
+            HopSpan(name, _stage_of(name), packet.is_reply, time, svc)
+        )
+
+    def _on_net_service(self, resource, packet, time: float) -> None:
+        span = self.requests.get(packet.request_id)
+        if span is None:
+            return
+        self._backfill(span, resource.name, "service_end", time)
+
+    def _on_net_hop(self, resource, packet, time: float) -> None:
+        span = self.requests.get(packet.request_id)
+        if span is None:
+            return
+        self._backfill(span, resource.name, "depart", time)
+
+    def _on_net_dequeue(self, resource, packet, time: float) -> None:
+        if not resource.name.startswith("gm["):
+            return  # network-link departures arrive via net.hop
+        span = self.requests.get(packet.request_id)
+        if span is None:
+            return
+        span.mem_depart = time
+        # stores are terminal at the module: no reply travels back.
+        if span.kind == "WRITE_REQ" and not span.complete:
+            self._finish(span, time)
+
+    def _on_gmem_service(self, module: int, packet, time: float,
+                         cycles: float) -> None:
+        span = self.requests.get(packet.request_id)
+        if span is None:
+            return
+        span.mem_module = module
+        span.mem_cycles = cycles
+        span.mem_service_end = time
+
+    def _on_sync_op(self, module: int, address: int, time: float, packet,
+                    success: bool) -> None:
+        span = self.requests.get(packet.request_id)
+        if span is None:
+            return
+        span.sync_success = success
+        span.sync_op = format_sync_op(packet.meta.get("sync"))
+
+    def _on_fault_transient(self, resource, packet, time: float,
+                            backoff_cycles: float) -> None:
+        self._annotate(packet.request_id, {
+            "type": "transient", "resource": resource.name,
+            "time": time, "cycles": backoff_cycles,
+        })
+
+    def _on_fault_ecc(self, module: int, packet, time: float,
+                      stall_cycles: float) -> None:
+        self._annotate(packet.request_id, {
+            "type": "ecc", "module": module,
+            "time": time, "cycles": stall_cycles,
+        })
+
+    def _on_fault_reroute(self, network: str, packet, time: float) -> None:
+        self._annotate(packet.request_id, {
+            "type": "reroute", "network": network, "time": time,
+        })
+
+    def _on_fault_sync_timeout(self, module: int, address: int, time: float,
+                               penalty_cycles: float) -> None:
+        # no packet on this signal: charge the oldest in-flight sync to
+        # the same address (the one being retried at the module).
+        for request_id in self._open_syncs.get(address, ()):
+            span = self.requests.get(request_id)
+            if span is not None and not span.complete:
+                span.faults.append({
+                    "type": "sync_timeout", "module": module,
+                    "time": time, "cycles": penalty_cycles,
+                })
+                return
+
+    # -- stitching helpers -------------------------------------------------
+
+    def _annotate(self, request_id: int, fault: dict) -> None:
+        span = self.requests.get(request_id)
+        if span is not None:
+            span.faults.append(fault)
+
+    @staticmethod
+    def _backfill(span: RequestSpan, resource_name: str, field: str,
+                  time: float) -> None:
+        # A request and its reply can cross the *same* link on a shared
+        # fabric; events per occupancy are temporally ordered, so the
+        # open hop is the latest one with the field still unset.
+        for hop in reversed(span.hops):
+            if hop.resource == resource_name and getattr(hop, field) is None:
+                setattr(hop, field, time)
+                return
+
+    def _finish(self, span: RequestSpan, time: float) -> None:
+        span.end = time
+        span.complete = True
+        self.completed += 1
+        if span.origin == "sync":
+            ids = self._open_syncs.get(span.address)
+            if ids and span.request_id in ids:
+                ids.remove(span.request_id)
+
+    # -- results -----------------------------------------------------------
+
+    def complete_spans(self) -> List[RequestSpan]:
+        return [s for s in self.requests.values() if s.complete]
+
+    def incomplete_spans(self) -> List[RequestSpan]:
+        """Requests still in flight — a simulation that drains fully
+        should leave none; orphans point at lost replies."""
+        return [s for s in self.requests.values() if not s.complete]
+
+    def spans(self) -> dict:
+        """The JSON-serializable spans document (schema versioned;
+        checked by :func:`validate_spans`)."""
+        ordered = sorted(self.requests.values(), key=lambda s: s.birth)
+        return {
+            "version": SPANS_VERSION,
+            "complete": self.completed,
+            "incomplete": len(self.requests) - self.completed,
+            "dropped": self.dropped,
+            "requests": [span.to_dict() for span in ordered],
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.spans(), fh)
+
+
+# ---------------------------------------------------------------------------
+# latency analysis
+
+
+class LatencyAnalysis:
+    """Latency decomposition, percentiles and bottleneck attribution
+    over a :class:`SpanCollector`'s completed spans.
+
+    Percentiles run through :class:`Histogrammer` (the paper's 64K
+    hardware counters) with within-bin interpolation; means, shares and
+    the reconciliation check use exact arithmetic.
+    """
+
+    QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+    def __init__(self, spans: Sequence[RequestSpan], bins: int = 2048) -> None:
+        self.spans = [s for s in spans if s.complete and s.phases() is not None]
+        self.bins = bins
+
+    @classmethod
+    def from_collector(cls, collector: SpanCollector,
+                       bins: int = 2048) -> "LatencyAnalysis":
+        return cls(collector.complete_spans(), bins=bins)
+
+    # -- percentile machinery ----------------------------------------------
+
+    def _histogram(self, values: Sequence[float]) -> Histogrammer:
+        hi = max(max(values), 1e-9)
+        hist = Histogrammer(0.0, hi * (1.0 + 1e-6), bins=self.bins)
+        for value in values:
+            hist.record(value)
+        return hist
+
+    def _stats_row(self, values: Sequence[float]) -> dict:
+        hist = self._histogram(values)
+        p50, p90, p95, p99 = hist.quantiles(self.QUANTILES)
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": p50, "p90": p90, "p95": p95, "p99": p99,
+            "max": max(values),
+        }
+
+    # -- decompositions ----------------------------------------------------
+
+    def end_to_end(self) -> Dict[str, dict]:
+        """Latency statistics per origin class plus ``"all"``."""
+        by_origin: Dict[str, List[float]] = {}
+        for span in self.spans:
+            by_origin.setdefault(span.origin, []).append(span.latency)
+        out = {
+            origin: self._stats_row(values)
+            for origin, values in sorted(by_origin.items())
+        }
+        if self.spans:
+            out["all"] = self._stats_row([s.latency for s in self.spans])
+        return out
+
+    def phase_decomposition(self) -> Dict[str, dict]:
+        """Statistics for each of the five phases, with each phase's
+        share of total (sum over requests) end-to-end latency."""
+        series: Dict[str, List[float]] = {phase: [] for phase in PHASES}
+        for span in self.spans:
+            for phase, value in span.phases().items():
+                series[phase].append(value)
+        total = sum(s.latency for s in self.spans) or 1.0
+        out = {}
+        for phase in PHASES:
+            values = series[phase]
+            if not values:
+                continue
+            row = self._stats_row(values)
+            row["share"] = sum(values) / total
+            out[phase] = row
+        return out
+
+    def stage_decomposition(self) -> Dict[str, dict]:
+        """Queue-wait / service / blocked cycles per network stage (and
+        the memory modules), averaged per traversal, with each stage's
+        share of total end-to-end latency."""
+        acc: Dict[str, List[float]] = {}
+        for span in self.spans:
+            for hop in span.hops:
+                segments = hop.segments()
+                if segments is None:
+                    continue
+                wait, service, blocked = segments
+                entry = acc.setdefault(hop.stage, [0.0, 0.0, 0.0, 0])
+                entry[0] += wait
+                entry[1] += service
+                entry[2] += blocked
+                entry[3] += 1
+            phases = span.phases()
+            entry = acc.setdefault("gmem", [0.0, 0.0, 0.0, 0])
+            entry[0] += phases["memory_wait"]
+            entry[1] += phases["memory_service"]
+            entry[2] += phases["memory_block"]
+            entry[3] += 1
+        total = sum(s.latency for s in self.spans) or 1.0
+        out = {}
+        for stage in sorted(acc):
+            wait, service, blocked, count = acc[stage]
+            out[stage] = {
+                "traversals": count,
+                "queue_wait": wait / count,
+                "service": service / count,
+                "blocked": blocked / count,
+                "share": (wait + service + blocked) / total,
+            }
+        return out
+
+    # -- bottleneck attribution --------------------------------------------
+
+    def tail_cohort(self, q: float = 0.95) -> List[RequestSpan]:
+        """Requests at or above the ``q`` end-to-end percentile."""
+        if not self.spans:
+            return []
+        threshold = self._histogram(
+            [s.latency for s in self.spans]
+        ).percentile(q)
+        return [s for s in self.spans if s.latency >= threshold]
+
+    def bottleneck_attribution(self, q: float = 0.95) -> List[dict]:
+        """Which stage the tail waits on: per-stage share of the
+        ``q``-cohort's summed latency, worst first.  The headline
+        reading is "<stage> contributes N% of p95 latency"."""
+        cohort = self.tail_cohort(q)
+        if not cohort:
+            return []
+        acc: Dict[str, float] = {}
+        total = 0.0
+        for span in cohort:
+            total += span.latency
+            for hop in span.hops:
+                segments = hop.segments()
+                if segments is None:
+                    continue
+                acc[hop.stage] = acc.get(hop.stage, 0.0) + sum(segments)
+            phases = span.phases()
+            acc["gmem"] = acc.get("gmem", 0.0) + (
+                phases["memory_wait"] + phases["memory_service"]
+                + phases["memory_block"]
+            )
+        total = total or 1.0
+        ranked = [
+            {"stage": stage, "cycles": cycles, "share": cycles / total}
+            for stage, cycles in acc.items()
+        ]
+        ranked.sort(key=lambda row: row["share"], reverse=True)
+        return ranked
+
+    def slowest(self, n: int = 5) -> List[RequestSpan]:
+        """The ``n`` slowest completed requests (waterfall exemplars)."""
+        return sorted(self.spans, key=lambda s: s.latency, reverse=True)[:n]
+
+    # -- integrity ---------------------------------------------------------
+
+    def reconciliation_error(self) -> float:
+        """Worst |sum(phases) - end-to-end| across requests; the phases
+        are a timeline segmentation, so this is floating-point noise —
+        the acceptance bound is one cycle per request."""
+        worst = 0.0
+        for span in self.spans:
+            worst = max(
+                worst, abs(sum(span.phases().values()) - span.latency)
+            )
+        return worst
+
+    def summary(self) -> dict:
+        """The compact dict embedded in run reports."""
+        if not self.spans:
+            return {"requests": 0}
+        attribution = self.bottleneck_attribution()
+        return {
+            "requests": len(self.spans),
+            "end_to_end": self.end_to_end(),
+            "phases": self.phase_decomposition(),
+            "bottleneck": attribution[0] if attribution else None,
+            "reconciliation_error": self.reconciliation_error(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# spans-JSON validation (the CI artifact check, sibling of
+# validate_chrome_trace)
+
+_REQUIRED_REQUEST_KEYS = ("id", "origin", "birth", "complete", "hops")
+_REQUIRED_HOP_KEYS = ("resource", "stage", "direction", "enqueue")
+
+#: acceptance bound: phase sums reconcile with end-to-end latency to
+#: within one cycle per request.
+RECONCILE_TOLERANCE = 1.0
+
+
+def validate_spans(doc: dict) -> Tuple[int, int]:
+    """Check a spans document against the schema essentials.
+
+    Returns ``(n_requests, n_complete)``; raises ``ValueError`` on
+    malformation, including any complete request whose phase sums do
+    not reconcile with its end-to-end latency.
+    """
+    if not isinstance(doc, dict) or "requests" not in doc:
+        raise ValueError("spans must be an object with a requests array")
+    if doc.get("version") != SPANS_VERSION:
+        raise ValueError(f"unsupported spans version: {doc.get('version')!r}")
+    requests = doc["requests"]
+    if not isinstance(requests, list):
+        raise ValueError("requests must be an array")
+    for key in ("complete", "incomplete", "dropped"):
+        if not isinstance(doc.get(key), int):
+            raise ValueError(f"spans missing integer {key!r} count")
+    n_complete = 0
+    for request in requests:
+        if not isinstance(request, dict):
+            raise ValueError(f"request is not an object: {request!r}")
+        for key in _REQUIRED_REQUEST_KEYS:
+            if key not in request:
+                raise ValueError(f"request missing {key!r}: {request!r}")
+        for hop in request["hops"]:
+            for key in _REQUIRED_HOP_KEYS:
+                if key not in hop:
+                    raise ValueError(f"hop missing {key!r}: {hop!r}")
+        if not request["complete"]:
+            continue
+        n_complete += 1
+        if request.get("latency") is None:
+            raise ValueError(f"complete request lacks latency: {request!r}")
+        phases = request.get("phases")
+        if phases is not None:
+            missing = [p for p in PHASES if p not in phases]
+            if missing:
+                raise ValueError(f"phases missing {missing}: {request!r}")
+            drift = abs(sum(phases.values()) - request["latency"])
+            if drift > RECONCILE_TOLERANCE:
+                raise ValueError(
+                    f"request {request['id']}: phases sum to "
+                    f"{sum(phases.values()):.3f} but latency is "
+                    f"{request['latency']:.3f} (drift {drift:.3f})"
+                )
+    if n_complete != doc["complete"]:
+        raise ValueError(
+            f"complete count {doc['complete']} != {n_complete} complete requests"
+        )
+    return len(requests), n_complete
+
+
+def validate_spans_file(path) -> Tuple[int, int]:
+    """Load ``path`` and validate it; see :func:`validate_spans`."""
+    with open(path) as fh:
+        return validate_spans(json.load(fh))

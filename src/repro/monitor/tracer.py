@@ -168,6 +168,8 @@ class ChromeTracer:
         self._pids: Dict[Tuple[str, str], int] = {}
         self._tids: Dict[Tuple[int, str], int] = {}
         self._subscriptions: List[tuple] = []
+        #: request ids that already have a flow start ("s") event.
+        self._flow_started: set = set()
 
     @property
     def dropped(self) -> int:
@@ -186,7 +188,7 @@ class ChromeTracer:
             "net.enqueue": lambda r, p, t: self._on_queue(scope, r, t),
             "net.dequeue": lambda r, p, t: self._on_queue(scope, r, t),
             "gmem.service": lambda m, p, t, c: self._on_service(scope, m, p, t, c),
-            "sync.op": lambda m, a, t: self._on_sync(scope, m, a, t),
+            "sync.op": lambda m, a, t, p, ok: self._on_sync(scope, m, a, t, p, ok),
             "cluster.access": lambda r, p, t: self._on_cluster(scope, r, p, t),
             "pfu.arm": lambda port, t: self._instant(scope, "ce", f"port[{port}]", "pfu.arm", t),
             "pfu.request": lambda port, i, t: self._instant(
@@ -298,6 +300,7 @@ class ChromeTracer:
                 "args": {"src": packet.src, "dst": packet.dst, "words": packet.words},
             }
         )
+        self._flow(pid, tid, packet.request_id, max(0.0, time - duration))
 
     def _on_queue(self, scope: str, resource, time: float) -> None:
         process, _thread = self._split_resource(resource.name)
@@ -327,8 +330,33 @@ class ChromeTracer:
                 "args": {"address": packet.address, "words": packet.words},
             }
         )
+        self._flow(pid, tid, packet.request_id, max(0.0, time - cycles))
 
-    def _on_sync(self, scope: str, module: int, address: int, time: float) -> None:
+    def _flow(self, pid: int, tid: int, request_id: int, ts: float) -> None:
+        """Chain this slice into the request's flow track (Perfetto
+        draws arrows between the slices sharing an ``id``).  The first
+        slice of a request starts the flow ("s"); the rest step it
+        ("t"); :meth:`trace` rewrites each flow's final step into the
+        terminator ("f") export-time, since the last hop isn't knowable
+        while events stream in."""
+        started = request_id in self._flow_started
+        if not started:
+            self._flow_started.add(request_id)
+        self._post(
+            {
+                "name": "request",
+                "cat": "flow",
+                "ph": "t" if started else "s",
+                "id": request_id,
+                "ts": ts,
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+
+    def _on_sync(
+        self, scope: str, module: int, address: int, time: float, packet, success: bool
+    ) -> None:
         pid, tid = self._track(scope, "gmem", f"module[{module}]")
         self._post(
             {
@@ -339,7 +367,7 @@ class ChromeTracer:
                 "ts": time,
                 "pid": pid,
                 "tid": tid,
-                "args": {"address": address},
+                "args": {"address": address, "success": success},
             }
         )
 
@@ -385,9 +413,35 @@ class ChromeTracer:
     # -- export ------------------------------------------------------------
 
     def trace(self) -> dict:
-        """The complete trace object (JSON-serializable)."""
+        """The complete trace object (JSON-serializable).
+
+        Flow chains are finalized here: each request's last flow event
+        becomes the terminating "f" phase, and requests that produced
+        only a single flow event (no arrow to draw) are dropped.  The
+        collected events themselves are left untouched so ``trace`` can
+        be called repeatedly.
+        """
+        events: List[dict] = []
+        last_flow: Dict[int, int] = {}
+        flow_counts: Dict[int, int] = {}
+        for event in self.events:
+            if event.get("cat") == "flow":
+                event = dict(event)
+                fid = event["id"]
+                last_flow[fid] = len(events)
+                flow_counts[fid] = flow_counts.get(fid, 0) + 1
+            events.append(event)
+        singletons = set()
+        for fid, idx in last_flow.items():
+            if flow_counts[fid] < 2:
+                singletons.add(idx)
+            else:
+                events[idx]["ph"] = "f"
+                events[idx]["bp"] = "e"
+        if singletons:
+            events = [e for i, e in enumerate(events) if i not in singletons]
         return {
-            "traceEvents": [*self._metadata, *self.events],
+            "traceEvents": [*self._metadata, *events],
             "displayTimeUnit": "ms",
             "otherData": {
                 "generator": "repro.monitor.tracer.ChromeTracer",

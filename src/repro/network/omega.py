@@ -85,17 +85,20 @@ class OmegaNetwork:
         signal = ctx.bus.signal("net.hop", key=self.name)
         enqueue = ctx.bus.signal("net.enqueue", key=self.name)
         dequeue = ctx.bus.signal("net.dequeue", key=self.name)
+        service = ctx.bus.signal("net.service", key=self.name)
         for port in self.injection_ports:
             if port.depart_signal is None:
                 port.depart_signal = signal
                 port.enqueue_signal = enqueue
                 port.dequeue_signal = dequeue
+                port.service_end_signal = service
         for stage in self.stages:
             for link in stage:
                 if link.depart_signal is None:
                     link.depart_signal = signal
                     link.enqueue_signal = enqueue
                     link.dequeue_signal = dequeue
+                    link.service_end_signal = service
 
     def reset(self) -> None:
         for port in self.injection_ports:

@@ -41,6 +41,12 @@ class Packet:
     dst: int
     address: int
     words: int = 1
+    #: process-wide-unique request identity, shared by a request packet
+    #: and its :meth:`reply` — the span id the request-tracing layer
+    #: (:mod:`repro.monitor.spans`) stitches on.  Assigned at the birth
+    #: site unconditionally; it never feeds back into timing, so
+    #: untraced runs stay bit-identical, and packets carry no *other*
+    #: tracing state when no collector subscribes.
     request_id: int = field(default_factory=lambda: next(_packet_ids))
     #: free-form metadata: originating request object, sync operation, ...
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -50,6 +56,31 @@ class Packet:
     def __post_init__(self) -> None:
         if self.words < 1:
             raise ValueError("packet must carry at least the control word")
+
+    @property
+    def is_reply(self) -> bool:
+        """Whether this packet travels the reverse (reply) direction —
+        the phase classifier that stays correct on shared fabrics, where
+        replies ride the same physical stage links as requests."""
+        return self.kind in (
+            PacketKind.READ_REPLY,
+            PacketKind.BLOCK_REPLY,
+            PacketKind.SYNC_REPLY,
+        )
+
+    def origin(self) -> str:
+        """Best-effort classification of the reference's birth site from
+        kind and metadata (the authoritative label travels on the
+        ``req.birth`` signal; this is the fallback for bare packets)."""
+        if self.kind in (PacketKind.SYNC_REQ, PacketKind.SYNC_REPLY):
+            return "sync"
+        if self.kind is PacketKind.WRITE_REQ:
+            return "store"
+        if self.kind in (PacketKind.BLOCK_REQ, PacketKind.BLOCK_REPLY):
+            return "block"
+        if "pfu_stream" in self.meta:
+            return "prefetch"
+        return "demand"
 
     def reply(self, kind: PacketKind, words: int, **meta: Any) -> "Packet":
         """Build the reply packet travelling back from ``dst`` to ``src``."""

@@ -99,10 +99,15 @@ class Resource:
         #: would-be emission — the zero-cost fast path.
         #: ``depart_signal`` -> ``net.hop`` (a packet leaving the server),
         #: ``enqueue_signal`` / ``dequeue_signal`` -> ``net.enqueue`` /
-        #: ``net.dequeue`` (queue-occupancy edges for the monitors).
+        #: ``net.dequeue`` (queue-occupancy edges for the monitors),
+        #: ``service_end_signal`` -> ``net.service`` (service finishing
+        #: *before* any head-of-line blocking on the next hop — the
+        #: timestamp the span layer needs to split a hop into
+        #: queue-wait / service / blocked segments).
         self.depart_signal = None
         self.enqueue_signal = None
         self.dequeue_signal = None
+        self.service_end_signal = None
         #: optional fault-injection site (see ``repro.faults``), set at
         #: injector attach time.  Same ``is not None`` fast path as the
         #: signals: an unarmed resource pays one branch per service.
@@ -185,6 +190,9 @@ class Resource:
         if not self._queue or self._queue[0] is not transit:
             raise SimulationError(f"{self.name}: finished packet is not at head")
         self._serving = False
+        sig = self.service_end_signal
+        if sig is not None and sig:
+            sig.emit(self, transit.packet, self.engine.now)
         if self._has_complete_hook and not self.on_service_complete(transit):
             self._pop_head(transit)
             self._advance()

@@ -113,6 +113,7 @@ class PrefetchUnit:
         self._sig_request = None
         self._sig_deliver = None
         self._sig_suspend = None
+        self._sig_birth = None
 
     # -- component lifecycle ---------------------------------------------------
 
@@ -121,6 +122,7 @@ class PrefetchUnit:
         self._sig_request = ctx.bus.signal("pfu.request", key=self.port)
         self._sig_deliver = ctx.bus.signal("pfu.deliver", key=self.port)
         self._sig_suspend = ctx.bus.signal("pfu.suspend", key=self.port)
+        self._sig_birth = ctx.bus.signal("req.birth", key=self.port)
 
     def reset(self) -> None:
         self._active = None
@@ -219,6 +221,9 @@ class PrefetchUnit:
             words=1,
             meta={"pfu_stream": stream, "word_index": index},
         )
+        sig = self._sig_birth
+        if sig is not None and sig:
+            sig.emit(packet, "prefetch", now)
         self.forward_network.inject(packet, tail=self.global_memory.route_tail(address))
         delay = 1.0 / self.config.issue_per_cycle
         self.engine.schedule_after(delay, self._issue, stream, index + 1)

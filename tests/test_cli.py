@@ -33,6 +33,18 @@ class TestParser:
         args = build_parser().parse_args(["trace", "characterization"])
         assert args.out == "trace.json"
 
+    def test_analyze_arguments(self):
+        args = build_parser().parse_args(
+            ["analyze", "table2", "--out", "s.json", "--top", "3", "--fast"]
+        )
+        assert args.command == "analyze"
+        assert args.experiment == "table2" and args.out == "s.json"
+        assert args.top == 3 and args.fast
+
+    def test_analyze_out_is_optional(self):
+        args = build_parser().parse_args(["analyze", "characterization"])
+        assert args.out is None and args.top == 5
+
     def test_report_experiment_is_optional(self):
         args = build_parser().parse_args(["report"])
         assert args.command == "report" and args.experiment is None
@@ -95,6 +107,27 @@ class TestObservabilityCommands:
 
     def test_trace_unknown_experiment_rejected(self, capsys):
         assert main(["trace", "not-an-experiment", "--out", "/tmp/x.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not-an-experiment" in err
+
+    def test_analyze_prints_decomposition_and_writes_spans(
+        self, capsys, tmp_path
+    ):
+        from repro.monitor.spans import validate_spans_file
+
+        out = tmp_path / "spans.json"
+        assert main(
+            ["analyze", "characterization", "--out", str(out), "--top", "2"]
+        ) == 0
+        n_requests, n_complete = validate_spans_file(out)
+        assert n_requests > 0 and n_complete > 0
+        stdout = capsys.readouterr().out
+        assert "latency decomposition by phase" in stdout
+        assert "bottleneck" in stdout and "p95" in stdout
+        assert str(out) in stdout
+
+    def test_analyze_unknown_experiment_rejected(self, capsys):
+        assert main(["analyze", "not-an-experiment"]) == 1
         err = capsys.readouterr().err
         assert err.startswith("error:") and "not-an-experiment" in err
 

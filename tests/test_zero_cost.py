@@ -51,6 +51,25 @@ class TestZeroCost:
         assert len(registry) > 0  # the monitors really saw traffic
         assert monitored == baseline
 
+    def test_span_collector_does_not_change_cycles(self):
+        """Request tracing is a pure observer: stitching every span in
+        the run must leave all simulated results bit-identical."""
+        from repro.monitor.spans import SpanCollector
+
+        baseline = measure()
+        collectors = []
+        observer = add_context_observer(
+            lambda ctx: collectors.append(SpanCollector().attach(ctx.bus))
+        )
+        try:
+            traced = measure()
+        finally:
+            remove_context_observer(observer)
+            for collector in collectors:
+                collector.detach()
+        assert sum(c.completed for c in collectors) > 0  # spans were stitched
+        assert traced == baseline
+
     def test_no_prefetch_path_is_also_unperturbed(self):
         baseline = measure(prefetch=False)
         tracer = ChromeTracer()
