@@ -31,6 +31,7 @@ from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
 
 from repro.core.engine import SimulationError
 from repro.gmemory.sync import SyncOp, SyncResult, TestOp
+from repro.monitor.signals import NULL_SIGNAL
 from repro.network.packet import Packet, PacketKind
 from repro.prefetch.pfu import PrefetchStream
 
@@ -208,8 +209,8 @@ class CE:
         self._stores_in_flight = 0
         self._fence_waiting = False
         self._on_done: Optional[Callable[["CE"], None]] = None
-        self._sig_done = None
-        self._sig_birth = None
+        self._sig_done = NULL_SIGNAL
+        self._sig_birth = NULL_SIGNAL
         self.done = False
 
     # -- component lifecycle -----------------------------------------------------
@@ -274,7 +275,7 @@ class CE:
             self.done = True
             self.stats.finished_at = self.engine.now
             sig = self._sig_done
-            if sig is not None and sig:
+            if sig.callbacks:
                 sig.emit(self.port, self.engine.now)
             if self._on_done is not None:
                 self._on_done(self)
@@ -383,16 +384,16 @@ class CE:
                 state["next"] += 1
                 state["inflight"] += 1
                 address = op.address + index * op.stride
-                packet = Packet(
-                    kind=PacketKind.READ_REQ,
-                    src=self.port,
-                    dst=address % self.machine.gmem.config.modules,
-                    address=address,
-                    words=1,
-                    meta={"ce_reply": self.port, "handler": _on_reply},
+                packet = Packet.acquire(
+                    PacketKind.READ_REQ,
+                    self.port,
+                    address % self.machine.gmem.config.modules,
+                    address,
                 )
+                packet.meta["ce_reply"] = self.port
+                packet.meta["handler"] = _on_reply
                 sig = self._sig_birth
-                if sig is not None and sig:
+                if sig.callbacks:
                     sig.emit(packet, "demand", self.engine.now)
                 self.machine.forward_network.inject(
                     packet, tail=self.machine.gmem.route_tail(address)
@@ -427,16 +428,16 @@ class CE:
             self.engine.schedule_after(1.0, self._global_store, op, index)
             return
         address = op.address + index * op.stride
-        packet = Packet(
-            kind=PacketKind.WRITE_REQ,
-            src=self.port,
-            dst=address % self.machine.gmem.config.modules,
-            address=address,
+        packet = Packet.acquire(
+            PacketKind.WRITE_REQ,
+            self.port,
+            address % self.machine.gmem.config.modules,
+            address,
             words=2,  # control/address word + one data word
-            meta={"on_write_done": self._store_completed},
         )
+        packet.meta["on_write_done"] = self._store_completed
         sig = self._sig_birth
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(packet, "store", self.engine.now)
         self._stores_in_flight += 1
         self.machine.forward_network.inject(
@@ -490,20 +491,18 @@ class CE:
                 i = state["issued"]
                 state["issued"] += 1
                 address = op.address + i * data_words_per_packet
-                packet = Packet(
-                    kind=PacketKind.BLOCK_REQ,
-                    src=self.port,
-                    dst=address % self.machine.gmem.config.modules,
-                    address=address,
-                    words=1,
-                    meta={
-                        "block_words": chunks[i],
-                        "ce_reply": self.port,
-                        "handler": _on_reply,
-                    },
+                packet = Packet.acquire(
+                    PacketKind.BLOCK_REQ,
+                    self.port,
+                    address % self.machine.gmem.config.modules,
+                    address,
                 )
+                meta = packet.meta
+                meta["block_words"] = chunks[i]
+                meta["ce_reply"] = self.port
+                meta["handler"] = _on_reply
                 sig = self._sig_birth
-                if sig is not None and sig:
+                if sig.callbacks:
                     sig.emit(packet, "block", self.engine.now)
                 self.machine.forward_network.inject(
                     packet, tail=self.machine.gmem.route_tail(address)
@@ -524,20 +523,19 @@ class CE:
             if not self.machine.forward_network.can_inject(self.port):
                 self.engine.schedule_after(1.0, _issue)
                 return
-            packet = Packet(
-                kind=PacketKind.SYNC_REQ,
-                src=self.port,
-                dst=op.address % self.machine.gmem.config.modules,
-                address=op.address,
+            packet = Packet.acquire(
+                PacketKind.SYNC_REQ,
+                self.port,
+                op.address % self.machine.gmem.config.modules,
+                op.address,
                 words=2,  # address word + operand word
-                meta={
-                    "sync": (op.test, op.test_operand, op.op, op.op_operand),
-                    "ce_reply": self.port,
-                    "handler": _on_reply,
-                },
             )
+            meta = packet.meta
+            meta["sync"] = (op.test, op.test_operand, op.op, op.op_operand)
+            meta["ce_reply"] = self.port
+            meta["handler"] = _on_reply
             sig = self._sig_birth
-            if sig is not None and sig:
+            if sig.callbacks:
                 sig.emit(packet, "sync", self.engine.now)
             self.machine.forward_network.inject(
                 packet, tail=self.machine.gmem.route_tail(op.address)

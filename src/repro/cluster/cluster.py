@@ -65,10 +65,12 @@ class Cluster:
         access = ctx.bus.signal("cluster.access", key=self.cluster_id)
         enqueue = ctx.bus.signal("net.enqueue", key="cluster")
         dequeue = ctx.bus.signal("net.dequeue", key="cluster")
+        span = ctx.bus.signal("net.span", key="cluster")
         for resource in (self.cache, self.cluster_memory):
             resource.depart_signal = access
             resource.enqueue_signal = enqueue
             resource.dequeue_signal = dequeue
+            resource.span_signal = span
 
     def reset(self) -> None:
         config = self.machine.config

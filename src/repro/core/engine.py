@@ -13,6 +13,17 @@ args]`` ordered by ``(when, seq)``.  The record doubles as the
 slot in place, so cancellation is O(1) and cancelled slots are skipped
 (and reclaimed) when they surface at the head of the queue.
 
+Executed records are recycled through a bounded **free list** instead
+of being re-allocated per event: the run loops push each drained
+record (blanked of its callback and args) onto the free list and
+``schedule`` / ``schedule_after`` refill from it, so steady-state
+scheduling allocates nothing.  The cancellation contract is therefore
+*until the event runs*: a handle whose event has executed is dead and
+``cancel`` on it returns ``False`` (the record may since have been
+recycled into a different pending event — holding handles past
+execution to cancel them later was never meaningful and is now
+undefined).
+
 The pending set is split into two structures:
 
 * a **sorted tail** (deque): most simulation scheduling is monotone —
@@ -47,6 +58,10 @@ _heappop = heapq.heappop
 #: A scheduled event slot: ``[when, seq, callback, args]``.  ``callback``
 #: is ``None`` once cancelled.  The list itself is the cancellation handle.
 EventHandle = list
+
+#: free-list depth cap: enough to absorb the steady-state churn of a
+#: large machine without pinning unbounded memory after a burst.
+_FREE_LIST_MAX = 8192
 
 
 class SimulationError(RuntimeError):
@@ -196,11 +211,15 @@ class Engine:
         "_run_wall_s",
         "_runs",
         "_watchdog",
+        "_free",
     )
 
     def __init__(self) -> None:
         self._heap: List[list] = []
         self._tail: deque = deque()
+        #: recycled event records (blanked); schedule paths refill from
+        #: here so steady-state scheduling allocates no new lists.
+        self._free: List[list] = []
         #: timestamp of the tail's last record; -inf when the tail is
         #: empty, so the monotone-append test is one float compare.
         self._tail_last = float("-inf")
@@ -233,7 +252,15 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {when} before current time {self._now}"
             )
-        record = [when, self._next_seq(), callback, args]
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = when
+            record[1] = self._next_seq()
+            record[2] = callback
+            record[3] = args
+        else:
+            record = [when, self._next_seq(), callback, args]
         if when >= self._tail_last or not self._tail:
             self._tail.append(record)
             self._tail_last = when
@@ -246,7 +273,15 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         when = self._now + delay
-        record = [when, self._next_seq(), callback, args]
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = when
+            record[1] = self._next_seq()
+            record[2] = callback
+            record[3] = args
+        else:
+            record = [when, self._next_seq(), callback, args]
         if when >= self._tail_last or not self._tail:
             self._tail.append(record)
             self._tail_last = when
@@ -293,6 +328,8 @@ class Engine:
         tail = self._tail
         pop = _heappop
         popleft = tail.popleft
+        free = self._free
+        free_max = _FREE_LIST_MAX
         processed = 0
         started = _perf_counter()
         try:
@@ -310,6 +347,8 @@ class Engine:
                 callback = record[2]
                 if callback is None:
                     self._cancelled -= 1
+                    if len(free) < free_max:
+                        free.append(record)
                     continue
                 self._now = record[0]
                 args = record[3]
@@ -323,6 +362,10 @@ class Engine:
                     callback(*args)
                 else:
                     callback()
+                # recycle after the callback: any events it scheduled
+                # took records from the free list, never this one.
+                if len(free) < free_max:
+                    free.append(record)
                 processed += 1
                 if self._stop_requested:
                     break
@@ -371,6 +414,7 @@ class Engine:
     def _run_bounded(self, until, max_events, stop_when, heap, tail, pop, popleft):
         processed = 0
         wd = self._watchdog
+        free = self._free
         while True:
             if heap:
                 if tail and tail[0] < heap[0]:
@@ -384,6 +428,8 @@ class Engine:
             if head[2] is None:
                 popleft() if from_tail else pop(heap)
                 self._cancelled -= 1
+                if len(free) < _FREE_LIST_MAX:
+                    free.append(head)
                 continue
             when = head[0]
             if until is not None and when > until:
@@ -399,6 +445,8 @@ class Engine:
                 callback(*args)
             else:
                 callback()
+            if len(free) < _FREE_LIST_MAX:
+                free.append(head)
             self._events_processed += 1
             processed += 1
             if wd is not None:
@@ -484,6 +532,7 @@ class Engine:
         of an engine reference (components) stay valid."""
         self._heap.clear()
         self._tail.clear()
+        self._free.clear()
         self._tail_last = float("-inf")
         self._next_seq = itertools.count().__next__
         self._now = 0.0

@@ -139,14 +139,18 @@ class CedarMachine:
         engine = self.engine
 
         def _sink(packet: Packet) -> None:
-            if deliver:
+            if deliver.callbacks:
                 deliver.emit(packet, engine.now)
             handler = packet.meta.get("handler")
             if handler is not None:
                 handler(packet)
+                # the reply is terminal here; handlers extract what they
+                # need (sync results, block word counts) before returning
+                packet.release()
                 return
             if "pfu_stream" in packet.meta:
                 self._pfus[port].deliver(packet)
+                packet.release()
                 return
             raise RuntimeError(f"reply at port {port} with no handler: {packet}")
 

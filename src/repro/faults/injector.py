@@ -44,6 +44,7 @@ from typing import Dict, List, Optional
 
 from repro.faults.plan import FaultPlan
 from repro.gmemory.module import GlobalMemory, MemoryModule
+from repro.monitor.signals import NULL_SIGNAL
 from repro.network.omega import OmegaNetwork
 from repro.network.packet import PacketKind
 from repro.network.resource import Resource, Transit
@@ -89,7 +90,7 @@ class _PortSite:
             inj._down[resource] = until
             inj.port_downs += 1
             sig = inj._sig_port_down
-            if sig is not None and sig:
+            if sig.callbacks:
                 sig.emit(resource, now, until)
             return plan.port_down_cycles
         if plan.switch_fail_rate and rng.random() < plan.switch_fail_rate:
@@ -101,7 +102,7 @@ class _PortSite:
             )
             inj.transients += 1
             sig = inj._sig_transient
-            if sig is not None and sig:
+            if sig.callbacks:
                 sig.emit(resource, transit.packet, now, backoff)
             return backoff
         self.consecutive = 0
@@ -133,7 +134,7 @@ class _ModuleSite:
                 self.module.sync_timeouts += 1
                 inj.sync_timeouts += 1
                 sig = inj._sig_sync_timeout
-                if sig is not None and sig:
+                if sig.callbacks:
                     sig.emit(
                         self.module.index,
                         packet.address,
@@ -146,7 +147,7 @@ class _ModuleSite:
             self.module.ecc_retries += 1
             inj.ecc_retries += 1
             sig = inj._sig_ecc
-            if sig is not None and sig:
+            if sig.callbacks:
                 sig.emit(
                     self.module.index,
                     packet,
@@ -180,11 +181,11 @@ class FaultInjector:
         self.ecc_retries = 0
         self.sync_timeouts = 0
         self.rerouted = 0
-        self._sig_transient = None
-        self._sig_port_down = None
-        self._sig_ecc = None
-        self._sig_sync_timeout = None
-        self._sig_reroute = None
+        self._sig_transient = NULL_SIGNAL
+        self._sig_port_down = NULL_SIGNAL
+        self._sig_ecc = NULL_SIGNAL
+        self._sig_sync_timeout = NULL_SIGNAL
+        self._sig_reroute = NULL_SIGNAL
 
     # -- component lifecycle ---------------------------------------------------
 
@@ -291,6 +292,6 @@ class FaultInjector:
             return None
         self.rerouted += 1
         sig = self._sig_reroute
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(net.name, packet, now)
         return escape.inject(packet, tail)

@@ -6,14 +6,24 @@ service (the memory access) completes, the module transforms it in place
 into the reply packet and hands it off into the reverse network — if the
 reverse injection queue is full, the module blocks, which is how memory
 backpressure propagates into the forward network.
+
+The request→reply turn is the allocation pivot of the whole simulator:
+one packet per global reference used to become two (request + reply).
+The module now rewrites the request **in place**
+(:meth:`~repro.network.packet.Packet.become_reply` — same object, same
+``request_id``, same ``meta`` dict) and splices the reverse route by
+tuple concatenation, so a read round trip allocates no second packet and
+no hop lists.  Consumed packets (stores, which send no acknowledgement)
+are handed back to the packet free list.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import GlobalMemoryConfig
 from repro.core.engine import Engine
+from repro.monitor.signals import NULL_SIGNAL
 from repro.network.omega import OmegaNetwork
 from repro.network.packet import Packet, PacketKind
 from repro.network.resource import Hop, Resource, Transit
@@ -22,6 +32,20 @@ from repro.gmemory.sync import SyncProcessor
 
 class MemoryModule(Resource):
     """One interleaved global-memory module with its sync processor."""
+
+    __slots__ = (
+        "index",
+        "config",
+        "reverse_network",
+        "sync",
+        "reads",
+        "writes",
+        "sync_ops",
+        "ecc_retries",
+        "sync_timeouts",
+        "service_signal",
+        "sync_signal",
+    )
 
     def __init__(
         self,
@@ -49,8 +73,8 @@ class MemoryModule(Resource):
         self.ecc_retries = 0
         self.sync_timeouts = 0
         #: monitoring channels, wired by :meth:`GlobalMemory.attach`.
-        self.service_signal = None
-        self.sync_signal = None
+        self.service_signal = NULL_SIGNAL
+        self.sync_signal = NULL_SIGNAL
 
     # -- Resource overrides --------------------------------------------------
 
@@ -67,27 +91,17 @@ class MemoryModule(Resource):
     def on_service_complete(self, transit: Transit) -> bool:
         packet = transit.packet
         sig = self.service_signal
-        if sig is not None and sig:
+        if sig.callbacks:
             # recomputing the service time here costs nothing on the
             # unmonitored path (we are inside the subscriber guard); it
             # gives the monitors per-module service-time histograms.
             sig.emit(self.index, packet, self.engine.now, self.service_cycles(packet))
-        reply = self._make_reply(packet)
-        if reply is None:
-            return False
-        delta = reply.words - packet.words
-        self._words_queued += delta
-        transit.packet = reply
-        self._extend_route_into_reverse(transit, reply)
-        return True
-
-    # -- reply construction ----------------------------------------------------
-
-    def _make_reply(self, packet: Packet) -> Optional[Packet]:
-        if packet.kind is PacketKind.READ_REQ:
+        request_words = packet.words
+        kind = packet.kind
+        if kind is PacketKind.READ_REQ:
             self.reads += 1
-            return packet.reply(PacketKind.READ_REPLY, words=1)
-        if packet.kind is PacketKind.WRITE_REQ:
+            packet.become_reply(PacketKind.READ_REPLY, words=1)
+        elif kind is PacketKind.WRITE_REQ:
             # "Writes do not stall a CE" — no acknowledgement travels
             # back through the network, but the weakly-ordered memory
             # system lets a CE *fence*: completion callbacks let the
@@ -96,18 +110,25 @@ class MemoryModule(Resource):
             on_done = packet.meta.get("on_write_done")
             if on_done is not None:
                 on_done(packet)
-            return None
-        if packet.kind is PacketKind.BLOCK_REQ:
+            # consumed here: the departure emissions in _pop_head still
+            # read its fields (reuse cannot happen before _advance runs)
+            packet.release()
+            return False
+        elif kind is PacketKind.BLOCK_REQ:
             self.reads += 1
             requested = packet.meta.get("block_words", 1)
             # reply: control word + data, capped at the 4-word packet limit
-            words = min(1 + requested, 4)
-            return packet.reply(PacketKind.BLOCK_REPLY, words=words)
-        if packet.kind is PacketKind.SYNC_REQ:
+            packet.become_reply(PacketKind.BLOCK_REPLY, words=min(1 + requested, 4))
+        elif kind is PacketKind.SYNC_REQ:
             self.sync_ops += 1
             result = self._execute_sync(packet)
-            return packet.reply(PacketKind.SYNC_REPLY, words=1, sync_result=result)
-        raise ValueError(f"memory module cannot service packet kind {packet.kind}")
+            packet.become_reply(PacketKind.SYNC_REPLY, words=1)
+            packet.meta["sync_result"] = result
+        else:
+            raise ValueError(f"memory module cannot service packet kind {kind}")
+        self._words_queued += packet.words - request_words
+        self._extend_route_into_reverse(transit, packet)
+        return True
 
     def _execute_sync(self, packet: Packet):
         operation = packet.meta.get("sync")
@@ -119,7 +140,7 @@ class MemoryModule(Resource):
                 packet.address, test, test_operand, op, op_operand
             )
         sig = self.sync_signal
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(
                 self.index, packet.address, self.engine.now, packet, result.success
             )
@@ -136,7 +157,7 @@ class MemoryModule(Resource):
         if transit.idx != len(transit.route) - 1:
             return  # route already extends past the module
         rev_route = self.reverse_network.route_for(reply)
-        transit.route = list(transit.route) + list(rev_route)
+        transit.route = (*transit.route, *rev_route)
         reply.injected_at = self.engine.now
 
 
@@ -155,6 +176,12 @@ class GlobalMemory:
             MemoryModule(engine, i, config, reverse_network)
             for i in range(config.modules)
         ]
+        self._n_modules = config.modules
+        #: per-module route tails, shared by every request to the module
+        #: (tuples, so :meth:`route_tail` allocates nothing per packet).
+        self._tails: Tuple[Tuple[Hop, ...], ...] = tuple(
+            (m,) for m in self.modules
+        )
 
     # -- component lifecycle ---------------------------------------------------
 
@@ -164,11 +191,13 @@ class GlobalMemory:
         (keyed ``"gmem"`` so one subscription covers every module)."""
         enqueue = ctx.bus.signal("net.enqueue", key="gmem")
         dequeue = ctx.bus.signal("net.dequeue", key="gmem")
+        span = ctx.bus.signal("net.span", key="gmem")
         for module in self.modules:
             module.service_signal = ctx.bus.signal("gmem.service", key=module.index)
             module.sync_signal = ctx.bus.signal("sync.op", key=module.index)
             module.enqueue_signal = enqueue
             module.dequeue_signal = dequeue
+            module.span_signal = span
 
     def reset(self) -> None:
         for module in self.modules:
@@ -199,12 +228,13 @@ class GlobalMemory:
     # -- address steering ------------------------------------------------------
 
     def module_for(self, word_address: int) -> MemoryModule:
-        return self.modules[word_address % self.config.modules]
+        return self.modules[word_address % self._n_modules]
 
-    def route_tail(self, word_address: int) -> List[Hop]:
+    def route_tail(self, word_address: int) -> Sequence[Hop]:
         """Forward-route tail for a request to ``word_address``: just the
-        owning module (the reply route is spliced on service completion)."""
-        return [self.module_for(word_address)]
+        owning module (the reply route is spliced on service completion).
+        A shared immutable tuple — do not mutate."""
+        return self._tails[word_address % self._n_modules]
 
     @property
     def total_reads(self) -> int:

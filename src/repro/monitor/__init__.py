@@ -28,53 +28,76 @@ unmonitored machine pays one guarded branch per would-be emission and
 its cycle counts are bit-identical with or without monitors attached.
 """
 
-from repro.monitor.tracer import (
-    ChromeTracer,
-    Event,
-    EventTracer,
-    validate_chrome_trace,
-    validate_chrome_trace_file,
-)
-from repro.monitor.histogram import Histogrammer
-from repro.monitor.metrics import (
-    Counter,
-    Gauge,
-    MetricsRegistry,
-    Timeline,
-    TimeWeighted,
-)
-from repro.monitor.monitors import (
-    ClusterMonitor,
-    MemoryMonitor,
-    NetworkMonitor,
-    PrefetchMonitor,
-    SyncMonitor,
-    attach_standard_monitors,
-    detach_monitors,
-)
-from repro.monitor.probes import PrefetchProbe, ProbeSummary
-from repro.monitor.report import (
-    DEFAULT_REPORT_DIR,
-    ReportCollector,
-    RunReport,
-    aggregate_reports,
-    render_report_summary,
-)
-from repro.monitor.signals import (
-    SIGNAL_CATALOG,
-    Signal,
-    SignalBus,
-    Subscription,
-)
-from repro.monitor.spans import (
-    LatencyAnalysis,
-    RequestSpan,
-    SpanCollector,
-    validate_spans,
-    validate_spans_file,
-)
+# Exports resolve lazily (PEP 562): ``from repro.monitor import X`` works
+# as before, but importing a leaf like ``repro.monitor.signals`` no longer
+# drags the whole observability stack in — which both keeps
+# ``import repro.network`` light and breaks the import cycle
+# network.resource -> monitor.signals -> (eager __init__) -> spans ->
+# gmemory -> network.resource.
+_EXPORTS = {
+    "ChromeTracer": "repro.monitor.tracer",
+    "Event": "repro.monitor.tracer",
+    "EventTracer": "repro.monitor.tracer",
+    "validate_chrome_trace": "repro.monitor.tracer",
+    "validate_chrome_trace_file": "repro.monitor.tracer",
+    "Histogrammer": "repro.monitor.histogram",
+    "Counter": "repro.monitor.metrics",
+    "Gauge": "repro.monitor.metrics",
+    "MetricsRegistry": "repro.monitor.metrics",
+    "Timeline": "repro.monitor.metrics",
+    "TimeWeighted": "repro.monitor.metrics",
+    "ClusterMonitor": "repro.monitor.monitors",
+    "MemoryMonitor": "repro.monitor.monitors",
+    "NetworkMonitor": "repro.monitor.monitors",
+    "PrefetchMonitor": "repro.monitor.monitors",
+    "SyncMonitor": "repro.monitor.monitors",
+    "attach_standard_monitors": "repro.monitor.monitors",
+    "detach_monitors": "repro.monitor.monitors",
+    "PrefetchProbe": "repro.monitor.probes",
+    "ProbeSummary": "repro.monitor.probes",
+    "DEFAULT_REPORT_DIR": "repro.monitor.report",
+    "ReportCollector": "repro.monitor.report",
+    "RunReport": "repro.monitor.report",
+    "aggregate_reports": "repro.monitor.report",
+    "render_report_summary": "repro.monitor.report",
+    "NULL_SIGNAL": "repro.monitor.signals",
+    "SIGNAL_CATALOG": "repro.monitor.signals",
+    "Signal": "repro.monitor.signals",
+    "SignalBus": "repro.monitor.signals",
+    "Subscription": "repro.monitor.signals",
+    "LatencyAnalysis": "repro.monitor.spans",
+    "RequestSpan": "repro.monitor.spans",
+    "SpanCollector": "repro.monitor.spans",
+    "validate_spans": "repro.monitor.spans",
+    "validate_spans_file": "repro.monitor.spans",
+    "SampledSpanCollector": "repro.monitor.sampling",
+}
+
+
+def __getattr__(name):
+    from importlib import import_module
+
+    target = _EXPORTS.get(name)
+    if target is None:
+        # plain submodule access, e.g. ``repro.monitor.signals``
+        try:
+            return import_module(f"repro.monitor.{name}")
+        except ImportError:
+            raise AttributeError(
+                f"module 'repro.monitor' has no attribute {name!r}"
+            ) from None
+    value = getattr(import_module(target), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
 
 __all__ = [
+    "NULL_SIGNAL",
+    "SampledSpanCollector",
     "ChromeTracer",
     "ClusterMonitor",
     "Counter",

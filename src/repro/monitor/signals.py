@@ -10,17 +10,29 @@ references a monitor.
 Zero-cost fast path
 -------------------
 
-Publishers hold a :class:`Signal` channel and guard every emission::
+Publishers hold a :class:`Signal` channel (cached as a bound local at
+attach time) and guard every emission on its pre-snapshotted
+``callbacks`` tuple::
 
     sig = self._sig_request
-    if sig:                      # False while nobody subscribes
+    if sig.callbacks:            # () while nobody subscribes
         sig.emit(index, now)
 
-``Signal.__bool__`` is a subscriber-list truthiness check, so a signal
-with zero subscribers costs one attribute load and one branch — the
-payload is never built and no callback machinery runs.  Un-monitored
-simulations therefore pay (effectively) nothing, and cycle counts are
-bit-identical with and without monitoring because signals only observe.
+``callbacks`` is rebuilt only when a subscription is added or removed
+(:meth:`Signal.add_subscriber` / :meth:`Signal.remove_subscriber` are
+the *only* mutation points), so an unmonitored emission site is one
+attribute-chain load and one truthiness branch — no method call, no
+dict lookup, and no payload construction.  ``emit`` iterates the same
+immutable tuple, so a monitored emission allocates no per-call
+snapshot either.  Un-monitored simulations therefore pay (effectively)
+nothing, and cycle counts are bit-identical with and without
+monitoring because signals only observe.
+
+Publishers whose channel may not be wired yet (components constructed
+outside a :class:`~repro.core.context.SimContext`) default their
+channel attributes to :data:`NULL_SIGNAL` — a permanently
+subscriber-less channel — so emission sites stay a single branch
+instead of an ``is not None`` pair.
 
 Channels and keys
 -----------------
@@ -58,6 +70,22 @@ SIGNAL_CATALOG: Dict[str, Tuple[str, ...]] = {
     # the next hop); with ``net.enqueue``/``net.hop`` this splits a hop
     # into queue-wait / service / blocked segments (keyed like net.hop)
     "net.service": ("resource", "packet", "time"),
+    # one consolidated record per queue occupancy, emitted at departure
+    # with all three edge times.  Unlike every other signal, the payload
+    # is ONE pre-packed eight-slot tuple —
+    #   (resource_name, request_id, is_reply, is_write, service_cycles,
+    #    enqueue, service_end, depart)
+    # — every slot an atomic value, with the packet fields already
+    # extracted (packets are pooled and mutate, so they must be read at
+    # event time anyway).  A subscriber that just buffers records can
+    # therefore be ``list.extend`` itself: a traced hop costs a tuple
+    # build and a C-level flat append, no Python frame — and because
+    # the record tuple dies immediately, tracing adds no net GC-tracked
+    # allocations (surviving per-event tuples would otherwise drag
+    # collection pauses into the measured loop).  The request-tracing
+    # layer subscribes to this instead of the enqueue/service/hop
+    # point-signal triple (keyed like net.hop)
+    "net.span": ("record",),
     # global memory (per-module channels); ``cycles`` is the service time
     "gmem.service": ("module", "packet", "time", "cycles"),
     "sync.op": ("module", "address", "time", "packet", "success"),
@@ -93,11 +121,12 @@ class Subscription:
 class Signal:
     """One named (and optionally keyed) channel of a :class:`SignalBus`.
 
-    Truthiness reflects the subscriber count, enabling the publisher
-    fast path ``if sig: sig.emit(...)``.
+    :attr:`callbacks` is the publisher fast path: an immutable tuple of
+    the current subscribers, rebuilt only on subscribe/unsubscribe.
+    Truthiness mirrors it, keeping the older ``if sig:`` idiom working.
     """
 
-    __slots__ = ("name", "key", "fields", "_subscribers")
+    __slots__ = ("name", "key", "fields", "callbacks", "_subscribers")
 
     def __init__(
         self, name: str, key: Optional[Hashable], fields: Tuple[str, ...]
@@ -106,24 +135,60 @@ class Signal:
         self.key = key
         self.fields = fields
         self._subscribers: List[Callable] = []
+        #: pre-snapshotted subscriber tuple; ``()`` while unmonitored.
+        #: Publishers guard on ``sig.callbacks`` and ``emit`` iterates
+        #: it, so the per-emit snapshot allocation is gone.
+        self.callbacks: Tuple[Callable, ...] = ()
 
     def __bool__(self) -> bool:
-        return bool(self._subscribers)
+        return bool(self.callbacks)
 
     @property
     def subscriber_count(self) -> int:
         return len(self._subscribers)
 
+    # -- the single invalidation point -----------------------------------------
+
+    def add_subscriber(self, callback: Callable) -> None:
+        """Attach ``callback`` and refresh the :attr:`callbacks`
+        snapshot.  Every subscription path (keyed, un-keyed, broadcast
+        mirroring) funnels through here — it is the one place the
+        cached emission state changes."""
+        self._subscribers.append(callback)
+        self.callbacks = tuple(self._subscribers)
+
+    def remove_subscriber(self, callback: Callable) -> bool:
+        """Detach ``callback`` (if present) and refresh the snapshot."""
+        if callback not in self._subscribers:
+            return False
+        self._subscribers.remove(callback)
+        self.callbacks = tuple(self._subscribers)
+        return True
+
     def emit(self, *args) -> None:
         """Deliver ``args`` to every subscriber (snapshot semantics:
         subscribing or unsubscribing *during* an emit affects the next
-        emit, not the one in flight)."""
-        for callback in tuple(self._subscribers):
+        emit, not the one in flight — the tuple in flight is immutable)."""
+        for callback in self.callbacks:
             callback(*args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         key = "" if self.key is None else f"[{self.key}]"
         return f"<Signal {self.name}{key} subs={len(self._subscribers)}>"
+
+
+#: Permanently-quiescent channel publishers use as their default before
+#: attach: ``NULL_SIGNAL.callbacks`` is always ``()``, so an unwired
+#: emission site takes the same single-branch fast path as a wired but
+#: unmonitored one.  Subscribing to it is a bug and raises.
+class _NullSignal(Signal):
+    __slots__ = ()
+
+    def add_subscriber(self, callback: Callable) -> None:
+        raise RuntimeError("cannot subscribe to NULL_SIGNAL")
+
+
+NULL_SIGNAL = _NullSignal("null", None, ())
 
 
 class SignalBus:
@@ -181,7 +246,8 @@ class SignalBus:
             channel = Signal(name, key, self._declared[name])
             # keyed channels inherit the name's broadcast subscribers
             if key is not None:
-                channel._subscribers.extend(self._broadcast.get(name, ()))
+                for callback in self._broadcast.get(name, ()):
+                    channel.add_subscriber(callback)
             self._channels[(name, key)] = channel
         return channel
 
@@ -202,11 +268,11 @@ class SignalBus:
             self._broadcast.setdefault(name, []).append(callback)
             for (cname, ckey), channel in self._channels.items():
                 if cname == name:
-                    channel._subscribers.append(callback)
+                    channel.add_subscriber(callback)
             if (name, None) not in self._channels:
-                self.signal(name, None)._subscribers.append(callback)
+                self.signal(name, None).add_subscriber(callback)
         else:
-            self.signal(name, key)._subscribers.append(callback)
+            self.signal(name, key).add_subscriber(callback)
         return Subscription(name=name, key=key, callback=callback)
 
     def unsubscribe(self, subscription: Subscription) -> None:
@@ -221,12 +287,12 @@ class SignalBus:
             if callback in broadcast:
                 broadcast.remove(callback)
             for (cname, _), channel in self._channels.items():
-                if cname == name and callback in channel._subscribers:
-                    channel._subscribers.remove(callback)
+                if cname == name:
+                    channel.remove_subscriber(callback)
         else:
             channel = self._channels.get((name, key))
-            if channel is not None and callback in channel._subscribers:
-                channel._subscribers.remove(callback)
+            if channel is not None:
+                channel.remove_subscriber(callback)
 
     # -- introspection ---------------------------------------------------------
 

@@ -7,10 +7,12 @@ signals a reference crosses on its way out and back —
 
 * ``req.birth`` at the issue site (PFU word issue, CE demand load,
   store, block transfer, sync instruction),
-* ``net.enqueue`` / ``net.service`` / ``net.hop`` at every network
-  link (queue entry, service completion, departure — splitting each hop
-  into queue-wait / service / head-of-line-blocked segments),
-* ``gmem.service`` / ``net.dequeue`` at the memory module,
+* ``net.span`` at every network link and memory module — ONE
+  consolidated record per queue occupancy, emitted at departure with
+  all three edge times (queue entry, service completion, departure —
+  splitting each hop into queue-wait / service / head-of-line-blocked
+  segments with a single callback instead of three),
+* ``gmem.service`` at the memory module,
 * ``sync.op`` for synchronization outcomes,
 * ``fault.*`` for retry/stall annotations,
 * ``req.deliver`` back at the originating port —
@@ -183,6 +185,18 @@ class RequestSpan:
         return out
 
 
+#: event-record tags for the deferred stitching buffer.  ``net.span``
+#: records carry no tag — they arrive pre-packed from the emission site
+#: with the :class:`~repro.network.resource.Resource` in slot 0, so the
+#: drain loop distinguishes them by ``type(ev[0]) is not int``.
+_EV_GSVC = 1
+_EV_BIRTH = 2
+_EV_DELIVER = 3
+_EV_SYNC = 4
+_EV_FAULT = 5
+_EV_SYNC_TIMEOUT = 6
+
+
 class SpanCollector:
     """Broadcast bus subscriber stitching per-request span trees.
 
@@ -193,15 +207,34 @@ class SpanCollector:
 
     ``max_requests`` bounds memory: births past the cap count into
     :attr:`dropped` instead of being tracked.
+
+    Two-layer design
+    ----------------
+
+    Stitching is *deferred*: the signal handlers that run inside the
+    simulation loop only append flat tuples to an event buffer —
+    extracting the packet fields they need **at event time**, because
+    packets are pooled and mutate (a request becomes its reply in
+    place, then is recycled into an unrelated reference).  The actual
+    span assembly — dict lookups, :class:`HopSpan` construction —
+    replays the buffer in temporal order on first read
+    (:attr:`requests`, :meth:`complete_spans`, :meth:`spans`, ...),
+    outside the measured run loop.  Results are identical to eager
+    stitching; only *when* the work happens changes.
+
+    Hop data rides the consolidated ``net.span`` signal — one emission
+    per queue occupancy, at departure, carrying all three edge times —
+    instead of the ``net.enqueue``/``net.service``/``net.hop`` triple,
+    so a traced hop costs one subscriber callback rather than three
+    (the point signals stay for the utilization monitors, which need
+    the edges *at their times*).  Occupancies still in flight when the
+    run ends have not departed and therefore produce no hop record.
     """
 
     SIGNALS = (
         "req.birth",
         "req.deliver",
-        "net.enqueue",
-        "net.service",
-        "net.hop",
-        "net.dequeue",
+        "net.span",
         "gmem.service",
         "sync.op",
         "fault.transient",
@@ -216,9 +249,10 @@ class SpanCollector:
         if max_requests < 1:
             raise ValueError("max_requests must be positive")
         self.max_requests = max_requests
-        self.requests: Dict[int, RequestSpan] = {}
-        self.dropped = 0
-        self.completed = 0
+        self._requests: Dict[int, RequestSpan] = {}
+        self._dropped = 0
+        self._completed = 0
+        self._events: List[tuple] = []
         self._open_syncs: Dict[int, List[int]] = {}
         self._subscriptions: List[tuple] = []
 
@@ -227,7 +261,10 @@ class SpanCollector:
     def attach(self, bus) -> "SpanCollector":
         for name in self.SIGNALS:
             if bus.declared(name):
-                handler = getattr(self, "_on_" + name.replace(".", "_"))
+                if name == "net.span":
+                    handler = self._span_subscriber()
+                else:
+                    handler = getattr(self, "_on_" + name.replace(".", "_"))
                 self._subscriptions.append((bus, bus.subscribe(name, handler)))
         return self
 
@@ -236,159 +273,215 @@ class SpanCollector:
             bus.unsubscribe(subscription)
         self._subscriptions = []
 
-    # -- signal handlers ---------------------------------------------------
+    # -- hot-path signal handlers (record only; no stitching) --------------
 
     def _on_req_birth(self, packet, origin: str, time: float) -> None:
-        if len(self.requests) >= self.max_requests:
-            self.dropped += 1
-            return
-        span = RequestSpan(
-            packet.request_id, origin, packet.src, packet.address,
-            packet.kind.name, packet.words, time,
-        )
-        self.requests[packet.request_id] = span
-        if origin == "sync":
-            self._open_syncs.setdefault(packet.address, []).append(
-                packet.request_id
-            )
+        self._events.append((
+            _EV_BIRTH, packet.request_id, origin, packet.src,
+            packet.address, packet.kind.name, packet.words, time,
+        ))
 
     def _on_req_deliver(self, packet, time: float) -> None:
-        span = self.requests.get(packet.request_id)
-        if span is None or span.complete:
-            return
-        self._finish(span, time)
+        self._events.append((_EV_DELIVER, packet.request_id, time))
 
-    def _on_net_enqueue(self, resource, packet, time: float) -> None:
-        span = self.requests.get(packet.request_id)
-        if span is None or span.complete:
-            return
-        name = resource.name
-        if name.startswith("gm["):
-            span.mem_enqueue = time
-            return
-        svc = resource.fixed_cycles + packet.words / resource.words_per_cycle
-        span.hops.append(
-            HopSpan(name, _stage_of(name), packet.is_reply, time, svc)
-        )
-
-    def _on_net_service(self, resource, packet, time: float) -> None:
-        span = self.requests.get(packet.request_id)
-        if span is None:
-            return
-        self._backfill(span, resource.name, "service_end", time)
-
-    def _on_net_hop(self, resource, packet, time: float) -> None:
-        span = self.requests.get(packet.request_id)
-        if span is None:
-            return
-        self._backfill(span, resource.name, "depart", time)
-
-    def _on_net_dequeue(self, resource, packet, time: float) -> None:
-        if not resource.name.startswith("gm["):
-            return  # network-link departures arrive via net.hop
-        span = self.requests.get(packet.request_id)
-        if span is None:
-            return
-        span.mem_depart = time
-        # stores are terminal at the module: no reply travels back.
-        if span.kind == "WRITE_REQ" and not span.complete:
-            self._finish(span, time)
+    def _span_subscriber(self):
+        """The ``net.span`` callback.  Records arrive pre-packed from
+        the emission site (packet fields already extracted — see the
+        catalog entry), so the full collector buffers them with the
+        list's own C-level ``extend``: a traced hop costs no Python
+        frame at all, and flattening the eight atomic slots into the
+        buffer lets the record tuple die immediately — tracing adds no
+        surviving GC-tracked objects, keeping collection pauses out of
+        the measured loop.  Subclasses that filter per record
+        (sampling) return a closure instead."""
+        return self._events.extend
 
     def _on_gmem_service(self, module: int, packet, time: float,
                          cycles: float) -> None:
-        span = self.requests.get(packet.request_id)
-        if span is None:
-            return
-        span.mem_module = module
-        span.mem_cycles = cycles
-        span.mem_service_end = time
+        self._events.append(
+            (_EV_GSVC, packet.request_id, module, cycles, time)
+        )
 
     def _on_sync_op(self, module: int, address: int, time: float, packet,
                     success: bool) -> None:
-        span = self.requests.get(packet.request_id)
-        if span is None:
-            return
-        span.sync_success = success
-        span.sync_op = format_sync_op(packet.meta.get("sync"))
+        self._events.append((
+            _EV_SYNC, packet.request_id, success, packet.meta.get("sync"),
+            time,
+        ))
 
     def _on_fault_transient(self, resource, packet, time: float,
                             backoff_cycles: float) -> None:
-        self._annotate(packet.request_id, {
+        self._events.append((_EV_FAULT, packet.request_id, {
             "type": "transient", "resource": resource.name,
             "time": time, "cycles": backoff_cycles,
-        })
+        }))
 
     def _on_fault_ecc(self, module: int, packet, time: float,
                       stall_cycles: float) -> None:
-        self._annotate(packet.request_id, {
+        self._events.append((_EV_FAULT, packet.request_id, {
             "type": "ecc", "module": module,
             "time": time, "cycles": stall_cycles,
-        })
+        }))
 
     def _on_fault_reroute(self, network: str, packet, time: float) -> None:
-        self._annotate(packet.request_id, {
+        self._events.append((_EV_FAULT, packet.request_id, {
             "type": "reroute", "network": network, "time": time,
-        })
+        }))
 
     def _on_fault_sync_timeout(self, module: int, address: int, time: float,
                                penalty_cycles: float) -> None:
-        # no packet on this signal: charge the oldest in-flight sync to
-        # the same address (the one being retried at the module).
-        for request_id in self._open_syncs.get(address, ()):
-            span = self.requests.get(request_id)
-            if span is not None and not span.complete:
-                span.faults.append({
-                    "type": "sync_timeout", "module": module,
-                    "time": time, "cycles": penalty_cycles,
-                })
-                return
+        self._events.append(
+            (_EV_SYNC_TIMEOUT, module, address, time, penalty_cycles)
+        )
+
+    # -- deferred stitching ------------------------------------------------
+
+    def _drain(self) -> None:
+        """Replay buffered events through the stitching logic.  Events
+        are buffered in emission order, which is temporal order, so the
+        replayed state transitions match eager stitching exactly."""
+        buffer = self._events
+        if not buffer:
+            return
+        # snapshot and clear IN PLACE: the bus holds the buffer's bound
+        # ``extend`` as the net.span subscriber, so the list object must
+        # stay the same for the collector's lifetime.
+        events = buffer[:]
+        del buffer[:]
+        requests = self._requests
+        i = 0
+        n = len(events)
+        while i < n:
+            ev = events[i]
+            if ev.__class__ is str:
+                # a flat eight-slot net.span record (see the catalog
+                # entry); slot 0 is the resource name — the only string
+                # that ever lands in the buffer at top level, so the
+                # type check is the dispatch.
+                (name, rid, is_reply, is_write, svc,
+                 enqueue, service_end, depart) = events[i:i + 8]
+                i += 8
+                span = requests.get(rid)
+                if span is None or span.complete:
+                    continue
+                if name.startswith("gm["):
+                    span.mem_enqueue = enqueue
+                    span.mem_depart = depart
+                    # stores are terminal at the module: no reply
+                    # travels back
+                    if is_write:
+                        self._finish(span, depart)
+                    continue
+                hop = HopSpan(name, _stage_of(name), is_reply, enqueue, svc)
+                hop.service_end = service_end
+                hop.depart = depart
+                span.hops.append(hop)
+                continue
+            i += 1
+            tag = ev[0]
+            if tag == _EV_GSVC:
+                _, rid, module, cycles, time = ev
+                span = requests.get(rid)
+                if span is not None:
+                    span.mem_module = module
+                    span.mem_cycles = cycles
+                    span.mem_service_end = time
+            elif tag == _EV_BIRTH:
+                _, rid, origin, port, address, kind, words, time = ev
+                if len(requests) >= self.max_requests:
+                    self._dropped += 1
+                    continue
+                requests[rid] = RequestSpan(
+                    rid, origin, port, address, kind, words, time
+                )
+                if origin == "sync":
+                    self._open_syncs.setdefault(address, []).append(rid)
+            elif tag == _EV_DELIVER:
+                _, rid, time = ev
+                span = requests.get(rid)
+                if span is not None and not span.complete:
+                    self._finish(span, time)
+            elif tag == _EV_SYNC:
+                _, rid, success, operation, time = ev
+                span = requests.get(rid)
+                if span is not None:
+                    span.sync_success = success
+                    span.sync_op = format_sync_op(operation)
+            elif tag == _EV_FAULT:
+                _, rid, fault = ev
+                span = requests.get(rid)
+                if span is not None:
+                    span.faults.append(fault)
+            else:  # _EV_SYNC_TIMEOUT
+                _, module, address, time, penalty = ev
+                # no packet on this signal: charge the oldest in-flight
+                # sync to the same address (the one being retried).
+                for rid in self._open_syncs.get(address, ()):
+                    span = requests.get(rid)
+                    if span is not None and not span.complete:
+                        span.faults.append({
+                            "type": "sync_timeout", "module": module,
+                            "time": time, "cycles": penalty,
+                        })
+                        break
 
     # -- stitching helpers -------------------------------------------------
-
-    def _annotate(self, request_id: int, fault: dict) -> None:
-        span = self.requests.get(request_id)
-        if span is not None:
-            span.faults.append(fault)
-
-    @staticmethod
-    def _backfill(span: RequestSpan, resource_name: str, field: str,
-                  time: float) -> None:
-        # A request and its reply can cross the *same* link on a shared
-        # fabric; events per occupancy are temporally ordered, so the
-        # open hop is the latest one with the field still unset.
-        for hop in reversed(span.hops):
-            if hop.resource == resource_name and getattr(hop, field) is None:
-                setattr(hop, field, time)
-                return
 
     def _finish(self, span: RequestSpan, time: float) -> None:
         span.end = time
         span.complete = True
-        self.completed += 1
+        self._completed += 1
         if span.origin == "sync":
             ids = self._open_syncs.get(span.address)
             if ids and span.request_id in ids:
                 ids.remove(span.request_id)
 
-    # -- results -----------------------------------------------------------
+    # -- results (every accessor drains first) -----------------------------
+
+    @property
+    def requests(self) -> Dict[int, RequestSpan]:
+        """Stitched spans keyed by request id (drains the buffer)."""
+        self._drain()
+        return self._requests
+
+    @property
+    def completed(self) -> int:
+        self._drain()
+        return self._completed
+
+    @property
+    def dropped(self) -> int:
+        self._drain()
+        return self._dropped
+
+    @property
+    def pending_events(self) -> int:
+        """Buffered slots not yet stitched (introspection/tests).
+        ``net.span`` records occupy eight flat slots each; every other
+        event is one tuple — so this counts buffer entries, not
+        events."""
+        return len(self._events)
 
     def complete_spans(self) -> List[RequestSpan]:
-        return [s for s in self.requests.values() if s.complete]
+        self._drain()
+        return [s for s in self._requests.values() if s.complete]
 
     def incomplete_spans(self) -> List[RequestSpan]:
         """Requests still in flight — a simulation that drains fully
         should leave none; orphans point at lost replies."""
-        return [s for s in self.requests.values() if not s.complete]
+        self._drain()
+        return [s for s in self._requests.values() if not s.complete]
 
     def spans(self) -> dict:
         """The JSON-serializable spans document (schema versioned;
         checked by :func:`validate_spans`)."""
-        ordered = sorted(self.requests.values(), key=lambda s: s.birth)
+        self._drain()
+        ordered = sorted(self._requests.values(), key=lambda s: s.birth)
         return {
             "version": SPANS_VERSION,
-            "complete": self.completed,
-            "incomplete": len(self.requests) - self.completed,
-            "dropped": self.dropped,
+            "complete": self._completed,
+            "incomplete": len(self._requests) - self._completed,
+            "dropped": self._dropped,
             "requests": [span.to_dict() for span in ordered],
         }
 

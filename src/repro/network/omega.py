@@ -9,9 +9,10 @@ an 8x8 crossbar's output port with its two-word queue.  Injection ports
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import Engine
+from repro.monitor.signals import NULL_SIGNAL
 from repro.network.packet import Packet
 from repro.network.resource import Hop, Resource, Transit
 from repro.network.routing import delta_path, stage_radices
@@ -48,6 +49,10 @@ class OmegaNetwork:
         #: (src, dst) -> tuple of network-internal hops; the delta path
         #: is a pure function of the port pair, so compute it once.
         self._route_cache: Dict[tuple, tuple] = {}
+        #: (src, dst) -> the *complete* route tuple ending in the
+        #: registered sink, so the hot sink-terminated case allocates
+        #: nothing per packet.  Invalidated by :meth:`register_sink`.
+        self._full_route_cache: Dict[tuple, Tuple[Hop, ...]] = {}
         self.injection_ports: List[Resource] = [
             Resource(
                 engine,
@@ -86,19 +91,22 @@ class OmegaNetwork:
         enqueue = ctx.bus.signal("net.enqueue", key=self.name)
         dequeue = ctx.bus.signal("net.dequeue", key=self.name)
         service = ctx.bus.signal("net.service", key=self.name)
+        span = ctx.bus.signal("net.span", key=self.name)
         for port in self.injection_ports:
-            if port.depart_signal is None:
+            if port.depart_signal is NULL_SIGNAL:
                 port.depart_signal = signal
                 port.enqueue_signal = enqueue
                 port.dequeue_signal = dequeue
                 port.service_end_signal = service
+                port.span_signal = span
         for stage in self.stages:
             for link in stage:
-                if link.depart_signal is None:
+                if link.depart_signal is NULL_SIGNAL:
                     link.depart_signal = signal
                     link.enqueue_signal = enqueue
                     link.dequeue_signal = dequeue
                     link.service_end_signal = service
+                    link.span_signal = span
 
     def reset(self) -> None:
         for port in self.injection_ports:
@@ -153,19 +161,36 @@ class OmegaNetwork:
         )
         view.radices = self.radices
         view.stages = self.stages  # shared fabric
-        view._route_cache.clear()  # stale: routes were built for its own stages
+        # stale: routes were built for its own stages
+        view._route_cache.clear()
+        view._full_route_cache.clear()
         return view
 
     def register_sink(self, port: int, sink: Callable[[Packet], None]) -> None:
         """Register the delivery callback for destination ``port``."""
         self._check_port(port)
         self._sinks[port] = sink
+        self._full_route_cache.clear()  # sink-terminated routes are stale
 
-    def route_for(self, packet: Packet, tail: Optional[List[Hop]] = None) -> List[Hop]:
-        """Build the hop list for ``packet``: injection port, one output
-        port per stage, then either ``tail`` hops (e.g. a memory module)
-        or the registered delivery sink."""
+    def route_for(
+        self, packet: Packet, tail: Optional[Sequence[Hop]] = None
+    ) -> Sequence[Hop]:
+        """The hop route for ``packet``: injection port, one output port
+        per stage, then either ``tail`` hops (e.g. a memory module) or
+        the registered delivery sink.
+
+        Routes are immutable tuples, memoized per (src, dst) pair — the
+        delta path is a pure function of the port pair — and, for the
+        sink-terminated case, memoized *complete*, so steady-state
+        routing allocates nothing.  Callers must not mutate the result;
+        to extend a route, concatenate onto a new tuple (see
+        ``MemoryModule.on_service_complete``).
+        """
         key = (packet.src, packet.dst)
+        if tail is None:
+            route = self._full_route_cache.get(key)
+            if route is not None:
+                return route
         body = self._route_cache.get(key)
         if body is None:
             self._check_port(packet.src)
@@ -178,11 +203,13 @@ class OmegaNetwork:
             body = tuple(hops)
             self._route_cache[key] = body
         if tail is not None:
-            return [*body, *tail]
+            return (*body, *tail)
         sink = self._sinks.get(packet.dst)
         if sink is None:
             raise KeyError(f"{self.name}: no sink registered for port {packet.dst}")
-        return [*body, sink]
+        route = (*body, sink)
+        self._full_route_cache[key] = route
+        return route
 
     def can_inject(self, src: int) -> bool:
         """Whether source ``src``'s injection queue has space now."""

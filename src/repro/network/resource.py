@@ -19,7 +19,10 @@ from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Sequence, Union
 
 from repro.core.engine import Engine, SimulationError
-from repro.network.packet import Packet
+from repro.monitor.signals import NULL_SIGNAL
+from repro.network.packet import Packet, PacketKind
+
+_WRITE_REQ = PacketKind.WRITE_REQ
 
 #: A hop is either another Resource or a terminal sink callback.
 Hop = Union["Resource", Callable[[Packet], None]]
@@ -32,12 +35,17 @@ class Transit:
     element may be a sink callable, which always accepts.
     """
 
-    __slots__ = ("packet", "route", "idx")
+    __slots__ = ("packet", "route", "idx", "enq_t", "svc_t")
 
     def __init__(self, packet: Packet, route: Sequence[Hop], idx: int = 0) -> None:
         self.packet = packet
         self.route = route
         self.idx = idx
+        # occupancy edge times for the consolidated ``net.span`` record;
+        # written only while that signal is monitored (never read by the
+        # model itself, so they cannot perturb timing).
+        self.enq_t = 0.0
+        self.svc_t = 0.0
 
     def next_hop(self) -> Optional[Hop]:
         nxt = self.idx + 1
@@ -63,6 +71,32 @@ class Resource:
     stream through the two-word hardware queues).  Service time is
     ``fixed_cycles + words / words_per_cycle``.
     """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "capacity_words",
+        "words_per_cycle",
+        "fixed_cycles",
+        "recovery_cycles",
+        "_recovered_at",
+        "stats",
+        "_queue",
+        "_words_queued",
+        "_serving",
+        "_blocked_head",
+        "_blocked_since",
+        "_waiters",
+        "depart_signal",
+        "enqueue_signal",
+        "dequeue_signal",
+        "service_end_signal",
+        "span_signal",
+        "fault_hook",
+        "_has_service_hook",
+        "_has_complete_hook",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -94,9 +128,12 @@ class Resource:
         self._blocked_head: Optional[Transit] = None
         self._blocked_since: float = 0.0
         self._waiters: Deque["Resource"] = deque()
-        #: optional monitoring channels, set by the owning component at
-        #: attach time.  ``None`` or subscriber-less costs one branch per
-        #: would-be emission — the zero-cost fast path.
+        #: monitoring channels, re-pointed at real bus channels by the
+        #: owning component at attach time; :data:`NULL_SIGNAL` (whose
+        #: ``callbacks`` is permanently ``()``) until then, so every
+        #: would-be emission is a single truthiness branch on a cached
+        #: tuple — the zero-cost fast path — with no ``is not None``
+        #: pre-check.
         #: ``depart_signal`` -> ``net.hop`` (a packet leaving the server),
         #: ``enqueue_signal`` / ``dequeue_signal`` -> ``net.enqueue`` /
         #: ``net.dequeue`` (queue-occupancy edges for the monitors),
@@ -104,10 +141,14 @@ class Resource:
         #: *before* any head-of-line blocking on the next hop — the
         #: timestamp the span layer needs to split a hop into
         #: queue-wait / service / blocked segments).
-        self.depart_signal = None
-        self.enqueue_signal = None
-        self.dequeue_signal = None
-        self.service_end_signal = None
+        #: ``span_signal`` -> ``net.span``: ONE consolidated record per
+        #: occupancy, emitted at departure with all three edge times, so
+        #: a request tracer costs one callback per hop instead of three.
+        self.depart_signal = NULL_SIGNAL
+        self.enqueue_signal = NULL_SIGNAL
+        self.dequeue_signal = NULL_SIGNAL
+        self.service_end_signal = NULL_SIGNAL
+        self.span_signal = NULL_SIGNAL
         #: optional fault-injection site (see ``repro.faults``), set at
         #: injector attach time.  Same ``is not None`` fast path as the
         #: signals: an unarmed resource pays one branch per service.
@@ -133,8 +174,12 @@ class Resource:
             return False
         self._queue.append(transit)
         self._words_queued += transit.packet.words
+        if self.span_signal.callbacks:
+            # direct slot read: the property descriptor costs a frame,
+            # and this stamp runs once per occupancy on traced runs.
+            transit.enq_t = self.engine._now
         sig = self.enqueue_signal
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(self, transit.packet, self.engine.now)
         if not self._serving and self._blocked_head is None:
             self._maybe_start()
@@ -190,8 +235,10 @@ class Resource:
         if not self._queue or self._queue[0] is not transit:
             raise SimulationError(f"{self.name}: finished packet is not at head")
         self._serving = False
+        if self.span_signal.callbacks:
+            transit.svc_t = self.engine._now
         sig = self.service_end_signal
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(self, transit.packet, self.engine.now)
         if self._has_complete_hook and not self.on_service_complete(transit):
             self._pop_head(transit)
@@ -233,17 +280,37 @@ class Resource:
         st = self.stats
         st.packets += 1
         st.words += words
+        now = self.engine.now
         if self.recovery_cycles:
-            self._recovered_at = self.engine.now + self.recovery_cycles
+            self._recovered_at = now + self.recovery_cycles
         if self._blocked_head is transit:
-            st.blocked_cycles += self.engine.now - self._blocked_since
+            st.blocked_cycles += now - self._blocked_since
             self._blocked_head = None
         sig = self.dequeue_signal
-        if sig is not None and sig:
-            sig.emit(self, transit.packet, self.engine.now)
+        if sig.callbacks:
+            sig.emit(self, transit.packet, now)
         sig = self.depart_signal
-        if sig is not None and sig:
-            sig.emit(self, transit.packet, self.engine.now)
+        if sig.callbacks:
+            sig.emit(self, transit.packet, now)
+        cbs = self.span_signal.callbacks
+        if cbs:
+            # pre-packed record (see the net.span catalog entry): packet
+            # fields extracted here because pooled packets mutate.  All
+            # eight slots are atomic values, and a buffering subscriber
+            # is ``list.extend`` itself, so the record tuple dies the
+            # moment the inlined callback loop returns — no Python
+            # frame per emission, and no surviving GC-tracked object to
+            # swell collection pauses on long traced runs.  The packet's
+            # ``trace`` mark gates the build: a sampled-out reference
+            # costs exactly these two attribute loads per hop.
+            pkt = transit.packet
+            if pkt.trace:
+                rec = (self.name, pkt.request_id, pkt.is_reply,
+                       pkt.kind is _WRITE_REQ,
+                       self.fixed_cycles + pkt.words / self.words_per_cycle,
+                       transit.enq_t, transit.svc_t, now)
+                for cb in cbs:
+                    cb(rec)
 
     def _advance(self) -> None:
         """After a departure: wake upstream waiters, start next service."""
@@ -298,7 +365,7 @@ class Resource:
         return f"<Resource {self.name} q={self._words_queued}/{self.capacity_words}>"
 
 
-def start_transit(packet: Packet, route: List[Hop]) -> Transit:
+def start_transit(packet: Packet, route: Sequence[Hop]) -> Transit:
     """Create a transit for ``packet`` over ``route`` and offer it to the
     first hop.  Raises if the first hop refuses — injection points must
     check :meth:`Resource.has_space` first or provide their own pacing."""

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.config import PrefetchConfig, VMConfig
 from repro.core.engine import Engine
 from repro.gmemory.module import GlobalMemory
+from repro.monitor.signals import NULL_SIGNAL
 from repro.network.omega import OmegaNetwork
 from repro.network.packet import Packet, PacketKind
 
@@ -109,11 +110,11 @@ class PrefetchUnit:
         self.streams_fired = 0
         self.words_requested = 0
         self.page_suspensions = 0
-        self._sig_arm = None
-        self._sig_request = None
-        self._sig_deliver = None
-        self._sig_suspend = None
-        self._sig_birth = None
+        self._sig_arm = NULL_SIGNAL
+        self._sig_request = NULL_SIGNAL
+        self._sig_deliver = NULL_SIGNAL
+        self._sig_suspend = NULL_SIGNAL
+        self._sig_birth = NULL_SIGNAL
 
     # -- component lifecycle ---------------------------------------------------
 
@@ -178,7 +179,7 @@ class PrefetchUnit:
         self._active = stream
         self.streams_fired += 1
         sig = self._sig_arm
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(self.port, self.engine.now)
         self.engine.schedule_after(self.config.arm_cycles, self._issue, stream, 0)
         return stream
@@ -198,7 +199,7 @@ class PrefetchUnit:
             if address // self.page_words != prev // self.page_words:
                 self.page_suspensions += 1
                 sig = self._sig_suspend
-                if sig is not None and sig:
+                if sig.callbacks:
                     sig.emit(self.port, self.engine.now)
                 self.engine.schedule_after(
                     PAGE_RESUPPLY_CYCLES, self._issue, stream, index, True
@@ -211,18 +212,19 @@ class PrefetchUnit:
         stream.issued[index] = now
         self.words_requested += 1
         sig = self._sig_request
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(self.port, index, now)
-        packet = Packet(
-            kind=PacketKind.READ_REQ,
-            src=self.port,
-            dst=address % self.global_memory.config.modules,
-            address=address,
-            words=1,
-            meta={"pfu_stream": stream, "word_index": index},
+        packet = Packet.acquire(
+            PacketKind.READ_REQ,
+            self.port,
+            address % self.global_memory.config.modules,
+            address,
         )
+        meta = packet.meta
+        meta["pfu_stream"] = stream
+        meta["word_index"] = index
         sig = self._sig_birth
-        if sig is not None and sig:
+        if sig.callbacks:
             sig.emit(packet, "prefetch", now)
         self.forward_network.inject(packet, tail=self.global_memory.route_tail(address))
         delay = 1.0 / self.config.issue_per_cycle
@@ -239,6 +241,6 @@ class PrefetchUnit:
         now = self.engine.now
         if stream is self._active:
             sig = self._sig_deliver
-            if sig is not None and sig:
+            if sig.callbacks:
                 sig.emit(self.port, index, now)
         stream._deliver(index, now)

@@ -70,6 +70,60 @@ class TestZeroCost:
         assert sum(c.completed for c in collectors) > 0  # spans were stitched
         assert traced == baseline
 
+    def test_sampled_span_collector_does_not_change_cycles(self):
+        """Sampling observes through the same cached net.span channels
+        and additionally writes the packets' ``trace`` marks — pure
+        observational metadata that must leave cycles bit-identical."""
+        from repro.monitor.sampling import SampledSpanCollector
+
+        baseline = measure()
+        collectors = []
+        observer = add_context_observer(
+            lambda ctx: collectors.append(
+                SampledSpanCollector(every=4).attach(ctx.bus)
+            )
+        )
+        try:
+            sampled = measure()
+        finally:
+            remove_context_observer(observer)
+            for collector in collectors:
+                collector.detach()
+        assert sum(c.completed for c in collectors) > 0
+        assert sum(c.sampled_out for c in collectors) > 0  # really thinned
+        assert sampled == baseline
+
+    def test_packet_pool_off_is_bit_identical(self):
+        """The packet free list is pure mechanism: recycled and freshly
+        allocated packets must drive identical simulations."""
+        from repro.network.packet import set_pool_enabled
+
+        pooled = measure()
+        try:
+            set_pool_enabled(False)
+            unpooled = measure()
+        finally:
+            set_pool_enabled(True)
+        assert unpooled == pooled
+
+    def test_unmonitored_emission_sites_are_inert(self):
+        """The cached-emission contract: on a machine nobody monitors,
+        every pre-resolved span channel has an empty callbacks tuple, so
+        each emission site is one falsy truthiness branch — and a run on
+        such a machine matches one where the channels were never wired."""
+        from repro.core.machine import CedarMachine
+
+        machine = CedarMachine(CedarConfig())
+        networks = (machine.forward_network, machine.reverse_network)
+        sites = [p for net in networks for p in net.injection_ports]
+        sites += [
+            link for net in networks for stage in net.stages for link in stage
+        ]
+        sites += list(machine.gmem.modules)
+        assert len(sites) > 8  # ports, stage links, memory modules
+        for resource in sites:
+            assert resource.span_signal.callbacks == ()
+
     def test_no_prefetch_path_is_also_unperturbed(self):
         baseline = measure(prefetch=False)
         tracer = ChromeTracer()
