@@ -1,0 +1,109 @@
+"""CI memory gate: streaming observability must stay flat in requests.
+
+Runs the registered soak flood twice under :mod:`tracemalloc` — once at
+the small request count, once at 10x–∞ that — with the streaming span
+store attached, and fails if the large run's peak allocation exceeds
+``RATIO`` times the small run's.  A buffered collector retains one span
+per request, so its peak scales linearly and trips the gate immediately;
+the streaming store folds each request into sketch state of constant
+size, so both peaks are dominated by the machine itself and the ratio
+stays near 1.
+
+A short untraced warmup run is taken first so one-time allocations
+(imports, the packet pool, code caches) are paid before either
+measurement starts — otherwise they inflate whichever run goes first.
+
+Usage::
+
+    python benchmarks/memory_gate.py              # 100k vs 1M requests
+    python benchmarks/memory_gate.py --fast       # 10k vs 100k (smoke)
+
+Exit status 0 iff the gate holds and both runs completed un-aborted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tracemalloc
+
+#: the large run's tracemalloc peak may be at most this multiple of the
+#: small run's (the acceptance bound for the streaming path).
+RATIO = 1.2
+
+SMALL = 100_000
+LARGE = 1_000_000
+WARMUP = 2_000
+
+
+def measured_soak(requests: int, seed: int = 7):
+    """One streaming soak flood under tracemalloc; returns the
+    :class:`~repro.experiments.soak.SoakResult` and the peak traced
+    allocation in bytes."""
+    from repro.experiments.soak import run_soak
+
+    tracemalloc.start()
+    try:
+        result = run_soak(requests=requests, seed=seed, stream=True)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--small", type=int, default=SMALL)
+    parser.add_argument("--large", type=int, default=LARGE)
+    parser.add_argument("--ratio", type=float, default=RATIO)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="10k vs 100k requests (a smoke run, same invariant)",
+    )
+    args = parser.parse_args(argv)
+    small_n, large_n = args.small, args.large
+    if args.fast:
+        small_n, large_n = 10_000, 100_000
+
+    from repro.experiments.soak import run_soak
+
+    run_soak(requests=WARMUP, stream=True)  # pay one-time allocations
+
+    failures = []
+    peaks = {}
+    for label, requests in (("small", small_n), ("large", large_n)):
+        result, peak = measured_soak(requests)
+        peaks[label] = peak
+        print(
+            f"memory-gate: {label} run {requests:,} requests -> "
+            f"{result.traced:,} traced, peak {peak / 1e6:.1f} MB, "
+            f"{result.footprint_items:,} resident traced items"
+        )
+        if result.aborted:
+            failures.append(f"{label} run aborted (watchdog)")
+        if result.traced < requests * 0.99:
+            failures.append(
+                f"{label} run traced only {result.traced:,} of "
+                f"{requests:,} requests"
+            )
+
+    ratio = peaks["large"] / peaks["small"]
+    print(
+        f"memory-gate: peak ratio {ratio:.3f} at {large_n // small_n}x the "
+        f"requests (bound {args.ratio}x)"
+    )
+    if ratio > args.ratio:
+        failures.append(
+            f"peak allocation grew {ratio:.3f}x from {small_n:,} to "
+            f"{large_n:,} requests (bound {args.ratio}x): the tracing "
+            f"path is not flat in request count"
+        )
+    for failure in failures:
+        print(f"memory-gate: FAIL: {failure}")
+    if not failures:
+        print("memory-gate: OK (streaming observability is flat in requests)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,25 @@ def measured_events_per_sec() -> float:
 SIM_SAMPLE_EVERY = 16
 
 
+def peak_tracing_bytes() -> int:
+    """Peak allocation attributable to span collection: one untimed
+    tracemalloc run of the trajectory workload with the full collector,
+    minus a bare run's peak.  Recorded per trajectory point so span-path
+    memory regressions show up in ``BENCH_sim.json`` alongside the
+    throughput overhead they usually accompany."""
+    import tracemalloc
+
+    peaks = {}
+    for mode in ("bare", "spans"):
+        tracemalloc.start()
+        try:
+            sim_measurement(mode)
+            _current, peaks[mode] = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    return max(peaks["spans"] - peaks["bare"], 0)
+
+
 def sim_measurement(mode="bare"):
     """One whole-machine kernel run; returns (sim cycles, events/sec,
     requests traced).  ``mode`` is ``"bare"`` (no collector),
@@ -175,6 +194,9 @@ def append_sim_point() -> dict:
         "sampled_every": SIM_SAMPLE_EVERY,
         "sampled_overhead_pct": round(sampled_overhead, 1),
         "requests_traced": traced[2],
+        # measured untimed, after the timed reps, so tracemalloc's
+        # dispatch cost never touches the throughput numbers above
+        "peak_tracing_bytes": peak_tracing_bytes(),
     }
     try:
         doc = json.loads(BENCH_SIM_JSON.read_text())

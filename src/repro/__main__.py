@@ -9,15 +9,17 @@ Usage::
     python -m repro overheads                # Section 3.2 costs
     python -m repro characterization         # Section 4.1 anchors
     python -m repro degradation              # robustness fault-rate sweep
+    python -m repro soak [--requests N]      # open-loop streaming soak
     python -m repro all [--fast]             # the paper's artifacts
     python -m repro run-all [NAMES...] [--jobs N] [--cached] [--fast]
-                            [--timeout S] [--retries N]
+                            [--timeout S] [--retries N] [--stream]
                                              # every registered experiment
     python -m repro trace EXPERIMENT --out trace.json
                                              # Chrome/Perfetto trace
-    python -m repro analyze EXPERIMENT [--out spans.json] [--top N]
+    python -m repro analyze EXPERIMENT [--out spans.json] [--top N] [--stream]
                                              # request-latency analysis
-    python -m repro report [EXPERIMENT]      # structured run reports
+    python -m repro report [EXPERIMENT] [--stream]
+                                             # structured run reports
 
 ``--fast`` shrinks the cycle-level simulations to smoke size.
 
@@ -122,6 +124,18 @@ def _degradation(args) -> str:
     return _run_one("degradation", fast=args.fast)
 
 
+def _soak(args) -> str:
+    from repro.experiments.soak import render_soak, run_soak
+
+    return render_soak(
+        run_soak(
+            requests=args.requests,
+            seed=args.seed,
+            stream=not args.buffered,
+        )
+    )
+
+
 def _all(args) -> str:
     from repro.experiments.runner import render_all, run_all
 
@@ -147,6 +161,7 @@ def _run_all(args) -> str:
         collect_reports=collect,
         timeout_s=args.timeout,
         retries=args.retries,
+        stream=args.stream,
     )
     elapsed = time.perf_counter() - start
 
@@ -231,8 +246,16 @@ def _analyze(args) -> str:
     exp = experiment(args.experiment)
     collectors = []
 
-    def _observe(ctx) -> None:
-        collectors.append(SpanCollector().attach(ctx.bus))
+    if args.stream:
+        from repro.monitor.streamstore import StreamingSpanStore
+
+        def _observe(ctx) -> None:
+            collectors.append(StreamingSpanStore().attach(ctx.bus))
+
+    else:
+
+        def _observe(ctx) -> None:
+            collectors.append(SpanCollector().attach(ctx.bus))
 
     clear_memoized_runs()  # memoized runs would build no machines
     observer = add_context_observer(_observe)
@@ -246,19 +269,40 @@ def _analyze(args) -> str:
         raise SystemExit(
             f"experiment {args.experiment!r} built no machines to trace"
         )
-    spans = [s for c in collectors for s in c.complete_spans()]
-    analysis = LatencyAnalysis(spans)
-    sections = [latency_report(analysis, top=args.top)]
-    incomplete = sum(len(c.incomplete_spans()) for c in collectors)
-    dropped = sum(c.dropped for c in collectors)
-    sections.append(
-        f"{len(spans)} requests traced across {len(collectors)} machine(s)"
-        f" ({incomplete} incomplete at sim end, {dropped} dropped)"
-    )
+    if args.stream:
+        from repro.monitor.streamstore import (
+            StreamingLatencyAnalysis,
+            merge_streaming_docs,
+        )
+
+        analysis = StreamingLatencyAnalysis.from_stores(collectors)
+        traced = analysis.requests
+        docs = [c.spans() for c in collectors]
+        incomplete = sum(d["incomplete"] for d in docs)
+        dropped = analysis.dropped
+        footprint = sum(c.tracing_footprint() for c in collectors)
+        tail = (
+            f"{traced} requests folded across {len(collectors)} machine(s)"
+            f" ({incomplete} incomplete at sim end, {dropped} dropped, "
+            f"{analysis.evicted} evicted; {footprint} resident traced items)"
+        )
+    else:
+        spans = [s for c in collectors for s in c.complete_spans()]
+        analysis = LatencyAnalysis(
+            spans, dropped=sum(c.dropped for c in collectors)
+        )
+        incomplete = sum(len(c.incomplete_spans()) for c in collectors)
+        tail = (
+            f"{len(spans)} requests traced across {len(collectors)} machine(s)"
+            f" ({incomplete} incomplete at sim end, {analysis.dropped} dropped)"
+        )
+    sections = [latency_report(analysis, top=args.top), tail]
     if args.out:
         import json
 
-        if len(collectors) == 1:
+        if args.stream:
+            doc = merge_streaming_docs(docs)
+        elif len(collectors) == 1:
             doc = collectors[0].spans()
         else:
             docs = [c.spans() for c in collectors]
@@ -300,7 +344,10 @@ def _report(args) -> str:
 
     from repro.experiments.runner import run_experiment
 
-    result = run_experiment(args.experiment, fast=args.fast, collect_report=True)
+    result = run_experiment(
+        args.experiment, fast=args.fast, collect_report=True,
+        stream=args.stream,
+    )
     return json.dumps(result.report, indent=1)
 
 
@@ -331,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     degradation.add_argument("--fast", action="store_true",
                              help="smoke-size cycle simulations")
+    soak = sub.add_parser(
+        "soak", help="open-loop request flood under streaming observability"
+    )
+    soak.add_argument("--requests", type=int, default=1_000_000,
+                      help="arrivals to inject (default 1000000)")
+    soak.add_argument("--seed", type=int, default=7,
+                      help="arrival-process seed (default 7)")
+    soak.add_argument("--buffered", action="store_true",
+                      help="use the buffered span collector instead of "
+                           "the bounded-memory streaming store")
 
     everything = sub.add_parser("all", help="the paper's artifacts")
     everything.add_argument("--fast", action="store_true")
@@ -359,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run-report directory (default .repro-reports)")
     run_all_cmd.add_argument("--no-reports", action="store_true",
                              help="skip run-report collection")
+    run_all_cmd.add_argument("--stream", action="store_true",
+                             help="collect run reports through the "
+                                  "bounded-memory streaming span store")
 
     trace = sub.add_parser(
         "trace", help="run one experiment and write a Chrome/Perfetto trace"
@@ -380,6 +440,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="slowest-request waterfalls to show (default 5)")
     analyze.add_argument("--fast", action="store_true",
                          help="smoke-size cycle simulations")
+    analyze.add_argument("--stream", action="store_true",
+                         help="bounded-memory streaming collection: fold "
+                              "each request into quantile sketches on "
+                              "completion instead of buffering every span")
 
     report = sub.add_parser(
         "report", help="structured run reports (one experiment or the fleet)"
@@ -392,6 +456,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--dir", default=None,
                         help="report directory to aggregate "
                              "(default .repro-reports)")
+    report.add_argument("--stream", action="store_true",
+                        help="collect through the bounded-memory "
+                             "streaming span store")
     return parser
 
 
@@ -406,6 +473,7 @@ HANDLERS: Dict[str, Callable] = {
     "permutations": _permutations,
     "multiprogramming": _multiprogramming,
     "degradation": _degradation,
+    "soak": _soak,
     "all": _all,
     "run-all": _run_all,
     "trace": _trace,

@@ -46,6 +46,7 @@ from repro.experiments.multiprogramming import (
     run_multiprogramming_study,
 )
 from repro.experiments.scaling import ScalingCurve, render_scaling, run_scaling_study
+from repro.experiments.soak import SoakResult, render_soak, run_soak
 
 __all__ = [
     "KernelMeasurement",
@@ -93,4 +94,7 @@ __all__ = [
     "ScalingCurve",
     "render_scaling",
     "run_scaling_study",
+    "SoakResult",
+    "render_soak",
+    "run_soak",
 ]

@@ -44,7 +44,8 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
 
 #: bump when renderer output formats change, invalidating old entries.
-CACHE_VERSION = 4
+#: v5: soak experiment + streaming-observability report mode.
+CACHE_VERSION = 5
 
 #: default on-disk cache location (repo-/cwd-relative).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -176,6 +177,14 @@ def _exp_degradation(
     )
 
 
+def _exp_soak(
+    requests: int = 1_000_000, seed: int = 7, stream: bool = True
+) -> str:
+    from repro.experiments.soak import render_soak, run_soak
+
+    return render_soak(run_soak(requests=requests, seed=seed, stream=stream))
+
+
 # ---------------------------------------------------------------------------
 # registry
 
@@ -295,6 +304,15 @@ register(
         fast_kwargs={"strips": 3, "rounds": 8},
     )
 )
+register(
+    Experiment(
+        "soak",
+        "Soak: open-loop flood under streaming observability",
+        _exp_soak,
+        kwargs={"requests": 1_000_000, "seed": 7, "stream": True},
+        fast_kwargs={"requests": 5_000},
+    )
+)
 
 
 # ---------------------------------------------------------------------------
@@ -302,7 +320,10 @@ register(
 
 
 def cache_key(
-    name: str, kwargs: Dict[str, object], config: CedarConfig = DEFAULT_CONFIG
+    name: str,
+    kwargs: Dict[str, object],
+    config: CedarConfig = DEFAULT_CONFIG,
+    stream: bool = False,
 ) -> str:
     """Stable cache key: experiment identity + arguments + machine config."""
     import hashlib
@@ -313,6 +334,9 @@ def cache_key(
             "experiment": name,
             "kwargs": kwargs,
             "config": config.stable_hash(),
+            # streaming report collection changes the stored report's
+            # shape, so streamed and buffered entries must not collide
+            "stream": stream,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -442,7 +466,9 @@ def _execute(name: str, kwargs: Dict[str, object]) -> str:
     return REGISTRY[name].runner(**kwargs)
 
 
-def _execute_with_report(name: str, kwargs: Dict[str, object]) -> tuple:
+def _execute_with_report(
+    name: str, kwargs: Dict[str, object], stream: bool = False
+) -> tuple:
     """Worker entry point for instrumented runs.
 
     Returns ``(output, machine_dicts, elapsed_s)``.  Elapsed time is
@@ -451,13 +477,15 @@ def _execute_with_report(name: str, kwargs: Dict[str, object]) -> tuple:
     memoization is cleared first so every machine the experiment needs
     is actually built (and therefore monitored) inside the collection
     window — a worker process may have warm memo entries from an
-    earlier experiment.
+    earlier experiment.  ``stream`` selects bounded-memory streaming
+    span collection (sketch-backed latency summaries) instead of the
+    buffered collector.
     """
     from repro.monitor.report import ReportCollector
 
     clear_memoized_runs()
     start = time.perf_counter()
-    with ReportCollector() as collector:
+    with ReportCollector(stream=stream) as collector:
         output = REGISTRY[name].runner(**kwargs)
     return output, collector.machine_dicts(), time.perf_counter() - start
 
@@ -487,11 +515,16 @@ def run_experiment(
     cache_dir: Optional[Path] = None,
     config: CedarConfig = DEFAULT_CONFIG,
     collect_report: bool = False,
+    stream: bool = False,
 ) -> ExperimentResult:
-    """Run (or replay from cache) a single registered experiment."""
+    """Run (or replay from cache) a single registered experiment.
+
+    ``stream`` (with ``collect_report``) collects the per-machine
+    latency summary through the bounded-memory streaming store.
+    """
     exp = experiment(name)
     kwargs = exp.arguments(fast)
-    key = cache_key(name, kwargs, config)
+    key = cache_key(name, kwargs, config, stream=stream)
     if cache_dir is not None:
         entry = cache_load_entry(cache_dir, name, key)
         if entry is not None and entry.get("output") is not None:
@@ -503,7 +536,9 @@ def run_experiment(
             # cached output but no stored report: fall through and re-run
     start = time.perf_counter()
     if collect_report:
-        output, machines, elapsed = _execute_with_report(name, kwargs)
+        output, machines, elapsed = _execute_with_report(
+            name, kwargs, stream=stream
+        )
         report = _build_report(name, kwargs, elapsed, False, machines)
     else:
         output = _execute(name, kwargs)
@@ -514,14 +549,16 @@ def run_experiment(
     return ExperimentResult(name, exp.title, output, elapsed, cached=False, report=report)
 
 
-def _subprocess_main(conn, name: str, kwargs: Dict, collect_report: bool) -> None:
+def _subprocess_main(
+    conn, name: str, kwargs: Dict, collect_report: bool, stream: bool = False
+) -> None:
     """Worker-process entry point: run one experiment, ship the outcome
     back over ``conn``.  Every failure becomes an ``("error", reason)``
     message; only a hard crash (segfault, kill) leaves the pipe silent,
     which the manager detects as worker death."""
     try:
         if collect_report:
-            payload = _execute_with_report(name, kwargs)
+            payload = _execute_with_report(name, kwargs, stream=stream)
         else:
             payload = _execute(name, kwargs)
         conn.send(("ok", payload))
@@ -565,6 +602,7 @@ def _run_isolated(
     timeout_s: Optional[float],
     retries: int,
     retry_backoff_s: float,
+    stream: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Run ``misses`` in per-experiment worker processes.
 
@@ -584,7 +622,7 @@ def _run_isolated(
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_subprocess_main,
-            args=(send_conn, name, kwargs, collect_reports),
+            args=(send_conn, name, kwargs, collect_reports, stream),
         )
         process.start()
         send_conn.close()  # manager keeps only the read end
@@ -630,7 +668,7 @@ def _run_isolated(
             cache_store(
                 cache_dir,
                 attempt.name,
-                cache_key(attempt.name, attempt.kwargs, config),
+                cache_key(attempt.name, attempt.kwargs, config, stream=stream),
                 output,
                 elapsed,
                 report=report,
@@ -712,6 +750,7 @@ def _run_inline(
     collect_reports: bool,
     retries: int,
     retry_backoff_s: float,
+    stream: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Single-process path (no timeout enforcement, but the same
     failure isolation and retry policy as the worker path)."""
@@ -721,7 +760,12 @@ def _run_inline(
             start = time.perf_counter()
             try:
                 result = run_experiment(
-                    name, fast, cache_dir, config, collect_report=collect_reports
+                    name,
+                    fast,
+                    cache_dir,
+                    config,
+                    collect_report=collect_reports,
+                    stream=stream,
                 )
                 results[name] = ExperimentResult(
                     result.name,
@@ -759,6 +803,7 @@ def run_all(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     retry_backoff_s: float = 0.25,
+    stream: bool = False,
 ) -> List[ExperimentResult]:
     """Run a set of experiments (default: every registered one).
 
@@ -788,7 +833,7 @@ def run_all(
     for name in selected:
         exp = REGISTRY[name]
         kwargs = exp.arguments(fast)
-        key = cache_key(name, kwargs, config)
+        key = cache_key(name, kwargs, config, stream=stream)
         entry = (
             cache_load_entry(cache_dir, name, key) if cache_dir is not None else None
         )
@@ -819,6 +864,7 @@ def run_all(
                     timeout_s,
                     retries,
                     retry_backoff_s,
+                    stream=stream,
                 )
             )
         else:
@@ -831,6 +877,7 @@ def run_all(
                     collect_reports,
                     retries,
                     retry_backoff_s,
+                    stream=stream,
                 )
             )
 

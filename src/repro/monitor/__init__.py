@@ -71,6 +71,11 @@ _EXPORTS = {
     "validate_spans": "repro.monitor.spans",
     "validate_spans_file": "repro.monitor.spans",
     "SampledSpanCollector": "repro.monitor.sampling",
+    "ExemplarReservoir": "repro.monitor.sketch",
+    "QuantileSketch": "repro.monitor.sketch",
+    "SampledStreamingSpanStore": "repro.monitor.streamstore",
+    "StreamingLatencyAnalysis": "repro.monitor.streamstore",
+    "StreamingSpanStore": "repro.monitor.streamstore",
 }
 
 
@@ -98,6 +103,11 @@ def __dir__():
 __all__ = [
     "NULL_SIGNAL",
     "SampledSpanCollector",
+    "SampledStreamingSpanStore",
+    "StreamingLatencyAnalysis",
+    "StreamingSpanStore",
+    "ExemplarReservoir",
+    "QuantileSketch",
     "ChromeTracer",
     "ClusterMonitor",
     "Counter",

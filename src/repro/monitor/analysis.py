@@ -176,9 +176,16 @@ def latency_tables(analysis: LatencyAnalysis) -> str:
             origin, row["count"], row["mean"], row["p50"], row["p90"],
             row["p95"], row["p99"], row["max"],
         ])
-    return "\n\n".join(
+    rendered = "\n\n".join(
         t.render() for t in (phase_table, stage_table, origin_table)
     )
+    dropped = getattr(analysis, "dropped", 0)
+    if dropped:
+        rendered += (
+            f"\n(population truncated: {dropped} requests dropped at the "
+            f"collector cap)"
+        )
+    return rendered
 
 
 def latency_distribution_chart(
@@ -186,8 +193,8 @@ def latency_distribution_chart(
 ) -> str:
     """End-to-end latency quantile curve (x: percentile, y: cycles)."""
     qs = [i / 100.0 for i in range(1, 100)]
-    hist = analysis._histogram([s.latency for s in analysis.spans])
-    points = [(q * 100.0, hist.percentile(q)) for q in qs]
+    values = analysis.quantile_curve(qs)
+    points = [(q * 100.0, value) for q, value in zip(qs, values)]
     return line_chart(
         {"latency": points},
         width=width,
@@ -235,7 +242,15 @@ def latency_report(analysis: LatencyAnalysis, top: int = 5) -> str:
     bottleneck attribution, exemplar waterfalls, reconciliation check."""
     if not analysis.spans:
         return "no completed request spans collected"
-    parts = [latency_tables(analysis), latency_distribution_chart(analysis)]
+    parts = []
+    dropped = getattr(analysis, "dropped", 0)
+    if dropped:
+        parts.append(
+            f"WARNING: {dropped} requests were dropped at the collector's "
+            f"cap — the tables below describe a truncated population "
+            f"(use --stream or raise max_requests for full coverage)"
+        )
+    parts.extend([latency_tables(analysis), latency_distribution_chart(analysis)])
     attribution = analysis.bottleneck_attribution()
     if attribution:
         worst = attribution[0]

@@ -10,7 +10,10 @@ class Histogrammer:
 
     Values are mapped to bins linearly between ``lo`` and ``hi``; out of
     range values clamp to the edge bins (as real histogram hardware
-    does).  Counters saturate at 2**32 - 1.
+    does) **and** increment the explicit ``underflow``/``overflow``
+    counters, so statistics can place that mass at the range edge it
+    actually clamped to instead of smearing it across an edge bin.
+    Counters saturate at 2**32 - 1.
     """
 
     BINS = 1 << 16
@@ -26,6 +29,14 @@ class Histogrammer:
         self.bins = bins
         self._counts: Dict[int, int] = {}
         self.samples = 0
+        #: samples below ``lo`` / at-or-above ``hi``.  They still clamp
+        #: into the edge-bin counters (hardware behaviour), but
+        #: :meth:`mean` and :meth:`percentile` exclude them from
+        #: within-bin interpolation — clamped mass sits exactly at
+        #: ``lo``/``hi``, not at an edge-bin midpoint, which otherwise
+        #: biases every statistic that touches an edge bin.
+        self.underflow = 0
+        self.overflow = 0
 
     def bin_for(self, value: float) -> int:
         frac = (value - self.lo) / (self.hi - self.lo)
@@ -38,6 +49,10 @@ class Histogrammer:
         if current < self.COUNTER_MAX:
             self._counts[idx] = current + 1
         self.samples += 1
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
 
     def count(self, idx: int) -> int:
         return self._counts.get(idx, 0)
@@ -45,16 +60,29 @@ class Histogrammer:
     def nonzero_bins(self) -> List[int]:
         return sorted(self._counts)
 
+    def _in_range_count(self, idx: int) -> int:
+        """The bin's count minus any clamped out-of-range mass (which
+        lives in the edge bins).  Saturated counters can undershoot the
+        clamped mass, hence the floor at zero."""
+        count = self._counts.get(idx, 0)
+        if idx == 0:
+            count -= self.underflow
+        if idx == self.bins - 1:
+            count -= self.overflow
+        return max(count, 0)
+
     def mean(self) -> float:
-        """Mean of bin centers weighted by counts."""
+        """Mean of bin centers weighted by counts; clamped out-of-range
+        mass contributes exactly ``lo``/``hi``."""
         if not self._counts:
             raise ValueError("no samples recorded")
         width = (self.hi - self.lo) / self.bins
-        total = sum(self._counts.values())
-        acc = sum(
-            (self.lo + (idx + 0.5) * width) * count
-            for idx, count in self._counts.items()
-        )
+        acc = self.lo * self.underflow + self.hi * self.overflow
+        total = self.underflow + self.overflow
+        for idx in self._counts:
+            count = self._in_range_count(idx)
+            acc += (self.lo + (idx + 0.5) * width) * count
+            total += count
         return acc / total
 
     def percentile(self, q: float) -> float:
@@ -62,24 +90,29 @@ class Histogrammer:
         linearly *within* the bin that crosses the target rank — the
         resolution limit is one bin width, not one bin midpoint.
 
-        Edge-bin clamping: out-of-range samples were clamped into the
-        edge bins at :meth:`record` time, so extreme quantiles clamp to
-        ``[lo, hi]`` — a p99 of data above ``hi`` reports ``hi``, never
-        extrapolates beyond the counter range (as the 64K-counter
-        hardware would).
+        Clamped mass orders at the range edges: ``underflow`` samples
+        sit at exactly ``lo`` (before every in-range bin), ``overflow``
+        samples at exactly ``hi`` (after every in-range bin).  Only
+        genuinely in-range counts interpolate, so a run whose tail
+        clamps into the top bin no longer drags interpolated quantiles
+        below ``hi``.
         """
         if not 0 <= q <= 1:
             raise ValueError("q must be within [0, 1]")
         if not self._counts:
             raise ValueError("no samples recorded")
-        total = sum(self._counts.values())
+        in_range = {
+            idx: self._in_range_count(idx) for idx in sorted(self._counts)
+        }
+        total = self.underflow + self.overflow + sum(in_range.values())
         target = q * total
-        seen = 0
+        if self.underflow and self.underflow >= target:
+            return self.lo
+        seen = self.underflow
         width = (self.hi - self.lo) / self.bins
-        for idx in sorted(self._counts):
-            count = self._counts[idx]
-            if seen + count >= target:
-                frac = (target - seen) / count if count else 0.0
+        for idx, count in in_range.items():
+            if count and seen + count >= target:
+                frac = (target - seen) / count
                 frac = min(max(frac, 0.0), 1.0)
                 value = self.lo + (idx + frac) * width
                 return min(max(value, self.lo), self.hi)

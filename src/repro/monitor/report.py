@@ -27,7 +27,9 @@ from repro.monitor.monitors import attach_standard_monitors, detach_monitors
 from repro.monitor.spans import LatencyAnalysis, SpanCollector
 
 #: report format version (bump on breaking shape changes).
-REPORT_VERSION = 2
+#: v3: streaming collection mode — the per-machine ``latency`` summary
+#: may carry ``"mode": "streaming"`` plus serialized sketch state.
+REPORT_VERSION = 3
 
 #: default on-disk report location (repo-/cwd-relative), one JSON per
 #: artifact, written by ``python -m repro run-all``.
@@ -48,10 +50,15 @@ class ReportCollector:
     #: CLI's: reports want the decomposition, not every exemplar).
     SPAN_CAP = 100_000
 
-    def __init__(self, collect_spans: bool = True) -> None:
+    def __init__(self, collect_spans: bool = True, stream: bool = False) -> None:
         self._records: List[tuple] = []
         self._observer = None
         self.collect_spans = collect_spans
+        #: streaming collection: attach a bounded-memory
+        #: :class:`~repro.monitor.streamstore.StreamingSpanStore` per
+        #: machine instead of the buffered collector — same signals,
+        #: sketch-backed latency summary, no request cap to hit.
+        self.stream = stream
 
     # -- installation ------------------------------------------------------
 
@@ -86,7 +93,14 @@ class ReportCollector:
         monitors = attach_standard_monitors(ctx.bus, registry)
         spans = None
         if self.collect_spans:
-            spans = SpanCollector(max_requests=self.SPAN_CAP).attach(ctx.bus)
+            if self.stream:
+                from repro.monitor.streamstore import StreamingSpanStore
+
+                spans = StreamingSpanStore(
+                    max_requests=self.SPAN_CAP
+                ).attach(ctx.bus)
+            else:
+                spans = SpanCollector(max_requests=self.SPAN_CAP).attach(ctx.bus)
         self._records.append((ctx, registry, monitors, spans))
 
     # -- results -----------------------------------------------------------
@@ -108,9 +122,18 @@ class ReportCollector:
                 "metrics": registry.snapshot(now=engine.now),
             }
             if spans is not None:
-                record["latency"] = LatencyAnalysis.from_collector(
-                    spans
-                ).summary()
+                if self.stream:
+                    from repro.monitor.streamstore import (
+                        StreamingLatencyAnalysis,
+                    )
+
+                    record["latency"] = StreamingLatencyAnalysis.from_store(
+                        spans
+                    ).summary()
+                else:
+                    record["latency"] = LatencyAnalysis.from_collector(
+                        spans
+                    ).summary()
             out.append(record)
         return out
 

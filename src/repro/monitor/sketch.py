@@ -1,0 +1,314 @@
+"""Online quantile sketches and exemplar retention for unbounded runs.
+
+The buffered observability path (:class:`~repro.monitor.spans.SpanCollector`
++ :class:`~repro.monitor.histogram.Histogrammer`) needs either a request
+cap or pre-declared histogram bounds — a week-long soak run overflows
+both.  This module provides the two constant-footprint primitives the
+streaming path is built on:
+
+* :class:`QuantileSketch` — a mergeable DDSketch-style quantile sketch
+  over relative-error buckets.  No ``lo``/``hi`` must be declared up
+  front: values land in logarithmic buckets ``ceil(log_gamma(v))`` with
+  ``gamma = (1+alpha)/(1-alpha)``, so every reported quantile is within
+  a *relative* error ``alpha`` of the exact sample quantile, whatever
+  the data range turns out to be.  Bucket count grows with the log of
+  the dynamic range (~1000 buckets spans nine decades at 1%), not with
+  the sample count.
+
+* :class:`ExemplarReservoir` — tree-buffer-style retention of the most
+  informative recent history: the K **slowest complete** request spans
+  (eviction keyed on latency rank, ties broken by a seeded hash so
+  retention among equal-latency spans is reproducible but unbiased)
+  plus the K **most recent incomplete** spans.  Everything else is
+  released the moment it has been folded into the sketches.
+
+Both structures are deterministic (no wall clock, no unseeded
+randomness) and JSON-serializable, so streaming run reports reproduce
+bit-identically for a fixed simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: serialized-sketch schema version (see :meth:`QuantileSketch.to_dict`).
+SKETCH_VERSION = 1
+
+#: default quantile relative-error bound (1%).
+DEFAULT_RELATIVE_ERROR = 0.01
+
+#: default bucket cap; past it the *lowest* buckets collapse together,
+#: degrading only the extreme-low quantiles (latency analyses read the
+#: upper tail).  At 1% relative error this spans ~20 decades, so real
+#: workloads never hit it — it is a hard memory guarantee, not a knob.
+DEFAULT_MAX_BUCKETS = 2048
+
+
+class QuantileSketch:
+    """A mergeable quantile sketch with bounded relative error.
+
+    >>> s = QuantileSketch(relative_error=0.01)
+    >>> for v in range(1, 1001):
+    ...     s.record(float(v))
+    >>> abs(s.quantile(0.5) - 500) / 500 < 0.01
+    True
+
+    Values ``<= 0`` land in a dedicated zero bucket and report as
+    ``0.0`` (cycle latencies are non-negative; an exact zero has no
+    logarithm).  ``merge`` is bucket-wise addition, so it is
+    associative and commutative as long as neither operand has hit the
+    bucket cap — merging sketches of two run halves equals sketching
+    the whole run.
+    """
+
+    __slots__ = ("relative_error", "_gamma", "_ln_gamma", "_buckets",
+                 "_zero_count", "count", "_sum", "_min", "_max",
+                 "max_buckets", "collapsed")
+
+    def __init__(
+        self,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError("relative_error must be in (0, 1)")
+        if max_buckets < 2:
+            raise ValueError("max_buckets must be at least 2")
+        self.relative_error = relative_error
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._ln_gamma = math.log(self._gamma)
+        #: bucket index -> count; index i covers (gamma^(i-1), gamma^i].
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self.max_buckets = max_buckets
+        #: True once the bucket cap forced a low-bucket collapse (the
+        #: low quantiles are then upper bounds, not alpha-accurate).
+        self.collapsed = False
+
+    # -- recording ---------------------------------------------------------
+
+    def _key(self, value: float) -> int:
+        return int(math.ceil(math.log(value) / self._ln_gamma))
+
+    def record(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        self.count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if value <= 0.0:
+            self._zero_count += 1
+            return
+        buckets = self._buckets
+        key = self._key(value)
+        buckets[key] = buckets.get(key, 0) + 1
+        if len(buckets) > self.max_buckets:
+            self._collapse()
+
+    def _collapse(self) -> None:
+        """Merge the lowest buckets until back under the cap.  Collapsing
+        upward into the lowest *surviving* bucket keeps every collapsed
+        sample's reported value an over-estimate bounded by that
+        bucket's value — the upper tail stays alpha-accurate."""
+        keys = sorted(self._buckets)
+        spill = 0
+        while len(keys) > self.max_buckets - 1:
+            spill += self._buckets.pop(keys.pop(0))
+        if spill:
+            self._buckets[keys[0]] = self._buckets.get(keys[0], 0) + spill
+            self.collapsed = True
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max
+
+    def mean(self) -> float:
+        if not self.count:
+            raise ValueError("no samples recorded")
+        return self._sum / self.count
+
+    def bucket_count(self) -> int:
+        """Distinct buckets currently held (the memory footprint)."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1), within ``relative_error``
+        of the exact sample quantile ``sorted(values)[rank - 1]`` with
+        ``rank = ceil(q * count)`` — the same cumulative-count
+        convention :meth:`Histogrammer.percentile` walks, so the two
+        backends estimate the same order statistic."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if not self.count:
+            raise ValueError("no samples recorded")
+        target = q * self.count
+        if self._zero_count and self._zero_count >= target:
+            return 0.0
+        seen = self._zero_count
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if seen >= target:
+                # bucket midpoint in value space: 2*gamma^key/(gamma+1)
+                return (
+                    2.0 * math.pow(self._gamma, key) / (self._gamma + 1.0)
+                )
+        return self._max if self._max is not None else 0.0
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch in place (and return self).
+        Operands must share the same ``relative_error``."""
+        if other.relative_error != self.relative_error:
+            raise ValueError(
+                "cannot merge sketches with different relative errors: "
+                f"{self.relative_error} vs {other.relative_error}"
+            )
+        buckets = self._buckets
+        for key, n in other._buckets.items():
+            buckets[key] = buckets.get(key, 0) + n
+        self._zero_count += other._zero_count
+        self.count += other.count
+        self._sum += other._sum
+        if other._min is not None:
+            self._min = other._min if self._min is None else min(self._min, other._min)
+        if other._max is not None:
+            self._max = other._max if self._max is None else max(self._max, other._max)
+        self.collapsed = self.collapsed or other.collapsed
+        if len(buckets) > self.max_buckets:
+            self._collapse()
+        return self
+
+    def copy(self) -> "QuantileSketch":
+        return QuantileSketch.from_dict(self.to_dict())
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready state; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "version": SKETCH_VERSION,
+            "relative_error": self.relative_error,
+            "count": self.count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "zero_count": self._zero_count,
+            "collapsed": self.collapsed,
+            # JSON objects key on strings; sorted for stable output
+            "buckets": {str(k): self._buckets[k] for k in sorted(self._buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileSketch":
+        if data.get("version") != SKETCH_VERSION:
+            raise ValueError(f"unsupported sketch version: {data.get('version')!r}")
+        sketch = cls(relative_error=float(data["relative_error"]))
+        sketch._buckets = {int(k): int(n) for k, n in data["buckets"].items()}
+        sketch._zero_count = int(data["zero_count"])
+        sketch.count = int(data["count"])
+        sketch._sum = float(data["sum"])
+        sketch._min = None if data["min"] is None else float(data["min"])
+        sketch._max = None if data["max"] is None else float(data["max"])
+        sketch.collapsed = bool(data.get("collapsed", False))
+        return sketch
+
+
+# ---------------------------------------------------------------------------
+# exemplar retention
+
+
+def _tie_hash(request_id: int, seed: int) -> int:
+    """Deterministic tie-break mix for equal-latency spans (splitmix-ish,
+    so retention does not simply favour low request ids)."""
+    x = (request_id ^ (seed * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class ExemplarReservoir:
+    """Fixed-size retention of the most informative spans.
+
+    Keeps the ``k`` slowest **complete** spans (latency rank; equal
+    latencies tie-break on a seeded hash of the request id, so two runs
+    of the same simulation retain the same exemplars) and the ``k``
+    most **recent incomplete** spans (by birth time — the in-flight
+    tail a hung run leaves behind).  Memory is O(k) regardless of how
+    many spans are offered.
+    """
+
+    def __init__(self, k: int = 64, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError("reservoir size must be positive")
+        self.k = k
+        self.seed = seed
+        #: (latency, tie, span) min-ordered list, at most k entries.
+        self._slowest: List[Tuple[float, int, object]] = []
+        #: (birth, tie, span), at most k entries, oldest evicted first.
+        self._recent_incomplete: List[Tuple[float, int, object]] = []
+        self.offered_complete = 0
+        self.offered_incomplete = 0
+
+    def _rank(self, latency: float, request_id: int) -> Tuple[float, int]:
+        return (latency, _tie_hash(request_id, self.seed))
+
+    def offer_complete(self, span) -> bool:
+        """Offer a completed span; returns True when retained.  The
+        caller may release spans that are not."""
+        self.offered_complete += 1
+        import heapq
+
+        entry = (*self._rank(span.latency, span.request_id), span)
+        if len(self._slowest) < self.k:
+            heapq.heappush(self._slowest, entry)
+            return True
+        if entry[:2] <= self._slowest[0][:2]:
+            return False
+        heapq.heapreplace(self._slowest, entry)
+        return True
+
+    def offer_incomplete(self, span) -> None:
+        """Offer an incomplete span (an in-flight eviction or a sim-end
+        orphan); only the ``k`` most recent births are kept."""
+        self.offered_incomplete += 1
+        import heapq
+
+        entry = (span.birth, _tie_hash(span.request_id, self.seed), span)
+        if len(self._recent_incomplete) < self.k:
+            heapq.heappush(self._recent_incomplete, entry)
+        elif entry[:2] > self._recent_incomplete[0][:2]:
+            heapq.heapreplace(self._recent_incomplete, entry)
+
+    # -- views -------------------------------------------------------------
+
+    def slowest(self, n: Optional[int] = None) -> List[object]:
+        """The retained complete spans, slowest first."""
+        ordered = [e[2] for e in sorted(self._slowest, reverse=True)]
+        return ordered if n is None else ordered[:n]
+
+    def incompletes(self) -> List[object]:
+        """The retained incomplete spans, most recent birth first."""
+        return [e[2] for e in sorted(self._recent_incomplete, reverse=True)]
+
+    def __len__(self) -> int:
+        return len(self._slowest) + len(self._recent_incomplete)

@@ -43,6 +43,10 @@ from repro.monitor.histogram import Histogrammer
 #: exported spans-JSON schema version (see :func:`validate_spans`).
 SPANS_VERSION = 1
 
+#: the streaming spans-JSON schema version (``"mode": "streaming"``
+#: documents produced by :class:`~repro.monitor.streamstore.StreamingSpanStore`).
+STREAM_SPANS_VERSION = 2
+
 #: the five phases of a global reference, in timeline order.
 PHASES = ("forward", "memory_wait", "memory_service", "memory_block", "reverse")
 
@@ -388,7 +392,7 @@ class SpanCollector:
                     span.mem_service_end = time
             elif tag == _EV_BIRTH:
                 _, rid, origin, port, address, kind, words, time = ev
-                if len(requests) >= self.max_requests:
+                if len(requests) >= self.max_requests and not self._make_room():
                     self._dropped += 1
                     continue
                 requests[rid] = RequestSpan(
@@ -426,6 +430,15 @@ class SpanCollector:
                         break
 
     # -- stitching helpers -------------------------------------------------
+
+    def _make_room(self) -> bool:
+        """Called when a birth arrives at the ``max_requests`` cap.
+        Return True after freeing a tracked slot to admit the new
+        request; the buffered collector never frees (drop-at-cap keeps
+        the *earliest* population, which exact analyses rely on) — the
+        streaming store overrides this to evict its oldest in-flight
+        span into the exemplar reservoir instead."""
+        return False
 
     def _finish(self, span: RequestSpan, time: float) -> None:
         span.end = time
@@ -505,14 +518,27 @@ class LatencyAnalysis:
 
     QUANTILES = (0.5, 0.9, 0.95, 0.99)
 
-    def __init__(self, spans: Sequence[RequestSpan], bins: int = 2048) -> None:
+    def __init__(self, spans: Sequence[RequestSpan], bins: int = 2048,
+                 dropped: int = 0) -> None:
         self.spans = [s for s in spans if s.complete and s.phases() is not None]
         self.bins = bins
+        #: births the collector refused at its cap — the analyzed
+        #: population is silently truncated when this is non-zero, so
+        #: renderers surface it next to the quantile tables.
+        self.dropped = dropped
 
     @classmethod
     def from_collector(cls, collector: SpanCollector,
                        bins: int = 2048) -> "LatencyAnalysis":
-        return cls(collector.complete_spans(), bins=bins)
+        return cls(collector.complete_spans(), bins=bins,
+                   dropped=collector.dropped)
+
+    @property
+    def requests(self) -> int:
+        """Phased complete requests in the analyzed population (the
+        same protocol accessor the streaming analysis answers from its
+        sketch counts)."""
+        return len(self.spans)
 
     # -- percentile machinery ----------------------------------------------
 
@@ -645,6 +671,13 @@ class LatencyAnalysis:
         """The ``n`` slowest completed requests (waterfall exemplars)."""
         return sorted(self.spans, key=lambda s: s.latency, reverse=True)[:n]
 
+    def quantile_curve(self, qs: Sequence[float]) -> List[float]:
+        """End-to-end latency at each quantile in ``qs`` — the shared
+        protocol surface the distribution chart renders from (the
+        streaming analysis answers it from its sketch)."""
+        hist = self._histogram([s.latency for s in self.spans])
+        return [hist.percentile(q) for q in qs]
+
     # -- integrity ---------------------------------------------------------
 
     def reconciliation_error(self) -> float:
@@ -665,6 +698,7 @@ class LatencyAnalysis:
         attribution = self.bottleneck_attribution()
         return {
             "requests": len(self.spans),
+            "dropped": self.dropped,
             "end_to_end": self.end_to_end(),
             "phases": self.phase_decomposition(),
             "bottleneck": attribution[0] if attribution else None,
@@ -687,10 +721,14 @@ RECONCILE_TOLERANCE = 1.0
 def validate_spans(doc: dict) -> Tuple[int, int]:
     """Check a spans document against the schema essentials.
 
-    Returns ``(n_requests, n_complete)``; raises ``ValueError`` on
-    malformation, including any complete request whose phase sums do
-    not reconcile with its end-to-end latency.
+    Accepts both the buffered schema (version 1: every span inline) and
+    the streaming schema (version 2, ``"mode": "streaming"``: sketches
+    plus exemplars).  Returns ``(n_requests, n_complete)``; raises
+    ``ValueError`` on malformation, including any complete request
+    whose phase sums do not reconcile with its end-to-end latency.
     """
+    if isinstance(doc, dict) and doc.get("mode") == "streaming":
+        return _validate_streaming_spans(doc)
     if not isinstance(doc, dict) or "requests" not in doc:
         raise ValueError("spans must be an object with a requests array")
     if doc.get("version") != SPANS_VERSION:
@@ -703,37 +741,97 @@ def validate_spans(doc: dict) -> Tuple[int, int]:
             raise ValueError(f"spans missing integer {key!r} count")
     n_complete = 0
     for request in requests:
-        if not isinstance(request, dict):
-            raise ValueError(f"request is not an object: {request!r}")
-        for key in _REQUIRED_REQUEST_KEYS:
-            if key not in request:
-                raise ValueError(f"request missing {key!r}: {request!r}")
-        for hop in request["hops"]:
-            for key in _REQUIRED_HOP_KEYS:
-                if key not in hop:
-                    raise ValueError(f"hop missing {key!r}: {hop!r}")
-        if not request["complete"]:
-            continue
-        n_complete += 1
-        if request.get("latency") is None:
-            raise ValueError(f"complete request lacks latency: {request!r}")
-        phases = request.get("phases")
-        if phases is not None:
-            missing = [p for p in PHASES if p not in phases]
-            if missing:
-                raise ValueError(f"phases missing {missing}: {request!r}")
-            drift = abs(sum(phases.values()) - request["latency"])
-            if drift > RECONCILE_TOLERANCE:
-                raise ValueError(
-                    f"request {request['id']}: phases sum to "
-                    f"{sum(phases.values()):.3f} but latency is "
-                    f"{request['latency']:.3f} (drift {drift:.3f})"
-                )
+        if _validate_request_dict(request):
+            n_complete += 1
     if n_complete != doc["complete"]:
         raise ValueError(
             f"complete count {doc['complete']} != {n_complete} complete requests"
         )
     return len(requests), n_complete
+
+
+def _validate_request_dict(request) -> bool:
+    """Schema-check one request record; True when it is complete."""
+    if not isinstance(request, dict):
+        raise ValueError(f"request is not an object: {request!r}")
+    for key in _REQUIRED_REQUEST_KEYS:
+        if key not in request:
+            raise ValueError(f"request missing {key!r}: {request!r}")
+    for hop in request["hops"]:
+        for key in _REQUIRED_HOP_KEYS:
+            if key not in hop:
+                raise ValueError(f"hop missing {key!r}: {hop!r}")
+    if not request["complete"]:
+        return False
+    if request.get("latency") is None:
+        raise ValueError(f"complete request lacks latency: {request!r}")
+    phases = request.get("phases")
+    if phases is not None:
+        missing = [p for p in PHASES if p not in phases]
+        if missing:
+            raise ValueError(f"phases missing {missing}: {request!r}")
+        drift = abs(sum(phases.values()) - request["latency"])
+        if drift > RECONCILE_TOLERANCE:
+            raise ValueError(
+                f"request {request['id']}: phases sum to "
+                f"{sum(phases.values()):.3f} but latency is "
+                f"{request['latency']:.3f} (drift {drift:.3f})"
+            )
+    return True
+
+
+def _validate_streaming_spans(doc: dict) -> Tuple[int, int]:
+    """The version-2 streaming schema: bounded sketch state plus the
+    exemplar reservoir instead of an inline span per request."""
+    from repro.monitor.sketch import QuantileSketch
+
+    if doc.get("version") != STREAM_SPANS_VERSION:
+        raise ValueError(
+            f"unsupported streaming spans version: {doc.get('version')!r}"
+        )
+    for key in ("complete", "incomplete", "dropped", "evicted",
+                "completed_without_phases"):
+        if not isinstance(doc.get(key), int):
+            raise ValueError(f"streaming spans missing integer {key!r} count")
+    sketches = doc.get("sketches")
+    if not isinstance(sketches, dict) or "latency" not in sketches:
+        raise ValueError("streaming spans missing latency sketches")
+    # every serialized sketch must round-trip (this also pins the
+    # sketch schema version)
+    for group in sketches.values():
+        for state in group.values():
+            QuantileSketch.from_dict(state)
+    phased = doc["complete"] - doc["completed_without_phases"]
+    all_latency = sketches["latency"].get("all")
+    if phased > 0:
+        if all_latency is None:
+            raise ValueError("streaming spans lack the 'all' latency sketch")
+        if all_latency["count"] != phased:
+            raise ValueError(
+                f"latency sketch count {all_latency['count']} != "
+                f"{phased} phased complete requests"
+            )
+    reconciliation = doc.get("reconciliation")
+    if not isinstance(reconciliation, dict):
+        raise ValueError("streaming spans missing reconciliation counters")
+    for key in ("checked", "violations", "worst"):
+        if key not in reconciliation:
+            raise ValueError(f"reconciliation missing {key!r}")
+    if reconciliation["violations"]:
+        raise ValueError(
+            f"{reconciliation['violations']} requests drifted past the "
+            f"reconciliation tolerance (worst {reconciliation['worst']:.3f})"
+        )
+    exemplars = doc.get("exemplars")
+    if not isinstance(exemplars, dict):
+        raise ValueError("streaming spans missing exemplars")
+    for request in exemplars.get("slowest", ()):
+        if not _validate_request_dict(request):
+            raise ValueError(f"incomplete span in slowest exemplars: {request!r}")
+    for request in exemplars.get("incomplete", ()):
+        if _validate_request_dict(request):
+            raise ValueError(f"complete span in incomplete exemplars: {request!r}")
+    return doc["complete"] + doc["incomplete"], doc["complete"]
 
 
 def validate_spans_file(path) -> Tuple[int, int]:

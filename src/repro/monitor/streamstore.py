@@ -1,0 +1,612 @@
+"""Streaming span store: bounded-memory observability for unbounded runs.
+
+The buffered :class:`~repro.monitor.spans.SpanCollector` keeps every
+stitched span until read time — exact, but O(requests) memory, so a
+week-long soak run either hits the ``max_requests`` cap (silent
+truncation) or grows without bound.  :class:`StreamingSpanStore`
+subscribes to the *same* signals and flat ``net.span`` records, but
+folds each request into constant-size state the moment it completes:
+
+* end-to-end latency into per-origin :class:`QuantileSketch` banks,
+* the five-phase decomposition into per-phase sketches,
+* per-stage queue-wait / service / blocked cycles into exact running
+  accumulators plus per-stage sketches,
+* the span itself offered to an :class:`ExemplarReservoir` (K slowest
+  completes, K most recent incompletes), then **released** —
+
+so resident state is O(sketch buckets + K + in-flight), independent of
+how many requests the run drives.  The exact per-span reconciliation
+check (phase sums vs end-to-end latency) is preserved as a running
+invariant counter: every fold checks it, violations are counted and the
+worst drift retained, and :func:`~repro.monitor.spans.validate_spans`
+rejects a streaming document with any violation — the same guarantee as
+the buffered schema, without keeping the spans.
+
+The hot path is untouched: the ``net.span`` subscriber is still the
+event buffer's C-level ``extend``, and stitching is still deferred — the
+only addition is a buffer-length check on the (comparatively rare)
+birth/deliver handlers that triggers an incremental drain, so the event
+buffer is bounded too.
+
+Trade-offs versus the buffered collector (by design):
+
+* quantiles carry the sketch's relative-error bound instead of being
+  histogram-exact over a bounded range (means, maxima, counts, and
+  per-stage averages stay exact — sketches track exact sum/min/max);
+* tail-cohort attribution runs over the exemplar reservoir, i.e. the
+  K slowest spans at or above the sketch's tail threshold, not the full
+  cohort;
+* the spans document stores sketch state + exemplars, not every span.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.monitor.sketch import (
+    DEFAULT_RELATIVE_ERROR,
+    ExemplarReservoir,
+    QuantileSketch,
+)
+from repro.monitor.spans import (
+    PHASES,
+    RECONCILE_TOLERANCE,
+    RequestSpan,
+    STREAM_SPANS_VERSION,
+    SpanCollector,
+)
+from repro.monitor.sampling import SampledSpanCollector
+
+
+class _StreamingMixin:
+    """The fold-and-release behaviour, factored so it layers over either
+    the full collector or the sampling collector (sample, then stream).
+
+    Classes mixing this in call :meth:`_stream_init` at the end of their
+    ``__init__`` and must precede a :class:`SpanCollector` in the MRO.
+    """
+
+    #: drain the event buffer whenever it holds this many flat slots
+    #: (checked on birth/deliver — the cheap, per-request signals — so
+    #: the buffer stays bounded without touching the per-hop fast path).
+    DRAIN_THRESHOLD = 65_536
+
+    #: default exemplar reservoir size (slowest K + most recent K).
+    DEFAULT_EXEMPLARS = 64
+
+    def _stream_init(self, relative_error: float, exemplars: int,
+                     seed: int) -> None:
+        self.relative_error = relative_error
+        #: end-to-end latency sketches: ``"all"`` plus one per origin.
+        self.latency_sketches: Dict[str, QuantileSketch] = {
+            "all": QuantileSketch(relative_error)
+        }
+        #: one sketch per phase of the five-phase decomposition.
+        self.phase_sketches: Dict[str, QuantileSketch] = {
+            phase: QuantileSketch(relative_error) for phase in PHASES
+        }
+        #: per-stage [queue_wait, service, blocked, traversals] — exact.
+        self.stage_totals: Dict[str, List[float]] = {}
+        #: per-stage sketch of total cycles per traversal.
+        self.stage_sketches: Dict[str, QuantileSketch] = {}
+        self.exemplars = ExemplarReservoir(k=exemplars, seed=seed)
+        #: in-flight spans evicted at the cap (their completion is lost).
+        self.evicted = 0
+        #: completed spans with no memory timeline (excluded from the
+        #: sketches, exactly as LatencyAnalysis excludes them).
+        self.completed_without_phases = 0
+        #: the running reconciliation invariant.
+        self.reconciliation_checked = 0
+        self.reconciliation_violations = 0
+        self.reconciliation_worst = 0.0
+
+    # -- bounded event buffer ---------------------------------------------
+
+    def _on_req_birth(self, packet, origin: str, time: float) -> None:
+        super()._on_req_birth(packet, origin, time)
+        if len(self._events) >= self.DRAIN_THRESHOLD:
+            self._drain()
+
+    def _on_req_deliver(self, packet, time: float) -> None:
+        super()._on_req_deliver(packet, time)
+        if len(self._events) >= self.DRAIN_THRESHOLD:
+            self._drain()
+
+    # -- bounded tracked set ----------------------------------------------
+
+    def _make_room(self) -> bool:
+        """At the in-flight cap, evict the oldest in-flight span into
+        the reservoir's incomplete side (tree-buffer semantics: recent
+        history wins) and admit the new birth."""
+        requests = self._requests
+        oldest = next(iter(requests), None)
+        if oldest is None:
+            return False
+        self.exemplars.offer_incomplete(requests.pop(oldest))
+        self.evicted += 1
+        return True
+
+    # -- fold-and-release --------------------------------------------------
+
+    def _finish(self, span: RequestSpan, time: float) -> None:
+        super()._finish(span, time)
+        self._fold(span)
+        del self._requests[span.request_id]
+        traced = getattr(self, "_traced", None)
+        if traced is not None:
+            traced.discard(span.request_id)
+
+    def _fold(self, span: RequestSpan) -> None:
+        phases = span.phases()
+        if phases is None:
+            self.completed_without_phases += 1
+            return
+        latency = span.latency
+        self.latency_sketches["all"].record(latency)
+        origin_sketch = self.latency_sketches.get(span.origin)
+        if origin_sketch is None:
+            origin_sketch = self.latency_sketches[span.origin] = (
+                QuantileSketch(self.relative_error)
+            )
+        origin_sketch.record(latency)
+        for phase, value in phases.items():
+            self.phase_sketches[phase].record(value)
+        stage_totals = self.stage_totals
+        stage_sketches = self.stage_sketches
+        for hop in span.hops:
+            segments = hop.segments()
+            if segments is None:
+                continue
+            wait, service, blocked = segments
+            entry = stage_totals.get(hop.stage)
+            if entry is None:
+                entry = stage_totals[hop.stage] = [0.0, 0.0, 0.0, 0]
+                stage_sketches[hop.stage] = QuantileSketch(self.relative_error)
+            entry[0] += wait
+            entry[1] += service
+            entry[2] += blocked
+            entry[3] += 1
+            stage_sketches[hop.stage].record(wait + service + blocked)
+        entry = stage_totals.get("gmem")
+        if entry is None:
+            entry = stage_totals["gmem"] = [0.0, 0.0, 0.0, 0]
+            stage_sketches["gmem"] = QuantileSketch(self.relative_error)
+        mem = (phases["memory_wait"] + phases["memory_service"]
+               + phases["memory_block"])
+        entry[0] += phases["memory_wait"]
+        entry[1] += phases["memory_service"]
+        entry[2] += phases["memory_block"]
+        entry[3] += 1
+        stage_sketches["gmem"].record(mem)
+        # the exact reconciliation invariant, checked at fold time
+        # instead of held for a post-hoc pass
+        drift = abs(sum(phases.values()) - latency)
+        self.reconciliation_checked += 1
+        if drift > RECONCILE_TOLERANCE:
+            self.reconciliation_violations += 1
+        if drift > self.reconciliation_worst:
+            self.reconciliation_worst = drift
+        self.exemplars.offer_complete(span)
+
+    # -- results -----------------------------------------------------------
+
+    def complete_spans(self) -> List[RequestSpan]:
+        """The *retained* complete spans — the exemplar reservoir's
+        slowest K, not the full population (which was released)."""
+        self._drain()
+        return self.exemplars.slowest()
+
+    def tracing_footprint(self) -> int:
+        """Resident traced-state size in *items* (sketch buckets,
+        reservoir entries, in-flight spans, buffered event slots) — the
+        quantity the memory gate asserts is flat in request count."""
+        buckets = sum(
+            s.bucket_count()
+            for group in (self.latency_sketches, self.phase_sketches,
+                          self.stage_sketches)
+            for s in group.values()
+        )
+        return (buckets + len(self.exemplars) + len(self._requests)
+                + len(self._events))
+
+    def _incomplete_exemplars(self) -> List[RequestSpan]:
+        """The K most recent incomplete spans: cap-evicted ones held in
+        the reservoir merged with the current in-flight tail.  A
+        non-mutating snapshot — an in-flight span that completes after
+        this call folds normally."""
+        self._drain()
+        merged = {
+            span.request_id: span
+            for span in self.exemplars.incompletes()
+            if not span.complete
+        }
+        for span in self._requests.values():
+            if not span.complete:
+                merged[span.request_id] = span
+        ordered = sorted(
+            merged.values(), key=lambda s: (s.birth, s.request_id),
+            reverse=True,
+        )
+        return ordered[:self.exemplars.k]
+
+    def spans(self) -> dict:
+        """The streaming spans document (version 2; see
+        :func:`~repro.monitor.spans.validate_spans`)."""
+        self._drain()
+        incomplete = [
+            span for span in self._requests.values() if not span.complete
+        ]
+        doc = {
+            "version": STREAM_SPANS_VERSION,
+            "mode": "streaming",
+            "complete": self._completed,
+            "incomplete": len(incomplete) + self.evicted,
+            "dropped": self._dropped,
+            "evicted": self.evicted,
+            "completed_without_phases": self.completed_without_phases,
+            "relative_error": self.relative_error,
+            "sketches": {
+                "latency": {
+                    name: sketch.to_dict()
+                    for name, sketch in sorted(self.latency_sketches.items())
+                },
+                "phases": {
+                    phase: self.phase_sketches[phase].to_dict()
+                    for phase in PHASES
+                },
+                "stages": {
+                    stage: self.stage_sketches[stage].to_dict()
+                    for stage in sorted(self.stage_sketches)
+                },
+            },
+            "stage_totals": {
+                stage: {
+                    "queue_wait": entry[0], "service": entry[1],
+                    "blocked": entry[2], "traversals": entry[3],
+                }
+                for stage, entry in sorted(self.stage_totals.items())
+            },
+            "reconciliation": {
+                "checked": self.reconciliation_checked,
+                "violations": self.reconciliation_violations,
+                "worst": self.reconciliation_worst,
+            },
+            "exemplars": {
+                "slowest": [s.to_dict() for s in self.exemplars.slowest()],
+                "incomplete": [
+                    s.to_dict() for s in self._incomplete_exemplars()
+                ],
+            },
+        }
+        return doc
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.spans(), fh)
+
+
+class StreamingSpanStore(_StreamingMixin, SpanCollector):
+    """Full tracing with streaming folds: every request is traced, none
+    is retained past completion.  ``max_requests`` bounds the *in-flight*
+    set only (completed spans are released immediately); at the cap the
+    oldest in-flight span is evicted into the exemplar reservoir rather
+    than dropping the new birth.
+    """
+
+    def __init__(self, relative_error: float = DEFAULT_RELATIVE_ERROR,
+                 exemplars: int = _StreamingMixin.DEFAULT_EXEMPLARS,
+                 seed: int = 0,
+                 max_requests: int = SpanCollector.DEFAULT_MAX_REQUESTS) -> None:
+        super().__init__(max_requests=max_requests)
+        self._stream_init(relative_error, exemplars, seed)
+
+
+class SampledStreamingSpanStore(_StreamingMixin, SampledSpanCollector):
+    """Sample, then stream: every ``every``-th request is traced end to
+    end (deterministic birth-counter selection, exactly as
+    :class:`~repro.monitor.sampling.SampledSpanCollector`) and folded
+    into the bounded sketch state on completion."""
+
+    def __init__(self, every: int = 16,
+                 relative_error: float = DEFAULT_RELATIVE_ERROR,
+                 exemplars: int = _StreamingMixin.DEFAULT_EXEMPLARS,
+                 seed: int = 0,
+                 max_requests: int = SpanCollector.DEFAULT_MAX_REQUESTS) -> None:
+        super().__init__(every=every, max_requests=max_requests)
+        self._stream_init(relative_error, exemplars, seed)
+
+    def spans(self) -> dict:
+        doc = super().spans()
+        doc["sampled_every"] = self.every
+        doc["sampled_out"] = self.sampled_out
+        return doc
+
+
+def merge_streaming_docs(docs: Sequence[dict]) -> dict:
+    """Merge several streaming spans documents (one per machine) into a
+    single valid version-2 document: counters add, sketches merge
+    bucket-wise, exemplar lists re-rank and truncate to the largest
+    constituent reservoir."""
+    docs = list(docs)
+    if not docs:
+        raise ValueError("no documents to merge")
+    if len(docs) == 1:
+        return docs[0]
+    out = json.loads(json.dumps(docs[0]))  # deep copy, JSON types only
+    sketches = {
+        group: {
+            name: QuantileSketch.from_dict(payload)
+            for name, payload in out["sketches"][group].items()
+        }
+        for group in ("latency", "phases", "stages")
+    }
+    k = max(len(d["exemplars"]["slowest"]) for d in docs) or 1
+    for doc in docs[1:]:
+        for field in ("complete", "incomplete", "dropped", "evicted",
+                      "completed_without_phases"):
+            out[field] += doc[field]
+        for group, mine in sketches.items():
+            for name, payload in doc["sketches"][group].items():
+                sketch = QuantileSketch.from_dict(payload)
+                if name in mine:
+                    mine[name].merge(sketch)
+                else:
+                    mine[name] = sketch
+        for stage, entry in doc["stage_totals"].items():
+            mine = out["stage_totals"].setdefault(
+                stage,
+                {"queue_wait": 0.0, "service": 0.0, "blocked": 0.0,
+                 "traversals": 0},
+            )
+            for field in ("queue_wait", "service", "blocked", "traversals"):
+                mine[field] += entry[field]
+        rec = doc["reconciliation"]
+        out["reconciliation"]["checked"] += rec["checked"]
+        out["reconciliation"]["violations"] += rec["violations"]
+        out["reconciliation"]["worst"] = max(
+            out["reconciliation"]["worst"], rec["worst"]
+        )
+        out["exemplars"]["slowest"].extend(doc["exemplars"]["slowest"])
+        out["exemplars"]["incomplete"].extend(doc["exemplars"]["incomplete"])
+    out["sketches"] = {
+        group: {name: s.to_dict() for name, s in sorted(mine.items())}
+        for group, mine in sketches.items()
+    }
+    out["exemplars"]["slowest"].sort(key=lambda s: s["latency"], reverse=True)
+    del out["exemplars"]["slowest"][k:]
+    out["exemplars"]["incomplete"].sort(key=lambda s: s["birth"], reverse=True)
+    del out["exemplars"]["incomplete"][k:]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sketch-backed latency analysis
+
+
+class StreamingLatencyAnalysis:
+    """The :class:`~repro.monitor.spans.LatencyAnalysis` protocol,
+    answered from a streaming store's sketch state.
+
+    Drop-in for every renderer in :mod:`repro.monitor.analysis`:
+    ``spans`` holds the exemplar completes (waterfalls, slowest-N),
+    quantile columns come from the sketches (relative-error-bounded),
+    means/shares/stage averages are exact (running sums), and the
+    tail cohort is the reservoir filtered at the sketch's tail
+    threshold.  Multiple stores (one per machine in a sweep) merge
+    losslessly through the sketches' merge operator.
+    """
+
+    QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+    def __init__(self, latency_sketches: Dict[str, QuantileSketch],
+                 phase_sketches: Dict[str, QuantileSketch],
+                 stage_totals: Dict[str, Sequence[float]],
+                 stage_sketches: Dict[str, QuantileSketch],
+                 exemplar_spans: Sequence[RequestSpan],
+                 incomplete_exemplars: Sequence[RequestSpan] = (),
+                 dropped: int = 0, evicted: int = 0,
+                 reconciliation_worst: float = 0.0,
+                 reconciliation_violations: int = 0) -> None:
+        self.latency_sketches = latency_sketches
+        self.phase_sketches = phase_sketches
+        self.stage_totals = {k: list(v) for k, v in stage_totals.items()}
+        self.stage_sketches = stage_sketches
+        #: the retained exemplar spans — what ``slowest``/waterfalls see.
+        self.spans = [
+            s for s in exemplar_spans if s.complete and s.phases() is not None
+        ]
+        self.incomplete_exemplars = list(incomplete_exemplars)
+        self.dropped = dropped
+        self.evicted = evicted
+        self._reconciliation_worst = reconciliation_worst
+        self._reconciliation_violations = reconciliation_violations
+
+    @classmethod
+    def from_store(cls, store) -> "StreamingLatencyAnalysis":
+        store._drain()
+        return cls(
+            latency_sketches=store.latency_sketches,
+            phase_sketches=store.phase_sketches,
+            stage_totals=store.stage_totals,
+            stage_sketches=store.stage_sketches,
+            exemplar_spans=store.exemplars.slowest(),
+            incomplete_exemplars=store._incomplete_exemplars(),
+            dropped=store.dropped,
+            evicted=store.evicted,
+            reconciliation_worst=store.reconciliation_worst,
+            reconciliation_violations=store.reconciliation_violations,
+        )
+
+    @classmethod
+    def from_stores(cls, stores) -> "StreamingLatencyAnalysis":
+        """Merge several stores (e.g. one per machine) into one
+        analysis: sketches merge bucket-wise, exact accumulators add,
+        and the union of reservoirs re-ranks into one."""
+        stores = list(stores)
+        if not stores:
+            raise ValueError("no stores to merge")
+        first = cls.from_store(stores[0])
+        latency = {k: s.copy() for k, s in first.latency_sketches.items()}
+        phases = {k: s.copy() for k, s in first.phase_sketches.items()}
+        stages = {k: s.copy() for k, s in first.stage_sketches.items()}
+        totals = {k: list(v) for k, v in first.stage_totals.items()}
+        exemplar_spans = list(first.spans)
+        incompletes = list(first.incomplete_exemplars)
+        dropped, evicted = first.dropped, first.evicted
+        worst = first._reconciliation_worst
+        violations = first._reconciliation_violations
+        for store in stores[1:]:
+            other = cls.from_store(store)
+            for group, theirs in (
+                (latency, other.latency_sketches),
+                (phases, other.phase_sketches),
+                (stages, other.stage_sketches),
+            ):
+                for name, sketch in theirs.items():
+                    if name in group:
+                        group[name].merge(sketch)
+                    else:
+                        group[name] = sketch.copy()
+            for stage, entry in other.stage_totals.items():
+                mine = totals.setdefault(stage, [0.0, 0.0, 0.0, 0])
+                for i in range(4):
+                    mine[i] += entry[i]
+            exemplar_spans.extend(other.spans)
+            incompletes.extend(other.incomplete_exemplars)
+            dropped += other.dropped
+            evicted += other.evicted
+            worst = max(worst, other._reconciliation_worst)
+            violations += other._reconciliation_violations
+        exemplar_spans.sort(key=lambda s: s.latency, reverse=True)
+        return cls(
+            latency_sketches=latency, phase_sketches=phases,
+            stage_totals=totals, stage_sketches=stages,
+            exemplar_spans=exemplar_spans,
+            incomplete_exemplars=incompletes,
+            dropped=dropped, evicted=evicted,
+            reconciliation_worst=worst,
+            reconciliation_violations=violations,
+        )
+
+    # -- protocol: decomposition tables ------------------------------------
+
+    @property
+    def requests(self) -> int:
+        """Phased complete requests folded into the sketches."""
+        return self.latency_sketches["all"].count
+
+    def _sketch_row(self, sketch: QuantileSketch) -> dict:
+        p50, p90, p95, p99 = sketch.quantiles(self.QUANTILES)
+        return {
+            "count": sketch.count,
+            "mean": sketch.mean(),
+            "p50": p50, "p90": p90, "p95": p95, "p99": p99,
+            "max": sketch.max,
+        }
+
+    def end_to_end(self) -> Dict[str, dict]:
+        out = {
+            origin: self._sketch_row(sketch)
+            for origin, sketch in sorted(self.latency_sketches.items())
+            if origin != "all" and sketch.count
+        }
+        if self.latency_sketches["all"].count:
+            out["all"] = self._sketch_row(self.latency_sketches["all"])
+        return out
+
+    def phase_decomposition(self) -> Dict[str, dict]:
+        total = self.latency_sketches["all"].sum or 1.0
+        out = {}
+        for phase in PHASES:
+            sketch = self.phase_sketches[phase]
+            if not sketch.count:
+                continue
+            row = self._sketch_row(sketch)
+            row["share"] = sketch.sum / total
+            out[phase] = row
+        return out
+
+    def stage_decomposition(self) -> Dict[str, dict]:
+        total = self.latency_sketches["all"].sum or 1.0
+        out = {}
+        for stage in sorted(self.stage_totals):
+            wait, service, blocked, count = self.stage_totals[stage]
+            if not count:
+                continue
+            out[stage] = {
+                "traversals": count,
+                "queue_wait": wait / count,
+                "service": service / count,
+                "blocked": blocked / count,
+                "share": (wait + service + blocked) / total,
+            }
+        return out
+
+    # -- protocol: tail attribution ----------------------------------------
+
+    def tail_cohort(self, q: float = 0.95) -> List[RequestSpan]:
+        """Exemplars at or above the sketched ``q`` threshold — the
+        retained slice of the true cohort (at most K spans)."""
+        if not self.spans:
+            return []
+        threshold = self.latency_sketches["all"].quantile(q)
+        return [s for s in self.spans if s.latency >= threshold]
+
+    def bottleneck_attribution(self, q: float = 0.95) -> List[dict]:
+        cohort = self.tail_cohort(q)
+        if not cohort:
+            return []
+        acc: Dict[str, float] = {}
+        total = 0.0
+        for span in cohort:
+            total += span.latency
+            for hop in span.hops:
+                segments = hop.segments()
+                if segments is None:
+                    continue
+                acc[hop.stage] = acc.get(hop.stage, 0.0) + sum(segments)
+            phases = span.phases()
+            acc["gmem"] = acc.get("gmem", 0.0) + (
+                phases["memory_wait"] + phases["memory_service"]
+                + phases["memory_block"]
+            )
+        total = total or 1.0
+        ranked = [
+            {"stage": stage, "cycles": cycles, "share": cycles / total}
+            for stage, cycles in acc.items()
+        ]
+        ranked.sort(key=lambda row: row["share"], reverse=True)
+        return ranked
+
+    def slowest(self, n: int = 5) -> List[RequestSpan]:
+        return self.spans[:n] if n is not None else list(self.spans)
+
+    def quantile_curve(self, qs: Sequence[float]) -> List[float]:
+        return self.latency_sketches["all"].quantiles(qs)
+
+    # -- protocol: integrity and summary -----------------------------------
+
+    def reconciliation_error(self) -> float:
+        return self._reconciliation_worst
+
+    def summary(self) -> dict:
+        if not self.latency_sketches["all"].count:
+            return {"requests": 0, "mode": "streaming"}
+        attribution = self.bottleneck_attribution()
+        return {
+            "mode": "streaming",
+            "requests": self.requests,
+            "dropped": self.dropped,
+            "evicted": self.evicted,
+            "end_to_end": self.end_to_end(),
+            "phases": self.phase_decomposition(),
+            "bottleneck": attribution[0] if attribution else None,
+            "reconciliation_error": self.reconciliation_error(),
+            "sketches": {
+                "latency": {
+                    name: sketch.to_dict()
+                    for name, sketch in sorted(self.latency_sketches.items())
+                },
+            },
+        }

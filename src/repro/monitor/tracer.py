@@ -410,6 +410,73 @@ class ChromeTracer:
             event["args"] = args
         self._post(event)
 
+    # -- post-hoc span ingestion -------------------------------------------
+
+    def ingest_spans(self, spans, scope: str = "") -> "ChromeTracer":
+        """Render stitched :class:`~repro.monitor.spans.RequestSpan`
+        objects into the trace after the fact — the streaming path's
+        route into Chrome/Perfetto, where only the exemplar reservoir's
+        spans survive the run (``store.complete_spans()`` +
+        ``store.incomplete_spans()``).
+
+        Each retained span contributes one complete ("X") slice per hop
+        (duration = the hop's full queue occupancy, with the
+        wait/service/blocked split in ``args``), a memory-module slice,
+        birth/deliver instants on its CE port, and the same flow chain
+        live attachment builds — so the arrows in the viewer connect an
+        exemplar's hops exactly as they would had every request been
+        traced live.
+        """
+        for span in sorted(spans, key=lambda s: s.birth):
+            rid = span.request_id
+            pid, tid = self._track(scope, "ce", f"port[{span.port}]")
+            self._instant(
+                scope, "ce", f"port[{span.port}]", "req.birth", span.birth,
+                {"id": rid, "origin": span.origin},
+            )
+            slices = []
+            for hop in span.hops:
+                if hop.depart is None:
+                    continue
+                slices.append((hop.enqueue, hop.depart - hop.enqueue,
+                               hop.resource, "net", hop.segments()))
+            if span.mem_enqueue is not None and span.mem_depart is not None:
+                module = span.mem_module if span.mem_module is not None else 0
+                slices.append((
+                    span.mem_enqueue, span.mem_depart - span.mem_enqueue,
+                    f"gm[{module}]", "gmem", None,
+                ))
+            slices.sort(key=lambda s: s[0])
+            for ts, duration, resource, cat, segments in slices:
+                if cat == "gmem":
+                    # match the live handler's track layout
+                    process, thread = "gmem", f"module[{resource[3:-1]}]"
+                else:
+                    process, thread = self._split_resource(resource)
+                pid, tid = self._track(scope, process, thread)
+                args = {"id": rid, "origin": span.origin}
+                if segments is not None:
+                    args["queue_wait"], args["service"], args["blocked"] = (
+                        segments
+                    )
+                self._post({
+                    "name": resource,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": duration,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                })
+                self._flow(pid, tid, rid, ts)
+            if span.end is not None:
+                self._instant(
+                    scope, "ce", f"port[{span.port}]", "req.deliver",
+                    span.end, {"id": rid, "latency": span.latency},
+                )
+        return self
+
     # -- export ------------------------------------------------------------
 
     def trace(self) -> dict:

@@ -37,9 +37,10 @@ class TestRegistry:
             "ablation-network",
             "ablation-memory",
             "degradation",
+            "soak",
         }
         assert set(experiment_names()) == expected
-        assert len(expected) == 17
+        assert len(expected) == 18
 
     def test_registry_preserves_insertion_order(self):
         names = experiment_names()

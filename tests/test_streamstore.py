@@ -1,0 +1,349 @@
+"""Streaming span store: fold-and-release agreement with the buffered
+collector, bounded footprint, zero-cost, the version-2 spans schema,
+edge-bin-corrected histogram statistics, and the soak experiment."""
+
+import json
+
+import pytest
+
+from repro.core.config import CedarConfig
+from repro.core.machine import CedarMachine
+from repro.cluster.ce import AwaitStream, GlobalLoad, GlobalStore, StartPrefetch
+from repro.monitor.histogram import Histogrammer
+from repro.monitor.spans import (
+    LatencyAnalysis,
+    PHASES,
+    STREAM_SPANS_VERSION,
+    SpanCollector,
+    validate_spans,
+    validate_spans_file,
+)
+from repro.monitor.streamstore import (
+    SampledStreamingSpanStore,
+    StreamingLatencyAnalysis,
+    StreamingSpanStore,
+    merge_streaming_docs,
+)
+
+
+def _programs(ports=8, length=32):
+    def prefetcher(base):
+        def program():
+            stream = yield StartPrefetch(length=length, stride=1, address=base)
+            yield AwaitStream(stream)
+
+        return program()
+
+    def mixed(base):
+        def program():
+            yield GlobalLoad(length=8, stride=1, address=base)
+            yield GlobalStore(length=4, stride=1, address=base + 64)
+
+        return program()
+
+    programs = {port: prefetcher(port * 256) for port in range(ports)}
+    programs.update(
+        {port: mixed(port * 128) for port in range(ports, ports + 4)}
+    )
+    return programs
+
+
+def _dual_run(**store_kwargs):
+    """One simulation observed by both backends at once: the buffered
+    collector (the exact population) and the streaming store."""
+    machine = CedarMachine(CedarConfig())
+    buffered = SpanCollector().attach(machine.bus)
+    store = StreamingSpanStore(**store_kwargs).attach(machine.bus)
+    cycles = machine.run_programs(_programs())
+    store._drain()  # stitching is deferred; fold before inspecting
+    return machine, buffered, store, cycles
+
+
+def _exact_quantile(values, q):
+    import math
+
+    ordered = sorted(values)
+    rank = max(math.ceil(q * len(ordered)), 1)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class TestAgreementWithBuffered:
+    def test_counts_means_and_maxima_are_exact(self):
+        _machine, buffered, store, _cycles = _dual_run()
+        exact = LatencyAnalysis.from_collector(buffered)
+        streaming = StreamingLatencyAnalysis.from_store(store)
+        assert streaming.requests == exact.requests > 0
+        latencies = [s.latency for s in exact.spans]
+        sketch = store.latency_sketches["all"]
+        assert sketch.mean() == pytest.approx(
+            sum(latencies) / len(latencies), rel=1e-12
+        )
+        assert sketch.max == max(latencies)
+        assert sketch.min == min(latencies)
+
+    def test_quantiles_within_declared_relative_error(self):
+        _machine, buffered, store, _cycles = _dual_run(relative_error=0.01)
+        latencies = [
+            s.latency for s in buffered.complete_spans()
+            if s.phases() is not None
+        ]
+        row = StreamingLatencyAnalysis.from_store(store).end_to_end()["all"]
+        for q, key in ((0.5, "p50"), (0.9, "p90"), (0.95, "p95"),
+                       (0.99, "p99")):
+            exact = _exact_quantile(latencies, q)
+            assert abs(row[key] - exact) <= 0.01 * exact + 1e-9
+
+    def test_phase_and_stage_accumulators_are_exact(self):
+        _machine, buffered, store, _cycles = _dual_run()
+        exact = LatencyAnalysis.from_collector(buffered)
+        spans = exact.spans
+        for phase in PHASES:
+            expected = sum(s.phases()[phase] for s in spans)
+            assert store.phase_sketches[phase].sum == pytest.approx(
+                expected, abs=1e-6
+            )
+        streaming_stages = StreamingLatencyAnalysis.from_store(
+            store
+        ).stage_decomposition()
+        for stage, row in exact.stage_decomposition().items():
+            mine = streaming_stages[stage]
+            assert mine["traversals"] == row["traversals"]
+            for field in ("queue_wait", "service", "blocked", "share"):
+                assert mine[field] == pytest.approx(row[field], rel=1e-9)
+
+    def test_reconciliation_invariant_holds_at_fold_time(self):
+        _machine, _buffered, store, _cycles = _dual_run()
+        assert store.reconciliation_checked == store._completed
+        assert store.reconciliation_violations == 0
+        assert store.reconciliation_worst <= 1e-6
+
+
+class TestFoldAndRelease:
+    def test_completed_spans_are_released(self):
+        _machine, _buffered, store, _cycles = _dual_run(exemplars=8)
+        assert store._requests == {}  # nothing retained past completion
+        assert len(store.complete_spans()) <= 8
+
+    def test_footprint_is_smaller_than_the_population(self):
+        _machine, buffered, store, _cycles = _dual_run(exemplars=8)
+        traced = len(buffered.complete_spans())
+        assert traced > 100
+        assert store.tracing_footprint() < traced
+
+    def test_eviction_at_the_inflight_cap(self):
+        """At the cap the oldest in-flight span moves to the reservoir's
+        incomplete side instead of the new birth being dropped."""
+        machine = CedarMachine(CedarConfig())
+        store = StreamingSpanStore(max_requests=4, exemplars=4).attach(
+            machine.bus
+        )
+        machine.run_programs(_programs())
+        store._drain()
+        assert store.evicted > 0
+        assert store.dropped == 0
+        doc = store.spans()
+        assert doc["evicted"] == store.evicted
+        validate_spans(doc)
+
+    def test_zero_cost_cycles_are_bit_identical(self):
+        bare = CedarMachine(CedarConfig()).run_programs(_programs())
+        machine = CedarMachine(CedarConfig())
+        store = StreamingSpanStore().attach(machine.bus)
+        streamed = machine.run_programs(_programs())
+        store.detach()
+        assert streamed == bare
+
+
+class TestStreamingSchema:
+    def test_document_validates_and_counts(self):
+        _machine, _buffered, store, _cycles = _dual_run()
+        doc = store.spans()
+        assert doc["version"] == STREAM_SPANS_VERSION
+        n_requests, n_complete = validate_spans(doc)
+        assert n_complete == store._completed > 0
+        # round-trips through JSON byte-for-byte
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_reconciliation_violations_are_rejected(self):
+        _machine, _buffered, store, _cycles = _dual_run()
+        doc = store.spans()
+        doc["reconciliation"]["violations"] = 3
+        with pytest.raises(ValueError, match="reconciliation"):
+            validate_spans(doc)
+
+    def test_sketch_count_mismatch_is_rejected(self):
+        _machine, _buffered, store, _cycles = _dual_run()
+        doc = store.spans()
+        doc["sketches"]["latency"]["all"]["count"] += 1
+        with pytest.raises(ValueError, match="sketch count"):
+            validate_spans(doc)
+
+    def test_write_and_validate_file(self, tmp_path):
+        _machine, _buffered, store, _cycles = _dual_run()
+        path = tmp_path / "stream.json"
+        store.write(path)
+        n_requests, n_complete = validate_spans_file(path)
+        assert n_complete > 0
+
+    def test_merged_documents_validate_and_add(self):
+        docs = []
+        for _ in range(2):
+            machine = CedarMachine(CedarConfig())
+            store = StreamingSpanStore().attach(machine.bus)
+            machine.run_programs(_programs())
+            docs.append(store.spans())
+            store.detach()
+        merged = merge_streaming_docs(docs)
+        validate_spans(merged)
+        assert merged["complete"] == sum(d["complete"] for d in docs)
+        all_sketch = merged["sketches"]["latency"]["all"]
+        assert all_sketch["count"] == sum(
+            d["sketches"]["latency"]["all"]["count"] for d in docs
+        )
+
+    def test_multi_store_analysis_merges(self):
+        stores = []
+        for _ in range(2):
+            machine = CedarMachine(CedarConfig())
+            store = StreamingSpanStore().attach(machine.bus)
+            machine.run_programs(_programs())
+            stores.append(store)
+        merged = StreamingLatencyAnalysis.from_stores(stores)
+        assert merged.requests == sum(
+            s.latency_sketches["all"].count for s in stores
+        )
+        assert merged.end_to_end()["all"]["count"] == merged.requests
+
+
+class TestSampledStreaming:
+    def test_sample_then_stream(self):
+        machine = CedarMachine(CedarConfig())
+        store = SampledStreamingSpanStore(every=4).attach(machine.bus)
+        machine.run_programs(_programs())
+        doc = store.spans()
+        assert doc["sampled_every"] == 4
+        assert doc["sampled_out"] > 0
+        assert doc["complete"] > 0
+        validate_spans(doc)
+        assert store._requests == {}
+
+
+class TestStreamingRenderers:
+    def test_latency_tables_render_from_sketches(self):
+        from repro.monitor.analysis import latency_tables
+
+        _machine, _buffered, store, _cycles = _dual_run()
+        out = latency_tables(StreamingLatencyAnalysis.from_store(store))
+        assert "p95" in out and "p99" in out
+        assert "gmem" in out
+
+    def test_report_collector_stream_mode(self):
+        from repro.monitor.report import ReportCollector
+
+        with ReportCollector(stream=True) as collector:
+            machine = CedarMachine(CedarConfig())
+            machine.run_programs(_programs(ports=4, length=8))
+        (record,) = collector.machine_dicts()
+        latency = record["latency"]
+        assert latency["mode"] == "streaming"
+        assert latency["requests"] > 0
+        assert latency["sketches"]["latency"]["all"]["count"] == (
+            latency["requests"]
+        )
+
+
+class TestHistogrammerEdgeBins:
+    def test_overflow_mass_sits_exactly_at_hi(self):
+        h = Histogrammer(0.0, 10.0, bins=10)
+        for _ in range(3):
+            h.record(50.0)
+        assert h.count(9) == 3  # hardware clamp still visible
+        assert h.overflow == 3
+        assert h.mean() == 10.0
+        assert h.percentile(0.5) == 10.0
+
+    def test_underflow_mass_sits_exactly_at_lo(self):
+        h = Histogrammer(0.0, 10.0, bins=10)
+        h.record(-5.0)
+        h.record(-5.0)
+        h.record(50.0)
+        assert h.underflow == 2 and h.overflow == 1
+        assert h.mean() == pytest.approx((0.0 * 2 + 10.0) / 3)
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 10.0
+
+    def test_in_range_statistics_are_unbiased_by_clamped_mass(self):
+        """Clamped tail mass no longer drags edge-bin interpolation: an
+        in-range sample in the top bin interpolates within the bin while
+        the overflow orders strictly after it."""
+        h = Histogrammer(0.0, 10.0, bins=10)
+        h.record(2.5)
+        h.record(50.0)
+        assert h.mean() == pytest.approx((2.5 + 10.0) / 2)
+        assert h.percentile(0.5) == pytest.approx(2.5, abs=0.5)
+        assert h.percentile(1.0) == 10.0
+
+
+class TestSoakExperiment:
+    def test_streaming_and_buffered_soak_agree(self):
+        from repro.experiments.soak import run_soak
+
+        streamed = run_soak(requests=1500, seed=11, stream=True)
+        buffered = run_soak(requests=1500, seed=11, stream=False)
+        assert not streamed.aborted and not buffered.aborted
+        assert streamed.cycles == buffered.cycles  # bit-identical sim
+        assert streamed.requests == buffered.requests == 1500
+        assert streamed.traced == buffered.traced
+        assert streamed.mean == pytest.approx(buffered.mean, rel=1e-9)
+        # quantile backends: sketch (alpha=1%) vs histogram (binned)
+        assert streamed.p99 == pytest.approx(buffered.p99, rel=0.05)
+        assert streamed.footprint_items is not None
+        assert streamed.footprint_items < streamed.traced
+
+    def test_soak_is_registered(self):
+        from repro.experiments.runner import experiment
+
+        experiment = experiment("soak")
+        assert experiment.kwargs["requests"] == 1_000_000
+        assert experiment.fast_kwargs["requests"] < 100_000
+
+
+class TestCLI:
+    def test_soak_and_stream_flags_parse(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["soak", "--requests", "5000", "--seed", "3", "--buffered"]
+        )
+        assert args.command == "soak"
+        assert args.requests == 5000 and args.seed == 3 and args.buffered
+        args = build_parser().parse_args(["analyze", "table2", "--stream"])
+        assert args.stream
+        args = build_parser().parse_args(["run-all", "--stream"])
+        assert args.stream
+        args = build_parser().parse_args(["report", "table2", "--stream"])
+        assert args.stream
+
+    def test_soak_command_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["soak", "--requests", "200"]) == 0
+        stdout = capsys.readouterr().out
+        assert "Soak" in stdout and "p99" in stdout
+
+    def test_analyze_stream_writes_valid_streaming_spans(
+        self, capsys, tmp_path
+    ):
+        from repro.__main__ import main
+
+        out = tmp_path / "stream-spans.json"
+        assert main(
+            ["analyze", "characterization", "--stream", "--out", str(out),
+             "--top", "2"]
+        ) == 0
+        n_requests, n_complete = validate_spans_file(out)
+        assert n_complete > 0
+        doc = json.loads(out.read_text())
+        assert doc["mode"] == "streaming"
+        stdout = capsys.readouterr().out
+        assert "resident traced items" in stdout
