@@ -13,7 +13,11 @@ Usage::
     python -m repro all [--fast]             # the paper's artifacts
     python -m repro run-all [NAMES...] [--jobs N] [--cached] [--fast]
                             [--timeout S] [--retries N] [--stream]
+                            [--telemetry] [--telemetry-dir D]
+                            [--heartbeat S] [--no-progress]
                                              # every registered experiment
+    python -m repro compare A B [--stream] [--threshold T] [--all]
+                                             # cross-run differential report
     python -m repro trace EXPERIMENT --out trace.json
                                              # Chrome/Perfetto trace
     python -m repro analyze EXPERIMENT [--out spans.json] [--top N] [--stream]
@@ -48,7 +52,23 @@ waterfalls), and with ``--out`` writes the stitched spans as JSON.
 
 ``report`` with an experiment name runs it instrumented and prints its
 RunReport JSON; with no name it aggregates the report directory into a
-summary table.
+summary table.  ``report EXPERIMENT --dir D`` instead *loads* the
+collected report from ``D`` and errors (exit 1) when it was never
+collected.
+
+``run-all --telemetry`` records the fleet lifecycle (queued / started
+/ heartbeat / retry / failed / completed events) as schema-versioned
+JSONL under ``--telemetry-dir`` (default ``.repro-telemetry``), shows
+live per-experiment progress (a repainting table on a TTY, plain
+transition lines otherwise; ``--no-progress`` silences it), and turns
+``--timeout`` into a *stall budget*: a worker is killed only after
+that many seconds without heartbeat progress, so a slow-but-working
+experiment survives while a hung one dies fast.
+
+``compare`` diffs two runs' reports (files or report directories, or
+``--stream`` merged spans documents) metric by metric, using the
+paper's stability metric as the significance threshold, and exits
+non-zero when the runs disagree — a ready-made CI perf gate.
 """
 
 from __future__ import annotations
@@ -144,6 +164,7 @@ def _all(args) -> str:
 
 def _run_all(args) -> str:
     import json
+    import os
 
     from repro.experiments.runner import DEFAULT_CACHE_DIR, run_all
     from repro.monitor.report import DEFAULT_REPORT_DIR
@@ -152,17 +173,51 @@ def _run_all(args) -> str:
     if args.cached:
         cache_dir = Path(args.cache_dir or DEFAULT_CACHE_DIR)
     collect = not args.no_reports
+
+    telemetry = progress = None
+    if args.telemetry:
+        from repro.monitor.progress import make_progress
+        from repro.monitor.telemetry import (
+            DEFAULT_HEARTBEAT_S,
+            DEFAULT_TELEMETRY_DIR,
+            FleetTelemetry,
+            TelemetrySink,
+        )
+
+        telemetry_dir = Path(args.telemetry_dir or DEFAULT_TELEMETRY_DIR)
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        sink = TelemetrySink(telemetry_dir / f"run-{stamp}-{os.getpid()}.jsonl")
+        if not args.no_progress:
+            progress = make_progress(out=sys.stderr)
+        telemetry = FleetTelemetry(
+            sink=sink,
+            on_event=progress.handle if progress is not None else None,
+            heartbeat_s=args.heartbeat or DEFAULT_HEARTBEAT_S,
+        )
+
     start = time.perf_counter()
-    results = run_all(
-        names=args.names or None,
-        jobs=args.jobs,
-        fast=args.fast,
-        cache_dir=cache_dir,
-        collect_reports=collect,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        stream=args.stream,
-    )
+    try:
+        results = run_all(
+            names=args.names or None,
+            jobs=args.jobs,
+            fast=args.fast,
+            cache_dir=cache_dir,
+            collect_reports=collect,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            stream=args.stream,
+            telemetry=telemetry,
+        )
+    finally:
+        if progress is not None:
+            progress.close()
+        if telemetry is not None:
+            telemetry.close()
+            print(
+                f"[run-all] {telemetry.events} telemetry events -> "
+                f"{telemetry.sink.path}",
+                file=sys.stderr,
+            )
     elapsed = time.perf_counter() - start
 
     if collect:
@@ -337,10 +392,21 @@ def _report(args) -> str:
             except ValueError:
                 print(f"[report] skipping unreadable {path}", file=sys.stderr)
         if not reports:
-            raise SystemExit(
+            raise RuntimeError(
                 f"no reports under {report_dir}/; run `python -m repro run-all` first"
             )
         return render_report_summary(reports)
+
+    if args.dir is not None:
+        # explicit --dir: *load* the collected report, never re-run
+        path = Path(args.dir) / f"{args.experiment}.json"
+        if not path.is_file():
+            raise RuntimeError(
+                f"no collected report for {args.experiment!r} under "
+                f"{args.dir}/; run `python -m repro run-all "
+                f"{args.experiment}` first"
+            )
+        return json.dumps(json.loads(path.read_text()), indent=1)
 
     from repro.experiments.runner import run_experiment
 
@@ -349,6 +415,44 @@ def _report(args) -> str:
         stream=args.stream,
     )
     return json.dumps(result.report, indent=1)
+
+
+def _compare(args) -> str:
+    import json
+
+    from repro.monitor.compare import (
+        compare_reports,
+        compare_streaming_docs,
+        load_reports,
+        render_compare,
+    )
+
+    if args.stream:
+        docs = []
+        for side in (args.a, args.b):
+            path = Path(side)
+            if not path.is_file():
+                raise RuntimeError(
+                    f"no spans document at {side}; write one with "
+                    f"`python -m repro analyze EXP --stream --out {side}`"
+                )
+            docs.append(json.loads(path.read_text()))
+        result = compare_streaming_docs(
+            docs[0], docs[1], threshold=args.threshold
+        )
+    else:
+        result = compare_reports(
+            load_reports(args.a),
+            load_reports(args.b),
+            threshold=args.threshold,
+        )
+    text = render_compare(
+        result,
+        a_label=Path(args.a).name or str(args.a),
+        b_label=Path(args.b).name or str(args.b),
+        show_all=args.all,
+    )
+    return text if result.ok else (text, 1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -401,8 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker processes (default 1)")
     run_all_cmd.add_argument("--timeout", type=float, default=None,
                              dest="timeout", metavar="S",
-                             help="per-experiment wall-clock timeout in "
-                                  "seconds (runaway workers are terminated)")
+                             help="per-experiment budget in seconds: with "
+                                  "--telemetry, a stall budget (killed only "
+                                  "after S seconds without heartbeat "
+                                  "progress); otherwise a flat wall-clock "
+                                  "timeout")
     run_all_cmd.add_argument("--retries", type=int, default=0,
                              help="retries per failed experiment, with "
                                   "exponential backoff (default 0)")
@@ -419,6 +526,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_cmd.add_argument("--stream", action="store_true",
                              help="collect run reports through the "
                                   "bounded-memory streaming span store")
+    run_all_cmd.add_argument("--telemetry", action="store_true",
+                             help="record fleet lifecycle events as JSONL "
+                                  "and stream worker heartbeats (turns "
+                                  "--timeout into a stall budget)")
+    run_all_cmd.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                             help="lifecycle-event sink directory "
+                                  "(default .repro-telemetry)")
+    run_all_cmd.add_argument("--heartbeat", type=float, default=None,
+                             metavar="S",
+                             help="worker heartbeat interval in seconds "
+                                  "(default 0.25)")
+    run_all_cmd.add_argument("--no-progress", action="store_true",
+                             help="suppress the live progress renderer "
+                                  "(telemetry JSONL is still written)")
 
     trace = sub.add_parser(
         "trace", help="run one experiment and write a Chrome/Perfetto trace"
@@ -444,6 +565,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bounded-memory streaming collection: fold "
                               "each request into quantile sketches on "
                               "completion instead of buffering every span")
+
+    compare = sub.add_parser(
+        "compare",
+        help="differential report between two runs (exits 1 on regression)",
+    )
+    compare.add_argument("a", metavar="A",
+                         help="baseline: report file/directory, or a "
+                              "streaming spans JSON with --stream")
+    compare.add_argument("b", metavar="B",
+                         help="candidate: report file/directory, or a "
+                              "streaming spans JSON with --stream")
+    compare.add_argument("--stream", action="store_true",
+                         help="compare merged streaming spans documents "
+                              "(per-sketch, per-quantile deltas)")
+    compare.add_argument("--threshold", type=float, default=0.98,
+                         metavar="T",
+                         help="stability (min/max) below which a delta is "
+                              "significant (default 0.98, i.e. >2%% swing)")
+    compare.add_argument("--all", action="store_true",
+                         help="show every compared metric, not just the "
+                              "significant ones")
 
     report = sub.add_parser(
         "report", help="structured run reports (one experiment or the fleet)"
@@ -479,6 +621,7 @@ HANDLERS: Dict[str, Callable] = {
     "trace": _trace,
     "analyze": _analyze,
     "report": _report,
+    "compare": _compare,
 }
 
 

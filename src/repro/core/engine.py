@@ -63,6 +63,10 @@ EventHandle = list
 #: large machine without pinning unbounded memory after a burst.
 _FREE_LIST_MAX = 8192
 
+#: default pulse cadence (processed events between pulse-hook visits
+#: when no caller watchdog supplies its own ``check_every``).
+PULSE_CHECK_EVERY = 4096
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
@@ -110,6 +114,7 @@ class Watchdog:
         "progress",
         "check_every",
         "stall_checks",
+        "on_check",
         "_cycles_at_arm",
         "_events_at_arm",
         "_since_check",
@@ -127,6 +132,7 @@ class Watchdog:
         progress: Optional[Callable[[], object]] = None,
         check_every: int = 8192,
         stall_checks: int = 8,
+        on_check: Optional[Callable[["Engine"], None]] = None,
     ) -> None:
         if check_every < 1:
             raise ValueError("check_every must be at least one event")
@@ -137,6 +143,11 @@ class Watchdog:
         self.progress = progress
         self.check_every = check_every
         self.stall_checks = stall_checks
+        #: optional cadence hook, called with the engine at every check
+        #: before the budget tests — how heartbeat pulses piggyback on
+        #: the watchdog's periodic visits without a second counter on
+        #: the event loop.  Must only *read* engine state.
+        self.on_check = on_check
         self._cycles_at_arm = 0.0
         self._events_at_arm = 0
         self._since_check = 0
@@ -151,6 +162,8 @@ class Watchdog:
         self._stall_count = 0
 
     def _check(self, engine: "Engine") -> None:
+        if self.on_check is not None:
+            self.on_check(engine)
         cycles = engine.now - self._cycles_at_arm
         if self.max_cycles is not None and cycles > self.max_cycles:
             self._abort(
@@ -211,6 +224,9 @@ class Engine:
         "_run_wall_s",
         "_runs",
         "_watchdog",
+        "_pulse",
+        "_pulse_every",
+        "_pulse_watchdog",
         "_free",
     )
 
@@ -233,6 +249,12 @@ class Engine:
         self._runs = 0
         #: armed run supervisor; None keeps the unchecked fast paths.
         self._watchdog: Optional[Watchdog] = None
+        #: armed pulse hook (heartbeats); rides the watchdog cadence.
+        self._pulse: Optional[Callable[["Engine"], None]] = None
+        self._pulse_every = PULSE_CHECK_EVERY
+        #: the internal pulse-only watchdog, when one is armed (so
+        #: detach_watchdog can tell it apart from a caller's).
+        self._pulse_watchdog: Optional[Watchdog] = None
 
     @property
     def now(self) -> float:
@@ -468,17 +490,78 @@ class Engine:
     def attach_watchdog(self, watchdog: Watchdog) -> Watchdog:
         """Arm ``watchdog`` over subsequent runs (budgets and progress
         count from this moment).  Runs route through the checked loop
-        until :meth:`detach_watchdog`."""
+        until :meth:`detach_watchdog`.  An armed pulse survives: it
+        rides the new watchdog's check cadence (via ``on_check``) while
+        the watchdog is armed and re-arms on its own when it detaches.
+        """
         watchdog._arm(self)
+        if self._pulse is not None and watchdog.on_check is None:
+            watchdog.on_check = self._pulse
         self._watchdog = watchdog
+        self._pulse_watchdog = None
         return watchdog
 
     def detach_watchdog(self) -> Optional[Watchdog]:
         """Disarm the current watchdog (restoring the unchecked fast
-        paths) and return it, or None when none was armed."""
+        paths, unless a pulse stays armed) and return it, or None when
+        none was armed (a pulse-only supervisor does not count)."""
         watchdog = self._watchdog
         self._watchdog = None
+        if watchdog is not None and watchdog is self._pulse_watchdog:
+            self._pulse_watchdog = None
+            return None
+        if watchdog is not None and watchdog.on_check is self._pulse:
+            watchdog.on_check = None
+        if self._pulse is not None:
+            self._arm_pulse_watchdog()
         return watchdog
+
+    def attach_pulse(
+        self,
+        pulse: Callable[["Engine"], None],
+        every: int = PULSE_CHECK_EVERY,
+    ) -> Callable[["Engine"], None]:
+        """Arm a periodic read-only hook: ``pulse(engine)`` roughly every
+        ``every`` processed events, piggybacking on the watchdog check
+        cadence (worker heartbeats use this).  With no caller watchdog
+        armed, a budget-free pulse-only supervisor routes runs through
+        the checked loop; when a caller arms a real watchdog the pulse
+        rides its checks instead.  The hook must only read engine state,
+        so pulsed runs stay bit-identical with unpulsed ones."""
+        self._pulse = pulse
+        self._pulse_every = every
+        if self._watchdog is not None:
+            if self._watchdog.on_check is None:
+                self._watchdog.on_check = pulse
+        else:
+            self._arm_pulse_watchdog()
+        return pulse
+
+    def detach_pulse(self) -> Optional[Callable[["Engine"], None]]:
+        """Disarm the pulse hook (restoring the unchecked fast paths
+        when no caller watchdog is armed) and return it, or None."""
+        pulse = self._pulse
+        self._pulse = None
+        if self._watchdog is not None:
+            if self._watchdog is self._pulse_watchdog:
+                self._watchdog = None
+            elif self._watchdog.on_check is pulse:
+                self._watchdog.on_check = None
+        self._pulse_watchdog = None
+        return pulse
+
+    def _arm_pulse_watchdog(self) -> None:
+        # budget-free supervisor whose only job is the cadence visit; a
+        # fresh-counter progress fingerprint always changes, so it can
+        # never declare a livelock on its own.
+        watchdog = Watchdog(
+            check_every=self._pulse_every,
+            progress=itertools.count().__next__,
+            on_check=self._pulse,
+        )
+        watchdog._arm(self)
+        self._watchdog = watchdog
+        self._pulse_watchdog = watchdog
 
     def dump_state(self, limit: int = 10) -> Dict[str, object]:
         """Diagnostic snapshot for abort reports: the self-metrics plus
@@ -542,3 +625,5 @@ class Engine:
         self._run_wall_s = 0.0
         self._runs = 0
         self._watchdog = None
+        self._pulse = None
+        self._pulse_watchdog = None

@@ -550,12 +550,31 @@ def run_experiment(
 
 
 def _subprocess_main(
-    conn, name: str, kwargs: Dict, collect_report: bool, stream: bool = False
+    conn,
+    name: str,
+    kwargs: Dict,
+    collect_report: bool,
+    stream: bool = False,
+    heartbeat_s: Optional[float] = None,
 ) -> None:
     """Worker-process entry point: run one experiment, ship the outcome
     back over ``conn``.  Every failure becomes an ``("error", reason)``
     message; only a hard crash (segfault, kill) leaves the pipe silent,
-    which the manager detects as worker death."""
+    which the manager detects as worker death.
+
+    With ``heartbeat_s`` set a :class:`HeartbeatEmitter` is installed
+    first: every engine the experiment builds pulses cumulative
+    self-metrics back as ``("hb", payload)`` messages, interleaved
+    ahead of the final outcome, at most one per ``heartbeat_s`` wall
+    seconds.  A hello beat goes out immediately so the parent can tell
+    "worker alive, simulation not started" from a dead pipe."""
+    emitter = None
+    if heartbeat_s is not None:
+        from repro.monitor.telemetry import HeartbeatEmitter
+
+        emitter = HeartbeatEmitter(conn.send, min_interval_s=heartbeat_s)
+        emitter.install()
+        emitter.beat()
     try:
         if collect_report:
             payload = _execute_with_report(name, kwargs, stream=stream)
@@ -568,6 +587,8 @@ def _subprocess_main(
         except Exception:
             pass
     finally:
+        if emitter is not None:
+            emitter.uninstall()
         conn.close()
 
 
@@ -590,6 +611,25 @@ class _Attempt:
     kwargs: Dict
     started: float
     deadline: Optional[float]
+    #: heartbeat bookkeeping (telemetry runs only): wall time of the
+    #: last beat, wall time of the last beat that showed *progress*
+    #: (more events processed than any earlier beat), beat count, and
+    #: the last payload — what retry/stall messages report.
+    last_beat: Optional[float] = None
+    last_progress: Optional[float] = None
+    beats: int = 0
+    events_seen: int = -1
+    progress: Optional[Dict] = None
+
+    def progress_note(self) -> str:
+        """Last-known progress, for stall and retry annotations."""
+        if self.progress is None:
+            return "no heartbeat received"
+        return (
+            f"last heartbeat: {self.progress.get('events_processed', 0)} "
+            f"events, {self.progress.get('sim_cycles', 0.0):.0f} cycles, "
+            f"{self.progress.get('events_per_sec', 0.0):g} ev/s"
+        )
 
 
 def _run_isolated(
@@ -603,6 +643,8 @@ def _run_isolated(
     retries: int,
     retry_backoff_s: float,
     stream: bool = False,
+    emit=None,
+    heartbeat_s: Optional[float] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run ``misses`` in per-experiment worker processes.
 
@@ -610,6 +652,15 @@ def _run_isolated(
     timeout, crash) is retried with exponential backoff until its
     attempts are exhausted, then recorded as a failed result.  One
     worker's fate never affects another's.
+
+    ``emit`` (a ``FleetTelemetry``-style callback taking ``(type,
+    name, attempt=..., **extra)``) receives every lifecycle
+    transition.  With ``heartbeat_s`` set, workers beat engine
+    self-metrics over their pipes and ``timeout_s`` changes meaning:
+    instead of a flat wall-clock deadline it becomes a **stall
+    budget** — a worker is killed only after ``timeout_s`` seconds
+    without a heartbeat showing forward progress, so slow-but-alive
+    workers run on while hung ones die fast.
     """
     ctx = _mp_context()
     results: Dict[str, ExperimentResult] = {}
@@ -622,7 +673,7 @@ def _run_isolated(
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_subprocess_main,
-            args=(send_conn, name, kwargs, collect_reports, stream),
+            args=(send_conn, name, kwargs, collect_reports, stream, heartbeat_s),
         )
         process.start()
         send_conn.close()  # manager keeps only the read end
@@ -636,6 +687,20 @@ def _run_isolated(
             started=now,
             deadline=(now + timeout_s) if timeout_s is not None else None,
         )
+        if emit is not None:
+            emit("worker_started", name, attempt=attempt, pid=process.pid)
+
+    def _beat(attempt: _Attempt, payload: Dict) -> None:
+        now = time.perf_counter()
+        attempt.beats += 1
+        attempt.last_beat = now
+        events = payload.get("events_processed", 0)
+        if events > attempt.events_seen:
+            attempt.events_seen = events
+            attempt.last_progress = now
+        attempt.progress = payload
+        if emit is not None:
+            emit("heartbeat", attempt.name, attempt=attempt.attempt, **payload)
 
     def _settle(attempt: _Attempt, error: str) -> None:
         """Record a failed attempt: retry with backoff or final failure."""
@@ -644,6 +709,16 @@ def _run_isolated(
             pending.append(
                 (attempt.name, attempt.attempt + 1, time.perf_counter() + delay)
             )
+            if emit is not None:
+                emit(
+                    "retry",
+                    attempt.name,
+                    attempt=attempt.attempt,
+                    error=error,
+                    next_attempt=attempt.attempt + 1,
+                    backoff_s=delay,
+                    last_known=attempt.progress_note(),
+                )
             return
         results[attempt.name] = ExperimentResult(
             attempt.name,
@@ -654,6 +729,13 @@ def _run_isolated(
             error=error,
             attempts=attempt.attempt,
         )
+        if emit is not None:
+            emit(
+                "failed",
+                attempt.name,
+                attempt=attempt.attempt,
+                error=error,
+            )
 
     def _succeed(attempt: _Attempt, payload) -> None:
         if collect_reports:
@@ -682,6 +764,14 @@ def _run_isolated(
             report=report,
             attempts=attempt.attempt,
         )
+        if emit is not None:
+            emit(
+                "completed",
+                attempt.name,
+                attempt=attempt.attempt,
+                elapsed_s=round(elapsed, 3),
+                cached=False,
+            )
 
     def _reap(attempt: _Attempt, error: str) -> None:
         process = attempt.process
@@ -722,6 +812,10 @@ def _run_isolated(
                 del running[conn]
                 _settle(attempt, f"worker crashed (exit {code})")
                 continue
+            if status == "hb":
+                # heartbeat: bookkeeping only, the worker stays running
+                _beat(attempt, payload)
+                continue
             attempt.process.join()
             conn.close()
             del running[conn]
@@ -732,12 +826,28 @@ def _run_isolated(
 
         if timeout_s is not None:
             now = time.perf_counter()
-            for attempt in [
-                a
-                for a in running.values()
-                if a.deadline is not None and now > a.deadline
-            ]:
-                _reap(attempt, f"timeout after {timeout_s:g}s")
+            if heartbeat_s is not None:
+                # stall budget: a worker dies only after timeout_s with
+                # no heartbeat *progress* (silence, or beats whose event
+                # count has frozen) — slow-but-beating workers live on.
+                for attempt in [
+                    a
+                    for a in running.values()
+                    if now - (a.last_progress or a.started) > timeout_s
+                ]:
+                    _reap(
+                        attempt,
+                        f"stalled: no heartbeat progress for {timeout_s:g}s "
+                        f"({attempt.progress_note()})",
+                    )
+            else:
+                # telemetry off: the original flat wall-clock deadline
+                for attempt in [
+                    a
+                    for a in running.values()
+                    if a.deadline is not None and now > a.deadline
+                ]:
+                    _reap(attempt, f"timeout after {timeout_s:g}s")
 
     return results
 
@@ -751,13 +861,17 @@ def _run_inline(
     retries: int,
     retry_backoff_s: float,
     stream: bool = False,
+    emit=None,
 ) -> Dict[str, ExperimentResult]:
-    """Single-process path (no timeout enforcement, but the same
-    failure isolation and retry policy as the worker path)."""
+    """Single-process path (no timeout enforcement or heartbeats, but
+    the same failure isolation, retry policy, and lifecycle telemetry
+    as the worker path)."""
     results: Dict[str, ExperimentResult] = {}
     for name in misses:
         for attempt in range(1, retries + 2):
             start = time.perf_counter()
+            if emit is not None:
+                emit("worker_started", name, attempt=attempt, inline=True)
             try:
                 result = run_experiment(
                     name,
@@ -776,10 +890,29 @@ def _run_inline(
                     report=result.report,
                     attempts=attempt,
                 )
+                if emit is not None:
+                    emit(
+                        "completed",
+                        name,
+                        attempt=attempt,
+                        elapsed_s=round(result.elapsed_s, 3),
+                        cached=result.cached,
+                    )
                 break
             except Exception as exc:  # noqa: BLE001 - isolate each artifact
+                error = f"{type(exc).__name__}: {exc}"
                 if attempt <= retries:
-                    time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+                    delay = retry_backoff_s * (2 ** (attempt - 1))
+                    if emit is not None:
+                        emit(
+                            "retry",
+                            name,
+                            attempt=attempt,
+                            error=error,
+                            next_attempt=attempt + 1,
+                            backoff_s=delay,
+                        )
+                    time.sleep(delay)
                     continue
                 results[name] = ExperimentResult(
                     name,
@@ -787,9 +920,11 @@ def _run_inline(
                     "",
                     time.perf_counter() - start,
                     cached=False,
-                    error=f"{type(exc).__name__}: {exc}",
+                    error=error,
                     attempts=attempt,
                 )
+                if emit is not None:
+                    emit("failed", name, attempt=attempt, error=error)
     return results
 
 
@@ -804,6 +939,7 @@ def run_all(
     retries: int = 0,
     retry_backoff_s: float = 0.25,
     stream: bool = False,
+    telemetry=None,
 ) -> List[ExperimentResult]:
     """Run a set of experiments (default: every registered one).
 
@@ -814,6 +950,16 @@ def run_all(
     path, so it forces process isolation even at ``jobs=1``), and each
     failure retries up to ``retries`` times with exponential backoff
     starting at ``retry_backoff_s``.
+
+    ``telemetry`` (a :class:`~repro.monitor.telemetry.FleetTelemetry`)
+    turns on fleet telemetry: every lifecycle transition is emitted as
+    a schema-valid event (JSONL sink and/or in-process listener), and
+    isolated workers heartbeat engine self-metrics over their pipes at
+    ``telemetry.heartbeat_s``.  With heartbeats flowing, ``timeout_s``
+    becomes a **no-heartbeat stall budget** — a worker making visible
+    progress is never killed for being slow; a silent one dies after
+    ``timeout_s`` seconds without progress.  With telemetry off the
+    flat wall-clock timeout behaves exactly as before.
 
     Results come back in registry order regardless of completion order;
     failed experiments are *included*, with
@@ -827,6 +973,9 @@ def run_all(
     selected = list(names) if names is not None else experiment_names()
     for name in selected:
         experiment(name)  # validate up front
+
+    emit = telemetry.event if telemetry is not None else None
+    heartbeat_s = telemetry.heartbeat_s if telemetry is not None else None
 
     results: Dict[str, ExperimentResult] = {}
     misses: List[str] = []
@@ -848,8 +997,12 @@ def run_all(
                 cached=True,
                 report=report if collect_reports else None,
             )
+            if emit is not None:
+                emit("cache_hit", name, key=key[:16])
         else:
             misses.append(name)
+            if emit is not None:
+                emit("run_queued", name)
 
     if misses:
         if jobs > 1 or timeout_s is not None:
@@ -865,6 +1018,8 @@ def run_all(
                     retries,
                     retry_backoff_s,
                     stream=stream,
+                    emit=emit,
+                    heartbeat_s=heartbeat_s,
                 )
             )
         else:
@@ -878,6 +1033,7 @@ def run_all(
                     retries,
                     retry_backoff_s,
                     stream=stream,
+                    emit=emit,
                 )
             )
 

@@ -76,6 +76,20 @@ _EXPORTS = {
     "SampledStreamingSpanStore": "repro.monitor.streamstore",
     "StreamingLatencyAnalysis": "repro.monitor.streamstore",
     "StreamingSpanStore": "repro.monitor.streamstore",
+    "DEFAULT_TELEMETRY_DIR": "repro.monitor.telemetry",
+    "FleetTelemetry": "repro.monitor.telemetry",
+    "HeartbeatEmitter": "repro.monitor.telemetry",
+    "TELEMETRY_VERSION": "repro.monitor.telemetry",
+    "TelemetrySink": "repro.monitor.telemetry",
+    "validate_telemetry": "repro.monitor.telemetry",
+    "validate_telemetry_file": "repro.monitor.telemetry",
+    "FleetProgress": "repro.monitor.progress",
+    "TransitionPrinter": "repro.monitor.progress",
+    "make_progress": "repro.monitor.progress",
+    "compare_reports": "repro.monitor.compare",
+    "compare_streaming_docs": "repro.monitor.compare",
+    "load_reports": "repro.monitor.compare",
+    "render_compare": "repro.monitor.compare",
 }
 
 
@@ -101,7 +115,21 @@ def __dir__():
 
 
 __all__ = [
+    "DEFAULT_TELEMETRY_DIR",
+    "FleetProgress",
+    "FleetTelemetry",
+    "HeartbeatEmitter",
     "NULL_SIGNAL",
+    "TELEMETRY_VERSION",
+    "TelemetrySink",
+    "TransitionPrinter",
+    "compare_reports",
+    "compare_streaming_docs",
+    "load_reports",
+    "make_progress",
+    "render_compare",
+    "validate_telemetry",
+    "validate_telemetry_file",
     "SampledSpanCollector",
     "SampledStreamingSpanStore",
     "StreamingLatencyAnalysis",

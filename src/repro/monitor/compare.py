@@ -1,0 +1,311 @@
+"""Cross-run differential reports: ``python -m repro compare A B``.
+
+Loads two runs' worth of structured results — per-experiment
+:class:`~repro.monitor.report.RunReport` JSONs (a single file or a
+whole ``.repro-reports/`` directory) or, with ``--stream``, merged
+streaming spans documents built on the mergeable
+:class:`~repro.monitor.sketch.QuantileSketch` — and renders
+per-metric and per-quantile deltas.
+
+Only *deterministic simulated* quantities are diffed (simulated
+cycles, engine event counts, traced-request counts, latency means and
+quantiles): two identical-seed runs produce exactly zero deltas, so
+the comparison is a seedable CI gate, while wall-clock fields
+(elapsed seconds, realized events/sec) are reported nowhere — they
+differ run to run by construction.
+
+Significance uses the paper's own stability metric
+(:func:`repro.metrics.stability.stability`): a pair ``(a, b)`` is
+**significant** when its stability ``min/max`` falls below the
+threshold (default 0.98, i.e. a >2% swing).  The CLI exits non-zero
+when any significant delta survives — the primitive the sweep engine
+and a CI perf gate both want.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.metrics.stability import stability
+
+#: a pair whose min/max stability falls below this is significant
+#: (0.98 ~ a swing of more than 2%).
+DEFAULT_STABILITY_THRESHOLD = 0.98
+
+#: the quantile columns diffed from latency summaries and sketches.
+QUANTILE_KEYS = ("p50", "p90", "p95", "p99")
+
+
+def pair_stability(a: float, b: float) -> float:
+    """St of the two-member ensemble {a, b}: ``min/max`` in (0, 1].
+
+    Degenerate pairs are handled the way a differential report needs:
+    exactly equal values (including 0 == 0) are perfectly stable
+    (1.0); a zero against a non-zero is maximally unstable (0.0).
+    """
+    if a == b:
+        return 1.0
+    if a <= 0.0 or b <= 0.0:
+        return 0.0
+    return stability([a, b])
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's A-vs-B comparison."""
+
+    experiment: str
+    metric: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def stability(self) -> float:
+        return pair_stability(self.a, self.b)
+
+    def significant(self, threshold: float = DEFAULT_STABILITY_THRESHOLD) -> bool:
+        return self.stability < threshold
+
+
+@dataclass
+class CompareResult:
+    """All deltas between two runs, plus coverage differences."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    #: experiments present in only one side (coverage differences are
+    #: always significant: the runs did different work).
+    only_a: List[str] = field(default_factory=list)
+    only_b: List[str] = field(default_factory=list)
+    threshold: float = DEFAULT_STABILITY_THRESHOLD
+
+    @property
+    def significant(self) -> List[Delta]:
+        return [d for d in self.deltas if d.significant(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        """True when the runs agree: no significant deltas and the same
+        experiment coverage."""
+        return not self.significant and not self.only_a and not self.only_b
+
+
+# ---------------------------------------------------------------------------
+# loading
+
+
+def load_reports(path) -> Dict[str, Dict]:
+    """Run reports from ``path``: a directory of per-experiment JSONs
+    (the ``.repro-reports/`` layout) or a single report file.  Keyed by
+    experiment name; raises ``ValueError`` when nothing loads."""
+    p = Path(path)
+    reports: Dict[str, Dict] = {}
+    if p.is_dir():
+        for entry in sorted(p.glob("*.json")):
+            try:
+                doc = json.loads(entry.read_text())
+            except ValueError as exc:
+                raise ValueError(f"unreadable report {entry}: {exc}")
+            reports[str(doc.get("experiment", entry.stem))] = doc
+    elif p.is_file():
+        doc = json.loads(p.read_text())
+        reports[str(doc.get("experiment", p.stem))] = doc
+    else:
+        raise ValueError(
+            f"no reports at {path}; run `python -m repro run-all` first"
+        )
+    if not reports:
+        raise ValueError(
+            f"no reports under {path}/; run `python -m repro run-all` first"
+        )
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# report comparison
+
+
+def _latency_rows(machine: Dict, prefix: str) -> Dict[str, float]:
+    """The deterministic latency metrics of one machine record."""
+    rows: Dict[str, float] = {}
+    latency = machine.get("latency")
+    if not isinstance(latency, dict) or not latency.get("requests"):
+        return rows
+    rows[f"{prefix}traced_requests"] = float(latency["requests"])
+    for origin, table in sorted(latency.get("end_to_end", {}).items()):
+        if not isinstance(table, dict):
+            continue
+        base = f"{prefix}latency[{origin}]."
+        for key in ("count", "mean", "max") + QUANTILE_KEYS:
+            value = table.get(key)
+            if isinstance(value, (int, float)):
+                rows[base + key] = float(value)
+    return rows
+
+
+def report_metrics(report: Dict) -> Dict[str, float]:
+    """Flatten one RunReport dict into its deterministic simulated
+    metrics (no wall-clock fields)."""
+    rows: Dict[str, float] = {
+        "total_sim_cycles": float(report.get("total_sim_cycles", 0.0)),
+        "total_engine_events": float(report.get("total_engine_events", 0)),
+        "machines_built": float(report.get("machines_built", 0)),
+    }
+    for i, machine in enumerate(report.get("machines", [])):
+        prefix = f"m{i}."
+        cycles = machine.get("sim_cycles")
+        if isinstance(cycles, (int, float)):
+            rows[f"{prefix}sim_cycles"] = float(cycles)
+        events = machine.get("engine", {}).get("events_processed")
+        if isinstance(events, (int, float)):
+            rows[f"{prefix}events_processed"] = float(events)
+        rows.update(_latency_rows(machine, prefix))
+    return rows
+
+
+def compare_reports(
+    a_reports: Dict[str, Dict],
+    b_reports: Dict[str, Dict],
+    threshold: float = DEFAULT_STABILITY_THRESHOLD,
+) -> CompareResult:
+    """Diff two report sets (experiment name -> RunReport dict)."""
+    result = CompareResult(threshold=threshold)
+    result.only_a = sorted(set(a_reports) - set(b_reports))
+    result.only_b = sorted(set(b_reports) - set(a_reports))
+    for name in sorted(set(a_reports) & set(b_reports)):
+        a_rows = report_metrics(a_reports[name])
+        b_rows = report_metrics(b_reports[name])
+        for metric in sorted(set(a_rows) | set(b_rows)):
+            a = a_rows.get(metric, 0.0)
+            b = b_rows.get(metric, 0.0)
+            result.deltas.append(Delta(name, metric, a, b))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# streaming-sketch comparison
+
+
+def _doc_sketches(doc: Dict) -> Dict[str, "QuantileSketch"]:
+    from repro.monitor.sketch import QuantileSketch
+
+    out = {}
+    sketches = doc.get("sketches", {})
+    for group in ("latency", "phases"):
+        for name, payload in sketches.get(group, {}).items():
+            out[f"{group}[{name}]"] = QuantileSketch.from_dict(payload)
+    return out
+
+
+def compare_streaming_docs(
+    a_doc: Dict,
+    b_doc: Dict,
+    threshold: float = DEFAULT_STABILITY_THRESHOLD,
+    label: str = "(stream)",
+) -> CompareResult:
+    """Diff two streaming spans documents per sketch and per quantile.
+
+    Counts, means, and extrema are exact; quantile deltas inherit the
+    sketches' declared relative-error bound, so a threshold tighter
+    than ``1 - 2*relative_error`` compares noise — the default 0.98
+    against 1% sketches is the sensible floor.
+    """
+    result = CompareResult(threshold=threshold)
+    a_sketches = _doc_sketches(a_doc)
+    b_sketches = _doc_sketches(b_doc)
+    result.only_a = sorted(set(a_sketches) - set(b_sketches))
+    result.only_b = sorted(set(b_sketches) - set(a_sketches))
+    qs = [float(k[1:]) / 100.0 for k in QUANTILE_KEYS]
+    for name in sorted(set(a_sketches) & set(b_sketches)):
+        sa, sb = a_sketches[name], b_sketches[name]
+        result.deltas.append(Delta(label, f"{name}.count", sa.count, sb.count))
+        result.deltas.append(
+            Delta(label, f"{name}.mean", sa.mean(), sb.mean())
+        )
+        for key, q in zip(QUANTILE_KEYS, qs):
+            result.deltas.append(
+                Delta(label, f"{name}.{key}", sa.quantile(q), sb.quantile(q))
+            )
+    for counter in ("complete", "incomplete", "dropped"):
+        result.deltas.append(
+            Delta(
+                label,
+                counter,
+                float(a_doc.get(counter, 0)),
+                float(b_doc.get(counter, 0)),
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def render_compare(
+    result: CompareResult,
+    a_label: str = "A",
+    b_label: str = "B",
+    show_all: bool = False,
+) -> str:
+    """Human-readable differential report: the significant deltas (or
+    every delta with ``show_all``), coverage differences, and a one
+    line verdict."""
+    from repro.util.tables import Table
+
+    lines: List[str] = []
+    significant = result.significant
+    shown = result.deltas if show_all else significant
+    if shown:
+        flagged = {id(d) for d in significant}
+        table = Table(
+            title=f"Differential report ({a_label} vs {b_label})",
+            columns=["experiment", "metric", a_label, b_label,
+                     "delta", "stability", "sig"],
+            precision=2,
+        )
+        for delta in shown:
+            table.add_row(
+                [
+                    delta.experiment,
+                    delta.metric,
+                    delta.a,
+                    delta.b,
+                    delta.delta,
+                    delta.stability,
+                    "*" if id(delta) in flagged else "",
+                ]
+            )
+        lines.append(table.render())
+    for side, names, other in (
+        (a_label, result.only_a, b_label),
+        (b_label, result.only_b, a_label),
+    ):
+        if names:
+            lines.append(
+                f"only in {side} (missing from {other}): {', '.join(names)}"
+            )
+    total = len(result.deltas)
+    if result.ok:
+        lines.append(
+            f"OK: {total} metrics compared, zero significant deltas "
+            f"(stability threshold {result.threshold:g})"
+        )
+    else:
+        lines.append(
+            f"DIFFER: {len(significant)} of {total} metrics significant "
+            f"(stability < {result.threshold:g})"
+            + (
+                f", coverage differs by "
+                f"{len(result.only_a) + len(result.only_b)} experiment(s)"
+                if result.only_a or result.only_b
+                else ""
+            )
+        )
+    return "\n\n".join(lines)

@@ -1,0 +1,244 @@
+"""Live fleet progress for ``run-all``: a TTY table, or plain lines.
+
+Both renderers consume the telemetry lifecycle-event stream
+(:mod:`repro.monitor.telemetry`) through a single ``handle(event)``
+method, so they plug straight into
+:class:`~repro.monitor.telemetry.FleetTelemetry` as its ``on_event``
+listener:
+
+* :class:`FleetProgress` — when stderr is a real terminal: one row per
+  experiment (state, elapsed, events/sec, events, retries, cache
+  status), repainted in place with ANSI cursor movement on every
+  event.  Heartbeats animate the running rows.
+* :class:`TransitionPrinter` — the CI-safe fallback when stdout/stderr
+  is a pipe: one plain line per state *transition* (heartbeats are
+  folded into the next transition line rather than printed, so logs
+  stay readable).
+
+:func:`make_progress` picks the renderer from ``out.isatty()``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, Optional, TextIO
+
+#: states a row can be in, in display order of interest.
+_STATES = ("queued", "running", "retrying", "cached", "done", "FAILED")
+
+
+class _Row:
+    __slots__ = (
+        "name", "state", "queued_at", "started_at", "finished_at",
+        "attempts", "events", "events_per_sec", "sim_cycles", "beats",
+        "elapsed_s", "error",
+    )
+
+    def __init__(self, name: str, now: float) -> None:
+        self.name = name
+        self.state = "queued"
+        self.queued_at = now
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.attempts = 0
+        self.events = 0
+        self.events_per_sec = 0.0
+        self.sim_cycles = 0.0
+        self.beats = 0
+        self.elapsed_s: Optional[float] = None
+        self.error: Optional[str] = None
+
+    def elapsed(self, now: float) -> float:
+        if self.elapsed_s is not None:
+            return self.elapsed_s
+        anchor = self.started_at if self.started_at is not None else self.queued_at
+        end = self.finished_at if self.finished_at is not None else now
+        return max(0.0, end - anchor)
+
+
+class TransitionPrinter:
+    """Plain line-per-transition progress (the no-TTY / CI fallback).
+
+    Heartbeats update row state silently; every *transition* (queued,
+    started, retry, failed, completed, cache hit) prints one line with
+    the latest known progress folded in.
+    """
+
+    def __init__(
+        self,
+        out: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.out = out if out is not None else sys.stderr
+        self.clock = clock
+        self.rows: Dict[str, _Row] = {}
+        self._t0 = clock()
+
+    # -- event intake ------------------------------------------------------
+
+    def _row(self, name: str) -> _Row:
+        row = self.rows.get(name)
+        if row is None:
+            row = self.rows[name] = _Row(name, self.clock())
+        return row
+
+    def _apply(self, event: Dict[str, object]) -> bool:
+        """Fold one lifecycle event into the row model; returns True
+        when it was a state *transition* (vs a heartbeat update)."""
+        type_ = event.get("type")
+        row = self._row(str(event.get("experiment", "?")))
+        now = self.clock()
+        if type_ == "run_queued":
+            row.state = "queued"
+        elif type_ == "worker_started":
+            row.state = "running"
+            row.started_at = now
+            row.attempts = int(event.get("attempt", 1))
+        elif type_ == "heartbeat":
+            row.beats += 1
+            row.events = int(event.get("events_processed", row.events))
+            row.events_per_sec = float(
+                event.get("events_per_sec", row.events_per_sec)
+            )
+            row.sim_cycles = float(event.get("sim_cycles", row.sim_cycles))
+            return False
+        elif type_ == "retry":
+            row.state = "retrying"
+            row.error = str(event.get("error", ""))
+        elif type_ == "cache_hit":
+            row.state = "cached"
+            row.finished_at = now
+            row.elapsed_s = 0.0
+        elif type_ == "failed":
+            row.state = "FAILED"
+            row.finished_at = now
+            row.error = str(event.get("error", ""))
+        elif type_ == "completed":
+            row.state = "cached" if event.get("cached") else "done"
+            row.finished_at = now
+            elapsed = event.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                row.elapsed_s = float(elapsed)
+        return True
+
+    def handle(self, event: Dict[str, object]) -> None:
+        if self._apply(event):
+            self._print_transition(event)
+
+    __call__ = handle
+
+    # -- rendering ---------------------------------------------------------
+
+    def _print_transition(self, event: Dict[str, object]) -> None:
+        row = self.rows[str(event.get("experiment", "?"))]
+        t = self.clock() - self._t0
+        note = ""
+        if row.state in ("running", "retrying", "FAILED") and row.events:
+            note = f" [{row.events} events, {row.events_per_sec:g} ev/s]"
+        if row.state == "retrying":
+            note += f" (attempt {row.attempts} failed: {row.error})"
+        elif row.state == "FAILED":
+            note += f": {row.error}"
+        elif row.state == "done" and row.elapsed_s is not None:
+            note += f" in {row.elapsed_s:.1f}s"
+        print(
+            f"[fleet] {t:7.2f}s {row.name:<18} {row.state}{note}",
+            file=self.out,
+        )
+
+    def close(self) -> None:
+        """Final summary line."""
+        done = sum(1 for r in self.rows.values() if r.state in ("done", "cached"))
+        failed = sum(1 for r in self.rows.values() if r.state == "FAILED")
+        print(
+            f"[fleet] {len(self.rows)} experiments: "
+            f"{done} ok, {failed} failed",
+            file=self.out,
+        )
+
+
+class FleetProgress(TransitionPrinter):
+    """Live TTY renderer: one row per experiment, repainted in place.
+
+    Inherits the row model from :class:`TransitionPrinter`; every
+    event (heartbeats included) triggers a repaint capped at
+    ``max_fps`` so a fast beat stream cannot saturate the terminal.
+    """
+
+    #: repaint rate cap (frames per wall second).
+    max_fps = 20.0
+
+    def __init__(
+        self,
+        out: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        super().__init__(out=out, clock=clock)
+        self._painted = 0
+        self._last_paint = float("-inf")
+
+    def handle(self, event: Dict[str, object]) -> None:
+        transition = self._apply(event)
+        now = self.clock()
+        if transition or now - self._last_paint >= 1.0 / self.max_fps:
+            self._last_paint = now
+            self._paint()
+
+    __call__ = handle
+
+    def _format_row(self, row: _Row, now: float) -> str:
+        state = row.state
+        elapsed = row.elapsed(now)
+        cells = (
+            f"{row.name:<18.18}"
+            f" {state:<9}"
+            f" {elapsed:7.1f}s"
+            f" {row.events:>12,}"
+            f" {row.events_per_sec:>11,.0f}/s"
+            f" {max(0, row.attempts - 1):>3} retr"
+        )
+        if state == "FAILED" and row.error:
+            cells += f"  {row.error}"
+        return cells[:118]
+
+    def _paint(self) -> None:
+        out = self.out
+        now = self.clock()
+        lines = [
+            " experiment         state      elapsed        events        ev/s  retries",
+        ]
+        lines.extend(
+            self._format_row(row, now) for row in self.rows.values()
+        )
+        if self._painted:
+            # move back to the top of the previously painted block
+            out.write(f"\x1b[{self._painted}F")
+        for line in lines:
+            out.write("\x1b[2K" + line + "\n")
+        self._painted = len(lines)
+        out.flush()
+
+    def close(self) -> None:
+        """Leave the final table on screen."""
+        if self.rows:
+            self._paint()
+
+
+def make_progress(
+    out: Optional[TextIO] = None,
+    force_tty: Optional[bool] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> TransitionPrinter:
+    """The right renderer for ``out``: :class:`FleetProgress` when it
+    is a terminal, :class:`TransitionPrinter` otherwise.  ``force_tty``
+    overrides detection (tests; ``--no-progress`` handles the other
+    direction at the CLI)."""
+    out = out if out is not None else sys.stderr
+    if force_tty is None:
+        try:
+            force_tty = bool(out.isatty())
+        except (AttributeError, ValueError):
+            force_tty = False
+    cls = FleetProgress if force_tty else TransitionPrinter
+    return cls(out=out, clock=clock)

@@ -159,6 +159,46 @@ class TestObservabilityCommands:
         out = capsys.readouterr().out
         assert "Run reports" in out and "x" in out
 
-    def test_report_empty_directory_exits(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["report", "--dir", str(tmp_path / "missing")])
+    def test_report_empty_directory_exits(self, tmp_path, capsys):
+        assert main(["report", "--dir", str(tmp_path / "missing")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "run-all" in err
+
+    def test_report_missing_collected_report_exits(self, tmp_path, capsys):
+        assert main(["report", "table2", "--dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "run `python -m repro run-all table2` first" in err
+
+    def test_report_dir_loads_collected_report(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "table2.json").write_text(
+            json.dumps({"experiment": "table2", "machines_built": 1})
+        )
+        assert main(["report", "table2", "--dir", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["experiment"] == "table2"
+
+    def test_run_all_telemetry_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run-all", "--telemetry", "--telemetry-dir", "t",
+             "--heartbeat", "0.1", "--no-progress"]
+        )
+        assert args.telemetry and args.telemetry_dir == "t"
+        assert args.heartbeat == 0.1 and args.no_progress
+
+    def test_run_all_telemetry_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.monitor.telemetry import validate_telemetry_file
+
+        code = main(
+            ["run-all", "topology", "--no-reports", "--telemetry",
+             "--telemetry-dir", str(tmp_path / "tel")]
+        )
+        assert code == 0
+        (jsonl,) = sorted((tmp_path / "tel").glob("*.jsonl"))
+        counts = validate_telemetry_file(jsonl)
+        assert counts["run_queued"] == 1 and counts["completed"] == 1
+        err = capsys.readouterr().err
+        assert "telemetry events ->" in err
+        assert "[fleet]" in err  # the no-TTY transition lines

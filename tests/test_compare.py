@@ -1,0 +1,227 @@
+"""Cross-run differential reports: deltas, significance, CLI gate.
+
+Identical report sets must compare clean (exit 0, zero significant
+deltas); a perturbed metric must trip the stability threshold and the
+nonzero exit; streaming sketch documents must diff per quantile.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.monitor.compare import (
+    DEFAULT_STABILITY_THRESHOLD,
+    CompareResult,
+    Delta,
+    compare_reports,
+    compare_streaming_docs,
+    load_reports,
+    pair_stability,
+    render_compare,
+    report_metrics,
+)
+from repro.monitor.sketch import QuantileSketch
+
+
+def _report(name="table2", cycles=1859.0, p99=42.0):
+    return {
+        "version": 3,
+        "experiment": name,
+        "title": name,
+        "elapsed_s": 1.23,          # wall clock: must never be diffed
+        "cached": False,
+        "machines_built": 1,
+        "total_sim_cycles": cycles,
+        "total_engine_events": 5000,
+        "machines": [
+            {
+                "sim_cycles": cycles,
+                "engine": {
+                    "events_processed": 5000,
+                    "events_per_sec": 9e5,  # wall clock: never diffed
+                },
+                "latency": {
+                    "requests": 100,
+                    "end_to_end": {
+                        "all": {
+                            "count": 100, "mean": 21.0, "max": 55.0,
+                            "p50": 20.0, "p90": 33.0, "p95": 38.0,
+                            "p99": p99,
+                        },
+                    },
+                },
+            },
+        ],
+    }
+
+
+class TestPairStability:
+    def test_equal_is_perfectly_stable(self):
+        assert pair_stability(5.0, 5.0) == 1.0
+        assert pair_stability(0.0, 0.0) == 1.0
+
+    def test_zero_against_nonzero_is_maximally_unstable(self):
+        assert pair_stability(0.0, 7.0) == 0.0
+        assert pair_stability(7.0, 0.0) == 0.0
+
+    def test_min_over_max(self):
+        assert pair_stability(90.0, 100.0) == pytest.approx(0.9)
+        assert pair_stability(100.0, 90.0) == pytest.approx(0.9)
+
+    def test_delta_significance_threshold(self):
+        near = Delta("x", "m", 100.0, 99.0)    # stability 0.99
+        far = Delta("x", "m", 100.0, 90.0)     # stability 0.90
+        assert not near.significant(DEFAULT_STABILITY_THRESHOLD)
+        assert far.significant(DEFAULT_STABILITY_THRESHOLD)
+        assert near.significant(0.995)
+
+
+class TestReportMetrics:
+    def test_wall_clock_fields_excluded(self):
+        rows = report_metrics(_report())
+        assert "total_sim_cycles" in rows
+        assert "m0.sim_cycles" in rows
+        assert "m0.latency[all].p99" in rows
+        assert not any("elapsed" in k or "per_sec" in k for k in rows)
+
+
+class TestCompareReports:
+    def test_identical_runs_compare_clean(self):
+        a = {"table2": _report()}
+        result = compare_reports(a, copy.deepcopy(a))
+        assert result.ok
+        assert result.deltas and not result.significant
+
+    def test_perturbed_metric_is_significant(self):
+        a = {"table2": _report()}
+        b = {"table2": _report(cycles=1859.0 * 1.1, p99=42.0 * 1.3)}
+        result = compare_reports(a, b)
+        assert not result.ok
+        flagged = {d.metric for d in result.significant}
+        assert "total_sim_cycles" in flagged
+        assert "m0.latency[all].p99" in flagged
+        assert "m0.events_processed" not in flagged  # unchanged
+
+    def test_small_jitter_below_threshold_is_ok(self):
+        a = {"table2": _report(p99=100.0)}
+        b = {"table2": _report(p99=101.0)}  # 1% < the 2% band
+        assert compare_reports(a, b).ok
+
+    def test_coverage_difference_fails(self):
+        a = {"table2": _report("table2"), "fig3": _report("fig3")}
+        b = {"table2": _report("table2")}
+        result = compare_reports(a, b)
+        assert not result.ok
+        assert result.only_a == ["fig3"] and result.only_b == []
+
+
+class TestLoadReports:
+    def test_directory_and_single_file(self, tmp_path):
+        (tmp_path / "table2.json").write_text(json.dumps(_report("table2")))
+        (tmp_path / "fig3.json").write_text(json.dumps(_report("fig3")))
+        assert set(load_reports(tmp_path)) == {"table2", "fig3"}
+        assert set(load_reports(tmp_path / "fig3.json")) == {"fig3"}
+
+    def test_missing_path_suggests_run_all(self, tmp_path):
+        with pytest.raises(ValueError, match="run `python -m repro run-all`"):
+            load_reports(tmp_path / "nope")
+
+    def test_empty_directory_suggests_run_all(self, tmp_path):
+        with pytest.raises(ValueError, match="run `python -m repro run-all`"):
+            load_reports(tmp_path)
+
+
+def _stream_doc(values):
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.record(v)
+    return {
+        "complete": len(values),
+        "incomplete": 0,
+        "dropped": 0,
+        "sketches": {"latency": {"end_to_end": sketch.to_dict()}},
+    }
+
+
+class TestCompareStreaming:
+    def test_identical_sketches_compare_clean(self):
+        values = [float(i % 37 + 1) for i in range(500)]
+        result = compare_streaming_docs(_stream_doc(values), _stream_doc(values))
+        assert result.ok
+        metrics = {d.metric for d in result.deltas}
+        assert "latency[end_to_end].p99" in metrics
+        assert "latency[end_to_end].count" in metrics
+
+    def test_shifted_tail_is_significant(self):
+        base = [float(i % 37 + 1) for i in range(500)]
+        shifted = [v * 2.0 for v in base]
+        result = compare_streaming_docs(_stream_doc(base), _stream_doc(shifted))
+        flagged = {d.metric for d in result.significant}
+        assert "latency[end_to_end].mean" in flagged
+        assert "latency[end_to_end].p99" in flagged
+
+
+class TestRenderCompare:
+    def test_clean_run_renders_ok_verdict(self):
+        a = {"table2": _report()}
+        text = render_compare(compare_reports(a, copy.deepcopy(a)))
+        assert text.startswith("OK:") and "zero significant" in text
+
+    def test_differing_run_renders_table_and_verdict(self):
+        a = {"table2": _report()}
+        b = {"table2": _report(cycles=3000.0)}
+        text = render_compare(compare_reports(a, b), "base", "cand")
+        assert "DIFFER:" in text
+        assert "total_sim_cycles" in text
+        assert "base" in text and "cand" in text
+
+    def test_show_all_lists_insignificant_metrics(self):
+        a = {"table2": _report()}
+        result = compare_reports(a, copy.deepcopy(a))
+        assert "m0.latency[all].p50" in render_compare(result, show_all=True)
+
+    def test_coverage_difference_rendered(self):
+        result = CompareResult(only_a=["fig3"])
+        assert "only in A" in render_compare(result)
+
+
+class TestCompareCLI:
+    def _write_dirs(self, tmp_path, perturb=False):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        (a / "table2.json").write_text(json.dumps(_report()))
+        cycles = 1859.0 * (1.2 if perturb else 1.0)
+        (b / "table2.json").write_text(json.dumps(_report(cycles=cycles)))
+        return a, b
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        a, b = self._write_dirs(tmp_path)
+        assert main(["compare", str(a), str(b)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        a, b = self._write_dirs(tmp_path, perturb=True)
+        assert main(["compare", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "DIFFER:" in out and "total_sim_cycles" in out
+
+    def test_loose_threshold_tolerates_the_same_delta(self, tmp_path):
+        a, b = self._write_dirs(tmp_path, perturb=True)
+        assert main(["compare", str(a), str(b), "--threshold", "0.5"]) == 0
+
+    def test_missing_side_is_one_line_error(self, tmp_path, capsys):
+        a, _ = self._write_dirs(tmp_path)
+        assert main(["compare", str(a), str(tmp_path / "nope")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "run-all" in err
+
+    def test_stream_documents_compare(self, tmp_path, capsys):
+        values = [float(i % 11 + 1) for i in range(200)]
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(json.dumps(_stream_doc(values)))
+        pb.write_text(json.dumps(_stream_doc([v * 3 for v in values])))
+        assert main(["compare", str(pa), str(pb), "--stream"]) == 1
+        assert "DIFFER:" in capsys.readouterr().out
+        assert main(["compare", str(pa), str(pa), "--stream"]) == 0

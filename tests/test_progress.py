@@ -1,0 +1,154 @@
+"""Live fleet progress renderers: transitions, heartbeats, TTY fallback.
+
+The CI-safe :class:`TransitionPrinter` must print exactly one line per
+state transition (heartbeats stay silent); the TTY
+:class:`FleetProgress` must repaint with ANSI cursor movement; and
+:func:`make_progress` must pick the renderer off ``isatty()``.
+"""
+
+import io
+
+from repro.monitor.progress import (
+    FleetProgress,
+    TransitionPrinter,
+    make_progress,
+)
+from repro.monitor.telemetry import make_event
+
+
+class _FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def _lifecycle(name="table2"):
+    h = "abc123"
+    return {
+        "queued": make_event("run_queued", name, h, 1.0),
+        "started": make_event("worker_started", name, h, 1.1, pid=9),
+        "beat": make_event(
+            "heartbeat", name, h, 1.4,
+            events_processed=5000, sim_cycles=120.0, events_per_sec=9e5,
+        ),
+        "retry": make_event(
+            "retry", name, h, 2.0, attempt=1,
+            error="transient", next_attempt=2, backoff_s=0.5,
+        ),
+        "failed": make_event("failed", name, h, 3.0, attempt=2, error="kaboom"),
+        "done": make_event(
+            "completed", name, h, 3.5, elapsed_s=2.4, cached=False
+        ),
+        "cached": make_event("cache_hit", name, h, 3.6, attempt=0),
+    }
+
+
+class TestTransitionPrinter:
+    def test_one_line_per_transition_heartbeats_silent(self):
+        out = io.StringIO()
+        printer = TransitionPrinter(out=out, clock=_FakeClock())
+        events = _lifecycle()
+        for key in ("queued", "started", "beat", "beat", "beat", "done"):
+            printer.handle(events[key])
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 3  # queued, running, done — no beat lines
+        assert "queued" in lines[0]
+        assert "running" in lines[1]
+        assert "done" in lines[2] and "in 2.4s" in lines[2]
+
+    def test_heartbeat_progress_folds_into_next_transition(self):
+        out = io.StringIO()
+        printer = TransitionPrinter(out=out, clock=_FakeClock())
+        events = _lifecycle()
+        for key in ("queued", "started", "beat", "retry"):
+            printer.handle(events[key])
+        last = out.getvalue().splitlines()[-1]
+        assert "retrying" in last
+        assert "5000 events" in last          # last-known progress
+        assert "transient" in last            # the failure reason
+
+    def test_failed_line_carries_error(self):
+        out = io.StringIO()
+        printer = TransitionPrinter(out=out, clock=_FakeClock())
+        events = _lifecycle()
+        for key in ("queued", "started", "failed"):
+            printer.handle(events[key])
+        assert "FAILED: kaboom" in out.getvalue().splitlines()[-1]
+
+    def test_close_prints_summary(self):
+        out = io.StringIO()
+        printer = TransitionPrinter(out=out, clock=_FakeClock())
+        a, b = _lifecycle("table2"), _lifecycle("fig3")
+        for events, end in ((a, "done"), (b, "failed")):
+            printer.handle(events["queued"])
+            printer.handle(events["started"])
+            printer.handle(events[end])
+        printer.close()
+        assert "2 experiments: 1 ok, 1 failed" in out.getvalue()
+
+    def test_cache_hit_counts_as_ok(self):
+        out = io.StringIO()
+        printer = TransitionPrinter(out=out, clock=_FakeClock())
+        printer.handle(_lifecycle()["cached"])
+        printer.close()
+        assert "1 experiments: 1 ok, 0 failed" in out.getvalue()
+
+
+class TestFleetProgress:
+    def test_repaints_with_ansi_on_transitions(self):
+        out = io.StringIO()
+        clock = _FakeClock()
+        progress = FleetProgress(out=out, clock=clock)
+        events = _lifecycle()
+        progress.handle(events["queued"])
+        progress.handle(events["started"])
+        text = out.getvalue()
+        assert "\x1b[2K" in text              # clear-line repaint
+        assert "\x1b[1F" not in text.split("\x1b[2K")[0]
+        assert "experiment" in text           # header row
+        assert "running" in text
+
+    def test_heartbeats_animate_but_rate_limited(self):
+        out = io.StringIO()
+        clock = _FakeClock()
+        progress = FleetProgress(out=out, clock=clock)
+        events = _lifecycle()
+        progress.handle(events["queued"])
+        before = out.getvalue()
+        progress.handle(events["beat"])       # same instant: suppressed
+        assert out.getvalue() == before
+        clock.t += 1.0
+        progress.handle(events["beat"])       # later: repaints with stats
+        assert len(out.getvalue()) > len(before)
+        assert "5,000" in out.getvalue()
+
+    def test_close_leaves_final_table(self):
+        out = io.StringIO()
+        progress = FleetProgress(out=out, clock=_FakeClock())
+        events = _lifecycle()
+        progress.handle(events["queued"])
+        progress.handle(events["started"])
+        progress.handle(events["done"])
+        progress.close()
+        assert "done" in out.getvalue()
+
+
+class TestMakeProgress:
+    def test_pipe_gets_transition_printer(self):
+        # StringIO.isatty() is False: the CI-safe fallback
+        assert type(make_progress(out=io.StringIO())) is TransitionPrinter
+
+    def test_force_tty_gets_fleet_progress(self):
+        assert type(make_progress(out=io.StringIO(), force_tty=True)) \
+            is FleetProgress
+
+    def test_force_no_tty_overrides(self):
+        class _Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        assert type(make_progress(out=_Tty())) is FleetProgress
+        assert type(make_progress(out=_Tty(), force_tty=False)) \
+            is TransitionPrinter
