@@ -18,6 +18,8 @@ Usage::
                                              # every registered experiment
     python -m repro compare A B [--stream] [--threshold T] [--all]
                                              # cross-run differential report
+    python -m repro store verify [--repair] | repair | gc --max-bytes N | stats
+                                             # result-store fsck and retention
     python -m repro trace EXPERIMENT --out trace.json
                                              # Chrome/Perfetto trace
     python -m repro analyze EXPERIMENT [--out spans.json] [--top N] [--stream]
@@ -69,6 +71,13 @@ experiment survives while a hung one dies fast.
 ``--stream`` merged spans documents) metric by metric, using the
 paper's stability metric as the significance threshold, and exits
 non-zero when the runs disagree — a ready-made CI perf gate.
+
+``store`` maintains the sharded crash-safe result store behind
+``run-all --cached``: ``verify`` fscks every entry (checksums, orphan
+temps, stale locks, legacy flat files; exit 1 on inconsistency),
+``repair`` (= ``verify --repair``) quarantines the corrupt and removes
+the debris, ``gc --max-bytes N`` evicts oldest entries to a byte
+budget, and ``stats`` summarizes the tree.
 """
 
 from __future__ import annotations
@@ -417,6 +426,12 @@ def _report(args) -> str:
     return json.dumps(result.report, indent=1)
 
 
+def _store_cmd(args):
+    from repro.store.cli import handle_store
+
+    return handle_store(args)
+
+
 def _compare(args) -> str:
     import json
 
@@ -601,6 +616,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--stream", action="store_true",
                         help="collect through the bounded-memory "
                              "streaming span store")
+
+    from repro.store.cli import add_store_parser
+
+    add_store_parser(sub)
     return parser
 
 
@@ -622,6 +641,7 @@ HANDLERS: Dict[str, Callable] = {
     "analyze": _analyze,
     "report": _report,
     "compare": _compare,
+    "store": _store_cmd,
 }
 
 

@@ -25,8 +25,15 @@ per-experiment wall-clock ``timeout_s`` terminates runaways, failures
 retry up to ``retries`` times with exponential backoff, and whatever
 happens every selected experiment comes back as an
 :class:`ExperimentResult` — failed ones carry ``error`` instead of
-output.  Corrupt or truncated cache entries are a warning and a cache
-miss, never a crash.
+output.
+
+Cache entries live in the sharded, crash-safe
+:class:`~repro.store.ResultStore` (fsync-before-rename commits, unique
+per-writer temp files, advisory per-entry locks), so any number of
+``run-all --jobs N`` processes can share one cache directory.  Every
+read re-verifies the entry's payload checksum; corrupt or truncated
+entries are quarantined with a warning and recomputed, never served
+and never a crash.
 """
 
 from __future__ import annotations
@@ -44,8 +51,12 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.core.config import CedarConfig, DEFAULT_CONFIG
 
 #: bump when renderer output formats change, invalidating old entries.
-#: v5: soak experiment + streaming-observability report mode.
-CACHE_VERSION = 5
+#: v6: entries live in the sharded crash-safe result store
+#: (:mod:`repro.store`); v5 flat entries are re-sharded on first touch.
+CACHE_VERSION = 6
+
+#: the last flat-layout cache version, still transparently readable.
+LEGACY_CACHE_VERSION = 5
 
 #: default on-disk cache location (repo-/cwd-relative).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -324,13 +335,20 @@ def cache_key(
     kwargs: Dict[str, object],
     config: CedarConfig = DEFAULT_CONFIG,
     stream: bool = False,
+    version: int = CACHE_VERSION,
 ) -> str:
-    """Stable cache key: experiment identity + arguments + machine config."""
+    """Stable cache key: experiment identity + arguments + machine config.
+
+    ``version`` defaults to the current :data:`CACHE_VERSION`; pass
+    :data:`LEGACY_CACHE_VERSION` to address the entry a previous
+    release would have written (how flat pre-v6 entries are found and
+    re-sharded on first touch).
+    """
     import hashlib
 
     payload = json.dumps(
         {
-            "version": CACHE_VERSION,
+            "version": version,
             "experiment": name,
             "kwargs": kwargs,
             "config": config.stable_hash(),
@@ -344,45 +362,111 @@ def cache_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _cache_path(cache_dir: Path, name: str, key: str) -> Path:
-    return cache_dir / f"{name}.{key[:16]}.json"
+def _store(cache_dir: Path):
+    from repro.store.core import ResultStore
+
+    return ResultStore(Path(cache_dir))
 
 
-def cache_load_entry(cache_dir: Path, name: str, key: str) -> Optional[Dict]:
-    """The full cache entry (output plus any stored run report).
+def _legacy_flat_path(cache_dir: Path, name: str, legacy_key: str) -> Path:
+    """Where a pre-v6 flat-layout release filed this entry."""
+    return Path(cache_dir) / f"{name}.{legacy_key[:16]}.json"
 
-    A corrupted or truncated entry file — unparseable JSON, a non-object
-    payload, a non-string output — is a cache **miss**: the entry is
-    reported with a warning and the caller recomputes.  A missing file
-    is the ordinary silent miss.
-    """
-    path = _cache_path(cache_dir, name, key)
-    try:
-        text = path.read_text()
-    except FileNotFoundError:
-        return None
-    except OSError as exc:
-        warnings.warn(f"unreadable cache entry {path}: {exc}; recomputing")
-        return None
-    try:
-        entry = json.loads(text)
-    except ValueError as exc:
-        warnings.warn(f"corrupt cache entry {path}: {exc}; recomputing")
-        return None
+
+@dataclass(frozen=True)
+class CacheHit:
+    """A served cache entry plus where/how it was served — what the
+    ``cache_hit`` telemetry event reports."""
+
+    entry: Dict
+    #: shard directory (key prefix) the entry was served from.
+    shard: str
+    #: the entry's payload checksum was present and matched on read.
+    verified: bool
+    #: the entry was a legacy flat file re-sharded on this touch.
+    migrated: bool = False
+
+
+def _entry_shape_ok(entry: Dict, key: str, where: object) -> bool:
+    """The runner-level shape checks (the store already guarantees the
+    bytes are whole; this guards against a sound document holding the
+    wrong kind of value)."""
     if not isinstance(entry, dict):
-        warnings.warn(f"corrupt cache entry {path}: not an object; recomputing")
-        return None
+        warnings.warn(f"corrupt cache entry {where}: not an object; recomputing")
+        return False
     if entry.get("key") != key:
-        return None  # stale entry for another config: ordinary miss
+        return False  # stale entry for another config: ordinary miss
     output = entry.get("output")
     if output is not None and not isinstance(output, str):
-        warnings.warn(f"corrupt cache entry {path}: bad output field; recomputing")
-        return None
+        warnings.warn(f"corrupt cache entry {where}: bad output field; recomputing")
+        return False
     report = entry.get("report")
     if report is not None and not isinstance(report, dict):
-        warnings.warn(f"corrupt cache entry {path}: bad report field; recomputing")
+        warnings.warn(f"corrupt cache entry {where}: bad report field; recomputing")
+        return False
+    return True
+
+
+def cache_lookup(
+    cache_dir: Path,
+    name: str,
+    key: str,
+    legacy_key: Optional[str] = None,
+) -> Optional[CacheHit]:
+    """Look ``key`` up in the sharded store; ``None`` on any miss.
+
+    Corruption at any layer (torn bytes, checksum mismatch, wrong
+    shape) is a warning and a miss — the store quarantines the bad
+    entry and the caller recomputes; nothing here ever crashes a run.
+
+    With ``legacy_key`` (the same lookup hashed at
+    :data:`LEGACY_CACHE_VERSION`) a miss falls back to entries a
+    flat-layout release wrote — either already re-sharded by ``store
+    repair`` or still sitting flat in the cache root — and re-homes
+    them under ``key`` on this first touch, preserving the cached
+    output bit for bit.
+    """
+    store = _store(cache_dir)
+    entry = store.get(key)
+    if entry is not None:
+        if _entry_shape_ok(entry, key, store.entry_path(key)):
+            return CacheHit(entry, shard=key[:2], verified=True)
         return None
-    return entry
+    if legacy_key is None:
+        return None
+    # repair may already have re-sharded the flat file under its v5 key
+    entry = store.get(legacy_key)
+    flat: Optional[Path] = None
+    if entry is None:
+        flat = _legacy_flat_path(cache_dir, name, legacy_key)
+        try:
+            entry = json.loads(flat.read_text())
+        except (OSError, ValueError):
+            return None
+    if not _entry_shape_ok(entry, legacy_key, flat or store.entry_path(legacy_key)):
+        return None
+    entry = dict(entry)
+    entry["key"] = key
+    entry["cache_version"] = CACHE_VERSION
+    try:
+        store.put(key, entry)
+        if flat is not None:
+            flat.unlink()
+    except OSError as exc:
+        warnings.warn(f"legacy cache migration failed for {name}: {exc}")
+    return CacheHit(entry, shard=key[:2], verified=True, migrated=True)
+
+
+def cache_load_entry(
+    cache_dir: Path,
+    name: str,
+    key: str,
+    legacy_key: Optional[str] = None,
+) -> Optional[Dict]:
+    """The full cache entry (output plus any stored run report), served
+    from the sharded store; see :func:`cache_lookup`."""
+    hit = cache_lookup(cache_dir, name, key, legacy_key=legacy_key)
+    return hit.entry if hit is not None else None
 
 
 def cache_load(cache_dir: Path, name: str, key: str) -> Optional[str]:
@@ -400,7 +484,13 @@ def cache_store(
     elapsed: float,
     report: Optional[Dict] = None,
 ) -> None:
-    cache_dir.mkdir(parents=True, exist_ok=True)
+    """Durably commit one cache entry through the sharded store
+    (unique per-writer temp file, fsync-before-rename, advisory entry
+    lock, directory fsync — see :class:`repro.store.ResultStore`).
+
+    A cache-write failure (disk full, permissions) is a warning, never
+    a failed experiment: the result simply stays uncached.
+    """
     entry = {
         "key": key,
         "experiment": name,
@@ -410,12 +500,10 @@ def cache_store(
     }
     if report is not None:
         entry["report"] = report
-    # write-then-rename so a crash mid-write leaves no truncated entry
-    # (a torn entry would otherwise surface as a warning on every read).
-    path = _cache_path(cache_dir, name, key)
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(entry, indent=1))
-    tmp.replace(path)
+    try:
+        _store(cache_dir).put(key, entry)
+    except OSError as exc:
+        warnings.warn(f"cache store failed for {name}: {exc}; result not cached")
 
 
 # ---------------------------------------------------------------------------
@@ -526,7 +614,14 @@ def run_experiment(
     kwargs = exp.arguments(fast)
     key = cache_key(name, kwargs, config, stream=stream)
     if cache_dir is not None:
-        entry = cache_load_entry(cache_dir, name, key)
+        entry = cache_load_entry(
+            cache_dir,
+            name,
+            key,
+            legacy_key=cache_key(
+                name, kwargs, config, stream=stream, version=LEGACY_CACHE_VERSION
+            ),
+        )
         if entry is not None and entry.get("output") is not None:
             report = entry.get("report") if collect_report else None
             if not collect_report or report is not None:
@@ -983,22 +1078,38 @@ def run_all(
         exp = REGISTRY[name]
         kwargs = exp.arguments(fast)
         key = cache_key(name, kwargs, config, stream=stream)
-        entry = (
-            cache_load_entry(cache_dir, name, key) if cache_dir is not None else None
+        hit = (
+            cache_lookup(
+                cache_dir,
+                name,
+                key,
+                legacy_key=cache_key(
+                    name, kwargs, config, stream=stream,
+                    version=LEGACY_CACHE_VERSION,
+                ),
+            )
+            if cache_dir is not None
+            else None
         )
-        hit = entry.get("output") if entry is not None else None
-        report = entry.get("report") if entry is not None else None
-        if hit is not None and (not collect_reports or report is not None):
+        output = hit.entry.get("output") if hit is not None else None
+        report = hit.entry.get("report") if hit is not None else None
+        if output is not None and (not collect_reports or report is not None):
             results[name] = ExperimentResult(
                 name,
                 exp.title,
-                hit,
+                output,
                 0.0,
                 cached=True,
                 report=report if collect_reports else None,
             )
             if emit is not None:
-                emit("cache_hit", name, key=key[:16])
+                emit(
+                    "cache_hit",
+                    name,
+                    key=key[:16],
+                    shard=hit.shard,
+                    verified=hit.verified,
+                )
         else:
             misses.append(name)
             if emit is not None:

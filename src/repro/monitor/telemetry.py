@@ -5,7 +5,7 @@ The per-run observability stack (metrics, spans, sketches) answers
 *fleet* doing right now".  Two primitives:
 
 * **Lifecycle events** — a versioned structured schema
-  (``TELEMETRY_VERSION = 1``) describing every transition an
+  (``TELEMETRY_VERSION``) describing every transition an
   experiment makes through the runner: ``run_queued``,
   ``worker_started``, ``heartbeat``, ``cache_hit``, ``retry``,
   ``failed``, ``completed``.  Every event is stamped with the
@@ -40,7 +40,10 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
 #: lifecycle-event schema version; bump on breaking shape changes.
-TELEMETRY_VERSION = 1
+#: v2: ``cache_hit`` events carry the result store's shard and
+#: checksum-verification outcome, so differential runs can confirm
+#: both sides served verified entries.
+TELEMETRY_VERSION = 2
 
 #: default JSONL sink location (repo-/cwd-relative).
 DEFAULT_TELEMETRY_DIR = ".repro-telemetry"
@@ -66,6 +69,7 @@ REQUIRED_FIELDS = ("v", "type", "experiment", "config_hash", "t_wall", "attempt"
 #: per-type payload fields (beyond the required six).
 TYPE_FIELDS: Dict[str, tuple] = {
     "heartbeat": ("events_processed", "sim_cycles", "events_per_sec"),
+    "cache_hit": ("key", "shard", "verified"),
     "retry": ("error", "next_attempt", "backoff_s"),
     "failed": ("error",),
     "completed": ("elapsed_s", "cached"),

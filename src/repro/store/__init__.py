@@ -1,0 +1,40 @@
+"""repro.store — the sharded, content-addressed, crash-safe result
+store and its chaos-testing harness.
+
+:class:`ResultStore` is the durable layer (see
+:mod:`repro.store.core`); :class:`ChaosFS` and
+:class:`SimulatedCrash` (:mod:`repro.store.chaos`) inject crashes and
+errno faults at every commit point to prove its guarantees; the
+``python -m repro store`` CLI (:mod:`repro.store.cli`) is the
+operator-facing fsck/retention surface.
+"""
+
+from repro.store.chaos import FAULT_POINTS, ChaosFS, SimulatedCrash
+from repro.store.core import (
+    STORE_VERSION,
+    FileLock,
+    GCReport,
+    ResultStore,
+    StoreStats,
+    VerifyIssue,
+    VerifyReport,
+    payload_checksum,
+    shard_of,
+)
+from repro.store.fs import RealFS
+
+__all__ = [
+    "STORE_VERSION",
+    "FAULT_POINTS",
+    "ChaosFS",
+    "FileLock",
+    "GCReport",
+    "RealFS",
+    "ResultStore",
+    "SimulatedCrash",
+    "StoreStats",
+    "VerifyIssue",
+    "VerifyReport",
+    "payload_checksum",
+    "shard_of",
+]

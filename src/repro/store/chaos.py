@@ -1,0 +1,208 @@
+"""ChaosFS: seeded fault injection over the store's filesystem seam.
+
+The store's crash-safety claims are only worth what can be tested, so
+this module makes every commit point breakable on purpose.  ChaosFS
+wraps any :class:`~repro.store.fs.RealFS`-shaped object and injects
+faults at the nine operations the store commits through:
+
+* **torn** — write only a prefix of the bytes, skip the fsync, then
+  die (``SimulatedCrash``): the power-loss-mid-write scenario.
+* **silent_torn** — write a prefix and *return success*: the
+  lost-fsync scenario where the kernel acked bytes that never reached
+  the platter.  Only payload checksums can catch this one.
+* **crash** — die immediately *before* the operation.
+* **crash_after** — perform the operation, then die: e.g. rename
+  published but the directory entry never synced, or a lock file
+  created by a writer that is now gone (the stale-lock scenario).
+* **enospc** / **eacces** — the operation fails with the errno
+  instead of crashing; the caller must clean up and carry on.
+
+``SimulatedCrash`` subclasses ``BaseException`` deliberately: the
+store's cleanup handlers catch ``Exception``, so a simulated crash
+skips them exactly the way ``kill -9`` skips a real process's —
+leaving temp files, lock files, and half-commits on disk for
+``verify --repair`` to face.
+
+Two driving modes, both deterministic:
+
+* **scripted** — ``ChaosFS(fs, script=[("rename", 0, "crash")])``
+  fails the Nth occurrence of an operation with a chosen fault; the
+  chaos suite enumerates every (commit point × fault kind) pair this
+  way.
+* **seeded random** — ``ChaosFS(fs, seed=7, rate=0.2)`` draws faults
+  from a private ``random.Random(seed)``, the same discipline
+  ``repro.faults`` uses for the simulated machine: a given seed always
+  injects the same faults at the same points.
+
+With neither script nor rate the wrapper is inert and just records the
+operation log (``.log``) — how the suite discovers the commit points
+to attack.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.store.fs import RealFS
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death.  BaseException so ``except
+    Exception`` cleanup paths do not run — a crashed process cleans
+    nothing up."""
+
+
+def _die(message: str) -> "SimulatedCrash":
+    """Build the crash *and* model its side effect: a dead process
+    takes its in-memory lock table with it, so any lock file it held
+    becomes exactly as orphaned as a real ``kill -9`` would leave it."""
+    from repro.store.core import _HELD_LOCKS
+
+    _HELD_LOCKS.clear()
+    return SimulatedCrash(message)
+
+
+#: fault kinds meaningful at each operation; the chaos suite iterates
+#: this table to attack every commit point every way it can fail.
+FAULT_POINTS: Dict[str, Tuple[str, ...]] = {
+    "write_bytes": ("torn", "silent_torn", "crash", "enospc", "eacces"),
+    "rename": ("crash", "crash_after"),
+    "fsync_dir": ("crash",),
+    "create_excl": ("crash_after", "eacces"),
+    "unlink": ("crash",),
+    "read_bytes": ("eacces",),
+}
+
+
+class ChaosFS:
+    """A fault-injecting wrapper over the store's filesystem seam.
+
+    Parameters
+    ----------
+    inner:
+        The filesystem to wrap (default: a fresh :class:`RealFS`).
+    script:
+        Iterable of ``(op, nth, kind)`` triples: inject ``kind`` on the
+        ``nth`` (0-based) occurrence of ``op``.  Exhausted entries are
+        recorded in ``injected``.
+    seed, rate:
+        Random mode: at every fault-capable operation draw from a
+        private ``random.Random(seed)`` and with probability ``rate``
+        inject a uniformly chosen applicable kind.
+    """
+
+    def __init__(
+        self,
+        inner=None,
+        script: Optional[Iterable[Tuple[str, int, str]]] = None,
+        seed: Optional[int] = None,
+        rate: float = 0.0,
+    ) -> None:
+        self.inner = inner if inner is not None else RealFS()
+        self._script: Dict[Tuple[str, int], str] = {}
+        for op, nth, kind in script or ():
+            if op not in FAULT_POINTS:
+                raise ValueError(f"unknown chaos operation {op!r}")
+            if kind not in FAULT_POINTS[op]:
+                raise ValueError(f"fault {kind!r} not applicable to {op!r}")
+            self._script[(op, nth)] = kind
+        self._rng = random.Random(seed) if seed is not None else None
+        self._rate = rate
+        #: per-op occurrence counters.
+        self.counts: Dict[str, int] = {}
+        #: every operation seen: (op, path) in order.
+        self.log: List[Tuple[str, str]] = []
+        #: every fault injected: (op, nth, kind, path).
+        self.injected: List[Tuple[str, int, str, str]] = []
+
+    # -- fault decision ----------------------------------------------------
+
+    def _fault(self, op: str, path: Path) -> Optional[str]:
+        nth = self.counts.get(op, 0)
+        self.counts[op] = nth + 1
+        self.log.append((op, str(path)))
+        kind = self._script.pop((op, nth), None)
+        if kind is None and self._rng is not None and self._rate > 0.0:
+            if self._rng.random() < self._rate:
+                kind = self._rng.choice(FAULT_POINTS[op])
+        if kind is not None:
+            self.injected.append((op, nth, kind, str(path)))
+        return kind
+
+    @staticmethod
+    def _errno(kind: str, path: Path) -> OSError:
+        if kind == "enospc":
+            return OSError(
+                errno.ENOSPC, "No space left on device (injected)", str(path)
+            )
+        return PermissionError(
+            errno.EACCES, "Permission denied (injected)", str(path)
+        )
+
+    # -- the wrapped surface -----------------------------------------------
+
+    def read_bytes(self, path: Path) -> bytes:
+        kind = self._fault("read_bytes", path)
+        if kind == "eacces":
+            raise self._errno(kind, path)
+        return self.inner.read_bytes(path)
+
+    def write_bytes(self, path: Path, data: bytes, fsync: bool = True) -> None:
+        kind = self._fault("write_bytes", path)
+        if kind == "crash":
+            raise _die(f"crash before write of {path}")
+        if kind in ("enospc", "eacces"):
+            raise self._errno(kind, path)
+        if kind in ("torn", "silent_torn"):
+            # a prefix reaches disk, the fsync never happens
+            torn = data[: max(1, len(data) // 2)]
+            self.inner.write_bytes(path, torn, fsync=False)
+            if kind == "torn":
+                raise _die(f"crash mid-write of {path}")
+            return  # silent_torn: the caller believes the write landed
+        self.inner.write_bytes(path, data, fsync=fsync)
+
+    def rename(self, src: Path, dst: Path) -> None:
+        kind = self._fault("rename", src)
+        if kind == "crash":
+            raise _die(f"crash before rename of {src}")
+        self.inner.rename(src, dst)
+        if kind == "crash_after":
+            raise _die(f"crash after rename to {dst}")
+
+    def fsync_dir(self, path: Path) -> None:
+        kind = self._fault("fsync_dir", path)
+        if kind == "crash":
+            raise _die(f"crash before dir fsync of {path}")
+        self.inner.fsync_dir(path)
+
+    def create_excl(self, path: Path, data: bytes) -> None:
+        kind = self._fault("create_excl", path)
+        if kind == "eacces":
+            raise self._errno(kind, path)
+        self.inner.create_excl(path, data)
+        if kind == "crash_after":
+            raise _die(f"crash holding lock {path}")
+
+    def unlink(self, path: Path) -> None:
+        kind = self._fault("unlink", path)
+        if kind == "crash":
+            raise _die(f"crash before unlink of {path}")
+        self.inner.unlink(path)
+
+    # -- pass-throughs (no interesting failure modes) ----------------------
+
+    def mkdir(self, path: Path) -> None:
+        self.inner.mkdir(path)
+
+    def listdir(self, path: Path) -> List[str]:
+        return self.inner.listdir(path)
+
+    def exists(self, path: Path) -> bool:
+        return self.inner.exists(path)
+
+    def stat(self, path: Path):
+        return self.inner.stat(path)

@@ -1,0 +1,89 @@
+"""The narrow filesystem surface the result store commits through.
+
+Every byte the store moves goes through one of these nine operations,
+so a single seam covers all of its I/O: :class:`RealFS` is the durable
+production implementation (fsync discipline included), and
+:class:`~repro.store.chaos.ChaosFS` wraps any implementation to inject
+crashes and errno faults at exactly these points.
+
+The operations are deliberately *commit-protocol shaped* rather than
+POSIX-shaped — ``write_bytes`` is open+write+flush+fsync as one unit,
+``create_excl`` is the O_CREAT|O_EXCL lock-file primitive — because
+the interesting fault points are between protocol steps, not between
+syscalls.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+
+class RealFS:
+    """Production filesystem: every operation is as durable as the
+    platform allows.
+
+    ``write_bytes`` fsyncs the file before returning (so a rename that
+    follows publishes *synced* bytes, never page-cache-only bytes that
+    a power loss could tear), and ``fsync_dir`` makes a completed
+    rename itself durable by syncing the containing directory entry.
+    """
+
+    def read_bytes(self, path: Path) -> bytes:
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def write_bytes(self, path: Path, data: bytes, fsync: bool = True) -> None:
+        with open(path, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+
+    def rename(self, src: Path, dst: Path) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: Path) -> None:
+        # directory fsync is best-effort where the platform lacks it
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def create_excl(self, path: Path, data: bytes) -> None:
+        """Atomically create ``path`` with ``data``; raises
+        ``FileExistsError`` when it already exists (the lock-file
+        primitive)."""
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def unlink(self, path: Path) -> None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+    def mkdir(self, path: Path) -> None:
+        Path(path).mkdir(parents=True, exist_ok=True)
+
+    def listdir(self, path: Path) -> List[str]:
+        try:
+            return sorted(os.listdir(path))
+        except FileNotFoundError:
+            return []
+
+    def exists(self, path: Path) -> bool:
+        return os.path.lexists(path)
+
+    def stat(self, path: Path) -> os.stat_result:
+        return os.stat(path)

@@ -202,3 +202,72 @@ class TestObservabilityCommands:
         err = capsys.readouterr().err
         assert "telemetry events ->" in err
         assert "[fleet]" in err  # the no-TTY transition lines
+
+
+class TestStoreCLI:
+    def _populate(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        keys = ["ab" + "cd" * 31, "ef" + "01" * 31]
+        for key in keys:
+            store.put(key, {"key": key, "output": "x" * 64})
+        return store, keys
+
+    def test_store_parser_subcommands(self):
+        args = build_parser().parse_args(["store", "verify", "--repair"])
+        assert args.command == "store" and args.store_command == "verify"
+        assert args.repair and args.dir is None
+        args = build_parser().parse_args(
+            ["store", "gc", "--max-bytes", "1024", "--dir", "d"]
+        )
+        assert args.store_command == "gc"
+        assert args.max_bytes == 1024 and args.dir == "d"
+
+    def test_store_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_missing_store_root_is_a_one_line_error(self, capsys, tmp_path):
+        missing = tmp_path / "nowhere"
+        assert main(["store", "stats", "--dir", str(missing)]) == 1
+        assert capsys.readouterr().err.startswith("error: no result store")
+
+    def test_stats_summarizes_tree(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main(["store", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries      2" in out and "quarantined  0" in out
+
+    def test_verify_clean_store_exits_zero(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main(["store", "verify", "--dir", str(tmp_path)]) == 0
+        assert "2 entries, 2 ok, 0 issue(s)" in capsys.readouterr().out
+
+    def test_verify_reports_corruption_and_repair_heals(
+        self, capsys, tmp_path
+    ):
+        store, keys = self._populate(tmp_path)
+        store.entry_path(keys[0]).write_text("{torn")
+        # report-only pass: inconsistency -> exit 1, nothing touched
+        assert main(["store", "verify", "--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "1 issue(s), 0 repaired" in out and "unparseable" in out
+        assert store.entry_path(keys[0]).exists()
+        # repair quarantines the corrupt entry; verify is clean after
+        assert main(["store", "repair", "--dir", str(tmp_path)]) == 0
+        assert "1 repaired" in capsys.readouterr().out
+        assert not store.entry_path(keys[0]).exists()
+        assert list((tmp_path / "quarantine").iterdir())
+        assert main(["store", "verify", "--dir", str(tmp_path)]) == 0
+
+    def test_gc_evicts_to_budget(self, capsys, tmp_path):
+        store, keys = self._populate(tmp_path)
+        size = store.stats().total_bytes
+        assert main(
+            ["store", "gc", "--max-bytes", str(size // 2),
+             "--dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kept 1" in out and "evicted 1" in out
+        assert store.stats().entries == 1

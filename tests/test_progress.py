@@ -41,7 +41,10 @@ def _lifecycle(name="table2"):
         "done": make_event(
             "completed", name, h, 3.5, elapsed_s=2.4, cached=False
         ),
-        "cached": make_event("cache_hit", name, h, 3.6, attempt=0),
+        "cached": make_event(
+            "cache_hit", name, h, 3.6, attempt=0,
+            key="abcdef0123456789", shard="ab", verified=True,
+        ),
     }
 
 

@@ -91,12 +91,21 @@ class TestCacheStore:
         cache_store(tmp_path, "topology", key, "rendered text", 1.5)
         assert cache_load(tmp_path, "topology", key) == "rendered text"
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_entries_live_in_the_sharded_store(self, tmp_path):
+        from repro.store import ResultStore
+
         key = cache_key("topology", {})
         cache_store(tmp_path, "topology", key, "text", 0.0)
-        for path in tmp_path.iterdir():
-            path.write_text("{not json")
-        with pytest.warns(UserWarning, match="corrupt cache entry"):
+        path = ResultStore(tmp_path).entry_path(key)
+        assert path.is_file() and path.parent.name == key[:2]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        from repro.store import ResultStore
+
+        key = cache_key("topology", {})
+        cache_store(tmp_path, "topology", key, "text", 0.0)
+        ResultStore(tmp_path).entry_path(key).write_text("{not json")
+        with pytest.warns(UserWarning, match="corrupt store entry"):
             assert cache_load(tmp_path, "topology", key) is None
 
 

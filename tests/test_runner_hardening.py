@@ -148,21 +148,26 @@ class TestRetries:
         assert result.attempts == 2 and marker.read_text() == "2"
 
 
+def _entry_path(cache_dir, key):
+    from repro.store import ResultStore
+
+    return ResultStore(cache_dir).entry_path(key)
+
+
 class TestCacheHardening:
     def test_truncated_entry_warns_and_misses(self, tmp_path):
         key = cache_key("topology", {})
         cache_store(tmp_path, "topology", key, "text", 0.0)
-        (entry_path,) = tmp_path.iterdir()
-        entry_path.write_text('{"truncated')
-        with pytest.warns(UserWarning, match="corrupt cache entry"):
+        _entry_path(tmp_path, key).write_text('{"truncated')
+        with pytest.warns(UserWarning, match="corrupt store entry"):
             assert cache_load_entry(tmp_path, "topology", key) is None
 
     def test_wrong_shape_entry_warns_and_misses(self, tmp_path):
         key = cache_key("topology", {})
         cache_store(tmp_path, "topology", key, "text", 0.0)
-        (entry_path,) = tmp_path.iterdir()
-        entry_path.write_text("[1, 2, 3]")  # valid JSON, not an entry
-        with pytest.warns(UserWarning, match="corrupt cache entry"):
+        # valid JSON, not an entry document
+        _entry_path(tmp_path, key).write_text("[1, 2, 3]")
+        with pytest.warns(UserWarning, match="corrupt store entry"):
             assert cache_load_entry(tmp_path, "topology", key) is None
 
     def test_missing_entry_is_a_silent_miss(self, tmp_path):
@@ -171,18 +176,50 @@ class TestCacheHardening:
 
     def test_corrupt_entry_is_recomputed_and_healed(self, tmp_path):
         run_experiment("topology", cache_dir=tmp_path)
-        (entry_path,) = tmp_path.iterdir()
-        entry_path.write_text("{not json")
-        with pytest.warns(UserWarning, match="corrupt cache entry"):
+        key = cache_key("topology", {})
+        _entry_path(tmp_path, key).write_text("{not json")
+        with pytest.warns(UserWarning, match="corrupt store entry"):
             recomputed = run_experiment("topology", cache_dir=tmp_path)
         assert not recomputed.cached and "Cedar" in recomputed.output
+        # the corrupt original was quarantined, not destroyed
+        assert list((tmp_path / "quarantine").iterdir())
         healed = run_experiment("topology", cache_dir=tmp_path)
         assert healed.cached and healed.output == recomputed.output
 
     def test_store_is_atomic(self, tmp_path):
         key = cache_key("topology", {})
         cache_store(tmp_path, "topology", key, "text", 0.0)
-        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert not list(tmp_path.rglob("*.lock"))
+
+    def test_legacy_flat_entry_resharded_on_first_touch(self, tmp_path):
+        import json
+
+        from repro.experiments.runner import (
+            CACHE_VERSION,
+            LEGACY_CACHE_VERSION,
+            cache_lookup,
+        )
+
+        legacy_key = cache_key("topology", {}, version=LEGACY_CACHE_VERSION)
+        flat = tmp_path / f"topology.{legacy_key[:16]}.json"
+        flat.write_text(json.dumps({
+            "key": legacy_key,
+            "experiment": "topology",
+            "output": "legacy rendered text",
+            "elapsed_s": 1.0,
+            "cache_version": LEGACY_CACHE_VERSION,
+        }))
+        key = cache_key("topology", {})
+        hit = cache_lookup(tmp_path, "topology", key, legacy_key=legacy_key)
+        assert hit is not None and hit.migrated and hit.verified
+        assert hit.entry["output"] == "legacy rendered text"
+        assert hit.entry["cache_version"] == CACHE_VERSION
+        assert not flat.exists()  # re-homed into the sharded store
+        # second touch serves straight from the shard, bit-identical
+        again = cache_lookup(tmp_path, "topology", key, legacy_key=legacy_key)
+        assert not again.migrated
+        assert again.entry["output"] == "legacy rendered text"
 
 
 class TestHardenedCLI:

@@ -1,0 +1,135 @@
+"""Multi-process store access: N processes hammering one store with
+mixed read/write/verify traffic — no corruption, no lost entries, no
+spurious recomputes — plus the runner-level guarantee that concurrent
+``run-all --jobs N`` against one shared store is bit-identical to a
+serial run."""
+
+import json
+import multiprocessing
+import random
+
+from repro.experiments.runner import run_all
+from repro.store import ResultStore
+
+N_PROCS = 4
+N_KEYS = 8
+OPS_PER_PROC = 40
+
+
+def _keyspace():
+    return [f"{i:02x}" + f"{i:02x}" * 31 for i in range(N_KEYS)]
+
+
+def _payload(key):
+    # deterministic payload per key, so every process writes the same
+    # logical value and any served read is checkable
+    return {"key": key, "body": key[::-1] * 4}
+
+
+def _hammer(root, seed, fail_q):
+    """One worker: a seeded mix of put / get / verify against the
+    shared store.  Any violation is reported back, not raised (a raise
+    in a child is invisible to asserts in the parent)."""
+    import warnings
+
+    rng = random.Random(seed)
+    keys = _keyspace()
+    store = ResultStore(root, lock_timeout_s=10.0)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any corruption warning fails
+            for _ in range(OPS_PER_PROC):
+                key = rng.choice(keys)
+                op = rng.random()
+                if op < 0.45:
+                    store.put(key, _payload(key))
+                elif op < 0.9:
+                    got = store.get(key)
+                    if got is not None and got != _payload(key):
+                        fail_q.put(f"wrong payload served for {key[:8]}")
+                else:
+                    report = store.verify(repair=False)
+                    bad = [
+                        i for i in report.issues
+                        if i.kind not in ("stale-lock",)  # never expected live
+                    ]
+                    if bad:
+                        fail_q.put(f"verify issues under load: {bad}")
+    except Exception as exc:  # noqa: BLE001 - ship it to the parent
+        fail_q.put(f"worker {seed} raised {type(exc).__name__}: {exc}")
+
+
+class TestMultiProcessHammer:
+    def test_hammer_leaves_a_consistent_fully_served_store(self, tmp_path):
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        fail_q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_hammer, args=(tmp_path, seed, fail_q))
+            for seed in range(N_PROCS)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+        failures = []
+        while not fail_q.empty():
+            failures.append(fail_q.get())
+        assert failures == []
+        assert all(p.exitcode == 0 for p in procs)
+
+        store = ResultStore(tmp_path)
+        # no corruption and no debris anywhere
+        report = store.verify(repair=False)
+        assert report.consistent, report.issues
+        # no lost entries: every key every process wrote reads back
+        # verified, with the one deterministic payload
+        assert store.keys() == sorted(_keyspace())
+        for key in _keyspace():
+            assert store.get(key) == _payload(key)
+        stats = store.stats()
+        assert stats.entries == N_KEYS
+        assert stats.temps == 0 and stats.locks == 0 and stats.quarantined == 0
+
+    def test_no_spurious_recomputes_after_hammer(self, tmp_path):
+        """A populated store serves every key as a verified hit — the
+        hammer must not leave entries that read as misses."""
+        store = ResultStore(tmp_path)
+        for key in _keyspace():
+            store.put(key, _payload(key))
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a recompute path would warn
+            for key in _keyspace():
+                assert store.get(key) == _payload(key)
+
+
+class TestConcurrentRunAllBitIdentical:
+    NAMES = ["topology", "overheads", "multiprogramming"]
+
+    def test_jobs4_shared_store_matches_serial(self, tmp_path):
+        serial = run_all(names=self.NAMES)
+        shared = tmp_path / "shared-store"
+        parallel = run_all(names=self.NAMES, jobs=4, cache_dir=shared)
+        assert [r.output for r in parallel] == [r.output for r in serial]
+        # the shared store is consistent and replays bit-identically
+        assert ResultStore(shared).verify().consistent
+        replay = run_all(names=self.NAMES, jobs=4, cache_dir=shared)
+        assert all(r.cached for r in replay)
+        assert [r.output for r in replay] == [r.output for r in serial]
+
+    def test_two_caching_fleets_one_store(self, tmp_path):
+        """Two parallel fleets racing into one store: same outputs, one
+        consistent store, all second-fleet results served or recomputed
+        identically."""
+        shared = tmp_path / "store"
+        a = run_all(names=self.NAMES, jobs=2, cache_dir=shared)
+        b = run_all(names=self.NAMES, jobs=2, cache_dir=shared)
+        assert [r.output for r in a] == [r.output for r in b]
+        assert all(r.cached for r in b)
+        report = ResultStore(shared).verify()
+        assert report.consistent, report.issues

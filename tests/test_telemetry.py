@@ -38,7 +38,10 @@ def _valid_stream():
             "retry", "table2", "abc123", 2.0, attempt=1,
             error="transient", next_attempt=2, backoff_s=0.5,
         ),
-        make_event("cache_hit", "fig3", "abc123", 2.1, attempt=0),
+        make_event(
+            "cache_hit", "fig3", "abc123", 2.1, attempt=0,
+            key="abcdef0123456789", shard="ab", verified=True,
+        ),
         make_event("failed", "table2", "abc123", 3.0, attempt=2, error="kaboom"),
         make_event(
             "completed", "fig3", "abc123", 3.5, elapsed_s=2.4, cached=False
@@ -87,6 +90,7 @@ class TestSchema:
         "type_, missing",
         [
             ("heartbeat", "events_processed"),
+            ("cache_hit", "verified"),
             ("retry", "backoff_s"),
             ("failed", "error"),
             ("completed", "cached"),
