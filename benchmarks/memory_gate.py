@@ -2,12 +2,16 @@
 
 Runs the registered soak flood twice under :mod:`tracemalloc` — once at
 the small request count, once at 10x–∞ that — with the streaming span
-store attached, and fails if the large run's peak allocation exceeds
+store attached **and a metric timeline sampling at the default
+interval**, and fails if the large run's peak allocation exceeds
 ``RATIO`` times the small run's.  A buffered collector retains one span
 per request, so its peak scales linearly and trips the gate immediately;
 the streaming store folds each request into sketch state of constant
-size, so both peaks are dominated by the machine itself and the ratio
-stays near 1.
+size, and the timeline coalesces intervals by powers of two, so both
+peaks are dominated by the machine itself and the ratio stays near 1.
+The timeline rides inside the measured window on purpose: a regression
+that made interval storage grow with run length would trip this gate,
+not just slow the chart down.
 
 A short untraced warmup run is taken first so one-time allocations
 (imports, the packet pool, code caches) are paid before either
@@ -38,17 +42,21 @@ WARMUP = 2_000
 
 def measured_soak(requests: int, seed: int = 7):
     """One streaming soak flood under tracemalloc; returns the
-    :class:`~repro.experiments.soak.SoakResult` and the peak traced
-    allocation in bytes."""
+    :class:`~repro.experiments.soak.SoakResult`, the peak traced
+    allocation in bytes, and the timeline document sampled during the
+    run (its interval count must stay bounded at any run length)."""
     from repro.experiments.soak import run_soak
+    from repro.monitor.timeline import TimelineRecorder
 
     tracemalloc.start()
     try:
-        result = run_soak(requests=requests, seed=seed, stream=True)
+        with TimelineRecorder() as recorder:
+            result = run_soak(requests=requests, seed=seed, stream=True)
+        (timeline,) = recorder.documents()
         _current, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
-    return result, peak
+    return result, peak, timeline
 
 
 def main(argv=None) -> int:
@@ -69,15 +77,20 @@ def main(argv=None) -> int:
 
     run_soak(requests=WARMUP, stream=True)  # pay one-time allocations
 
+    from repro.monitor.timeline import MAX_INTERVALS, validate_timeline
+
     failures = []
     peaks = {}
     for label, requests in (("small", small_n), ("large", large_n)):
-        result, peak = measured_soak(requests)
+        result, peak, timeline = measured_soak(requests)
         peaks[label] = peak
         print(
             f"memory-gate: {label} run {requests:,} requests -> "
             f"{result.traced:,} traced, peak {peak / 1e6:.1f} MB, "
-            f"{result.footprint_items:,} resident traced items"
+            f"{result.footprint_items:,} resident traced items, "
+            f"{timeline['intervals']} timeline intervals x "
+            f"{timeline['interval_cycles']:g} cycles "
+            f"({timeline['coalesces']} coalesces)"
         )
         if result.aborted:
             failures.append(f"{label} run aborted (watchdog)")
@@ -85,6 +98,13 @@ def main(argv=None) -> int:
             failures.append(
                 f"{label} run traced only {result.traced:,} of "
                 f"{requests:,} requests"
+            )
+        validate_timeline(timeline)
+        if not 0 < timeline["intervals"] <= MAX_INTERVALS:
+            failures.append(
+                f"{label} run timeline holds {timeline['intervals']} "
+                f"intervals (bound {MAX_INTERVALS}): coalescing is not "
+                f"keeping interval storage flat"
             )
 
     ratio = peaks["large"] / peaks["small"]
@@ -101,7 +121,10 @@ def main(argv=None) -> int:
     for failure in failures:
         print(f"memory-gate: FAIL: {failure}")
     if not failures:
-        print("memory-gate: OK (streaming observability is flat in requests)")
+        print(
+            "memory-gate: OK (streaming observability and timeline "
+            "sampling are flat in requests)"
+        )
     return 1 if failures else 0
 
 

@@ -12,12 +12,13 @@ shared CI runners are noisy; this guards against order-of-magnitude
 regressions (an accidentally-hot monitoring path, a lost fast path),
 not percent-level drift.
 
-Part two runs a small whole-machine kernel simulation in three modes —
-bare, with a full :class:`~repro.monitor.spans.SpanCollector`, and with
-a 1-in-16 :class:`~repro.monitor.sampling.SampledSpanCollector` — and
-appends one trajectory point (bare events/sec plus full and sampled
-span-collection overhead percentages) to ``BENCH_sim.json`` at the
-repository root.  Each mode takes the **median of 3 timed runs after a
+Part two runs a small whole-machine kernel simulation in four modes —
+bare, with a full :class:`~repro.monitor.spans.SpanCollector`, with
+a 1-in-16 :class:`~repro.monitor.sampling.SampledSpanCollector`, and
+with a :class:`~repro.monitor.timeline.MetricTimeline` sampling at the
+default 64-cycle interval — and appends one trajectory point (bare
+events/sec plus full-span, sampled-span and timeline overhead
+percentages) to ``BENCH_sim.json`` at the repository root.  Each mode takes the **median of 3 timed runs after a
 warmup iteration**, so a point reflects steady-state throughput rather
 than first-run noise (imports, packet-pool warm-up).  All modes must
 report *identical* simulated cycles (the zero-cost contract); a
@@ -44,6 +45,14 @@ BENCH_SIM_JSON = pathlib.Path(__file__).parent.parent / "BENCH_sim.json"
 #: trajectory length cap: drop the oldest points past this.
 SIM_HISTORY = 200
 
+#: top-level description written into ``BENCH_sim.json`` — refreshed on
+#: every append so the file's self-description tracks the point schema.
+BENCH_SIM_DESCRIPTION = (
+    "simulator perf trajectory: one point per perf-smoke run (bare "
+    "events/sec; full, 1-in-N sampled and timeline collection overhead "
+    "%; peak span-tracing bytes)"
+)
+
 #: a smoke run on a noisy shared runner may be this much slower than the
 #: archived baseline before we call it a regression.
 TOLERANCE = 3.0
@@ -51,6 +60,10 @@ TOLERANCE = 3.0
 #: perf-gate band (``--gate``): the new bare rate may be at most this
 #: much slower than the previous trajectory point before the gate fails.
 SIM_GATE_TOLERANCE = 1.5
+
+#: perf-gate ceiling (``--gate``) on timeline-sampling overhead at the
+#: default interval — the time-resolved view must stay near-free.
+TIMELINE_GATE_PCT = 5.0
 
 EVENTS = 20_000
 CHAINS = 64
@@ -102,11 +115,18 @@ def peak_tracing_bytes() -> int:
     return max(peaks["spans"] - peaks["bare"], 0)
 
 
+#: timeline sampling interval measured alongside span collection (the
+#: :data:`repro.monitor.timeline.DEFAULT_INTERVAL_CYCLES` default).
+SIM_TIMELINE_INTERVAL = 64.0
+
+
 def sim_measurement(mode="bare"):
     """One whole-machine kernel run; returns (sim cycles, events/sec,
     requests traced).  ``mode`` is ``"bare"`` (no collector),
-    ``"spans"`` (full :class:`SpanCollector`) or ``"sampled"``
-    (1-in-``SIM_SAMPLE_EVERY`` :class:`SampledSpanCollector`)."""
+    ``"spans"`` (full :class:`SpanCollector`), ``"sampled"``
+    (1-in-``SIM_SAMPLE_EVERY`` :class:`SampledSpanCollector`) or
+    ``"timeline"`` (a :class:`MetricTimeline` riding the engine pulse
+    at the default interval — the bus stays quiescent)."""
     from repro.core.config import CedarConfig
     from repro.core.machine import CedarMachine
     from repro.kernels.programs import KERNELS, kernel_program
@@ -114,12 +134,22 @@ def sim_measurement(mode="bare"):
     from repro.monitor.spans import SpanCollector
 
     machine = CedarMachine(CedarConfig())
+    timeline = None
     if mode == "spans":
         collector = SpanCollector().attach(machine.bus)
     elif mode == "sampled":
         collector = SampledSpanCollector(every=SIM_SAMPLE_EVERY).attach(
             machine.bus
         )
+    elif mode == "timeline":
+        from repro.monitor.timeline import MetricTimeline, machine_probes
+
+        collector = None
+        timeline = MetricTimeline(
+            machine_probes(machine.ctx),
+            interval_cycles=SIM_TIMELINE_INTERVAL,
+        )
+        machine.engine.attach_pulse(timeline.pulse)
     else:
         collector = None
     programs = {
@@ -131,6 +161,12 @@ def sim_measurement(mode="bare"):
     traced = collector.completed if collector is not None else 0
     if collector is not None:
         collector.detach()
+    if timeline is not None:
+        machine.engine.detach_pulse()
+        timeline.finalize(machine.engine.now)
+        if timeline.intervals == 0:
+            raise RuntimeError("timeline mode sampled no intervals")
+        traced = timeline.intervals
     return cycles, float(metrics["events_per_sec"]), traced
 
 
@@ -169,11 +205,16 @@ def append_sim_point() -> dict:
     from the bare run's (a zero-cost violation).
     """
     sim_measurement("bare")  # warmup: imports, packet pool, code caches
-    medians = _median_rates(("bare", "spans", "sampled"))
+    medians = _median_rates(("bare", "spans", "sampled", "timeline"))
     bare = medians["bare"]
     traced = medians["spans"]
     sampled = medians["sampled"]
-    for label, run in (("spans", traced), ("sampled", sampled)):
+    timeline = medians["timeline"]
+    for label, run in (
+        ("spans", traced),
+        ("sampled", sampled),
+        ("timeline", timeline),
+    ):
         if run[0] != bare[0]:
             raise RuntimeError(
                 f"{label} collection changed simulated cycles: "
@@ -182,6 +223,9 @@ def append_sim_point() -> dict:
     overhead = (bare[1] / traced[1] - 1.0) * 100.0 if traced[1] else 0.0
     sampled_overhead = (
         (bare[1] / sampled[1] - 1.0) * 100.0 if sampled[1] else 0.0
+    )
+    timeline_overhead = (
+        (bare[1] / timeline[1] - 1.0) * 100.0 if timeline[1] else 0.0
     )
     point = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -193,6 +237,9 @@ def append_sim_point() -> dict:
         "events_per_sec_sampled": round(sampled[1], 1),
         "sampled_every": SIM_SAMPLE_EVERY,
         "sampled_overhead_pct": round(sampled_overhead, 1),
+        "events_per_sec_timeline": round(timeline[1], 1),
+        "timeline_interval": SIM_TIMELINE_INTERVAL,
+        "timeline_overhead_pct": round(timeline_overhead, 1),
         "requests_traced": traced[2],
         # measured untimed, after the timed reps, so tracemalloc's
         # dispatch cost never touches the throughput numbers above
@@ -201,12 +248,8 @@ def append_sim_point() -> dict:
     try:
         doc = json.loads(BENCH_SIM_JSON.read_text())
     except (OSError, ValueError):
-        doc = {
-            "description": "simulator perf trajectory: one point per "
-            "perf-smoke run (bare events/sec and span-collection "
-            "overhead %)",
-            "points": [],
-        }
+        doc = {"description": BENCH_SIM_DESCRIPTION, "points": []}
+    doc["description"] = BENCH_SIM_DESCRIPTION
     doc["points"] = (doc.get("points", []) + [point])[-SIM_HISTORY:]
     BENCH_SIM_JSON.write_text(json.dumps(doc, indent=1) + "\n")
     return point
@@ -225,7 +268,9 @@ def gate_against(previous, point) -> list:
     """Perf-gate checks for CI (``--gate``): the new point must stay
     within :data:`SIM_GATE_TOLERANCE` of the previous trajectory point's
     bare rate (shared runners are noisy — this catches structural
-    regressions, not percent drift).  Returns failure messages."""
+    regressions, not percent drift), and timeline sampling at the
+    default interval must cost at most :data:`TIMELINE_GATE_PCT` of
+    bare throughput.  Returns failure messages."""
     failures = []
     if previous is not None:
         floor = float(previous["events_per_sec"]) / SIM_GATE_TOLERANCE
@@ -236,6 +281,14 @@ def gate_against(previous, point) -> list:
                 f"{previous['events_per_sec']:,.0f} / "
                 f"{SIM_GATE_TOLERANCE}x tolerance)"
             )
+    if point.get("timeline_overhead_pct", 0.0) > TIMELINE_GATE_PCT:
+        failures.append(
+            f"timeline sampling overhead "
+            f"{point['timeline_overhead_pct']:+.1f}% exceeds the "
+            f"{TIMELINE_GATE_PCT:.0f}% ceiling at the default "
+            f"{point.get('timeline_interval', SIM_TIMELINE_INTERVAL):g}-cycle "
+            f"interval"
+        )
     # zero-cost cycle divergence already raises inside append_sim_point.
     return failures
 
@@ -249,7 +302,9 @@ def main(argv=None) -> int:
         f"perf-smoke: sim {point['events_per_sec']:,.0f} events/s, "
         f"span overhead {point['span_overhead_pct']:+.1f}% full / "
         f"{point['sampled_overhead_pct']:+.1f}% sampled 1/"
-        f"{point['sampled_every']} "
+        f"{point['sampled_every']}, timeline overhead "
+        f"{point['timeline_overhead_pct']:+.1f}% at "
+        f"{point['timeline_interval']:g} cycles "
         f"({point['requests_traced']} requests traced) -> {BENCH_SIM_JSON.name}"
     )
     if gate:
@@ -260,7 +315,8 @@ def main(argv=None) -> int:
             return 1
         print(
             f"perf-gate: OK (within {SIM_GATE_TOLERANCE}x of last point, "
-            f"cycles identical across bare/spans/sampled)"
+            f"timeline overhead <= {TIMELINE_GATE_PCT:.0f}%, cycles "
+            f"identical across bare/spans/sampled/timeline)"
         )
     try:
         baseline = json.loads(BENCH_JSON.read_text())

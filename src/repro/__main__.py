@@ -20,11 +20,15 @@ Usage::
                                              # cross-run differential report
     python -m repro store verify [--repair] | repair | gc --max-bytes N | stats
                                              # result-store fsck and retention
-    python -m repro trace EXPERIMENT --out trace.json
+    python -m repro trace EXPERIMENT --out trace.json [--timeline [N]]
                                              # Chrome/Perfetto trace
     python -m repro analyze EXPERIMENT [--out spans.json] [--top N] [--stream]
                                              # request-latency analysis
-    python -m repro report [EXPERIMENT] [--stream]
+    python -m repro timeline EXPERIMENT [--interval N] [--out t.json]
+                                             # interval metric timelines
+    python -m repro profile EXPERIMENT [--top N] [--out p.json]
+                                             # host wall-clock hotspots
+    python -m repro report [EXPERIMENT] [--stream] [--interval N]
                                              # structured run reports
 
 ``--fast`` shrinks the cycle-level simulations to smoke size.
@@ -51,6 +55,18 @@ https://ui.perfetto.dev or ``chrome://tracing``.
 attached, prints the request-latency decomposition (per-phase and
 per-stage tables, percentiles, bottleneck attribution, slowest-request
 waterfalls), and with ``--out`` writes the stitched spans as JSON.
+
+``timeline`` re-runs one experiment with a
+:class:`~repro.monitor.timeline.MetricTimeline` riding each machine's
+engine pulse, prints per-series sparkline timelines (events, link
+busy cycles, queue depths, memory occupancy, fault rates per
+interval), and with ``--out`` writes the timeline document(s) as JSON.
+``trace --timeline`` folds the same series into the Chrome trace as
+Perfetto counter tracks.
+
+``profile`` runs one experiment under cProfile and attributes host
+wall-clock self-time to Cedar subsystems (engine / network / gmemory /
+monitor / ...), naming the frames that hold the events/sec plateau.
 
 ``report`` with an experiment name runs it instrumented and prints its
 RunReport JSON; with no name it aggregates the report directory into a
@@ -285,6 +301,11 @@ def _trace(args) -> str:
         machines["n"] += 1
         tracer.attach(ctx.bus, scope=scope)
 
+    recorder = None
+    if getattr(args, "timeline", None) is not None:
+        from repro.monitor.timeline import TimelineRecorder
+
+        recorder = TimelineRecorder(interval_cycles=args.timeline).install()
     clear_memoized_runs()  # memoized runs would build no machines
     observer = add_context_observer(_observe)
     try:
@@ -292,13 +313,78 @@ def _trace(args) -> str:
     finally:
         remove_context_observer(observer)
         tracer.detach()
+        if recorder is not None:
+            recorder.uninstall()
+    counter_note = ""
+    if recorder is not None:
+        docs = recorder.documents()
+        for i, doc in enumerate(docs):
+            tracer.ingest_timeline(doc, scope=f"m{i}:" if i else "")
+        n_series = sum(len(d.get("series", {})) for d in docs)
+        counter_note = f", {n_series} timeline counter track(s)"
     n_events, n_tracks = validate_chrome_trace(tracer.trace())
     tracer.write(args.out)
     return (
         f"wrote {args.out}: {n_events} events on {n_tracks} tracks from "
-        f"{machines['n']} machine(s), {tracer.dropped} dropped\n"
+        f"{machines['n']} machine(s), {tracer.dropped} dropped{counter_note}\n"
         f"open in https://ui.perfetto.dev or chrome://tracing"
     )
+
+
+def _timeline(args) -> str:
+    import json
+
+    from repro.experiments.runner import clear_memoized_runs, experiment
+    from repro.monitor.analysis import timeline_report
+    from repro.monitor.timeline import TimelineRecorder, validate_timeline
+
+    exp = experiment(args.experiment)
+    clear_memoized_runs()  # memoized runs would build no machines
+    with TimelineRecorder(interval_cycles=args.interval) as recorder:
+        exp.runner(**exp.arguments(args.fast))
+    docs = recorder.documents()
+    if not docs:
+        raise SystemExit(
+            f"experiment {args.experiment!r} built no machines to sample"
+        )
+    sections = []
+    for i, doc in enumerate(docs):
+        body = timeline_report(doc)
+        sections.append(f"[machine {i}]\n{body}" if len(docs) > 1 else body)
+    if args.out:
+        n_series = n_intervals = 0
+        for doc in docs:
+            ns, ni = validate_timeline(doc)
+            n_series += ns
+            n_intervals += ni
+        bundle = docs[0] if len(docs) == 1 else {"machines": docs}
+        with open(args.out, "w") as fh:
+            json.dump(bundle, fh)
+        sections.append(
+            f"wrote {args.out}: {n_series} series over {n_intervals} "
+            f"interval(s) from {len(docs)} machine(s)"
+        )
+    return "\n\n".join(sections)
+
+
+def _profile(args) -> str:
+    import json
+
+    from repro.experiments.runner import clear_memoized_runs, experiment
+    from repro.monitor.profiler import profile_call, render_profile
+
+    exp = experiment(args.experiment)
+    kwargs = exp.arguments(args.fast)
+    clear_memoized_runs()  # profile the simulation, not a memo replay
+    profile, _output = profile_call(
+        lambda: exp.runner(**kwargs), experiment=args.experiment, top=args.top
+    )
+    sections = [render_profile(profile)]
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(profile.to_dict(), fh, indent=1)
+        sections.append(f"wrote {args.out}")
+    return "\n\n".join(sections)
 
 
 def _analyze(args) -> str:
@@ -421,7 +507,7 @@ def _report(args) -> str:
 
     result = run_experiment(
         args.experiment, fast=args.fast, collect_report=True,
-        stream=args.stream,
+        stream=args.stream, timeline=args.interval,
     )
     return json.dumps(result.report, indent=1)
 
@@ -564,6 +650,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path (default trace.json)")
     trace.add_argument("--fast", action="store_true",
                        help="smoke-size cycle simulations")
+    trace.add_argument("--timeline", type=float, nargs="?", const=64.0,
+                       default=None, metavar="CYCLES",
+                       help="also record interval metric timelines and "
+                            "fold them in as Perfetto counter tracks "
+                            "(sampling interval in simulated cycles, "
+                            "default 64)")
+
+    timeline_cmd = sub.add_parser(
+        "timeline",
+        help="run one experiment with interval metric sampling and "
+             "print sparkline timelines",
+    )
+    timeline_cmd.add_argument("experiment", help="registered experiment name")
+    timeline_cmd.add_argument("--interval", type=float, default=64.0,
+                              metavar="CYCLES",
+                              help="sampling interval in simulated cycles "
+                                   "(default 64; intervals coalesce by "
+                                   "powers of two on long runs)")
+    timeline_cmd.add_argument("--out", default=None, metavar="TIMELINE_JSON",
+                              help="also write the timeline document(s) "
+                                   "as JSON")
+    timeline_cmd.add_argument("--fast", action="store_true",
+                              help="smoke-size cycle simulations")
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run one experiment under cProfile and attribute host "
+             "time to subsystems",
+    )
+    profile_cmd.add_argument("experiment", help="registered experiment name")
+    profile_cmd.add_argument("--top", type=int, default=15,
+                             help="hottest frames to show (default 15)")
+    profile_cmd.add_argument("--out", default=None, metavar="PROFILE_JSON",
+                             help="also write the profile document as JSON")
+    profile_cmd.add_argument("--fast", action="store_true",
+                             help="smoke-size cycle simulations")
 
     analyze = sub.add_parser(
         "analyze",
@@ -616,6 +738,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--stream", action="store_true",
                         help="collect through the bounded-memory "
                              "streaming span store")
+    report.add_argument("--interval", type=float, default=None,
+                        metavar="CYCLES",
+                        help="also collect interval metric timelines at "
+                             "this sampling width (adds a timeline "
+                             "section per machine record)")
 
     from repro.store.cli import add_store_parser
 
@@ -638,6 +765,8 @@ HANDLERS: Dict[str, Callable] = {
     "all": _all,
     "run-all": _run_all,
     "trace": _trace,
+    "timeline": _timeline,
+    "profile": _profile,
     "analyze": _analyze,
     "report": _report,
     "compare": _compare,

@@ -335,6 +335,7 @@ def cache_key(
     kwargs: Dict[str, object],
     config: CedarConfig = DEFAULT_CONFIG,
     stream: bool = False,
+    timeline: Optional[float] = None,
     version: int = CACHE_VERSION,
 ) -> str:
     """Stable cache key: experiment identity + arguments + machine config.
@@ -346,19 +347,22 @@ def cache_key(
     """
     import hashlib
 
-    payload = json.dumps(
-        {
-            "version": version,
-            "experiment": name,
-            "kwargs": kwargs,
-            "config": config.stable_hash(),
-            # streaming report collection changes the stored report's
-            # shape, so streamed and buffered entries must not collide
-            "stream": stream,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    material = {
+        "version": version,
+        "experiment": name,
+        "kwargs": kwargs,
+        "config": config.stable_hash(),
+        # streaming report collection changes the stored report's
+        # shape, so streamed and buffered entries must not collide
+        "stream": stream,
+    }
+    # timeline collection adds per-machine sections to the stored
+    # report; the key only materializes when sampling is on, so every
+    # key written before timelines existed stays addressable bit for
+    # bit (no cache-version bump, no stampede of recomputes).
+    if timeline:
+        material["timeline"] = timeline
+    payload = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -555,7 +559,10 @@ def _execute(name: str, kwargs: Dict[str, object]) -> str:
 
 
 def _execute_with_report(
-    name: str, kwargs: Dict[str, object], stream: bool = False
+    name: str,
+    kwargs: Dict[str, object],
+    stream: bool = False,
+    timeline: Optional[float] = None,
 ) -> tuple:
     """Worker entry point for instrumented runs.
 
@@ -567,13 +574,14 @@ def _execute_with_report(
     window — a worker process may have warm memo entries from an
     earlier experiment.  ``stream`` selects bounded-memory streaming
     span collection (sketch-backed latency summaries) instead of the
-    buffered collector.
+    buffered collector; ``timeline`` (an interval in simulated cycles)
+    adds interval-sampled metric timelines to each machine record.
     """
     from repro.monitor.report import ReportCollector
 
     clear_memoized_runs()
     start = time.perf_counter()
-    with ReportCollector(stream=stream) as collector:
+    with ReportCollector(stream=stream, timeline=timeline) as collector:
         output = REGISTRY[name].runner(**kwargs)
     return output, collector.machine_dicts(), time.perf_counter() - start
 
@@ -604,22 +612,28 @@ def run_experiment(
     config: CedarConfig = DEFAULT_CONFIG,
     collect_report: bool = False,
     stream: bool = False,
+    timeline: Optional[float] = None,
 ) -> ExperimentResult:
     """Run (or replay from cache) a single registered experiment.
 
     ``stream`` (with ``collect_report``) collects the per-machine
-    latency summary through the bounded-memory streaming store.
+    latency summary through the bounded-memory streaming store;
+    ``timeline`` (an interval in simulated cycles, with
+    ``collect_report``) adds interval-sampled metric timelines to each
+    machine record.  Both are part of the cache key, so instrumented
+    and bare entries never collide.
     """
     exp = experiment(name)
     kwargs = exp.arguments(fast)
-    key = cache_key(name, kwargs, config, stream=stream)
+    key = cache_key(name, kwargs, config, stream=stream, timeline=timeline)
     if cache_dir is not None:
         entry = cache_load_entry(
             cache_dir,
             name,
             key,
             legacy_key=cache_key(
-                name, kwargs, config, stream=stream, version=LEGACY_CACHE_VERSION
+                name, kwargs, config, stream=stream, timeline=timeline,
+                version=LEGACY_CACHE_VERSION,
             ),
         )
         if entry is not None and entry.get("output") is not None:
@@ -632,7 +646,7 @@ def run_experiment(
     start = time.perf_counter()
     if collect_report:
         output, machines, elapsed = _execute_with_report(
-            name, kwargs, stream=stream
+            name, kwargs, stream=stream, timeline=timeline
         )
         report = _build_report(name, kwargs, elapsed, False, machines)
     else:

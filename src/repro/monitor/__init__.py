@@ -21,7 +21,12 @@ On top of the probe hardware sits the machine-wide observability stack:
 * :class:`ChromeTracer` — whole-run Chrome/Perfetto trace export
   (``python -m repro trace <experiment> --out trace.json``);
 * :class:`RunReport` / :class:`ReportCollector` — structured per-run
-  reports (``python -m repro run-all`` / ``python -m repro report``).
+  reports (``python -m repro run-all`` / ``python -m repro report``);
+* :class:`MetricTimeline` / :class:`TimelineRecorder` — time-resolved
+  interval metric series riding the engine pulse, with bounded memory
+  via power-of-two coalescing (``python -m repro timeline``);
+* :mod:`repro.monitor.profiler` — host wall-clock profiling with
+  per-subsystem frame attribution (``python -m repro profile``).
 
 Everything subscribes through the zero-cost :class:`SignalBus`; an
 unmonitored machine pays one guarded branch per would-be emission and
@@ -86,10 +91,23 @@ _EXPORTS = {
     "FleetProgress": "repro.monitor.progress",
     "TransitionPrinter": "repro.monitor.progress",
     "make_progress": "repro.monitor.progress",
+    "check_section_parity": "repro.monitor.compare",
     "compare_reports": "repro.monitor.compare",
     "compare_streaming_docs": "repro.monitor.compare",
     "load_reports": "repro.monitor.compare",
     "render_compare": "repro.monitor.compare",
+    "DEFAULT_INTERVAL_CYCLES": "repro.monitor.timeline",
+    "MAX_INTERVALS": "repro.monitor.timeline",
+    "MetricTimeline": "repro.monitor.timeline",
+    "SeriesProbe": "repro.monitor.timeline",
+    "TIMELINE_VERSION": "repro.monitor.timeline",
+    "TimelineRecorder": "repro.monitor.timeline",
+    "machine_probes": "repro.monitor.timeline",
+    "validate_timeline": "repro.monitor.timeline",
+    "validate_timeline_file": "repro.monitor.timeline",
+    "HostProfile": "repro.monitor.profiler",
+    "profile_call": "repro.monitor.profiler",
+    "render_profile": "repro.monitor.profiler",
 }
 
 
@@ -115,7 +133,19 @@ def __dir__():
 
 
 __all__ = [
+    "DEFAULT_INTERVAL_CYCLES",
     "DEFAULT_TELEMETRY_DIR",
+    "HostProfile",
+    "MAX_INTERVALS",
+    "MetricTimeline",
+    "SeriesProbe",
+    "TIMELINE_VERSION",
+    "TimelineRecorder",
+    "machine_probes",
+    "profile_call",
+    "render_profile",
+    "validate_timeline",
+    "validate_timeline_file",
     "FleetProgress",
     "FleetTelemetry",
     "HeartbeatEmitter",
@@ -123,6 +153,7 @@ __all__ = [
     "TELEMETRY_VERSION",
     "TelemetrySink",
     "TransitionPrinter",
+    "check_section_parity",
     "compare_reports",
     "compare_streaming_docs",
     "load_reports",

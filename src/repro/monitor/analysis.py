@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.machine import CedarMachine
 from repro.monitor.spans import LatencyAnalysis, PHASES, RequestSpan
 from repro.network.resource import Resource
-from repro.util.ascii_chart import line_chart
+from repro.util.ascii_chart import line_chart, sparkline
 from repro.util.tables import Table
 
 
@@ -136,6 +136,52 @@ def stage_heat_strip(machine: CedarMachine, elapsed: Optional[float] = None) -> 
         cells.append(_SHADES[min(len(_SHADES) - 1, int(u * len(_SHADES)))])
     lines.append(f"gm     |{''.join(cells)}|")
     lines.append("        utilization shade: ' '=idle .. '@'=saturated")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# timeline rendering (the `repro timeline` output)
+
+
+def timeline_report(doc: Dict, width: int = 64) -> str:
+    """Sparkline view of one timeline document
+    (:meth:`~repro.monitor.timeline.MetricTimeline.to_dict`): one row
+    per series, per-interval values as density shades, so the question
+    "when did the network saturate / the queues back up?" is answered
+    by scanning a column of the terminal.  Flat all-zero series are
+    summarized in one count line instead of printed — a quiet fault
+    injector shouldn't cost thirty blank rows."""
+    edges = doc.get("edges", [])
+    if not edges:
+        return "timeline: no intervals sampled (run shorter than one interval?)"
+    header = (
+        f"timeline: {doc.get('intervals', len(edges))} intervals x "
+        f"{doc.get('interval_cycles', 0.0):g} cycles"
+        f" (sampled at {doc.get('initial_interval_cycles', 0.0):g}, "
+        f"{doc.get('coalesces', 0)} coalesce(s)), "
+        f"0..{edges[-1]:g} cycles"
+    )
+    name_width = max(
+        (len(name) for name in doc.get("series", {})), default=0
+    )
+    lines = [header, ""]
+    flat = 0
+    for name, entry in sorted(doc.get("series", {}).items()):
+        values = entry.get("values", [])
+        if not any(values):
+            flat += 1
+            continue
+        peak = max(values)
+        spark = sparkline(values, width=width, lo=0.0, hi=peak)
+        lines.append(
+            f"  {name:<{name_width}} |{spark}| "
+            f"peak {peak:g} ({entry.get('kind', '?')})"
+        )
+    if flat:
+        lines.append(f"  ({flat} all-zero series not shown)")
+    lines.append(
+        "  shade: ' '=0 .. '@'=series peak; each cell is one interval"
+    )
     return "\n".join(lines)
 
 

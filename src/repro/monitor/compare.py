@@ -9,7 +9,8 @@ per-metric and per-quantile deltas.
 
 Only *deterministic simulated* quantities are diffed (simulated
 cycles, engine event counts, traced-request counts, latency means and
-quantiles): two identical-seed runs produce exactly zero deltas, so
+quantiles, per-interval timeline values): two identical-seed runs
+produce exactly zero deltas, so
 the comparison is a seedable CI gate, while wall-clock fields
 (elapsed seconds, realized events/sec) are reported nowhere — they
 differ run to run by construction.
@@ -131,6 +132,35 @@ def load_reports(path) -> Dict[str, Dict]:
 # report comparison
 
 
+def _timeline_rows(machine: Dict, prefix: str) -> Dict[str, float]:
+    """The windowed timeline metrics of one machine record: one row per
+    series per interval (``m0.timeline[net.fwd.s1.busy].i004``), so a
+    regression is localized to *which interval* moved, not just that
+    the run's totals drifted.  Interval geometry rows catch the
+    structural drift case (different widths stop the per-interval rows
+    from meaning the same window)."""
+    rows: Dict[str, float] = {}
+    timeline = machine.get("timeline")
+    if not isinstance(timeline, dict):
+        return rows
+    rows[f"{prefix}timeline.intervals"] = float(timeline.get("intervals", 0))
+    rows[f"{prefix}timeline.interval_cycles"] = float(
+        timeline.get("interval_cycles", 0.0)
+    )
+    series = timeline.get("series")
+    if not isinstance(series, dict):
+        return rows
+    for name, entry in sorted(series.items()):
+        values = entry.get("values") if isinstance(entry, dict) else None
+        if not isinstance(values, list):
+            continue
+        base = f"{prefix}timeline[{name}].i"
+        for k, value in enumerate(values):
+            if isinstance(value, (int, float)):
+                rows[f"{base}{k:03d}"] = float(value)
+    return rows
+
+
 def _latency_rows(machine: Dict, prefix: str) -> Dict[str, float]:
     """The deterministic latency metrics of one machine record."""
     rows: Dict[str, float] = {}
@@ -166,7 +196,42 @@ def report_metrics(report: Dict) -> Dict[str, float]:
         if isinstance(events, (int, float)):
             rows[f"{prefix}events_processed"] = float(events)
         rows.update(_latency_rows(machine, prefix))
+        rows.update(_timeline_rows(machine, prefix))
     return rows
+
+
+def _has_section(reports: Dict[str, Dict], section: str) -> bool:
+    """Whether any machine record in ``reports`` carries ``section``."""
+    return any(
+        isinstance(machine.get(section), dict) and machine.get(section)
+        for doc in reports.values()
+        for machine in doc.get("machines", [])
+        if isinstance(machine, dict)
+    )
+
+
+def check_section_parity(
+    a_reports: Dict[str, Dict], b_reports: Dict[str, Dict]
+) -> None:
+    """Raise ``ValueError`` when exactly one report set carries a
+    ``latency`` or ``timeline`` section: the sets were collected with
+    different options, so every shared metric in that section would
+    diff against a fabricated 0.0 — a wall of false regressions, not a
+    comparison.  Coverage differences (an experiment present on one
+    side only) are *not* parity errors; they stay flagged in the
+    differential report."""
+    for section, remedy in (
+        ("latency", "collect both sides the same way (run-all --reports)"),
+        ("timeline", "re-run both sides with the same --interval sampling"),
+    ):
+        a_has = _has_section(a_reports, section)
+        b_has = _has_section(b_reports, section)
+        if a_has != b_has:
+            missing = "B" if a_has else "A"
+            raise ValueError(
+                f"report set {missing} has no {section} sections but the "
+                f"other set does; {remedy}"
+            )
 
 
 def compare_reports(
@@ -174,7 +239,13 @@ def compare_reports(
     b_reports: Dict[str, Dict],
     threshold: float = DEFAULT_STABILITY_THRESHOLD,
 ) -> CompareResult:
-    """Diff two report sets (experiment name -> RunReport dict)."""
+    """Diff two report sets (experiment name -> RunReport dict).
+
+    Raises ``ValueError`` (via :func:`check_section_parity`) when one
+    set carries latency/timeline sections and the other has none — the
+    CLI surfaces that as its standard one-line ``error:`` instead of a
+    spurious wall of zero-vs-nonzero deltas."""
+    check_section_parity(a_reports, b_reports)
     result = CompareResult(threshold=threshold)
     result.only_a = sorted(set(a_reports) - set(b_reports))
     result.only_b = sorted(set(b_reports) - set(a_reports))

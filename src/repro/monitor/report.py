@@ -29,7 +29,10 @@ from repro.monitor.spans import LatencyAnalysis, SpanCollector
 #: report format version (bump on breaking shape changes).
 #: v3: streaming collection mode — the per-machine ``latency`` summary
 #: may carry ``"mode": "streaming"`` plus serialized sketch state.
-REPORT_VERSION = 3
+#: v4: time-resolved collection — per-machine records may carry a
+#: ``timeline`` section (:meth:`MetricTimeline.to_dict`); readers must
+#: tolerate its absence (timelines are opt-in).
+REPORT_VERSION = 4
 
 #: default on-disk report location (repo-/cwd-relative), one JSON per
 #: artifact, written by ``python -m repro run-all``.
@@ -50,7 +53,12 @@ class ReportCollector:
     #: CLI's: reports want the decomposition, not every exemplar).
     SPAN_CAP = 100_000
 
-    def __init__(self, collect_spans: bool = True, stream: bool = False) -> None:
+    def __init__(
+        self,
+        collect_spans: bool = True,
+        stream: bool = False,
+        timeline: Optional[float] = None,
+    ) -> None:
         self._records: List[tuple] = []
         self._observer = None
         self.collect_spans = collect_spans
@@ -59,6 +67,12 @@ class ReportCollector:
         #: machine instead of the buffered collector — same signals,
         #: sketch-backed latency summary, no request cap to hit.
         self.stream = stream
+        #: time-resolved collection: a sampling interval in simulated
+        #: cycles arms a :class:`~repro.monitor.timeline.MetricTimeline`
+        #: per machine (riding the engine pulse) and adds a ``timeline``
+        #: section to each machine record.  ``None`` (the default)
+        #: collects nothing and leaves the engine pulse unused.
+        self.timeline = timeline
 
     # -- installation ------------------------------------------------------
 
@@ -77,10 +91,12 @@ class ReportCollector:
         if self._observer is not None:
             remove_context_observer(self._observer)
             self._observer = None
-        for _ctx, _registry, monitors, spans in self._records:
+        for ctx, _registry, monitors, spans, timeline in self._records:
             detach_monitors(monitors)
             if spans is not None:
                 spans.detach()
+            if timeline is not None:
+                ctx.engine.detach_pulse()
 
     def __enter__(self) -> "ReportCollector":
         return self.install()
@@ -101,7 +117,19 @@ class ReportCollector:
                 ).attach(ctx.bus)
             else:
                 spans = SpanCollector(max_requests=self.SPAN_CAP).attach(ctx.bus)
-        self._records.append((ctx, registry, monitors, spans))
+        timeline = None
+        if self.timeline is not None:
+            from repro.monitor.timeline import MetricTimeline, machine_probes
+
+            # probes resolve lazily at the first pulse — the machine's
+            # components don't exist yet when the observer fires.
+            timeline = MetricTimeline(
+                lambda: machine_probes(ctx),
+                interval_cycles=self.timeline,
+                registry=registry,
+            )
+            ctx.engine.attach_pulse(timeline.pulse)
+        self._records.append((ctx, registry, monitors, spans, timeline))
 
     # -- results -----------------------------------------------------------
 
@@ -112,7 +140,7 @@ class ReportCollector:
     def machine_dicts(self) -> List[Dict[str, object]]:
         """One JSON-ready record per machine built during collection."""
         out = []
-        for ctx, registry, _monitors, spans in self._records:
+        for ctx, registry, _monitors, spans, timeline in self._records:
             engine = ctx.engine
             record = {
                 "config_hash": ctx.config.stable_hash(),
@@ -121,6 +149,9 @@ class ReportCollector:
                 "engine": engine.self_metrics(),
                 "metrics": registry.snapshot(now=engine.now),
             }
+            if timeline is not None:
+                timeline.finalize(engine.now)
+                record["timeline"] = timeline.to_dict()
             if spans is not None:
                 if self.stream:
                     from repro.monitor.streamstore import (
@@ -269,4 +300,33 @@ def render_report_summary(reports: List[Dict[str, object]]) -> str:
         f"{summary['total_engine_events']} engine events "
         f"({summary['aggregate_events_per_sec']:.0f} events/s inside run loops)",
     ]
+    sparks = _timeline_sparks(reports)
+    if sparks:
+        lines.extend(["", *sparks])
     return "\n".join(lines)
+
+
+def _timeline_sparks(reports: List[Dict[str, object]]) -> List[str]:
+    """One engine-event sparkline per machine record carrying a
+    timeline section — the time-resolved row of the report summary."""
+    from repro.util.ascii_chart import sparkline
+
+    lines: List[str] = []
+    for report in sorted(reports, key=lambda r: str(r.get("experiment", ""))):
+        for i, machine in enumerate(report.get("machines", [])):
+            timeline = machine.get("timeline")
+            if not isinstance(timeline, dict):
+                continue
+            series = timeline.get("series", {}).get("engine.events", {})
+            values = series.get("values", [])
+            if not values:
+                continue
+            lines.append(
+                f"{report.get('experiment', '?')}[m{i}] events/interval "
+                f"|{sparkline(values, width=48, lo=0.0)}| "
+                f"{timeline.get('intervals', 0)} x "
+                f"{timeline.get('interval_cycles', 0.0):g} cycles"
+            )
+    if lines:
+        lines.insert(0, "timelines (engine events per interval):")
+    return lines

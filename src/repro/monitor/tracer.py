@@ -130,6 +130,8 @@ class ChromeTracer:
       arm/request/deliver/suspend and CE completion.
     * ``cluster`` process: complete events on cache / cluster-memory
       accesses.
+    * ``timeline`` process (via :meth:`ingest_timeline`): one counter
+      ("C") track per interval-sampled metric series.
 
     Signals only observe, so an attached tracer never changes cycle
     counts — only wall-clock speed.
@@ -477,6 +479,51 @@ class ChromeTracer:
                 )
         return self
 
+    # -- post-hoc timeline ingestion ---------------------------------------
+
+    def ingest_timeline(self, doc: dict, scope: str = "") -> "ChromeTracer":
+        """Render a :meth:`MetricTimeline.to_dict
+        <repro.monitor.timeline.MetricTimeline.to_dict>` document as
+        Perfetto counter tracks — one "C"-phase track per series under
+        a ``timeline`` process, one sample per interval edge.
+
+        ``delta`` series plot both the per-interval total (``value``)
+        and its per-cycle rate (``per_cycle``, total divided by the
+        actual interval span — intervals widen after coalescing);
+        ``gauge`` series plot the edge reading alone.  Counters are
+        anchored with a zero at ts 0 so the first interval renders as a
+        step, not a ramp from nowhere.
+
+        Counter samples bypass the capacity cap: the cap protects
+        against unbounded *live* event streams, and a coalesced
+        timeline is bounded by construction (``max_intervals`` per
+        series) — dropping it because the live run was busy would lose
+        exactly the overview the counters exist to give.
+        """
+        edges = doc.get("edges", [])
+        for name, entry in sorted(doc.get("series", {}).items()):
+            pid, _tid = self._track(scope, "timeline", name)
+            kind = entry.get("kind")
+            anchor = {"value": 0.0}
+            if kind == "delta":
+                anchor["per_cycle"] = 0.0
+            self.events.append({
+                "name": name, "cat": "timeline", "ph": "C",
+                "ts": 0.0, "pid": pid, "args": anchor,
+            })
+            prev = 0.0
+            for edge, value in zip(edges, entry.get("values", [])):
+                args = {"value": value}
+                if kind == "delta":
+                    span = edge - prev
+                    args["per_cycle"] = value / span if span > 0 else 0.0
+                prev = edge
+                self.events.append({
+                    "name": name, "cat": "timeline", "ph": "C",
+                    "ts": edge, "pid": pid, "args": args,
+                })
+        return self
+
     # -- export ------------------------------------------------------------
 
     def trace(self) -> dict:
@@ -557,6 +604,15 @@ def validate_chrome_trace(trace: dict) -> Tuple[int, int]:
             raise ValueError(f"non-metadata event missing ts: {event!r}")
         if phase == "X" and "dur" not in event:
             raise ValueError(f"complete event missing dur: {event!r}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"counter event missing args: {event!r}")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)) or value != value:
+                    raise ValueError(
+                        f"counter event arg {key!r} is not numeric: {event!r}"
+                    )
         n_events += 1
         tracks.add((event["pid"], event.get("tid", 0)))
     return n_events, len(tracks)

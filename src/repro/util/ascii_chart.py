@@ -10,6 +10,50 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
+#: density ramp for single-row sparklines, lightest to darkest.
+SPARK_SHADES = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One row of density shades for ``values`` — the timeline view
+    that fits in a table cell.
+
+    Scaling is min..max by default (or the explicit ``lo``/``hi``
+    bounds); a flat series renders as all-lightest so "nothing
+    happened" and "something happened uniformly" are distinguishable
+    by the caller printing the range alongside.  With ``width`` set,
+    longer series are folded by bucket-maximum — peaks survive
+    downsampling, which is what hotspot scanning needs.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        folded = []
+        for b in range(width):
+            start = b * len(vals) // width
+            end = max(start + 1, (b + 1) * len(vals) // width)
+            folded.append(max(vals[start:end]))
+        vals = folded
+    floor = min(vals) if lo is None else lo
+    ceil = max(vals) if hi is None else hi
+    span = ceil - floor
+    if span <= 0:
+        return SPARK_SHADES[0] * len(vals)
+    top = len(SPARK_SHADES) - 1
+    return "".join(
+        SPARK_SHADES[
+            max(0, min(top, round((v - floor) / span * top)))
+        ]
+        for v in vals
+    )
+
+
 def line_chart(
     series: Dict[str, Sequence[Tuple[float, float]]],
     width: int = 64,

@@ -57,6 +57,40 @@ class TestParser:
         )
         assert args.no_reports and args.report_dir == "r"
 
+    def test_timeline_arguments(self):
+        args = build_parser().parse_args(
+            ["timeline", "table2", "--interval", "32", "--out", "t.json"]
+        )
+        assert args.command == "timeline" and args.experiment == "table2"
+        assert args.interval == 32.0 and args.out == "t.json"
+        args = build_parser().parse_args(["timeline", "characterization"])
+        assert args.interval == 64.0 and args.out is None
+
+    def test_profile_arguments(self):
+        args = build_parser().parse_args(
+            ["profile", "table2", "--top", "7", "--out", "p.json"]
+        )
+        assert args.command == "profile" and args.experiment == "table2"
+        assert args.top == 7 and args.out == "p.json"
+
+    def test_trace_timeline_flag(self):
+        args = build_parser().parse_args(["trace", "table2", "--timeline"])
+        assert args.timeline == 64.0  # bare flag takes the default width
+        args = build_parser().parse_args(
+            ["trace", "table2", "--timeline", "128"]
+        )
+        assert args.timeline == 128.0
+        args = build_parser().parse_args(["trace", "table2"])
+        assert args.timeline is None
+
+    def test_report_interval_flag(self):
+        args = build_parser().parse_args(
+            ["report", "table2", "--interval", "32"]
+        )
+        assert args.interval == 32.0
+        args = build_parser().parse_args(["report", "table2"])
+        assert args.interval is None
+
 
 class TestExecution:
     def test_topology_output(self, capsys):
@@ -179,6 +213,66 @@ class TestObservabilityCommands:
         assert main(["report", "table2", "--dir", str(tmp_path)]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["experiment"] == "table2"
+
+    def test_timeline_prints_sparklines_and_writes_document(
+        self, capsys, tmp_path
+    ):
+        from repro.monitor.timeline import validate_timeline_file
+
+        out = tmp_path / "timeline.json"
+        assert main(
+            ["timeline", "characterization", "--interval", "64",
+             "--out", str(out)]
+        ) == 0
+        n_series, n_intervals = validate_timeline_file(out)
+        assert n_series > 2 and n_intervals > 0
+        stdout = capsys.readouterr().out
+        assert "timeline:" in stdout and "intervals" in stdout
+        assert str(out) in stdout
+
+    def test_timeline_unknown_experiment_rejected(self, capsys):
+        assert main(["timeline", "not-an-experiment"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not-an-experiment" in err
+
+    def test_trace_timeline_adds_counter_tracks(self, capsys, tmp_path):
+        from repro.monitor.tracer import validate_chrome_trace_file
+
+        out = tmp_path / "trace.json"
+        assert main(
+            ["trace", "characterization", "--timeline", "--out", str(out)]
+        ) == 0
+        n_events, n_tracks = validate_chrome_trace_file(out)
+        assert n_events > 0
+        stdout = capsys.readouterr().out
+        assert "timeline counter track(s)" in stdout
+        import json as _json
+
+        with open(out) as fh:
+            events = _json.load(fh)["traceEvents"]
+        counters = [e for e in events if e.get("ph") == "C"]
+        assert counters and all("args" in e for e in counters)
+
+    def test_profile_prints_subsystem_shares(self, capsys, tmp_path):
+        import json as _json
+
+        out = tmp_path / "profile.json"
+        assert main(
+            ["profile", "characterization", "--top", "5",
+             "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "host profile" in stdout
+        assert "subsystem self-time shares" in stdout
+        assert "hottest frames" in stdout
+        doc = _json.loads(out.read_text())
+        assert doc["experiment"] == "characterization"
+        assert doc["subsystem_shares"] and len(doc["frames"]) <= 5
+
+    def test_profile_unknown_experiment_rejected(self, capsys):
+        assert main(["profile", "not-an-experiment"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not-an-experiment" in err
 
     def test_run_all_telemetry_flags_parse(self):
         args = build_parser().parse_args(

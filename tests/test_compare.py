@@ -15,6 +15,7 @@ from repro.monitor.compare import (
     DEFAULT_STABILITY_THRESHOLD,
     CompareResult,
     Delta,
+    check_section_parity,
     compare_reports,
     compare_streaming_docs,
     load_reports,
@@ -23,6 +24,21 @@ from repro.monitor.compare import (
     report_metrics,
 )
 from repro.monitor.sketch import QuantileSketch
+
+
+def _timeline(values=(10.0, 20.0, 30.0)):
+    return {
+        "version": 1,
+        "interval_cycles": 64.0,
+        "initial_interval_cycles": 64.0,
+        "max_intervals": 512,
+        "coalesces": 0,
+        "intervals": len(values),
+        "edges": [64.0 * (i + 1) for i in range(len(values))],
+        "series": {
+            "engine.events": {"kind": "delta", "values": list(values)},
+        },
+    }
 
 
 def _report(name="table2", cycles=1859.0, p99=42.0):
@@ -115,6 +131,59 @@ class TestCompareReports:
         result = compare_reports(a, b)
         assert not result.ok
         assert result.only_a == ["fig3"] and result.only_b == []
+
+
+def _timeline_report(name="table2", values=(10.0, 20.0, 30.0)):
+    report = _report(name)
+    report["machines"][0]["timeline"] = _timeline(values)
+    return report
+
+
+class TestTimelineDiffs:
+    def test_per_interval_rows_flattened(self):
+        rows = report_metrics(_timeline_report())
+        assert rows["m0.timeline.intervals"] == 3.0
+        assert rows["m0.timeline.interval_cycles"] == 64.0
+        assert rows["m0.timeline[engine.events].i001"] == 20.0
+
+    def test_regressed_interval_is_localized(self):
+        """A shift in one window flags that window's row — the diff
+        names *which interval* moved, not just that the run did."""
+        a = {"t": _timeline_report(values=(10.0, 20.0, 30.0))}
+        b = {"t": _timeline_report(values=(10.0, 40.0, 30.0))}
+        result = compare_reports(a, b)
+        flagged = {d.metric for d in result.significant}
+        assert "m0.timeline[engine.events].i001" in flagged
+        assert "m0.timeline[engine.events].i000" not in flagged
+        assert "m0.timeline[engine.events].i002" not in flagged
+
+
+class TestSectionParity:
+    def test_both_sides_with_timelines_pass(self):
+        a = {"t": _timeline_report()}
+        check_section_parity(a, copy.deepcopy(a))  # must not raise
+
+    def test_neither_side_with_timelines_passes(self):
+        a = {"t": _report()}
+        check_section_parity(a, copy.deepcopy(a))  # must not raise
+
+    def test_one_sided_timeline_coverage_raises(self):
+        with pytest.raises(ValueError, match="timeline") as err:
+            check_section_parity(
+                {"t": _timeline_report()}, {"t": _report()}
+            )
+        assert "--interval" in str(err.value)
+
+    def test_one_sided_latency_coverage_raises(self):
+        bare = _report()
+        del bare["machines"][0]["latency"]
+        with pytest.raises(ValueError, match="latency") as err:
+            check_section_parity({"t": _report()}, {"t": bare})
+        assert "run-all" in str(err.value)
+
+    def test_compare_reports_enforces_parity(self):
+        with pytest.raises(ValueError, match="timeline"):
+            compare_reports({"t": _report()}, {"t": _timeline_report()})
 
 
 class TestLoadReports:
@@ -216,6 +285,38 @@ class TestCompareCLI:
         assert main(["compare", str(a), str(tmp_path / "nope")]) == 1
         err = capsys.readouterr().err
         assert err.startswith("error:") and "run-all" in err
+
+    def test_mismatched_timeline_coverage_is_one_line_error(
+        self, tmp_path, capsys
+    ):
+        """One side collected with --interval, the other without: the
+        CLI must emit a single actionable ``error:`` line and exit 1,
+        not a traceback."""
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        (a / "t.json").write_text(json.dumps(_timeline_report("t")))
+        (b / "t.json").write_text(json.dumps(_report("t")))
+        assert main(["compare", str(a), str(b)]) == 1
+        captured = capsys.readouterr()
+        err = captured.err
+        assert err.startswith("error:") and "timeline" in err
+        assert "--interval" in err
+        assert "Traceback" not in err + captured.out
+
+    def test_coverage_difference_stays_flagged_not_fatal(
+        self, tmp_path, capsys
+    ):
+        """Different experiment sets are a *finding* (only-in-A rows,
+        exit 1), not an error: parity checks must not upgrade them."""
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        (a / "t.json").write_text(json.dumps(_report("t")))
+        (a / "u.json").write_text(json.dumps(_report("u")))
+        (b / "t.json").write_text(json.dumps(_report("t")))
+        assert main(["compare", str(a), str(b)]) == 1
+        captured = capsys.readouterr()
+        assert "only in a (missing from b): u" in captured.out
+        assert not captured.err.startswith("error:")
 
     def test_stream_documents_compare(self, tmp_path, capsys):
         values = [float(i % 11 + 1) for i in range(200)]

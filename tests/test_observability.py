@@ -51,6 +51,44 @@ class TestTimeWeighted:
         assert dist[0.0] == pytest.approx(5.0)
         assert dist[1.0] == pytest.approx(3.0)
 
+    def test_zero_duration_run(self):
+        """A machine that never advances time: the mean degenerates to
+        the held value and the distribution stays empty — no 0/0."""
+        tw = TimeWeighted("q")
+        assert tw.mean(0.0) == 0.0
+        assert tw.mean() == 0.0
+        assert tw.distribution(0.0) == {}
+
+    def test_snapshot_at_now_before_any_sample(self):
+        """Reading through ``now`` with no updates yet must integrate
+        the initial value over the whole window, not crash or lie."""
+        tw = TimeWeighted("q")
+        assert tw.mean(40.0) == 0.0
+        assert tw.distribution(40.0) == {0.0: 40.0}
+        tw_nonzero = TimeWeighted("q", start_value=3.0)
+        assert tw_nonzero.mean(10.0) == pytest.approx(3.0)
+        assert tw_nonzero.distribution(10.0) == {3.0: 10.0}
+
+    def test_repeated_same_timestamp_samples(self):
+        """Two updates at the same instant: the intermediate value was
+        held for zero cycles, so only the final one carries weight."""
+        tw = TimeWeighted("q")
+        tw.update(2.0, 10.0)
+        tw.update(5.0, 10.0)  # instantaneous overwrite
+        assert tw.value == 5.0
+        assert tw.maximum == 5.0
+        assert tw.mean(20.0) == pytest.approx(2.5)  # (0*10 + 5*10) / 20
+        dist = tw.distribution(20.0)
+        assert 2.0 not in dist  # zero-cycle hold never enters the mix
+        assert dist[5.0] == pytest.approx(10.0)
+
+    def test_mean_clamps_a_stale_now(self):
+        """``now`` earlier than the last update (a reader racing the
+        writer's clock) must not produce a negative open interval."""
+        tw = TimeWeighted("q")
+        tw.update(4.0, 10.0)
+        assert tw.mean(5.0) == tw.mean(10.0)
+
 
 class TestTimeline:
     def test_spreads_across_bins(self):
@@ -71,6 +109,26 @@ class TestTimeline:
     def test_validation(self):
         with pytest.raises(ValueError):
             Timeline("bad", bin_cycles=0.0)
+
+    def test_zero_duration_add_is_inert(self):
+        tl = Timeline("busy", bin_cycles=10.0)
+        tl.add(start=5.0, duration=0.0)
+        tl.add(start=5.0, duration=-1.0)
+        assert tl.fractions() == {}
+        assert tl.busy_cycles() == 0.0
+        assert tl.peak_fraction() == 0.0
+
+    def test_negative_start_clamped_to_time_zero(self):
+        tl = Timeline("busy", bin_cycles=10.0)
+        tl.add(start=-5.0, duration=5.0)
+        assert tl.fractions() == {0: pytest.approx(0.5)}
+
+    def test_repeated_same_bin_credit_accumulates(self):
+        tl = Timeline("busy", bin_cycles=10.0)
+        tl.add(2.0, 3.0)
+        tl.add(2.0, 3.0)  # same window, second server
+        assert tl.busy_cycles() == pytest.approx(6.0)
+        assert tl.fractions()[0] == pytest.approx(0.6)
 
 
 class TestMetricsRegistry:

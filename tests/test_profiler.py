@@ -1,0 +1,113 @@
+"""Host-time hotspot attribution: the cProfile harness behind
+``python -m repro profile``.
+
+The profiler answers a different question from every other monitor
+tool: not where *simulated* time goes, but where *wall-clock* time goes
+inside the simulator itself — which subsystem's frames bound the
+events/sec plateau.
+"""
+
+import json
+
+import pytest
+
+from repro.monitor.profiler import (
+    PROFILE_VERSION,
+    HostProfile,
+    frame_subsystem,
+    profile_call,
+    render_profile,
+)
+
+
+class TestFrameSubsystem:
+    def test_known_subsystem_paths(self):
+        assert frame_subsystem("/x/src/repro/core/engine.py") == "engine"
+        assert frame_subsystem("src/repro/core/context.py") == "core"
+        assert frame_subsystem("src/repro/network/resource.py") == "network"
+        assert frame_subsystem("src/repro/gmemory/module.py") == "gmemory"
+        assert frame_subsystem("src/repro/monitor/timeline.py") == "monitor"
+
+    def test_engine_beats_the_broader_core_match(self):
+        # ordered patterns: the engine file is "engine", not "core"
+        assert frame_subsystem("repro/core/engine.py") == "engine"
+
+    def test_windows_separators_normalized(self):
+        assert frame_subsystem("src\\repro\\core\\engine.py") == "engine"
+
+    def test_foreign_frames_fall_through_to_other(self):
+        assert frame_subsystem("/usr/lib/python3.11/heapq.py") == "other"
+        assert frame_subsystem("~") == "other"  # cProfile builtins
+
+
+class TestProfileCall:
+    def _profiled_run(self):
+        from repro.core.config import CedarConfig
+        from repro.core.machine import CedarMachine
+        from repro.kernels.programs import KERNELS, kernel_program
+
+        def run():
+            machine = CedarMachine(CedarConfig())
+            programs = {
+                port: kernel_program(KERNELS["CG"], port, 2, prefetch=True)
+                for port in range(2)
+            }
+            return machine.run_programs(programs)
+
+        return profile_call(run, experiment="unit", top=5)
+
+    def test_attributes_wall_time_to_subsystems(self):
+        profile, cycles = self._profiled_run()
+        assert cycles > 0  # the wrapped callable's result passes through
+        assert profile.experiment == "unit"
+        assert profile.wall_seconds > 0 and profile.total_calls > 0
+        # a kernel run must spend self-time in the simulation core
+        assert set(profile.subsystems) & {"engine", "network", "core"}
+        shares = profile.subsystem_shares()
+        assert all(0.0 <= s <= 1.0 for s in shares.values())
+        assert sum(shares.values()) <= 1.0 + 1e-9
+
+    def test_frames_are_ranked_and_capped(self):
+        profile, _ = self._profiled_run()
+        assert 0 < len(profile.frames) <= 5
+        self_times = [f["self_seconds"] for f in profile.frames]
+        assert self_times == sorted(self_times, reverse=True)
+        assert all(
+            {"file", "line", "function", "subsystem"} <= set(f)
+            for f in profile.frames
+        )
+
+    def test_document_round_trips_through_json(self):
+        profile, _ = self._profiled_run()
+        doc = json.loads(json.dumps(profile.to_dict()))
+        assert doc["version"] == PROFILE_VERSION
+        assert doc["experiment"] == "unit"
+        assert doc["subsystem_shares"]
+
+    def test_render_names_the_hot_subsystem(self):
+        profile, _ = self._profiled_run()
+        text = render_profile(profile)
+        assert "host profile" in text
+        assert "hottest frames" in text
+        hottest = max(
+            profile.subsystems, key=lambda k: profile.subsystems[k]
+        )
+        assert hottest in text
+
+
+class TestHostProfileEdgeCases:
+    def test_zero_wall_profile_has_zero_shares(self):
+        profile = HostProfile(
+            experiment="empty",
+            wall_seconds=0.0,
+            total_calls=0,
+            subsystems={},
+            frames=[],
+        )
+        assert profile.subsystem_shares() == {}
+        assert profile.to_dict()["wall_seconds"] == 0.0
+
+    def test_trivial_callable_still_profiles(self):
+        profile, result = profile_call(lambda: 41 + 1, experiment="t")
+        assert result == 42
+        assert profile.total_calls >= 1

@@ -93,6 +93,33 @@ class TestZeroCost:
         assert sum(c.sampled_out for c in collectors) > 0  # really thinned
         assert sampled == baseline
 
+    def test_timeline_recorder_does_not_change_cycles(self):
+        """Interval sampling rides the engine pulse, which only *reads*
+        machine state: a timeline-enabled run must be cycle-bit-identical
+        to the bare run, at every metric the experiment reports."""
+        from repro.monitor.timeline import TimelineRecorder
+
+        baseline = measure()
+        with TimelineRecorder(interval_cycles=64.0) as recorder:
+            sampled = measure()
+        assert recorder.machines >= 1
+        docs = recorder.documents()
+        assert any(d["intervals"] > 0 for d in docs)  # sampling happened
+        assert any(  # the probes saw real traffic, not a detached pulse
+            sum(d["series"]["engine.events"]["values"]) > 0 for d in docs
+        )
+        assert sampled == baseline
+
+    def test_detached_pulse_leaves_no_residue(self):
+        """After a recorder uninstalls, the engine is back on the
+        unchecked fast path and a re-run reproduces the bare results."""
+        from repro.monitor.timeline import TimelineRecorder
+
+        baseline = measure()
+        with TimelineRecorder(interval_cycles=64.0):
+            measure()
+        assert measure() == baseline
+
     def test_packet_pool_off_is_bit_identical(self):
         """The packet free list is pure mechanism: recycled and freshly
         allocated packets must drive identical simulations."""
