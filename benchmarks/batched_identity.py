@@ -1,0 +1,114 @@
+"""Batched-engine identity harness: every registered experiment, both
+drains, byte-for-byte.
+
+The batched engine (:class:`repro.core.engine.BatchedEngine`) promises
+*bit-identical simulation*: same cycles, same event counts, same final
+state, same rendered artifacts as the scalar reference drain.  This
+harness is the promise's enforcement: it runs the **full experiment
+registry** twice — ``CEDAR_BATCHED=0`` then ``=1`` — and diffs each
+experiment's rendered report byte-for-byte.  Any divergence prints a
+unified diff and fails the run; CI's ``batched-identity`` job calls
+this on every push.
+
+Wall-clock-derived content (events/sec lines, elapsed-seconds fields)
+is normalized out before diffing — the contract covers *simulated*
+behaviour, not host timing.  Normalization is deliberately narrow:
+every substitution is logged, so a normalization that starts matching
+simulation output would be visible in the job log.
+
+Usage: ``python benchmarks/batched_identity.py [--full] [names...]``
+(default: every registered experiment at ``--fast`` smoke sizes; exit
+0 = all identical).
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import re
+import sys
+
+#: wall-clock normalizations: (label, pattern) applied to both renders.
+#: Patterns replace only the numeric payload, keeping the surrounding
+#: text, so a diff in normalized output still reads naturally.
+_WALL_CLOCK = [
+    ("events/sec", re.compile(r"[\d,.]+\s*(events?/s(?:ec)?)")),
+    ("elapsed seconds", re.compile(r"[\d.]+\s*(?:wall[- ])?s(?:ec(?:onds)?)?\b")),
+    ("wall ms", re.compile(r"[\d.]+\s*ms\b")),
+]
+
+
+def _normalize(text: str, notes: set) -> str:
+    for label, pattern in _WALL_CLOCK:
+        text, n = pattern.subn("<wall-clock>", text)
+        if n:
+            notes.add(f"normalized {n}x {label}")
+    return text
+
+
+def _render(name: str, fast: bool, gate: str) -> str:
+    from repro.experiments.runner import experiment
+
+    os.environ["CEDAR_BATCHED"] = gate
+    exp = experiment(name)
+    return exp.runner(**exp.arguments(fast=fast))
+
+
+def check(name: str, fast: bool = True) -> list:
+    """Run ``name`` under both drains; return diff lines (empty = identical)."""
+    notes: set = set()
+    scalar = _normalize(_render(name, fast, "0"), notes)
+    batched = _normalize(_render(name, fast, "1"), notes)
+    for note in sorted(notes):
+        print(f"  {name}: {note}")
+    if scalar == batched:
+        return []
+    return list(
+        difflib.unified_diff(
+            scalar.splitlines(keepends=True),
+            batched.splitlines(keepends=True),
+            fromfile=f"{name} CEDAR_BATCHED=0",
+            tofile=f"{name} CEDAR_BATCHED=1",
+        )
+    )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    fast = "--full" not in argv
+    names = [a for a in argv if not a.startswith("--")]
+    previous_gate = os.environ.get("CEDAR_BATCHED")
+    from repro.experiments.runner import experiment_names
+
+    if not names:
+        names = experiment_names()
+    failures = []
+    try:
+        for name in names:
+            diff = check(name, fast=fast)
+            if diff:
+                failures.append(name)
+                print(f"batched-identity: DIVERGED: {name}")
+                sys.stdout.writelines(diff)
+            else:
+                print(f"batched-identity: identical: {name}")
+    finally:
+        if previous_gate is None:
+            os.environ.pop("CEDAR_BATCHED", None)
+        else:
+            os.environ["CEDAR_BATCHED"] = previous_gate
+    if failures:
+        print(
+            f"batched-identity: FAIL: {len(failures)}/{len(names)} "
+            f"experiments diverged: {', '.join(failures)}"
+        )
+        return 1
+    print(
+        f"batched-identity: OK: {len(names)} experiments byte-identical "
+        f"across CEDAR_BATCHED=0/1"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,15 +42,48 @@ fresh closure per event.
 :meth:`Engine.run_until_idle` is the batch fast path: a tight drain
 loop with no bound/predicate checks per event.  ``run()`` delegates to
 it whenever no bound is requested.
+
+Batched dispatch
+----------------
+
+:class:`BatchedEngine` restructures both the pending set and the drain
+around the observation that events *cluster on timestamps* (a
+cycle-synchronous machine finishes tens of services per cycle):
+
+* the pending set becomes a **bucket queue** — a dict mapping each
+  pending timestamp to the list of its event records, plus a heap of
+  the *unique* timestamps.  Scheduling is one dict probe and an append
+  (no per-record heap sift; the heap sees one push per new timestamp,
+  roughly the number of distinct cycles instead of the number of
+  events), and bucket lists are sequence-ordered for free because
+  sequence numbers are globally monotone — appends arrive in seq
+  order, so a popped bucket IS the dispatch order with no sort;
+* the drain pops one whole timestamp bucket per transaction, stores
+  the clock once per batch, and hands consecutive events bound to the
+  same underlying function to a registered **group handler**
+  (:func:`register_batch_handler`) in one Python call instead of one
+  frame per event.  Group handlers inline hot callback chains (see
+  ``repro.network.resource``) while performing the identical state
+  mutations in the identical order — cancellation, ``request_stop``
+  mid-batch, and the resume contract all behave exactly as in the
+  scalar drain, so cycles, event counts, and final state are
+  bit-identical.
+
+:func:`make_engine` selects the engine class from the
+``CEDAR_BATCHED`` environment variable (default on); the scalar
+:class:`Engine` remains the reference semantics and the fallback for
+bounded/watchdogged runs.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from collections import deque
 from time import perf_counter as _perf_counter
-from typing import Callable, Dict, List, Optional
+from types import MethodType as _MethodType
+from typing import Callable, Dict, List, Optional, Tuple
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -70,6 +103,69 @@ PULSE_CHECK_EVERY = 4096
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
+
+
+# ---------------------------------------------------------------------------
+# batched group dispatch
+#
+# A group handler receives one same-timestamp batch and a start index
+# whose record's callback is a bound method of its registered function
+# (e.g. a ``Resource._finish`` due this cycle) and dispatches the
+# maximal run of such records in one Python call.  The registry is
+# keyed on the unbound function object; only :class:`BatchedEngine`
+# consults it.
+
+#: unbound function -> ``handler(engine, batch, i, n) -> (next_i, executed)``.
+#: The handler must consume records from ``batch[i]`` forward, in
+#: order, for as long as each record is cancelled (``callback is
+#: None`` — decrement ``engine._cancelled`` and recycle the slot) or
+#: bound to the registered function (dispatch it: blank and recycle
+#: the record).  It returns ``(next_i, executed)`` at the first record
+#: bound elsewhere, at ``n``, or — with the index of the first
+#: *unconsumed* record — immediately after a dispatched callback calls
+#: :meth:`Engine.request_stop`.  ``executed`` counts non-cancelled
+#: dispatches only.  The handler must always make progress (consume at
+#: least one record) when ``batch[i]`` matches its function.  When an
+#: exception escapes a dispatched callback, the handler must post
+#: ``engine._group_progress = (next_i, executed)`` — counting the
+#: raising record as consumed — before propagating, so the drain
+#: requeues exactly the unconsumed remainder and never re-queues
+#: records the handler already executed or recycled.
+_BATCH_HANDLERS: Dict[object, Callable] = {}
+
+
+def register_batch_handler(func: Callable, handler: Callable) -> Callable:
+    """Register ``handler`` as the group dispatcher for events whose
+    callback is a bound method of ``func``.  Returns ``handler``.
+
+    The handler must be *semantically transparent*: dispatching the run
+    through it performs exactly the state mutations, in exactly the
+    order, that calling each record's callback in sequence would — the
+    bit-identity contract between :class:`BatchedEngine` and
+    :class:`Engine` rests on this.
+    """
+    _BATCH_HANDLERS[func] = handler
+    return handler
+
+
+def batched_enabled() -> bool:
+    """Whether ``CEDAR_BATCHED`` selects the batched engine (default on).
+
+    Read at call time, not import time, so tests and the identity
+    harness can flip the gate between runs in one process.
+    """
+    return os.environ.get("CEDAR_BATCHED", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+def make_engine() -> "Engine":
+    """The feature-gated engine factory: a :class:`BatchedEngine` when
+    ``CEDAR_BATCHED`` is on (the default), a scalar :class:`Engine`
+    otherwise.  Machine assembly (``SimContext``) builds its engine
+    through this, so one environment variable flips every simulation in
+    the process between the two drains."""
+    return BatchedEngine() if batched_enabled() else Engine()
 
 
 class WatchdogError(SimulationError):
@@ -634,8 +730,7 @@ class Engine:
         """Diagnostic snapshot for abort reports: the self-metrics plus
         the next ``limit`` live queued events with callback names —
         enough to see *what* a stuck simulation keeps rescheduling."""
-        live = [r for r in self._tail if r[2] is not None]
-        live.extend(r for r in self._heap if r[2] is not None)
+        live = [r for r in self._pending_records() if r[2] is not None]
         live.sort(key=lambda r: (r[0], r[1]))
         upcoming = [
             {
@@ -650,6 +745,13 @@ class Engine:
         state = self.self_metrics()
         state["upcoming"] = upcoming
         return state
+
+    def _pending_records(self):
+        """Every queued record (live and cancelled), storage-agnostic —
+        the seam :meth:`dump_state` reads so engine subclasses with a
+        different pending-set layout only override this."""
+        yield from self._tail
+        yield from self._heap
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
@@ -694,3 +796,324 @@ class Engine:
         self._watchdog = None
         self._pulse = None
         self._pulse_watchdog = None
+
+
+class BatchedEngine(Engine):
+    """The cycle-synchronous batched drain (see the module docstring).
+
+    Same public surface and bit-identical behaviour as :class:`Engine`,
+    with a different pending-set layout: a **bucket queue** — a dict
+    mapping each pending timestamp to its (seq-ordered) list of event
+    records, plus a heap of the unique pending timestamps.  Scheduling
+    costs one dict probe and a list append; the heap is touched once
+    per *distinct timestamp*, not once per event.  Bounded and
+    watchdog-supervised runs dispatch scalar (one callback per Python
+    call, per-event checks) over the same buckets, so supervision
+    semantics match the reference engine exactly.
+
+    >>> eng = BatchedEngine()
+    >>> hits = []
+    >>> _ = eng.schedule(5, lambda: hits.append(eng.now))
+    >>> _ = eng.run()
+    >>> hits
+    [5]
+    """
+
+    __slots__ = ("_buckets", "_ts_heap", "_group_progress")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: pending timestamp -> list of event records in seq order.
+        #: Invariant: ``when`` is a key of ``_buckets`` iff ``when`` is
+        #: in ``_ts_heap`` (exactly once) — maintained by scheduling
+        #: (push on bucket creation only) and the drains (pop both
+        #: together).
+        self._buckets: Dict[float, List[list]] = {}
+        self._ts_heap: List[float] = []
+        #: ``(next_i, executed)`` posted by a group handler that is
+        #: propagating an exception, so the drain requeues exactly the
+        #: unconsumed remainder (see :func:`register_batch_handler`).
+        self._group_progress: Optional[Tuple[int, int]] = None
+
+    # -- scheduling into the bucket queue ----------------------------------
+
+    def schedule(self, when: float, callback: Callable, *args) -> EventHandle:
+        """See :meth:`Engine.schedule`; same contract, bucket storage.
+
+        Bucket append order *is* scheduling order, so records need no
+        sequence stamp — the seq slot stays 0 (every record in a
+        batched engine carries 0, keeping :meth:`dump_state`'s stable
+        sort equal to dispatch order)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before current time {self._now}"
+            )
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = when
+            record[2] = callback
+            record[3] = args
+        else:
+            record = [when, 0, callback, args]
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [record]
+            _heappush(self._ts_heap, when)
+        else:
+            bucket.append(record)
+        return record
+
+    def schedule_after(self, delay: float, callback: Callable, *args) -> EventHandle:
+        """See :meth:`Engine.schedule_after`; same contract, bucket
+        storage (see :meth:`schedule` for the seq-slot convention)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        when = self._now + delay
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = when
+            record[2] = callback
+            record[3] = args
+        else:
+            record = [when, 0, callback, args]
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [record]
+            _heappush(self._ts_heap, when)
+        else:
+            bucket.append(record)
+        return record
+
+    def _requeue(self, when: float, batch: List[list], i: int) -> None:
+        """Reinstate ``batch[i:]`` as the front of the ``when`` bucket —
+        the resume contract after ``request_stop`` mid-batch or an
+        exception escaping a callback.  Events scheduled *at* ``when``
+        during the batch (strictly higher seq) already re-created the
+        bucket; the unconsumed remainder goes in front of them."""
+        rest = batch[i:]
+        buckets = self._buckets
+        existing = buckets.get(when)
+        if existing is None:
+            buckets[when] = rest
+            _heappush(self._ts_heap, when)
+        else:
+            rest.extend(existing)
+            buckets[when] = rest
+
+    # -- introspection over buckets ----------------------------------------
+
+    def _pending_records(self):
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(map(len, self._buckets.values())) - self._cancelled
+
+    def reset(self) -> None:
+        super().reset()
+        self._buckets.clear()
+        self._ts_heap.clear()
+
+    # -- run loops ----------------------------------------------------------
+
+    def run_until_idle(self) -> float:
+        """Batched fast path: drain per-timestamp buckets.  Routing
+        mirrors the scalar engine: a caller watchdog forces the checked
+        scalar-dispatch loop, the pulse-only supervisor takes the
+        batched drain with pulse visits at batch boundaries."""
+        wd = self._watchdog
+        if wd is not None:
+            if wd is self._pulse_watchdog:
+                return self._drain_batched(self._pulse)
+            return self.run(until=None)
+        return self._drain_batched(None)
+
+    def _drain_pulsed(self) -> float:
+        return self._drain_batched(self._pulse)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """See :meth:`Engine.run`; bounded/supervised runs take the
+        checked scalar-dispatch loop over the bucket queue."""
+        if until is None and max_events is None and stop_when is None:
+            if self._watchdog is None:
+                return self._drain_batched(None)
+            if self._watchdog is self._pulse_watchdog:
+                return self._drain_batched(self._pulse)
+        self._stop_requested = False
+        started = _perf_counter()
+        try:
+            self._run_bounded_buckets(until, max_events, stop_when)
+        finally:
+            self._run_wall_s += _perf_counter() - started
+            self._runs += 1
+        return self._now
+
+    def _run_bounded_buckets(self, until, max_events, stop_when) -> None:
+        """The checked loop: scalar dispatch (one callback per Python
+        call — no group handlers), per-event watchdog/bound/predicate
+        checks, identical semantics to :meth:`Engine._run_bounded`."""
+        processed = 0
+        wd = self._watchdog
+        free = self._free
+        buckets = self._buckets
+        ts_heap = self._ts_heap
+        while ts_heap:
+            when = ts_heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            _heappop(ts_heap)
+            batch = buckets.pop(when)
+            self._now = when
+            n = len(batch)
+            i = 0
+            try:
+                while i < n:
+                    record = batch[i]
+                    i += 1
+                    callback = record[2]
+                    if callback is None:
+                        self._cancelled -= 1
+                        if len(free) < _FREE_LIST_MAX:
+                            free.append(record)
+                        continue
+                    args = record[3]
+                    record[2] = None
+                    record[3] = ()
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+                    if len(free) < _FREE_LIST_MAX:
+                        free.append(record)
+                    self._events_processed += 1
+                    processed += 1
+                    if wd is not None:
+                        wd._since_check += 1
+                        if wd._since_check >= wd.check_every:
+                            wd._since_check = 0
+                            wd._check(self)
+                    if self._stop_requested:
+                        return
+                    if stop_when is not None and stop_when():
+                        return
+                    if max_events is not None and processed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely livelock"
+                        )
+            finally:
+                # early return, watchdog abort, or a raising callback:
+                # the unconsumed remainder goes back on the queue so
+                # resumed runs see it untouched.
+                if i < n:
+                    self._requeue(when, batch, i)
+
+    def _drain_batched(self, pulse: Optional[Callable]) -> float:
+        """Pop one whole timestamp bucket per transaction, then
+        dispatch it in seq order with group-handler coalescing.
+
+        Semantics identical to :meth:`Engine.run_until_idle`:
+
+        * cancellation — a slot blanked by an *earlier* event in the
+          same batch is skipped when its turn comes, exactly as when it
+          surfaces at the scalar queue head;
+        * ``request_stop`` mid-batch — dispatch stops after the current
+          event and the unconsumed remainder of the batch is
+          reinstated, so a subsequent run resumes with no events lost,
+          duplicated, or reordered;
+        * monitoring — ``pulse`` (heartbeats, metric timelines) is
+          visited only at batch boundaries, with ``events_processed``
+          flushed first, so probes never observe a half-dispatched
+          cycle.
+        """
+        self._stop_requested = False
+        buckets = self._buckets
+        ts_heap = self._ts_heap
+        pop_ts = _heappop
+        free = self._free
+        free_max = _FREE_LIST_MAX
+        get_handler = _BATCH_HANDLERS.get
+        method = _MethodType
+        pulse_every = self._pulse_every
+        next_pulse = pulse_every
+        processed = 0
+        flushed = 0
+        started = _perf_counter()
+        try:
+            while ts_heap:
+                when = pop_ts(ts_heap)
+                batch = buckets.pop(when)
+                self._now = when
+                n = len(batch)
+                i = 0
+                try:
+                    while i < n:
+                        record = batch[i]
+                        cb = record[2]
+                        if cb is None:
+                            self._cancelled -= 1
+                            if len(free) < free_max:
+                                free.append(record)
+                            i += 1
+                            continue
+                        if cb.__class__ is method:
+                            handler = get_handler(cb.__func__)
+                            if handler is not None:
+                                # group run: the handler consumes the
+                                # maximal run of records bound to its
+                                # function (cancelled slots ride along)
+                                # in one Python call.
+                                try:
+                                    i, done = handler(self, batch, i, n)
+                                except BaseException:
+                                    progress = self._group_progress
+                                    if progress is not None:
+                                        self._group_progress = None
+                                        i, done = progress
+                                        processed += done
+                                    raise
+                                processed += done
+                                if self._stop_requested:
+                                    break
+                                continue
+                        # consume before dispatch: a raising callback is
+                        # spent (exactly as in the scalar drain), so the
+                        # requeue below reinstates only ``batch[i:]``.
+                        record[2] = None
+                        args = record[3]
+                        record[3] = ()
+                        i += 1
+                        if args:
+                            cb(*args)
+                        else:
+                            cb()
+                        if len(free) < free_max:
+                            free.append(record)
+                        processed += 1
+                        if self._stop_requested:
+                            break
+                finally:
+                    if i < n:
+                        self._requeue(when, batch, i)
+                if self._stop_requested:
+                    break
+                if pulse is not None and processed >= next_pulse:
+                    self._events_processed += processed - flushed
+                    flushed = processed
+                    next_pulse = processed + pulse_every
+                    pulse(self)
+        finally:
+            self._events_processed += processed - flushed
+            self._run_wall_s += _perf_counter() - started
+            self._runs += 1
+        return self._now

@@ -16,9 +16,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from types import MethodType as _MethodType
 from typing import Callable, Deque, List, Optional, Sequence, Union
 
-from repro.core.engine import Engine, SimulationError
+from repro.core.engine import (
+    _FREE_LIST_MAX,
+    _heappush,
+    Engine,
+    SimulationError,
+    register_batch_handler,
+)
 from repro.monitor.signals import NULL_SIGNAL
 from repro.network.packet import Packet, PacketKind
 
@@ -363,6 +370,221 @@ class Resource:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Resource {self.name} q={self._words_queued}/{self.capacity_words}>"
+
+
+# ---------------------------------------------------------------------------
+# batched group dispatch: the vectorized link/memory service pass
+#
+# ``Resource._finish`` is ~80% of all events in a kernel run, and its
+# scalar dispatch fans out across six to ten Python frames per event
+# (_finish -> _try_handoff -> _pop_head -> offer -> _maybe_start ->
+# _start_service -> schedule_after -> _advance -> ...).  The batched
+# engine hands every same-cycle run of finishes to `_finish_batch`,
+# which services them in ONE Python call with the whole chain inlined
+# for the dominant case: a plain unmonitored FIFO link (no service /
+# completion hooks, no armed fault site, no recovery window, no
+# subscribed signal channels) handing off to another plain link.
+#
+# Anything off that path — memory modules (completion hook + recovery),
+# monitored links, stages carrying faults or escape routing, blocked
+# heads — falls back to the scalar methods *per record*, so the two
+# paths are one semantics with two dispatch costs.  Every inlined
+# mutation below mirrors the scalar method it replaces line for line
+# (the scalar code is the reference; change both together), which is
+# what the batched-identity harness and the adversarial ordering tests
+# enforce.
+
+def _finish_batch(eng: Engine, batch: List[list], i: int, n: int):
+    """Group handler for a same-timestamp run of ``Resource._finish``
+    events (see :func:`repro.core.engine.register_batch_handler` for
+    the contract).  Consumes records from ``batch[i]`` forward while
+    they are cancelled or bound to ``Resource._finish``; returns
+    ``(next_index, executed_count)``."""
+    free = eng._free
+    buckets = eng._buckets
+    ts_heap = eng._ts_heap
+    bucket_get = buckets.get
+    now = eng._now
+    heappush = _heappush
+    method = _MethodType
+    finish = _RES_FINISH
+    done = 0
+    try:
+        while i < n:
+            record = batch[i]
+            cb = record[2]
+            if cb is None:
+                # cancelled (possibly by an earlier event in this batch):
+                # reclaim the slot exactly as the scalar drain would.
+                eng._cancelled -= 1
+                if len(free) < _FREE_LIST_MAX:
+                    free.append(record)
+                i += 1
+                continue
+            if cb.__class__ is not method or cb.__func__ is not finish:
+                # end of this group's run — hand control back to the drain.
+                return i, done
+            i += 1
+            res = cb.__self__
+            transit = record[3][0]
+            record[2] = None
+            record[3] = ()
+            # the consumed record is the preferred slot for whatever this
+            # event schedules next (the next-service finish) — reuse is the
+            # free-list round trip with both ends snipped off.
+            spare = record
+            done += 1
+            if (
+                res._has_complete_hook
+                or res.recovery_cycles
+                or res._blocked_head is not None
+                or res.span_signal.callbacks
+                or res.service_end_signal.callbacks
+                or res.dequeue_signal.callbacks
+                or res.depart_signal.callbacks
+            ):
+                # scalar fallback: hooks, monitors, recovery, faults.
+                if len(free) < _FREE_LIST_MAX:
+                    free.append(spare)
+                res._finish(transit)
+                if eng._stop_requested:
+                    return i, done
+                continue
+            queue = res._queue
+            if not queue or queue[0] is not transit:
+                raise SimulationError(f"{res.name}: finished packet is not at head")
+            res._serving = False
+            route = transit.route
+            nxt_idx = transit.idx + 1
+            nxt = route[nxt_idx] if nxt_idx < len(route) else None
+            if isinstance(nxt, Resource):
+                if nxt._words_queued < nxt.capacity_words:
+                    # -- res._pop_head (plain: no recovery, no signals)
+                    queue.popleft()
+                    words = transit.packet.words
+                    res._words_queued -= words
+                    st = res.stats
+                    st.packets += 1
+                    st.words += words
+                    transit.idx = nxt_idx
+                    # -- nxt.offer
+                    if nxt.enqueue_signal.callbacks or nxt.span_signal.callbacks:
+                        if not nxt.offer(transit):
+                            raise SimulationError(
+                                f"{nxt.name} refused after reporting space"
+                            )
+                    else:
+                        nxt._queue.append(transit)
+                        nxt._words_queued += words
+                        if not nxt._serving and nxt._blocked_head is None:
+                            # -- nxt._maybe_start / _start_service /
+                            #    engine.schedule_after
+                            if (
+                                nxt.fault_hook is not None
+                                or nxt._has_service_hook
+                                or nxt.recovery_cycles
+                            ):
+                                nxt._maybe_start()
+                            else:
+                                head = nxt._queue[0]
+                                cycles = (
+                                    nxt.fixed_cycles
+                                    + head.packet.words / nxt.words_per_cycle
+                                )
+                                nxt.stats.busy_cycles += cycles
+                                nxt._serving = True
+                                when = now + cycles
+                                if spare is not None:
+                                    rec = spare
+                                    spare = None
+                                    rec[0] = when
+                                    rec[2] = nxt._finish
+                                    rec[3] = (head,)
+                                elif free:
+                                    rec = free.pop()
+                                    rec[0] = when
+                                    rec[2] = nxt._finish
+                                    rec[3] = (head,)
+                                else:
+                                    rec = [when, 0, nxt._finish, (head,)]
+                                b = bucket_get(when)
+                                if b is None:
+                                    buckets[when] = [rec]
+                                    heappush(ts_heap, when)
+                                else:
+                                    b.append(rec)
+                else:
+                    # head-of-line block: downstream queue is full.
+                    res._blocked_head = transit
+                    res._blocked_since = now
+                    nxt.add_waiter(res)
+                    if len(free) < _FREE_LIST_MAX:
+                        free.append(spare)
+                    if eng._stop_requested:
+                        return i, done
+                    continue
+            else:
+                # terminal sink callable, or the route ends here.
+                queue.popleft()
+                words = transit.packet.words
+                res._words_queued -= words
+                st = res.stats
+                st.packets += 1
+                st.words += words
+                if nxt is not None:
+                    nxt(transit.packet)
+            # -- res._advance
+            if res._waiters:
+                res._notify_waiters()
+            if not res._serving and res._blocked_head is None and queue:
+                if res.fault_hook is not None or res._has_service_hook:
+                    res._maybe_start()
+                else:
+                    head = queue[0]
+                    cycles = (
+                        res.fixed_cycles + head.packet.words / res.words_per_cycle
+                    )
+                    res.stats.busy_cycles += cycles
+                    res._serving = True
+                    when = now + cycles
+                    if spare is not None:
+                        rec = spare
+                        spare = None
+                        rec[0] = when
+                        rec[2] = res._finish
+                        rec[3] = (head,)
+                    elif free:
+                        rec = free.pop()
+                        rec[0] = when
+                        rec[2] = res._finish
+                        rec[3] = (head,)
+                    else:
+                        rec = [when, 0, res._finish, (head,)]
+                    b = bucket_get(when)
+                    if b is None:
+                        buckets[when] = [rec]
+                        heappush(ts_heap, when)
+                    else:
+                        b.append(rec)
+            if spare is not None and len(free) < _FREE_LIST_MAX:
+                free.append(spare)
+            if eng._stop_requested:
+                return i, done
+        return i, done
+    except BaseException:
+        # a raising callback counts as consumed (``i`` advances
+        # before dispatch): report progress so the drain requeues
+        # exactly ``batch[i:]`` — never records this handler already
+        # executed or recycled into other buckets.
+        eng._group_progress = (i, done)
+        raise
+
+
+#: the unbound function the handler is registered for — each record's
+#: callback is tested against this identity to delimit the group run.
+_RES_FINISH = Resource._finish
+
+register_batch_handler(_RES_FINISH, _finish_batch)
 
 
 def start_transit(packet: Packet, route: Sequence[Hop]) -> Transit:

@@ -1,0 +1,58 @@
+"""The batched-engine feature gate and the vectorization substrate.
+
+This module is the one place that answers two questions for the rest of
+the tree:
+
+* **Is the batched drain on?**  ``CEDAR_BATCHED=0/1`` (default on),
+  read at call time so the identity harness can flip it between runs in
+  one process.  The implementation lives in :mod:`repro.core.engine`;
+  this module re-exports the gate and factory under the stable
+  ``repro.perf.batch`` name so perf tooling does not import engine
+  internals.
+* **Is numpy available?**  numpy is a declared dependency, but the
+  scalar simulation path must keep working without it (minimal
+  installs, stripped containers).  Import :data:`np` from here — it is
+  ``None`` when numpy is absent — and guard vectorized aggregation with
+  ``if np is not None``.  Components expose their parallel-array state
+  snapshots (``OmegaNetwork.stage_state_arrays``,
+  ``GlobalMemory.module_state_arrays``) through this guard.
+
+Why the hot *service* loops are not numpy-vectorized (measured on the
+perf-gate workload, see ``python -m repro profile --compare-batched``):
+a same-timestamp batch carries ~2-20 link/module completions, while a
+numpy ufunc call breaks even against scalar Python arithmetic only
+around ~50-100 elements.  Below that width, array round-trips cost more
+than they save, so the batched engine instead removes Python *frames*
+(group handlers, bucket queue) and keeps per-record arithmetic scalar.
+The array seam here is for width-proportional work: end-of-run
+aggregation, analysis, and probe post-processing over whole port/module
+populations.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import (
+    BatchedEngine,
+    Engine,
+    batched_enabled,
+    make_engine,
+    register_batch_handler,
+)
+
+try:  # guarded: the scalar path must work on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on stripped installs
+    np = None  # type: ignore[assignment]
+
+#: True when numpy imported; vectorized aggregation paths key off this.
+HAVE_NUMPY = np is not None
+
+__all__ = [
+    "BatchedEngine",
+    "Engine",
+    "HAVE_NUMPY",
+    "batched_enabled",
+    "make_engine",
+    "np",
+    "register_batch_handler",
+]

@@ -1,0 +1,412 @@
+"""Batched-engine characterization: adversarial same-timestamp mixes.
+
+The :class:`~repro.core.engine.BatchedEngine` promises bit-identical
+behaviour to the scalar :class:`~repro.core.engine.Engine` — same
+dispatch order, same final state, same counters — while dispatching
+whole same-timestamp buckets per transaction.  These tests drive both
+engines through the adversarial intra-timestamp cases the bucket queue
+must get right: cancels landing inside an already-popped batch,
+zero-delay re-schedules extending the current timestamp,
+``request_stop`` mid-batch with a resumed run, pulse visits at batch
+boundaries, bounded-run resume over buckets, and exceptions escaping
+mid-batch.  Each scenario runs on both engine classes and asserts the
+*traces* are equal — the scalar engine is the reference semantics.
+"""
+
+import pytest
+
+from repro.core.engine import (
+    BatchedEngine,
+    Engine,
+    SimulationError,
+    batched_enabled,
+    make_engine,
+)
+
+ENGINES = [Engine, BatchedEngine]
+
+
+def both(scenario):
+    """Run ``scenario(engine) -> trace`` on both engines; assert equal
+    traces and return the shared trace for scenario-specific asserts."""
+    scalar = scenario(Engine())
+    batched = scenario(BatchedEngine())
+    assert batched == scalar
+    return scalar
+
+
+# ---------------------------------------------------------------------------
+# feature gate
+
+
+def test_gate_selects_engine_class(monkeypatch):
+    monkeypatch.delenv("CEDAR_BATCHED", raising=False)
+    assert batched_enabled()
+    assert type(make_engine()) is BatchedEngine
+    monkeypatch.setenv("CEDAR_BATCHED", "0")
+    assert not batched_enabled()
+    assert type(make_engine()) is Engine
+    monkeypatch.setenv("CEDAR_BATCHED", "off")
+    assert type(make_engine()) is Engine
+    monkeypatch.setenv("CEDAR_BATCHED", "1")
+    assert type(make_engine()) is BatchedEngine
+
+
+def test_gate_module_reexports():
+    from repro.perf import batch
+
+    assert batch.make_engine is make_engine
+    assert batch.BatchedEngine is BatchedEngine
+
+
+# ---------------------------------------------------------------------------
+# intra-timestamp ordering
+
+
+def test_same_timestamp_fifo_order_matches_scalar():
+    def scenario(eng):
+        seen = []
+        for tag in range(8):
+            eng.schedule(3.0, lambda t=tag: seen.append(t))
+        eng.run_until_idle()
+        return seen
+
+    assert both(scenario) == list(range(8))
+
+
+def test_cancel_within_active_batch():
+    # an early event in the bucket cancels a later one in the *same*
+    # bucket — the batched drain has already popped the whole batch, so
+    # the blanked slot must be skipped mid-dispatch, exactly as the
+    # scalar drain skips it at the queue head.
+    def scenario(eng):
+        seen = []
+        handles = {}
+
+        def killer():
+            seen.append("killer")
+            assert eng.cancel(handles["victim"])
+
+        eng.schedule(2.0, killer)
+        handles["victim"] = eng.schedule(2.0, lambda: seen.append("victim"))
+        eng.schedule(2.0, lambda: seen.append("survivor"))
+        eng.run_until_idle()
+        return (seen, eng.pending(), eng.events_processed)
+
+    seen, pending, processed = both(scenario)
+    assert seen == ["killer", "survivor"]
+    assert pending == 0
+    assert processed == 2
+
+
+def test_zero_delay_reschedule_extends_current_timestamp():
+    # schedule_after(0) from inside a batch lands at the *current*
+    # timestamp, whose bucket is already popped; the new event must run
+    # in this timestamp, after every already-pending record — the
+    # scalar engine's seq order.
+    def scenario(eng):
+        seen = []
+
+        def first():
+            seen.append(("first", eng.now))
+            eng.schedule_after(0.0, lambda: seen.append(("extra", eng.now)))
+
+        eng.schedule(1.0, first)
+        eng.schedule(1.0, lambda: seen.append(("second", eng.now)))
+        eng.schedule(2.0, lambda: seen.append(("later", eng.now)))
+        eng.run_until_idle()
+        return seen
+
+    assert both(scenario) == [
+        ("first", 1.0), ("second", 1.0), ("extra", 1.0), ("later", 2.0),
+    ]
+
+
+def test_zero_delay_reschedule_chain_drains_before_advancing():
+    def scenario(eng):
+        seen = []
+
+        def chain(depth):
+            seen.append((eng.now, depth))
+            if depth:
+                eng.schedule_after(0.0, chain, depth - 1)
+
+        eng.schedule(1.0, chain, 3)
+        eng.schedule(1.5, lambda: seen.append((eng.now, "tick")))
+        eng.run_until_idle()
+        return seen
+
+    assert both(scenario) == [
+        (1.0, 3), (1.0, 2), (1.0, 1), (1.0, 0), (1.5, "tick"),
+    ]
+
+
+def test_mixed_cancel_reschedule_storm_is_identical():
+    # a deterministic pseudo-random mix of same-timestamp schedules,
+    # cancels of pending and active-batch events, and zero-delay
+    # re-schedules; the full dispatch trace must match the reference.
+    def scenario(eng):
+        seen = []
+        handles = []
+
+        def act(tag, step):
+            seen.append((eng.now, tag))
+            k = (tag * 7 + step) % 4
+            if k == 0:
+                handles.append(
+                    eng.schedule_after(0.0, act, tag + 100, step + 1)
+                )
+            elif k == 1 and handles:
+                eng.cancel(handles.pop((tag + step) % len(handles)))
+            elif k == 2:
+                handles.append(
+                    eng.schedule_after(float(tag % 3), act, tag + 200, step + 1)
+                )
+
+        for tag in range(12):
+            handles.append(eng.schedule(float(tag % 3), act, tag, 0))
+        eng.run_until_idle()
+        return seen
+
+    trace = both(scenario)
+    assert len(trace) > 12  # the storm actually rescheduled work
+
+
+# ---------------------------------------------------------------------------
+# request_stop mid-batch and the resume contract
+
+
+def test_request_stop_mid_batch_preserves_remainder():
+    def scenario(eng):
+        seen = []
+
+        def stopper():
+            seen.append("stopper")
+            eng.request_stop()
+
+        eng.schedule(1.0, lambda: seen.append("a"))
+        eng.schedule(1.0, stopper)
+        eng.schedule(1.0, lambda: seen.append("b"))
+        eng.schedule(2.0, lambda: seen.append("c"))
+        eng.run_until_idle()
+        stopped = (list(seen), eng.pending(), eng.now)
+        eng.run_until_idle()  # resume: no events lost or duplicated
+        return (stopped, seen, eng.pending())
+
+    stopped, seen, pending = both(scenario)
+    assert stopped == (["a", "stopper"], 2, 1.0)
+    assert seen == ["a", "stopper", "b", "c"]
+    assert pending == 0
+
+
+def test_request_stop_then_new_same_time_events_keep_order():
+    # events scheduled at the stop timestamp *during* the stopped batch
+    # must run after the requeued remainder on resume (seq order).
+    def scenario(eng):
+        seen = []
+
+        def stopper():
+            seen.append("stopper")
+            eng.schedule_after(0.0, lambda: seen.append("late-add"))
+            eng.request_stop()
+
+        eng.schedule(1.0, stopper)
+        eng.schedule(1.0, lambda: seen.append("pending-tail"))
+        eng.run_until_idle()
+        eng.run_until_idle()
+        return seen
+
+    assert both(scenario) == ["stopper", "pending-tail", "late-add"]
+
+
+# ---------------------------------------------------------------------------
+# bounded runs and supervision over buckets
+
+
+def test_until_bound_stops_between_buckets():
+    def scenario(eng):
+        seen = []
+        for when in (1.0, 2.0, 2.0, 3.0):
+            eng.schedule(when, lambda w=when: seen.append(w))
+        eng.run(until=2.0)
+        mid = (list(seen), eng.now, eng.pending())
+        eng.run_until_idle()
+        return (mid, seen, eng.now)
+
+    mid, seen, now = both(scenario)
+    assert mid == ([1.0, 2.0, 2.0], 2.0, 1)
+    assert seen == [1.0, 2.0, 2.0, 3.0]
+    assert now == 3.0
+
+
+def test_max_events_livelock_guard_matches():
+    def scenario(eng):
+        def forever():
+            eng.schedule_after(1.0, forever)
+
+        eng.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            eng.run(max_events=100)
+        return eng.events_processed
+
+    assert both(scenario) == 100
+
+
+def test_stop_when_predicate_matches():
+    def scenario(eng):
+        seen = []
+        for tick in range(10):
+            eng.schedule(float(tick), lambda t=tick: seen.append(t))
+        eng.run(stop_when=lambda: len(seen) >= 4)
+        return (list(seen), eng.pending())
+
+    assert both(scenario) == ([0, 1, 2, 3], 6)
+
+
+# ---------------------------------------------------------------------------
+# pulse visits at batch boundaries
+
+
+def test_pulse_sees_flushed_counters_at_batch_boundaries():
+    def scenario(eng):
+        visits = []
+        for when in range(1, 30):
+            for _ in range(4):
+                eng.schedule(float(when), lambda: None)
+        eng.attach_pulse(
+            lambda e: visits.append((e.now, e.events_processed)), every=8
+        )
+        eng.run_until_idle()
+        eng.detach_pulse()
+        return visits
+
+    visits = both(scenario)
+    assert visits  # the pulse actually fired
+    for now, processed in visits:
+        # counters are flushed before every visit, and visits happen
+        # only between timestamps: a batched pulse never observes a
+        # half-dispatched cycle, so the count is a multiple of the
+        # 4-events-per-timestamp batch size.
+        assert processed % 4 == 0 and processed > 0
+
+
+def test_unpulsed_run_is_identical_to_pulsed():
+    def scenario(eng):
+        seen = []
+        for when in range(1, 20):
+            eng.schedule(float(when), lambda w=when: seen.append(w))
+        eng.run_until_idle()
+        return seen
+
+    def pulsed(eng):
+        seen = []
+        for when in range(1, 20):
+            eng.schedule(float(when), lambda w=when: seen.append(w))
+        eng.attach_pulse(lambda e: None, every=4)
+        eng.run_until_idle()
+        eng.detach_pulse()
+        return seen
+
+    assert both(scenario) == pulsed(BatchedEngine()) == pulsed(Engine())
+
+
+# ---------------------------------------------------------------------------
+# exceptions: the queue survives a raising callback
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_raising_callback_consumes_itself_and_preserves_rest(engine_cls):
+    eng = engine_cls()
+    seen = []
+
+    def boom():
+        seen.append("boom")
+        raise RuntimeError("deliberate")
+
+    eng.schedule(1.0, lambda: seen.append("a"))
+    eng.schedule(1.0, boom)
+    eng.schedule(1.0, lambda: seen.append("b"))
+    eng.schedule(2.0, lambda: seen.append("c"))
+    with pytest.raises(RuntimeError):
+        eng.run_until_idle()
+    assert seen == ["a", "boom"]
+    # the raising event is spent; the untouched remainder is intact and
+    # a resumed drain dispatches it exactly once, in order.
+    assert eng.pending() == 2
+    eng.run_until_idle()
+    assert seen == ["a", "boom", "b", "c"]
+    assert eng.pending() == 0
+
+
+# ---------------------------------------------------------------------------
+# state introspection parity
+
+
+def test_dump_state_matches_scalar_order():
+    def scenario(eng):
+        def early_a():  # distinct names so order is visible in the dump
+            pass
+
+        def early_b():
+            pass
+
+        def late():
+            pass
+
+        eng.schedule(5.0, late)
+        eng.schedule(1.0, early_a, "x")
+        eng.schedule(1.0, early_b)
+        handle = eng.schedule(3.0, lambda: None)
+        eng.cancel(handle)
+        state = eng.dump_state()
+        # seq values differ by design (batched records carry seq 0);
+        # the (when, callback) order is the contract.
+        return [
+            (e["when"], e["callback"].rsplit(".", 1)[-1])
+            for e in state["upcoming"]
+        ]
+
+    assert both(scenario) == [
+        (1.0, "early_a"), (1.0, "early_b"), (5.0, "late"),
+    ]
+
+
+def test_pending_and_reset_parity():
+    def scenario(eng):
+        handles = [eng.schedule(float(t % 3), lambda: None) for t in range(9)]
+        eng.cancel(handles[4])
+        counts = (eng.pending(),)
+        eng.reset()
+        return counts + (eng.pending(), eng.now, eng.events_processed)
+
+    assert both(scenario) == (8, 0, 0.0, 0)
+
+
+# ---------------------------------------------------------------------------
+# machine-level identity (the group handler under real traffic)
+
+
+def test_machine_run_identical_across_drains(monkeypatch):
+    from repro.core.config import CedarConfig
+    from repro.core.machine import CedarMachine
+    from repro.kernels.programs import KERNELS, kernel_program
+
+    results = {}
+    for gate in ("0", "1"):
+        monkeypatch.setenv("CEDAR_BATCHED", gate)
+        machine = CedarMachine(CedarConfig())
+        programs = {
+            port: kernel_program(KERNELS["CG"], port, 2, prefetch=True)
+            for port in range(4)
+        }
+        cycles = machine.run_programs(programs)
+        results[gate] = (
+            cycles,
+            machine.engine.events_processed,
+            machine.ctx.stats(),
+        )
+    scalar, batched = results["0"], results["1"]
+    assert type(CedarMachine(CedarConfig()).engine) is BatchedEngine
+    assert batched[0] == scalar[0], "simulated cycles diverged"
+    assert batched[1] == scalar[1], "event counts diverged"
+    assert batched[2] == scalar[2], "component counters diverged"

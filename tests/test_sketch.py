@@ -125,7 +125,12 @@ class TestMerge:
         for value in values[cut:]:
             right.record(value)
         merged = left.merge(right)
-        assert merged.to_dict() == whole.to_dict()
+        merged_doc, whole_doc = merged.to_dict(), whole.to_dict()
+        # float addition is not associative: merging two half-sums can
+        # differ from sequential accumulation by one ulp, so `sum` is
+        # compared approximately; everything else must match exactly.
+        assert merged_doc.pop("sum") == pytest.approx(whole_doc.pop("sum"))
+        assert merged_doc == whole_doc
 
     def test_merge_is_associative(self):
         parts = ([1.0, 2.0, 400.0], [3.0, 90.0], [0.5, 7.0, 7.0, 1e6])
